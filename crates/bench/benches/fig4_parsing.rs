@@ -1,0 +1,82 @@
+//! Experiment E1 — Figure 4: parsing performance.
+//!
+//! Import latency for the two large tables (lineitem and Flights) at
+//! every deferral level: raw disk bandwidth, tokenizing, splitting into
+//! column files, parsing scalars only, and parsing all columns — the
+//! latter two with encodings and heap acceleration on and off.
+//!
+//! Paper shape to reproduce: encoding on is comparable to or better than
+//! encoding off, and full parsing with encoding + acceleration is
+//! comparable to merely splitting the file (no benefit to deferred
+//! parsing).
+
+use tde_bench::*;
+use tde_datagen::tpch::TpchTable;
+use tde_textscan::{import_file, read_bandwidth, split, tokenize, ScanMode};
+
+fn run_table(label: &str, path: &std::path::Path, opts_for: &dyn Fn(bool, bool, ScanMode) -> tde_textscan::ImportOptions, reps: usize) {
+    let bytes = file_size(path);
+    println!("\n-- {label} ({} MB) --", mb(bytes));
+    println!("{:<26} {:>9}  {:>9}", "mode", "seconds", "MB/s");
+    let report = |mode: &str, secs: f64| {
+        println!("{:<26} {:>9.3}  {:>9.1}", mode, secs, bytes as f64 / 1e6 / secs);
+    };
+
+    let t = measure(reps, || {
+        read_bandwidth(path).unwrap();
+    });
+    report("bandwidth", t.as_secs_f64());
+
+    let t = measure(reps, || {
+        tokenize(path).unwrap();
+    });
+    report("tokenize", t.as_secs_f64());
+
+    let split_dir = data_dir().join(format!("{label}_split"));
+    let t = measure(reps, || {
+        split(path, &split_dir).unwrap();
+    });
+    report("split", t.as_secs_f64());
+
+    for (mode, mode_name) in [(ScanMode::Scalars, "scalars"), (ScanMode::All, "all")] {
+        for (enc, accel) in [(false, false), (false, true), (true, false), (true, true)] {
+            if mode == ScanMode::Scalars && accel {
+                continue; // acceleration applies only to parsed strings
+            }
+            let opts = opts_for(enc, accel, mode);
+            let t = measure(reps, || {
+                import_file(path, &opts).unwrap();
+            });
+            report(
+                &format!(
+                    "{mode_name} enc={} accel={}",
+                    if enc { "on" } else { "off" },
+                    if accel { "on" } else { "off" }
+                ),
+                t.as_secs_f64(),
+            );
+        }
+    }
+    std::fs::remove_dir_all(&split_dir).ok();
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 4", "parsing performance (import latency per deferral level)");
+    println!("(SF_LARGE={}, FLIGHTS_ROWS={}, reps={})", scale.sf_large, scale.flights_rows, scale.reps);
+
+    let tpch_dir = tpch_files(scale.sf_large);
+    let lineitem = tpch_dir.join(TpchTable::Lineitem.file_name());
+    run_table(
+        "lineitem",
+        &lineitem,
+        &|enc, accel, mode| import_options(TpchTable::Lineitem, enc, accel, mode),
+        scale.reps,
+    );
+
+    let flights = flights_file(scale.flights_rows);
+    run_table("flights", &flights, &flights_options, scale.reps);
+
+    println!("\nPaper check: 'all enc=on accel=on' should be within noise of 'split',");
+    println!("and encoding on should never be materially slower than encoding off.");
+}

@@ -1,0 +1,91 @@
+//! Experiment E3 — Figure 6: sorted string heaps.
+//!
+//! Counts the string columns whose heaps end up sorted, with and without
+//! encodings, over the small table set and the two large tables.
+//!
+//! Paper shape: without encoding only a handful of heaps are sorted
+//! (fortuitous insertion order); with encoding on, *all* heaps are sorted
+//! except the ones whose domain is too large for dictionary encoding
+//! (l_comment and friends).
+
+use tde_bench::*;
+use tde_datagen::tpch::TpchTable;
+use tde_storage::Compression;
+use tde_textscan::{import_file, ImportResult, ScanMode};
+
+fn count_heaps(result: &ImportResult) -> (usize, usize) {
+    let mut sorted = 0;
+    let mut total = 0;
+    for col in &result.table.columns {
+        if let Compression::Heap { sorted: s, .. } = &col.compression {
+            total += 1;
+            sorted += usize::from(*s);
+        }
+    }
+    (sorted, total)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 6", "sorted string heaps with and without encoding");
+    println!(
+        "{:<12} {:>22} {:>22}",
+        "table", "enc off (sorted/total)", "enc on (sorted/total)"
+    );
+    let small_dir = tpch_files(scale.sf);
+    let large_dir = tpch_files(scale.sf_large);
+    let flights = flights_file(scale.flights_rows);
+
+    let mut totals = [(0usize, 0usize); 2];
+    let mut row = |name: &str, results: [(usize, usize); 2]| {
+        println!(
+            "{:<12} {:>22} {:>22}",
+            name,
+            format!("{}/{}", results[0].0, results[0].1),
+            format!("{}/{}", results[1].0, results[1].1)
+        );
+        for (i, (s, t)) in results.into_iter().enumerate() {
+            totals[i].0 += s;
+            totals[i].1 += t;
+        }
+    };
+
+    for table in SF1_TABLES {
+        let mut results = [(0, 0); 2];
+        for (i, enc) in [false, true].into_iter().enumerate() {
+            let opts = import_options(table, enc, true, ScanMode::All);
+            let r = import_file(small_dir.join(table.file_name()), &opts).unwrap();
+            results[i] = count_heaps(&r);
+        }
+        row(table.name(), results);
+    }
+    for (name, path, is_flights) in [
+        (
+            "lineitem",
+            large_dir.join(TpchTable::Lineitem.file_name()),
+            false,
+        ),
+        ("flights", flights, true),
+    ] {
+        let mut results = [(0, 0); 2];
+        for (i, enc) in [false, true].into_iter().enumerate() {
+            let opts = if is_flights {
+                flights_options(enc, true, ScanMode::All)
+            } else {
+                import_options(TpchTable::Lineitem, enc, true, ScanMode::All)
+            };
+            let r = import_file(&path, &opts).unwrap();
+            results[i] = count_heaps(&r);
+        }
+        row(name, results);
+    }
+    println!(
+        "{:<12} {:>22} {:>22}",
+        "TOTAL",
+        format!("{}/{}", totals[0].0, totals[0].1),
+        format!("{}/{}", totals[1].0, totals[1].1)
+    );
+    println!("\nPaper check: with encoding on, every heap sorts except the large");
+    println!("low-duplication comment columns; without it only fortuitously");
+    println!("ordered inputs are sorted.");
+}

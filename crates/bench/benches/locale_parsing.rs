@@ -1,0 +1,78 @@
+//! Experiment E10 — §5.1.2: the locale-lock parallel-parsing collapse.
+//!
+//! The first TextScan parsed fields with locale-sensitive standard-library
+//! parsers; each parse locked a singleton locale object, and lock
+//! contention made *parallel* execution at least an order of magnitude
+//! slower. The buffer-oriented parsers (§5.1.3) rely on no external state
+//! and scale. This harness measures the 2×2 grid: {buffer, locale-locking}
+//! × {serial, parallel}.
+
+use std::time::Instant;
+use tde_bench::*;
+use tde_datagen::tpch::TpchTable;
+use tde_textscan::{import_file, locale, parsers, ImportOptions, ParserKind, ScanMode};
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("§5.1.2 (E10)", "locale-locking vs buffer parsers");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let dir = tpch_files(scale.sf_large);
+    let path = dir.join(TpchTable::Lineitem.file_name());
+    println!(
+        "lineitem at SF {} ({} MB), reps={}, cores={cores}\n",
+        scale.sf_large,
+        mb(file_size(&path)),
+        scale.reps
+    );
+
+    // Part 1: the per-field tax of going through the locked locale, in a
+    // tight single-threaded parse loop (no tokenizer noise).
+    let fields: Vec<Vec<u8>> =
+        (0..1_000_000).map(|i| format!("{}", (i * 7919) % 1_000_000).into_bytes()).collect();
+    let t0 = Instant::now();
+    let mut sink = 0i64;
+    for f in &fields {
+        sink = sink.wrapping_add(parsers::parse_i64(f).unwrap().unwrap());
+    }
+    let buffer_ns = t0.elapsed().as_nanos() as f64 / fields.len() as f64;
+    let t0 = Instant::now();
+    for f in &fields {
+        sink = sink.wrapping_add(locale::parse_i64_locale(f).unwrap().unwrap());
+    }
+    let locale_ns = t0.elapsed().as_nanos() as f64 / fields.len() as f64;
+    std::hint::black_box(sink);
+    println!("per-field integer parse: buffer {buffer_ns:.0} ns, locale-locking {locale_ns:.0} ns");
+    println!("single-threaded locale tax: {:.1}x\n", locale_ns / buffer_ns);
+
+    // Part 2: the 2×2 import grid (scalar parsing isolated, encodings off
+    // so the parsers dominate). On multi-core hardware the locale-locking
+    // parallel cell collapses; on a single core the threads timeslice and
+    // only the per-field tax shows — EXPERIMENTS.md records which regime
+    // this run was in.
+    println!("{:<26} {:>9}", "configuration", "seconds");
+    let mut grid = Vec::new();
+    for (kind, kname) in
+        [(ParserKind::Buffer, "buffer"), (ParserKind::LocaleLocking, "locale-locking")]
+    {
+        for (parallel, pname) in [(false, "serial"), (true, "parallel")] {
+            let base = import_options(TpchTable::Lineitem, false, false, ScanMode::Scalars);
+            let opts = ImportOptions { parser: kind, parallel, ..base };
+            let t = measure(scale.reps.min(3), || {
+                import_file(&path, &opts).unwrap();
+            });
+            println!("{:<26} {:>9.3}", format!("{kname} {pname}"), t.as_secs_f64());
+            grid.push(t.as_secs_f64());
+        }
+    }
+    // grid: [buffer serial, buffer parallel, locale serial, locale parallel]
+    println!("\nbuffer parsers: parallel speedup {:.2}x", grid[0] / grid[1]);
+    println!("locale-locking: parallel 'speedup' {:.2}x", grid[2] / grid[3]);
+    println!("locale parallel vs buffer parallel: {:.2}x slower", grid[3] / grid[1]);
+    if cores == 1 {
+        println!("\n(single core: the contention collapse cannot manifest; the");
+        println!(" per-field locale tax above is the measurable component here)");
+    } else {
+        println!("\nPaper check: under the locale lock, parallel parsing degrades —");
+        println!("contention negates (and reverses) the gains from parallelism.");
+    }
+}

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks (M1–M3): bit packing, per-algorithm encode
+//! and decode throughput, and the header manipulations whose O(1)/O(2^bits)
+//! claims the paper makes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tde_encodings::dynamic::encode_all;
+use tde_encodings::manipulate;
+use tde_encodings::{bitpack, EncodedStream, BLOCK_SIZE};
+use tde_types::Width;
+
+const N: usize = 64 * BLOCK_SIZE;
+
+fn bench_bitpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitpack");
+    g.sample_size(20);
+    for bits in [1u8, 4, 8, 13, 32] {
+        let mask = (1u64 << bits) - 1;
+        let values: Vec<u64> = (0..N as u64).map(|i| i & mask).collect();
+        g.throughput(Throughput::Elements(N as u64));
+        g.bench_with_input(BenchmarkId::new("pack", bits), &values, |b, v| {
+            let mut out = Vec::with_capacity(N);
+            b.iter(|| {
+                out.clear();
+                bitpack::pack(v, bits, &mut out);
+            });
+        });
+        let mut packed = Vec::new();
+        bitpack::pack(&values, bits, &mut packed);
+        g.bench_with_input(BenchmarkId::new("unpack", bits), &packed, |b, p| {
+            let mut out = Vec::with_capacity(N);
+            b.iter(|| {
+                out.clear();
+                bitpack::unpack(p, bits, N, &mut out);
+            });
+        });
+    }
+    g.finish();
+}
+
+fn datasets() -> Vec<(&'static str, Vec<i64>)> {
+    vec![
+        ("sequential", (0..N as i64).collect()),
+        ("small_range", (0..N as i64).map(|i| 1000 + (i * 37) % 200).collect()),
+        ("small_domain", (0..N as i64).map(|i| (i % 20) * 1_000_003).collect()),
+        ("runs", (0..N as i64).map(|i| i / 4096).collect()),
+        (
+            "random",
+            (0..N as i64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64)).collect(),
+        ),
+    ]
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamic_encoding");
+    g.sample_size(15);
+    for (name, data) in datasets() {
+        g.throughput(Throughput::Elements(N as u64));
+        g.bench_with_input(BenchmarkId::new("encode", name), &data, |b, d| {
+            b.iter(|| encode_all(d, Width::W8, true));
+        });
+        let stream = encode_all(&data, Width::W8, true).stream;
+        g.bench_with_input(
+            BenchmarkId::new(format!("decode_{}", stream.algorithm()), name),
+            &stream,
+            |b, s| {
+                let mut out = Vec::with_capacity(N);
+                b.iter(|| {
+                    out.clear();
+                    for blk in 0..s.block_count() {
+                        s.decode_block(blk, &mut out);
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_manipulations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("header_manipulations");
+    g.sample_size(30);
+    // Narrowing must be O(1)/O(2^bits) — independent of row count. Bench
+    // over two sizes to make regressions visible.
+    for rows in [BLOCK_SIZE as i64, 256 * BLOCK_SIZE as i64] {
+        let data: Vec<i64> = (0..rows).map(|i| 100 + (i % 50)).collect();
+        g.bench_with_input(BenchmarkId::new("narrow_for", rows), &data, |b, d| {
+            let mut s = EncodedStream::new_frame(Width::W8, true, 100, 6);
+            for chunk in d.chunks(BLOCK_SIZE) {
+                s.append_block(chunk).unwrap();
+            }
+            b.iter(|| {
+                let mut c = s.clone();
+                manipulate::narrow(&mut c)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("narrow_dict", rows), &data, |b, d| {
+            let mut s = EncodedStream::new_dict(Width::W8, true, 6);
+            for chunk in d.chunks(BLOCK_SIZE) {
+                s.append_block(chunk).unwrap();
+            }
+            b.iter(|| {
+                let mut c = s.clone();
+                manipulate::narrow(&mut c)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bitpack, bench_encode_decode, bench_manipulations);
+criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! Physical design optimization (paper §5.2, §3.4.3).
+//!
+//! Import leaves columns encoded but not dictionary-*compressed*. Two
+//! further design steps the paper discusses can pay off when the workload
+//! suggests them:
+//!
+//! * converting dictionary-encoded scalar dimensions (typically dates)
+//!   into dictionary-compressed columns, enabling invisible joins so
+//!   expensive calculations run once per domain value;
+//! * converting frame-of-reference columns through the envelope
+//!   dictionary (§3.4.3).
+//!
+//! This is the AlterColumn-style global optimization pass: cheap, because
+//! the conversions reuse the encoded headers.
+
+use tde_encodings::Algorithm;
+use tde_storage::{convert, Compression, Table};
+use tde_types::DataType;
+
+/// What the pass did to each column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignChange {
+    /// Dictionary encoding promoted to dictionary compression.
+    DictCompressed(String),
+    /// Frame-of-reference promoted to an envelope dictionary.
+    EnvelopeCompressed(String),
+    /// RLE column promoted through run decomposition.
+    RleCompressed(String),
+    /// Left alone.
+    Unchanged(String),
+}
+
+/// Knobs for the design pass.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignOptions {
+    /// Promote dictionary-encoded scalar dimensions (dates by default).
+    pub compress_dates: bool,
+    /// Promote any dictionary-encoded integral scalar, not just dates.
+    pub compress_all_scalars: bool,
+    /// Promote narrow frame-of-reference columns through the envelope.
+    pub envelope_max_bits: u8,
+    /// Promote RLE scalar columns via run decomposition.
+    pub compress_rle: bool,
+    /// Fall back to the heavyweight O(rows) re-encode when an eligible
+    /// column's small domain is hidden behind another encoding (the
+    /// AlterColumn path). The cheap header routes are always preferred.
+    pub reencode_small_domains: bool,
+}
+
+impl Default for DesignOptions {
+    fn default() -> DesignOptions {
+        DesignOptions {
+            compress_dates: true,
+            compress_all_scalars: false,
+            envelope_max_bits: 0, // off by default: dictionaries may hold absent values
+            compress_rle: false,
+            reencode_small_domains: true,
+        }
+    }
+}
+
+/// Apply the design pass to every column of `table`.
+pub fn optimize_physical_design(table: &mut Table, opts: DesignOptions) -> Vec<DesignChange> {
+    let mut changes = Vec::new();
+    for col in &mut table.columns {
+        if !matches!(col.compression, Compression::None) || col.dtype == DataType::Real {
+            changes.push(DesignChange::Unchanged(col.name.clone()));
+            continue;
+        }
+        let eligible_dtype = match col.dtype {
+            DataType::Date | DataType::Timestamp => opts.compress_dates,
+            DataType::Integer | DataType::Bool => opts.compress_all_scalars,
+            _ => false,
+        };
+        match col.data.algorithm() {
+            Algorithm::Dictionary if eligible_dtype => {
+                convert::dict_encoding_to_compression(col);
+                changes.push(DesignChange::DictCompressed(col.name.clone()));
+            }
+            Algorithm::FrameOfReference
+                if eligible_dtype
+                    && col.data.header().bits <= opts.envelope_max_bits
+                    && opts.envelope_max_bits > 0 =>
+            {
+                convert::for_encoding_to_compression(col);
+                changes.push(DesignChange::EnvelopeCompressed(col.name.clone()));
+            }
+            Algorithm::RunLength if eligible_dtype && opts.compress_rle => {
+                convert::rle_to_dict_compression(col);
+                changes.push(DesignChange::RleCompressed(col.name.clone()));
+            }
+            _ if eligible_dtype
+                && opts.reencode_small_domains
+                && col.metadata.cardinality.is_some_and(|c| c <= 1 << 15) =>
+            {
+                if convert::reencode_as_dictionary(col) {
+                    changes.push(DesignChange::DictCompressed(col.name.clone()));
+                } else {
+                    changes.push(DesignChange::Unchanged(col.name.clone()));
+                }
+            }
+            _ => changes.push(DesignChange::Unchanged(col.name.clone())),
+        }
+    }
+    changes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tde_storage::{ColumnBuilder, EncodingPolicy};
+    use tde_types::Value;
+
+    #[test]
+    fn dates_get_dictionary_compressed() {
+        let mut d = ColumnBuilder::new("d", DataType::Date, EncodingPolicy::default());
+        let mut x = ColumnBuilder::new("x", DataType::Integer, EncodingPolicy::default());
+        for i in 0..20_000i64 {
+            // Wide-ranging repeated dates (dictionary-friendly, FoR-hostile).
+            d.append_i64(((i * 7919) % 60) * 500);
+            x.append_i64(i);
+        }
+        let mut t = Table::new("t", vec![d.finish().column, x.finish().column]);
+        assert_eq!(t.columns[0].data.algorithm(), Algorithm::Dictionary);
+        let before = t.columns[0].value(17);
+        let changes = optimize_physical_design(&mut t, DesignOptions::default());
+        assert_eq!(changes[0], DesignChange::DictCompressed("d".into()));
+        assert_eq!(changes[1], DesignChange::Unchanged("x".into()));
+        assert!(matches!(t.columns[0].compression, Compression::Array { .. }));
+        assert_eq!(t.columns[0].value(17), before);
+    }
+
+    #[test]
+    fn strings_and_reals_untouched() {
+        let mut s = ColumnBuilder::new("s", DataType::Str, EncodingPolicy::default());
+        let mut r = ColumnBuilder::new("r", DataType::Real, EncodingPolicy::default());
+        for i in 0..100 {
+            s.append_str(Some(["a", "b"][i % 2]));
+            r.append_f64(i as f64);
+        }
+        let mut t = Table::new("t", vec![s.finish().column, r.finish().column]);
+        let changes = optimize_physical_design(
+            &mut t,
+            DesignOptions { compress_all_scalars: true, ..Default::default() },
+        );
+        assert!(changes.iter().all(|c| matches!(c, DesignChange::Unchanged(_))));
+        assert_eq!(t.columns[0].value(1), Value::Str("b".into()));
+    }
+
+    #[test]
+    fn rle_promotion() {
+        let mut data = Vec::new();
+        for v in 0..5i64 {
+            data.extend(std::iter::repeat_n(v * 1000, 5000));
+        }
+        let mut d = ColumnBuilder::new("d", DataType::Integer, EncodingPolicy::default());
+        d.append_raw(&data);
+        let mut t = Table::new("t", vec![d.finish().column]);
+        assert_eq!(t.columns[0].data.algorithm(), Algorithm::RunLength);
+        let changes = optimize_physical_design(
+            &mut t,
+            DesignOptions {
+                compress_all_scalars: true,
+                compress_rle: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(changes[0], DesignChange::RleCompressed("d".into()));
+        // Token stream stays run-length encoded (§3.4.3 last paragraph).
+        assert_eq!(t.columns[0].data.algorithm(), Algorithm::RunLength);
+        assert_eq!(t.columns[0].value(0), Value::Int(0));
+        assert_eq!(t.columns[0].value(24_999), Value::Int(4000));
+    }
+}

@@ -1,0 +1,212 @@
+//! Extracts: single-file databases of imported tables (paper §2.2–2.3.3),
+//! plus the §8 external flat-file references: an extract can remember the
+//! files its tables came from and rebuild itself when they change,
+//! trading a repackaging cost for up-to-date data.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tde_storage::{Database, Table};
+use tde_textscan::{import_file, ImportOptions};
+
+/// A remembered link between a table and the flat file it was imported
+/// from (paper §8).
+#[derive(Debug, Clone)]
+struct LinkedSource {
+    table: String,
+    path: PathBuf,
+    fingerprint: u64,
+    options: ImportOptions,
+}
+
+fn fingerprint(path: &Path) -> io::Result<u64> {
+    let meta = std::fs::metadata(path)?;
+    let mtime = meta
+        .modified()
+        .ok()
+        .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+        .map_or(0, |d| d.as_nanos() as u64);
+    Ok(meta.len().rotate_left(17) ^ mtime)
+}
+
+/// An extract: a set of read-only tables that lives in one file.
+#[derive(Debug, Default)]
+pub struct Extract {
+    db: Database,
+    sources: Vec<LinkedSource>,
+}
+
+impl Extract {
+    /// An empty extract.
+    pub fn new() -> Extract {
+        Extract::default()
+    }
+
+    /// Import a flat file as a new table. Separator, header and column
+    /// types are inferred unless `options` overrides them; the columns are
+    /// dynamically encoded, narrowed and annotated with metadata during
+    /// the load (paper §3).
+    pub fn import(&mut self, path: impl AsRef<Path>, options: &ImportOptions) -> io::Result<&Table> {
+        let result = import_file(path, options)?;
+        self.db.add_table(result.table);
+        Ok(self.db.tables.last().expect("just added"))
+    }
+
+    /// Add an already-built table.
+    pub fn add_table(&mut self, table: Table) {
+        self.db.add_table(table);
+    }
+
+    /// The tables.
+    pub fn tables(&self) -> &[Table] {
+        &self.db.tables
+    }
+
+    /// Find a table by name (shared, ready for scanning).
+    pub fn table(&self, name: &str) -> Option<Arc<Table>> {
+        self.db.table(name).map(|t| Arc::new(t.clone()))
+    }
+
+    /// Write the whole extract to a single file (paper §2.3.3: the user
+    /// must be able to pick the database in a file dialog).
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.db.save(path)
+    }
+
+    /// Load an extract from a file. (Source links are a runtime notion
+    /// and do not persist in the single-file format.)
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Extract> {
+        Ok(Extract { db: Database::load(path)?, sources: Vec::new() })
+    }
+
+    /// Import a flat file and remember it as the table's source, so
+    /// [`Extract::refresh`] can rebuild the table when the file changes
+    /// (paper §8: referencing external flat files).
+    pub fn import_linked(
+        &mut self,
+        path: impl AsRef<Path>,
+        options: &ImportOptions,
+    ) -> io::Result<&Table> {
+        let path = path.as_ref().to_path_buf();
+        let fp = fingerprint(&path)?;
+        let table = self.import(&path, options)?;
+        let name = table.name.clone();
+        self.sources.retain(|s| s.table != name);
+        self.sources.push(LinkedSource {
+            table: name.clone(),
+            path,
+            fingerprint: fp,
+            options: options.clone(),
+        });
+        Ok(self.db.table(&name).expect("just imported"))
+    }
+
+    /// Re-import every linked table whose source file changed since it was
+    /// last imported. Returns the names of the rebuilt tables. The
+    /// repackaging cost is paid only for changed sources.
+    pub fn refresh(&mut self) -> io::Result<Vec<String>> {
+        let mut rebuilt = Vec::new();
+        let sources = self.sources.clone();
+        for src in sources {
+            let fp = fingerprint(&src.path)?;
+            if fp == src.fingerprint {
+                continue;
+            }
+            let result = import_file(&src.path, &src.options)?;
+            if let Some(slot) = self.db.tables.iter_mut().find(|t| t.name == src.table) {
+                *slot = result.table;
+            } else {
+                self.db.add_table(result.table);
+            }
+            if let Some(s) = self.sources.iter_mut().find(|s| s.table == src.table) {
+                s.fingerprint = fp;
+            }
+            rebuilt.push(src.table);
+        }
+        Ok(rebuilt)
+    }
+
+    /// Whether any linked source has changed on disk.
+    pub fn is_stale(&self) -> bool {
+        self.sources
+            .iter()
+            .any(|s| fingerprint(&s.path).map_or(true, |fp| fp != s.fingerprint))
+    }
+
+    /// Total physical size of the stored columns.
+    pub fn physical_size(&self) -> u64 {
+        self.db.tables.iter().map(Table::physical_size).sum()
+    }
+
+    /// Total logical (un-encoded) size.
+    pub fn logical_size(&self) -> u64 {
+        self.db.tables.iter().map(Table::logical_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn import_save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("tde_core_extract");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("people.csv");
+        std::fs::write(&csv, "name,age,joined\nada,36,1851-07-02\ngrace,40,1946-07-01\n")
+            .unwrap();
+
+        let mut ex = Extract::new();
+        let opts = ImportOptions { table_name: "people".into(), ..Default::default() };
+        ex.import(&csv, &opts).unwrap();
+        assert_eq!(ex.tables().len(), 1);
+        assert_eq!(ex.table("people").unwrap().row_count(), 2);
+
+        let file = dir.join("people.tde");
+        ex.save(&file).unwrap();
+        let loaded = Extract::load(&file).unwrap();
+        let t = loaded.table("people").unwrap();
+        assert_eq!(t.column("age").unwrap().value(0), tde_types::Value::Int(36));
+        assert_eq!(
+            t.column("joined").unwrap().value(1),
+            tde_types::Value::date(1946, 7, 1)
+        );
+    }
+
+    #[test]
+    fn linked_refresh_rebuilds_on_change() {
+        let dir = std::env::temp_dir().join("tde_core_linked");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("live.csv");
+        std::fs::write(&csv, "v\n1\n2\n").unwrap();
+        let mut ex = Extract::new();
+        let opts = ImportOptions { table_name: "live".into(), ..Default::default() };
+        ex.import_linked(&csv, &opts).unwrap();
+        assert_eq!(ex.table("live").unwrap().row_count(), 2);
+        assert!(!ex.is_stale());
+        assert!(ex.refresh().unwrap().is_empty());
+
+        // Change the file (force a different mtime/len fingerprint).
+        std::fs::write(&csv, "v\n1\n2\n3\n4\n").unwrap();
+        assert!(ex.is_stale());
+        assert_eq!(ex.refresh().unwrap(), vec!["live".to_owned()]);
+        assert_eq!(ex.table("live").unwrap().row_count(), 4);
+        assert!(!ex.is_stale());
+    }
+
+    #[test]
+    fn sizes_reflect_compression() {
+        let dir = std::env::temp_dir().join("tde_core_sizes");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("seq.csv");
+        let mut text = String::from("id\n");
+        for i in 0..50_000 {
+            text.push_str(&format!("{i}\n"));
+        }
+        std::fs::write(&csv, text).unwrap();
+        let mut ex = Extract::new();
+        ex.import(&csv, &ImportOptions::default()).unwrap();
+        // A sequential id column is affine: physical ≪ logical.
+        assert!(ex.physical_size() * 100 < ex.logical_size());
+    }
+}

@@ -1,0 +1,144 @@
+//! FAA on-time ("Flights") style generator (paper §5.2).
+//!
+//! The paper's Flights extract is ten years of FAA on-time flight data:
+//! 67 M rows, 25 GB of text. Its compression-relevant signature — called
+//! out explicitly in §5.2 and §6.2 — is that *all* string columns have
+//! small domains (carrier codes, airport codes, tail numbers) and there is
+//! no large random string column like `l_comment`. Rows are emitted in
+//! date order, which is typical for such extracts and what makes the date
+//! column delta/RLE-friendly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use tde_types::datetime::{days_from_ymd, ymd_from_days};
+use tde_types::DataType;
+
+/// Two-letter carrier codes (the real domain is ~14).
+pub const CARRIERS: [&str; 14] =
+    ["AA", "AS", "B6", "CO", "DL", "EV", "F9", "FL", "HA", "MQ", "NW", "OO", "UA", "WN"];
+
+/// Airport codes (the real domain is ~300; 60 preserves the small-domain
+/// property at our scale).
+pub const AIRPORTS: [&str; 60] = [
+    "ATL", "LAX", "ORD", "DFW", "DEN", "JFK", "SFO", "SEA", "LAS", "MCO", "EWR", "CLT",
+    "PHX", "IAH", "MIA", "BOS", "MSP", "FLL", "DTW", "PHL", "LGA", "BWI", "SLC", "SAN",
+    "IAD", "DCA", "MDW", "TPA", "PDX", "HNL", "STL", "HOU", "AUS", "OAK", "MSY", "RDU",
+    "SJC", "SNA", "DAL", "SMF", "SAT", "RSW", "PIT", "CLE", "IND", "MCI", "CMH", "OGG",
+    "PBI", "BDL", "CVG", "JAX", "ANC", "BUF", "ABQ", "ONT", "OMA", "BUR", "MEM", "OKC",
+];
+
+/// Column names and logical types of the generated file.
+pub fn schema() -> Vec<(&'static str, DataType)> {
+    use DataType::*;
+    vec![
+        ("flight_date", Date),
+        ("carrier", Str),
+        ("flight_num", Integer),
+        ("tail_num", Str),
+        ("origin", Str),
+        ("dest", Str),
+        ("crs_dep_time", Integer),
+        ("dep_delay", Integer),
+        ("arr_delay", Integer),
+        ("distance", Integer),
+        ("cancelled", Bool),
+    ]
+}
+
+/// Write `rows` flight records (comma-separated, with a header row) into
+/// `path`. Rows span ten years of dates in ascending order.
+pub fn write_file(path: impl AsRef<Path>, rows: u64, seed: u64) -> io::Result<PathBuf> {
+    let path = path.as_ref().to_path_buf();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut w = BufWriter::with_capacity(1 << 20, std::fs::File::create(&path)?);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<&str> = schema().iter().map(|(n, _)| *n).collect();
+    writeln!(w, "{}", names.join(","))?;
+
+    let start = days_from_ymd(1998, 1, 1);
+    let end = days_from_ymd(2007, 12, 31);
+    let span = (end - start) as u64 + 1;
+    for i in 0..rows {
+        // Ascending dates: row i belongs to day floor(i * span / rows).
+        let date = start + (i as i64 * span as i64) / rows.max(1) as i64;
+        let (y, m, d) = ymd_from_days(date);
+        let carrier = CARRIERS[rng.gen_range(0..CARRIERS.len())];
+        let tail = format!("N{:03}{}", rng.gen_range(0..500), carrier.as_bytes()[0] as char);
+        let origin = AIRPORTS[rng.gen_range(0..AIRPORTS.len())];
+        let mut dest = AIRPORTS[rng.gen_range(0..AIRPORTS.len())];
+        if dest == origin {
+            dest = AIRPORTS[(rng.gen_range(0..AIRPORTS.len() - 1) + 1) % AIRPORTS.len()];
+        }
+        let dep_time = rng.gen_range(5..23) * 100 + rng.gen_range(0..60);
+        let cancelled = rng.gen_bool(0.02);
+        let dep_delay: i64 = if cancelled { 0 } else { rng.gen_range(-10..120) };
+        let arr_delay = if cancelled { 0 } else { dep_delay + rng.gen_range(-15..30) };
+        writeln!(
+            w,
+            "{y:04}-{m:02}-{d:02},{carrier},{},{tail},{origin},{dest},{dep_time},{dep_delay},{arr_delay},{},{}",
+            rng.gen_range(1..7000),
+            rng.gen_range(100..2800),
+            if cancelled { "true" } else { "false" },
+        )?;
+    }
+    w.flush()?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_row_shape() {
+        let p = std::env::temp_dir().join("tde_flights_test/f.csv");
+        write_file(&p, 500, 11).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next().unwrap().split(',').count(), schema().len());
+        for line in lines {
+            assert_eq!(line.split(',').count(), schema().len(), "{line:?}");
+        }
+        assert_eq!(text.lines().count(), 501);
+    }
+
+    #[test]
+    fn dates_are_ascending() {
+        let p = std::env::temp_dir().join("tde_flights_test/sorted.csv");
+        write_file(&p, 1000, 5).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let dates: Vec<&str> =
+            text.lines().skip(1).map(|l| l.split(',').next().unwrap()).collect();
+        assert!(dates.windows(2).all(|w| w[0] <= w[1]));
+        assert!(dates[0].starts_with("1998"));
+        assert!(dates.last().unwrap().starts_with("2007"));
+    }
+
+    #[test]
+    fn string_domains_are_small() {
+        let p = std::env::temp_dir().join("tde_flights_test/domains.csv");
+        write_file(&p, 2000, 5).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        let carriers: std::collections::HashSet<&str> =
+            text.lines().skip(1).map(|l| l.split(',').nth(1).unwrap()).collect();
+        assert!(carriers.len() <= CARRIERS.len());
+        let origins: std::collections::HashSet<&str> =
+            text.lines().skip(1).map(|l| l.split(',').nth(4).unwrap()).collect();
+        assert!(origins.len() <= AIRPORTS.len());
+    }
+
+    #[test]
+    fn origin_never_equals_dest() {
+        let p = std::env::temp_dir().join("tde_flights_test/od.csv");
+        write_file(&p, 3000, 5).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        for line in text.lines().skip(1) {
+            let f: Vec<&str> = line.split(',').collect();
+            assert_ne!(f[4], f[5]);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Workload generators for the paper's experiments (§5.2–5.3).
+//!
+//! The paper evaluates on TPC-H dbgen output (SF-1 and SF-30), a 25 GB FAA
+//! on-time "Flights" extract, and artificial run-length tables of 1 M and
+//! 1 B rows. None of those artifacts are available here, so this crate
+//! regenerates their *shapes* (see DESIGN.md §2 for the substitution
+//! rationale):
+//!
+//! * [`tpch`] — all eight TPC-H tables as `|`-separated text with dbgen's
+//!   key structure, value domains and string shapes (fixed-width
+//!   `Customer#%09d` names, random-word comments, the 1992–1998 date
+//!   ranges, …).
+//! * [`flights`] — FAA on-time-style rows: small-domain string columns
+//!   (carriers, airports), low-cardinality integers, a leading date
+//!   column, and *no* large random string column.
+//! * [`rle`] — the §5.3 tables: two uniformly distributed `[0, 100)`
+//!   columns, sorted ascending on both, at a configurable row count.
+
+pub mod flights;
+pub mod rle;
+pub mod tpch;
+pub mod words;

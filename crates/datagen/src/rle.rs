@@ -1,0 +1,158 @@
+//! Artificial run-length tables (paper §5.3).
+//!
+//! Two columns — *primary* and *secondary* — of uniformly distributed
+//! values in `[0, 100)`, with the table sorted ascending on both columns.
+//! Sorting makes both columns runs of equal values: the primary column has
+//! ~100 runs of `rows/100` values; the secondary column has ~100 runs of
+//! `rows/10⁴` values *inside each primary run*.
+//!
+//! The paper's crossover (Fig 10) lives in the secondary run length: at
+//! 1 M rows the secondary runs are ~100 values — smaller than the block
+//! iteration size, so ordered retrieval degrades; at 1 B rows they are
+//! ~100 k values and ordered retrieval wins ~3×. We reproduce both regimes
+//! at 1 M and a configurable "large" row count (runs only need to clear
+//! the 1024-value block size, which 32 M rows does with runs of ~3200).
+//!
+//! Rather than materializing and sorting `rows` pairs, the generator draws
+//! the multinomial cell counts directly, producing the sorted table's runs
+//! in O(100²) — that is also exactly the (value, count) structure the
+//! run-length encoder would discover.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The value domain: uniform in `[0, DOMAIN)`.
+pub const DOMAIN: i64 = 100;
+
+/// The sorted table, in run form.
+#[derive(Debug, Clone)]
+pub struct RleTable {
+    /// Total rows.
+    pub rows: u64,
+    /// `counts[p][s]` = number of rows with primary `p` and secondary `s`.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl RleTable {
+    /// Generate the sorted table for `rows` rows.
+    pub fn generate(rows: u64, seed: u64) -> RleTable {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cells = (DOMAIN * DOMAIN) as u64;
+        // Exact multinomial via sequential draws is O(rows); approximate
+        // with mean ± jitter for large tables (the distribution detail is
+        // irrelevant — only run lengths matter) but stay exact in total.
+        let mut counts = vec![vec![0u64; DOMAIN as usize]; DOMAIN as usize];
+        let mean = rows / cells;
+        let mut assigned = 0u64;
+        for row in counts.iter_mut() {
+            for cell in row.iter_mut() {
+                let jitter = if mean > 10 {
+                    rng.gen_range(0..=(mean / 5).max(1) * 2) as i64 - (mean / 5).max(1) as i64
+                } else {
+                    0
+                };
+                let c = (mean as i64 + jitter).max(0) as u64;
+                *cell = c;
+                assigned += c;
+            }
+        }
+        // Distribute the remainder (or trim the excess) uniformly.
+        while assigned < rows {
+            let p = rng.gen_range(0..DOMAIN as usize);
+            let s = rng.gen_range(0..DOMAIN as usize);
+            counts[p][s] += 1;
+            assigned += 1;
+        }
+        while assigned > rows {
+            let p = rng.gen_range(0..DOMAIN as usize);
+            let s = rng.gen_range(0..DOMAIN as usize);
+            if counts[p][s] > 0 {
+                counts[p][s] -= 1;
+                assigned -= 1;
+            }
+        }
+        RleTable { rows, counts }
+    }
+
+    /// Runs of the primary column: `(value, count)` in table order.
+    pub fn primary_runs(&self) -> Vec<(i64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(p, row)| (p as i64, row.iter().sum()))
+            .filter(|&(_, c)| c > 0)
+            .collect()
+    }
+
+    /// Runs of the secondary column: `(value, count)` in table order —
+    /// the secondary restarts from 0 within every primary group.
+    pub fn secondary_runs(&self) -> Vec<(i64, u64)> {
+        let mut runs = Vec::with_capacity((DOMAIN * DOMAIN) as usize);
+        for row in &self.counts {
+            for (s, &c) in row.iter().enumerate() {
+                if c > 0 {
+                    runs.push((s as i64, c));
+                }
+            }
+        }
+        runs
+    }
+
+    /// Average secondary run length — the quantity that decides the Fig 10
+    /// crossover against the block iteration size.
+    pub fn avg_secondary_run(&self) -> f64 {
+        let runs = self.secondary_runs();
+        if runs.is_empty() {
+            return 0.0;
+        }
+        self.rows as f64 / runs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_exact() {
+        let t = RleTable::generate(1_000_000, 3);
+        assert_eq!(t.primary_runs().iter().map(|r| r.1).sum::<u64>(), 1_000_000);
+        assert_eq!(t.secondary_runs().iter().map(|r| r.1).sum::<u64>(), 1_000_000);
+    }
+
+    #[test]
+    fn primary_runs_are_sorted_and_long() {
+        let t = RleTable::generate(1_000_000, 3);
+        let runs = t.primary_runs();
+        assert_eq!(runs.len(), 100);
+        assert!(runs.windows(2).all(|w| w[0].0 < w[1].0));
+        for &(_, c) in &runs {
+            assert!(c > 5_000, "primary runs should be ~10k, got {c}");
+        }
+    }
+
+    #[test]
+    fn secondary_run_length_regimes() {
+        // 1M rows: secondary runs ≈ 100 < block size (degraded regime).
+        let small = RleTable::generate(1_000_000, 3);
+        assert!(small.avg_secondary_run() < 512.0, "{}", small.avg_secondary_run());
+        // 32M rows: secondary runs ≈ 3200 > block size (winning regime).
+        let large = RleTable::generate(32_000_000, 3);
+        assert!(large.avg_secondary_run() > 2048.0, "{}", large.avg_secondary_run());
+    }
+
+    #[test]
+    fn secondary_restarts_per_primary_group() {
+        let t = RleTable::generate(100_000, 5);
+        let runs = t.secondary_runs();
+        // ~100 descending restarts — count positions where value drops.
+        let restarts = runs.windows(2).filter(|w| w[1].0 <= w[0].0).count();
+        assert!(restarts >= 99, "expected ~100 groups, saw {restarts} restarts");
+    }
+
+    #[test]
+    fn small_tables_work() {
+        let t = RleTable::generate(50, 1);
+        assert_eq!(t.secondary_runs().iter().map(|r| r.1).sum::<u64>(), 50);
+    }
+}

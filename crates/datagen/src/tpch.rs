@@ -1,0 +1,458 @@
+//! TPC-H dbgen-style flat-file generator (paper §5.2).
+//!
+//! Emits the eight TPC-H tables as `|`-separated, `|`-terminated text in
+//! dbgen's row format. The generator is not spec-exact, but it preserves
+//! every property the paper's compression experiments exploit:
+//!
+//! * fixed-width unique names (`Customer#%09d`, `Supplier#%09d`,
+//!   `Clerk#%09d`) whose heap tokens become affine-encodable (§6.2);
+//! * small-domain flag/enum columns (return flags, ship modes, segments);
+//! * dates confined to 1992-01-01 … 1998-12-31;
+//! * a large low-duplication `l_comment` column that defeats both the
+//!   accelerator and heap sorting (§6.2, §6.3);
+//! * primary keys that are dense ascending integers.
+
+use crate::words;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use tde_types::datetime::days_from_ymd;
+use tde_types::DataType;
+
+/// The eight TPC-H tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TpchTable {
+    /// 5 rows.
+    Region,
+    /// 25 rows.
+    Nation,
+    /// SF × 10 000 rows.
+    Supplier,
+    /// SF × 150 000 rows.
+    Customer,
+    /// SF × 200 000 rows.
+    Part,
+    /// SF × 800 000 rows.
+    Partsupp,
+    /// SF × 1 500 000 rows.
+    Orders,
+    /// ≈ SF × 6 000 000 rows.
+    Lineitem,
+}
+
+impl TpchTable {
+    /// All tables, smallest first.
+    pub const ALL: [TpchTable; 8] = [
+        TpchTable::Region,
+        TpchTable::Nation,
+        TpchTable::Supplier,
+        TpchTable::Customer,
+        TpchTable::Part,
+        TpchTable::Partsupp,
+        TpchTable::Orders,
+        TpchTable::Lineitem,
+    ];
+
+    /// dbgen file name (without directory).
+    pub fn file_name(self) -> &'static str {
+        match self {
+            TpchTable::Region => "region.tbl",
+            TpchTable::Nation => "nation.tbl",
+            TpchTable::Supplier => "supplier.tbl",
+            TpchTable::Customer => "customer.tbl",
+            TpchTable::Part => "part.tbl",
+            TpchTable::Partsupp => "partsupp.tbl",
+            TpchTable::Orders => "orders.tbl",
+            TpchTable::Lineitem => "lineitem.tbl",
+        }
+    }
+
+    /// Table name.
+    pub fn name(self) -> &'static str {
+        self.file_name().trim_end_matches(".tbl")
+    }
+
+    /// Column names and logical types — the ground-truth schema used to
+    /// check TextScan's type inference.
+    pub fn schema(self) -> Vec<(&'static str, DataType)> {
+        use DataType::*;
+        match self {
+            TpchTable::Region => vec![
+                ("r_regionkey", Integer),
+                ("r_name", Str),
+                ("r_comment", Str),
+            ],
+            TpchTable::Nation => vec![
+                ("n_nationkey", Integer),
+                ("n_name", Str),
+                ("n_regionkey", Integer),
+                ("n_comment", Str),
+            ],
+            TpchTable::Supplier => vec![
+                ("s_suppkey", Integer),
+                ("s_name", Str),
+                ("s_address", Str),
+                ("s_nationkey", Integer),
+                ("s_phone", Str),
+                ("s_acctbal", Real),
+                ("s_comment", Str),
+            ],
+            TpchTable::Customer => vec![
+                ("c_custkey", Integer),
+                ("c_name", Str),
+                ("c_address", Str),
+                ("c_nationkey", Integer),
+                ("c_phone", Str),
+                ("c_acctbal", Real),
+                ("c_mktsegment", Str),
+                ("c_comment", Str),
+            ],
+            TpchTable::Part => vec![
+                ("p_partkey", Integer),
+                ("p_name", Str),
+                ("p_mfgr", Str),
+                ("p_brand", Str),
+                ("p_type", Str),
+                ("p_size", Integer),
+                ("p_container", Str),
+                ("p_retailprice", Real),
+                ("p_comment", Str),
+            ],
+            TpchTable::Partsupp => vec![
+                ("ps_partkey", Integer),
+                ("ps_suppkey", Integer),
+                ("ps_availqty", Integer),
+                ("ps_supplycost", Real),
+                ("ps_comment", Str),
+            ],
+            TpchTable::Orders => vec![
+                ("o_orderkey", Integer),
+                ("o_custkey", Integer),
+                ("o_orderstatus", Str),
+                ("o_totalprice", Real),
+                ("o_orderdate", Date),
+                ("o_orderpriority", Str),
+                ("o_clerk", Str),
+                ("o_shippriority", Integer),
+                ("o_comment", Str),
+            ],
+            TpchTable::Lineitem => vec![
+                ("l_orderkey", Integer),
+                ("l_partkey", Integer),
+                ("l_suppkey", Integer),
+                ("l_linenumber", Integer),
+                ("l_quantity", Integer),
+                ("l_extendedprice", Real),
+                ("l_discount", Real),
+                ("l_tax", Real),
+                ("l_returnflag", Str),
+                ("l_linestatus", Str),
+                ("l_shipdate", Date),
+                ("l_commitdate", Date),
+                ("l_receiptdate", Date),
+                ("l_shipinstruct", Str),
+                ("l_shipmode", Str),
+                ("l_comment", Str),
+            ],
+        }
+    }
+
+    /// Row count at scale factor `sf`.
+    pub fn rows(self, sf: f64) -> u64 {
+        let base = match self {
+            TpchTable::Region => return 5,
+            TpchTable::Nation => return 25,
+            TpchTable::Supplier => 10_000.0,
+            TpchTable::Customer => 150_000.0,
+            TpchTable::Part => 200_000.0,
+            TpchTable::Partsupp => 800_000.0,
+            TpchTable::Orders => 1_500_000.0,
+            TpchTable::Lineitem => 1_500_000.0, // orders; lines multiply below
+        };
+        (base * sf).max(1.0) as u64
+    }
+}
+
+const NATIONS: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
+    "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA",
+    "UNITED KINGDOM", "UNITED STATES",
+];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] =
+    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const CONTAINERS1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
+const CONTAINERS2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const TYPES1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPES2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPES3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// First order date (1992-01-01) as days since the epoch.
+pub fn start_date() -> i64 {
+    days_from_ymd(1992, 1, 1)
+}
+
+/// Last ship date (1998-12-31) as days since the epoch.
+pub fn end_date() -> i64 {
+    days_from_ymd(1998, 12, 31)
+}
+
+fn fmt_date(days: i64) -> String {
+    let (y, m, d) = tde_types::datetime::ymd_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+fn money(rng: &mut StdRng, lo: i64, hi: i64) -> String {
+    let cents = rng.gen_range(lo * 100..=hi * 100);
+    format!("{}.{:02}", cents / 100, (cents % 100).abs())
+}
+
+/// Write one table at scale factor `sf` into `dir`, returning the path.
+/// Deterministic for a given `(table, sf, seed)`.
+pub fn write_table(
+    dir: impl AsRef<Path>,
+    table: TpchTable,
+    sf: f64,
+    seed: u64,
+) -> io::Result<PathBuf> {
+    let path = dir.as_ref().join(table.file_name());
+    let mut w = BufWriter::with_capacity(1 << 20, std::fs::File::create(&path)?);
+    let mut rng = StdRng::seed_from_u64(seed ^ (table as u64) << 32);
+    match table {
+        TpchTable::Region => {
+            for (i, name) in REGIONS.iter().enumerate() {
+                writeln!(w, "{i}|{name}|{}|", words::comment(&mut rng, 30, 110))?;
+            }
+        }
+        TpchTable::Nation => {
+            for (i, name) in NATIONS.iter().enumerate() {
+                writeln!(w, "{i}|{name}|{}|{}|", i % 5, words::comment(&mut rng, 30, 110))?;
+            }
+        }
+        TpchTable::Supplier => {
+            for k in 1..=table.rows(sf) {
+                let nation = rng.gen_range(0..25);
+                writeln!(
+                    w,
+                    "{k}|Supplier#{k:09}|{}|{nation}|{}|{}|{}|",
+                    words::address(&mut rng),
+                    words::phone(&mut rng, nation),
+                    money(&mut rng, -999, 9999),
+                    words::comment(&mut rng, 25, 100)
+                )?;
+            }
+        }
+        TpchTable::Customer => {
+            for k in 1..=table.rows(sf) {
+                let nation = rng.gen_range(0..25);
+                writeln!(
+                    w,
+                    "{k}|Customer#{k:09}|{}|{nation}|{}|{}|{}|{}|",
+                    words::address(&mut rng),
+                    words::phone(&mut rng, nation),
+                    money(&mut rng, -999, 9999),
+                    SEGMENTS[rng.gen_range(0..SEGMENTS.len())],
+                    words::comment(&mut rng, 29, 116)
+                )?;
+            }
+        }
+        TpchTable::Part => {
+            for k in 1..=table.rows(sf) {
+                let mfgr = rng.gen_range(1..=5);
+                let name: Vec<&str> = (0..5)
+                    .map(|_| words::COLORS[rng.gen_range(0..words::COLORS.len())])
+                    .collect();
+                writeln!(
+                    w,
+                    "{k}|{}|Manufacturer#{mfgr}|Brand#{mfgr}{}|{} {} {}|{}|{} {}|{}|{}|",
+                    name.join(" "),
+                    rng.gen_range(1..=5),
+                    TYPES1[rng.gen_range(0..TYPES1.len())],
+                    TYPES2[rng.gen_range(0..TYPES2.len())],
+                    TYPES3[rng.gen_range(0..TYPES3.len())],
+                    rng.gen_range(1..=50),
+                    CONTAINERS1[rng.gen_range(0..CONTAINERS1.len())],
+                    CONTAINERS2[rng.gen_range(0..CONTAINERS2.len())],
+                    money(&mut rng, 900, 2000),
+                    words::comment(&mut rng, 5, 22)
+                )?;
+            }
+        }
+        TpchTable::Partsupp => {
+            let parts = TpchTable::Part.rows(sf);
+            let suppliers = TpchTable::Supplier.rows(sf).max(1);
+            for p in 1..=parts {
+                for s in 0..4u64 {
+                    let supp = (p + s * (suppliers / 4).max(1)) % suppliers + 1;
+                    writeln!(
+                        w,
+                        "{p}|{supp}|{}|{}|{}|",
+                        rng.gen_range(1..10_000),
+                        money(&mut rng, 1, 1000),
+                        words::comment(&mut rng, 49, 198)
+                    )?;
+                }
+            }
+        }
+        TpchTable::Orders => {
+            let customers = TpchTable::Customer.rows(sf).max(1);
+            let span = end_date() - 90 - start_date();
+            for k in 1..=table.rows(sf) {
+                // dbgen leaves key gaps; model them by spacing keys ×4.
+                let okey = k * 4;
+                let date = start_date() + rng.gen_range(0..=span);
+                writeln!(
+                    w,
+                    "{okey}|{}|{}|{}|{}|{}|Clerk#{:09}|0|{}|",
+                    rng.gen_range(1..=customers),
+                    ["O", "F", "P"][rng.gen_range(0..3)],
+                    money(&mut rng, 1000, 400_000),
+                    fmt_date(date),
+                    PRIORITIES[rng.gen_range(0..PRIORITIES.len())],
+                    rng.gen_range(1..=(1000.0 * sf.max(0.01)) as u64),
+                    words::comment(&mut rng, 19, 78)
+                )?;
+            }
+        }
+        TpchTable::Lineitem => {
+            let parts = TpchTable::Part.rows(sf).max(1);
+            let suppliers = TpchTable::Supplier.rows(sf).max(1);
+            let span = end_date() - 90 - start_date();
+            for k in 1..=TpchTable::Orders.rows(sf) {
+                let okey = k * 4;
+                let odate = start_date() + rng.gen_range(0..=span);
+                let nlines = rng.gen_range(1..=7);
+                for line in 1..=nlines {
+                    let ship = odate + rng.gen_range(1..=121);
+                    let commit = odate + rng.gen_range(30..=90);
+                    let receipt = ship + rng.gen_range(1..=30);
+                    let qty = rng.gen_range(1..=50);
+                    writeln!(
+                        w,
+                        "{okey}|{}|{}|{line}|{qty}|{}|0.{:02}|0.0{}|{}|{}|{}|{}|{}|{}|{}|{}|",
+                        rng.gen_range(1..=parts),
+                        rng.gen_range(1..=suppliers),
+                        money(&mut rng, 901 * qty, 2000 * qty),
+                        rng.gen_range(0..=10),
+                        rng.gen_range(0..=8),
+                        if ship > days_from_ymd(1995, 6, 17) {
+                            "N"
+                        } else if rng.gen_bool(0.5) {
+                            "R"
+                        } else {
+                            "A"
+                        },
+                        if ship > days_from_ymd(1995, 6, 17) { "O" } else { "F" },
+                        fmt_date(ship),
+                        fmt_date(commit),
+                        fmt_date(receipt),
+                        INSTRUCTIONS[rng.gen_range(0..INSTRUCTIONS.len())],
+                        MODES[rng.gen_range(0..MODES.len())],
+                        words::comment(&mut rng, 10, 43)
+                    )?;
+                }
+            }
+        }
+    }
+    w.flush()?;
+    Ok(path)
+}
+
+/// Write every table at `sf` into `dir`.
+pub fn write_all(dir: impl AsRef<Path>, sf: f64, seed: u64) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir.as_ref())?;
+    TpchTable::ALL.iter().map(|&t| write_table(dir.as_ref(), t, sf, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join("tde_tpch_tests").join(name);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn region_and_nation_are_fixed() {
+        let dir = tmpdir("fixed");
+        let p = write_table(&dir, TpchTable::Region, 1.0, 7).unwrap();
+        let text = std::fs::read_to_string(p).unwrap();
+        assert_eq!(text.lines().count(), 5);
+        assert!(text.lines().next().unwrap().starts_with("0|AFRICA|"));
+        let p = write_table(&dir, TpchTable::Nation, 1.0, 7).unwrap();
+        assert_eq!(std::fs::read_to_string(p).unwrap().lines().count(), 25);
+    }
+
+    #[test]
+    fn field_counts_match_schema() {
+        let dir = tmpdir("fields");
+        for t in TpchTable::ALL {
+            let p = write_table(&dir, t, 0.001, 3).unwrap();
+            let text = std::fs::read_to_string(p).unwrap();
+            let ncols = t.schema().len();
+            for line in text.lines().take(20) {
+                // Rows are |-separated and |-terminated.
+                assert_eq!(
+                    line.split('|').count(),
+                    ncols + 1,
+                    "table {} line {line:?}",
+                    t.name()
+                );
+                assert!(line.ends_with('|'));
+            }
+        }
+    }
+
+    #[test]
+    fn customer_names_are_fixed_width_unique() {
+        let dir = tmpdir("names");
+        let p = write_table(&dir, TpchTable::Customer, 0.01, 3).unwrap();
+        let text = std::fs::read_to_string(p).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        let mut len = None;
+        for line in text.lines() {
+            let name = line.split('|').nth(1).unwrap();
+            assert!(seen.insert(name.to_owned()), "duplicate {name}");
+            let l = len.get_or_insert(name.len());
+            assert_eq!(*l, name.len(), "names must be fixed-width");
+        }
+        assert_eq!(seen.len(), 1500);
+    }
+
+    #[test]
+    fn lineitem_dates_in_range() {
+        let dir = tmpdir("dates");
+        let p = write_table(&dir, TpchTable::Lineitem, 0.0005, 3).unwrap();
+        let text = std::fs::read_to_string(p).unwrap();
+        assert!(text.lines().count() >= 750); // ≈ orders × 4 lines
+        for line in text.lines() {
+            let ship = line.split('|').nth(10).unwrap();
+            assert!(("1992-01-01"..="1999-12-31").contains(&ship), "{ship}");
+            let comment = line.split('|').nth(15).unwrap();
+            assert!(comment.len() <= 43);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let dir = tmpdir("det");
+        let a = std::fs::read(write_table(&dir, TpchTable::Orders, 0.001, 9).unwrap()).unwrap();
+        let b = std::fs::read(write_table(&dir, TpchTable::Orders, 0.001, 9).unwrap()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scale_factor_scales_rows() {
+        assert_eq!(TpchTable::Customer.rows(1.0), 150_000);
+        assert_eq!(TpchTable::Customer.rows(0.01), 1_500);
+        assert_eq!(TpchTable::Region.rows(30.0), 5);
+    }
+}

@@ -1,0 +1,92 @@
+//! Word pools and text synthesis shared by the generators.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Vocabulary for comment text, loosely modelled on dbgen's grammar pools.
+pub const WORDS: &[&str] = &[
+    "furiously", "slyly", "carefully", "quickly", "blithely", "express", "regular", "special",
+    "final", "ironic", "pending", "bold", "even", "silent", "daring", "unusual", "close",
+    "quiet", "accounts", "packages", "deposits", "requests", "instructions", "foxes",
+    "pinto", "beans", "theodolites", "dependencies", "platelets", "ideas", "asymptotes",
+    "somas", "dugouts", "realms", "sauternes", "warthogs", "sheaves", "sentiments",
+    "sleep", "wake", "haggle", "nag", "cajole", "doze", "boost", "engage", "detect",
+    "integrate", "among", "above", "beneath", "against", "according", "to", "the", "of",
+];
+
+/// Colors for part names (dbgen's P_NAME pool).
+pub const COLORS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+    "coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger",
+    "drab", "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
+    "green", "grey", "honeydew", "hot", "indian", "ivory", "khaki",
+];
+
+/// Generate a comment of `min..=max` characters from the word pool.
+pub fn comment(rng: &mut StdRng, min: usize, max: usize) -> String {
+    let target = rng.gen_range(min..=max);
+    let mut out = String::with_capacity(target + 12);
+    while out.len() < target {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(WORDS[rng.gen_range(0..WORDS.len())]);
+    }
+    out.truncate(target);
+    // Avoid a trailing space after truncation.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// A phone number in dbgen's `CC-NNN-NNN-NNNN` shape.
+pub fn phone(rng: &mut StdRng, nation: i64) -> String {
+    format!(
+        "{:02}-{:03}-{:03}-{:04}",
+        10 + nation,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+/// A random alphanumeric address of varying length.
+pub fn address(rng: &mut StdRng) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,";
+    let len = rng.gen_range(10..40);
+    (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn comment_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let c = comment(&mut rng, 10, 43);
+            assert!(c.len() <= 43, "{c:?} too long");
+            assert!(!c.ends_with(' '));
+            assert!(!c.is_empty());
+        }
+    }
+
+    #[test]
+    fn phone_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = phone(&mut rng, 7);
+        assert_eq!(p.len(), 15);
+        assert!(p.starts_with("17-"));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(comment(&mut a, 5, 30), comment(&mut b, 5, 30));
+    }
+}

@@ -1,0 +1,180 @@
+//! Bit packing of unsigned values.
+//!
+//! The encodings treat packed values as unsigned (paper §3.1). Values are
+//! packed LSB-first into a little-endian byte stream. Because decompression
+//! block sizes are multiples of 32, every block's packing ends on a byte
+//! boundary: `32 · bits` is always divisible by 8.
+
+/// Number of bytes needed to pack `count` values of `bits` bits each.
+/// `count` must be a multiple of 32 (or the result rounds up to whole bytes,
+/// which callers relying on block alignment must not depend on).
+#[inline]
+pub fn packed_bytes(count: usize, bits: u8) -> usize {
+    (count * bits as usize).div_ceil(8)
+}
+
+/// Number of bits needed to represent every value in `[0, max]`.
+#[inline]
+pub fn bits_for_max(max: u64) -> u8 {
+    (64 - max.leading_zeros()) as u8
+}
+
+/// Pack `values` (each strictly less than `2^bits`, except `bits == 64`)
+/// into `out`, appending. `bits == 0` packs nothing.
+pub fn pack(values: &[u64], bits: u8, out: &mut Vec<u8>) {
+    debug_assert!(bits <= 64);
+    if bits == 0 {
+        return;
+    }
+    if bits == 64 {
+        out.reserve(values.len() * 8);
+        for &v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        return;
+    }
+    let mask = (1u64 << bits) - 1;
+    // 128-bit accumulator: up to 63 leftover bits plus a 64-bit value.
+    let mut acc: u128 = 0;
+    let mut acc_bits: u32 = 0;
+    out.reserve(packed_bytes(values.len(), bits));
+    for &v in values {
+        debug_assert!(v <= mask, "value {v} does not fit in {bits} bits");
+        acc |= u128::from(v & mask) << acc_bits;
+        acc_bits += u32::from(bits);
+        while acc_bits >= 8 {
+            out.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+    }
+    if acc_bits > 0 {
+        out.push((acc & 0xFF) as u8);
+    }
+}
+
+/// Unpack `count` values of `bits` bits each from `data` into `out`,
+/// appending. `bits == 0` appends `count` zeros.
+pub fn unpack(data: &[u8], bits: u8, count: usize, out: &mut Vec<u64>) {
+    debug_assert!(bits <= 64);
+    out.reserve(count);
+    if bits == 0 {
+        out.extend(std::iter::repeat_n(0, count));
+        return;
+    }
+    if bits == 64 {
+        debug_assert!(data.len() >= count * 8);
+        for chunk in data[..count * 8].chunks_exact(8) {
+            out.push(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        return;
+    }
+    let mask = (1u64 << bits) - 1;
+    let mut acc: u128 = 0;
+    let mut acc_bits: u32 = 0;
+    let mut bytes = data.iter();
+    for _ in 0..count {
+        while acc_bits < u32::from(bits) {
+            let b = *bytes.next().expect("bitpack underflow");
+            acc |= u128::from(b) << acc_bits;
+            acc_bits += 8;
+        }
+        out.push((acc as u64) & mask);
+        acc >>= bits;
+        acc_bits -= u32::from(bits);
+    }
+}
+
+/// Read the single value at index `idx` from a packed stream without
+/// unpacking its neighbours. Used for random access (`get`).
+pub fn get_one(data: &[u8], bits: u8, idx: usize) -> u64 {
+    debug_assert!(bits <= 64);
+    if bits == 0 {
+        return 0;
+    }
+    let bit_pos = idx * bits as usize;
+    let byte_pos = bit_pos / 8;
+    let shift = (bit_pos % 8) as u32;
+    // Gather up to 9 bytes covering the value (bits ≤ 64 may straddle 9).
+    let mut acc: u128 = 0;
+    let end = (bit_pos + bits as usize).div_ceil(8).min(data.len());
+    for (i, &b) in data[byte_pos..end].iter().enumerate() {
+        acc |= u128::from(b) << (8 * i);
+    }
+    let mask: u128 = if bits == 64 { u64::MAX as u128 } else { (1u128 << bits) - 1 };
+    ((acc >> shift) & mask) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u64], bits: u8) {
+        let mut packed = Vec::new();
+        pack(values, bits, &mut packed);
+        assert_eq!(packed.len(), packed_bytes(values.len(), bits));
+        let mut out = Vec::new();
+        unpack(&packed, bits, values.len(), &mut out);
+        assert_eq!(out, values);
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(get_one(&packed, bits, i), v, "bits={bits} idx={i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_bit_widths() {
+        for bits in 1..=64u8 {
+            let max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let values: Vec<u64> = (0..64u64)
+                .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & max)
+                .collect();
+            roundtrip(&values, bits);
+        }
+    }
+
+    #[test]
+    fn zero_bits_pack_nothing() {
+        let mut packed = Vec::new();
+        pack(&[0, 0, 0], 0, &mut packed);
+        assert!(packed.is_empty());
+        let mut out = Vec::new();
+        unpack(&[], 0, 5, &mut out);
+        assert_eq!(out, vec![0; 5]);
+        assert_eq!(get_one(&[], 0, 3), 0);
+    }
+
+    #[test]
+    fn block_of_32_is_byte_aligned() {
+        for bits in 1..=64u8 {
+            assert_eq!((32 * bits as usize) % 8, 0);
+            let values = vec![0u64; 32];
+            let mut packed = Vec::new();
+            pack(&values, bits, &mut packed);
+            assert_eq!(packed.len(), 32 * bits as usize / 8);
+        }
+    }
+
+    #[test]
+    fn bits_for_max_boundaries() {
+        assert_eq!(bits_for_max(0), 0);
+        assert_eq!(bits_for_max(1), 1);
+        assert_eq!(bits_for_max(2), 2);
+        assert_eq!(bits_for_max(255), 8);
+        assert_eq!(bits_for_max(256), 9);
+        assert_eq!(bits_for_max(u64::MAX), 64);
+    }
+
+    #[test]
+    fn boundary_values() {
+        roundtrip(&[0, 1, 0, 1], 1);
+        roundtrip(&[(1 << 15) - 1, 0, 12345], 15);
+        roundtrip(&[u64::MAX, 0, u64::MAX / 2], 64);
+    }
+
+    #[test]
+    fn get_one_at_straddling_positions() {
+        // 7-bit values straddle byte boundaries in every possible phase.
+        let values: Vec<u64> = (0..128).map(|i| i % 128).collect();
+        roundtrip(&values, 7);
+    }
+}

@@ -1,0 +1,197 @@
+//! Dictionary encoding (paper §3.1.3).
+//!
+//! The header starts with 8 bytes containing the number of dictionary
+//! entries, followed by enough space to contain `2^bits` entries — which is
+//! what allows the dictionary to grow up to its limit without moving the
+//! packed index data. Entries are stored at the stream's element width, so
+//! narrowing a dictionary-encoded column costs `O(2^bits)` (rewriting the
+//! entries), independent of the number of rows (§3.4.1).
+//!
+//! Packed values are indexes into the entry table in order of first
+//! appearance; the sorted-heap manipulation of §3.4.3 permutes the entry
+//! *values* in place without touching the indexes.
+
+use crate::bitpack;
+use crate::cuckoo::CuckooMap;
+use crate::header::{self, HeaderView};
+use crate::{Algorithm, EncodingFull, DICT_MAX_BITS};
+use std::collections::HashMap;
+use tde_types::Width;
+
+/// Offset of the entry count within the header.
+pub const OFF_ENTRY_COUNT: usize = header::COMMON_LEN;
+
+/// Offset of the first entry slot.
+pub const OFF_ENTRIES: usize = header::COMMON_LEN + 8;
+
+/// Create an empty dictionary stream buffer with room for `2^bits` entries.
+pub fn new_stream(width: Width, block_size: usize, signed: bool, bits: u8) -> Vec<u8> {
+    assert!(bits <= DICT_MAX_BITS, "dictionary encodings are limited to 2^{DICT_MAX_BITS} values");
+    let slots = 1usize << bits;
+    let extra = 8 + slots * width.bytes();
+    let mut buf = header::make_common(Algorithm::Dictionary, width, bits, block_size, signed, extra);
+    header::put_u64(&mut buf, OFF_ENTRY_COUNT, 0);
+    buf
+}
+
+/// Number of dictionary entries.
+pub fn entry_count(buf: &[u8]) -> usize {
+    header::get_u64(buf, OFF_ENTRY_COUNT) as usize
+}
+
+/// Read entry `i` at the stream's current element width.
+#[inline]
+pub fn entry(buf: &[u8], h: &HeaderView, i: usize) -> i64 {
+    header::get_fixed(buf, OFF_ENTRIES + i * h.width.bytes(), h.width, h.signed)
+}
+
+/// All entries in insertion order.
+pub fn entries(buf: &[u8], h: &HeaderView) -> Vec<i64> {
+    (0..entry_count(buf)).map(|i| entry(buf, h, i)).collect()
+}
+
+/// Overwrite entry `i`. Used by the narrowing and heap-sorting
+/// manipulations; the packed index data is untouched.
+pub fn set_entry(buf: &mut [u8], h: &HeaderView, i: usize, v: i64) {
+    header::put_fixed(buf, OFF_ENTRIES + i * h.width.bytes(), h.width, v);
+}
+
+/// Rebuild the transient value→index cuckoo map from the stored entries
+/// (after deserializing a stream we want to append to).
+pub fn rebuild_index(buf: &[u8], h: &HeaderView) -> CuckooMap {
+    let n = entry_count(buf);
+    let mut m = CuckooMap::with_capacity(n.max(1 << h.bits.min(8)));
+    for i in 0..n {
+        m.insert(entry(buf, h, i), i as u16);
+    }
+    m
+}
+
+/// Append one block. New distinct values are added to the dictionary; if
+/// the block would push the entry count past `2^bits` the buffer is left
+/// unchanged and the dynamic encoder re-encodes with more bits or a
+/// different algorithm.
+pub fn append_block(
+    buf: &mut Vec<u8>,
+    h: &HeaderView,
+    vals: &[i64],
+    index: &mut CuckooMap,
+) -> Result<(), EncodingFull> {
+    let capacity = 1usize << h.bits;
+    let existing = entry_count(buf);
+    let mut packed = Vec::with_capacity(h.block_size);
+    let mut pending: Vec<i64> = Vec::new();
+    let mut pending_map: HashMap<i64, u16> = HashMap::new();
+    for &v in vals {
+        let idx = if let Some(i) = index.get(v) {
+            i
+        } else if let Some(&i) = pending_map.get(&v) {
+            i
+        } else {
+            let i = existing + pending.len();
+            if i >= capacity {
+                return Err(EncodingFull::DictionaryFull);
+            }
+            pending.push(v);
+            pending_map.insert(v, i as u16);
+            i as u16
+        };
+        packed.push(u64::from(idx));
+    }
+    // Commit: write the new entries, then the packed indexes.
+    for (k, &v) in pending.iter().enumerate() {
+        let i = existing + k;
+        set_entry(buf, h, i, v);
+        index.insert(v, i as u16);
+    }
+    header::put_u64(buf, OFF_ENTRY_COUNT, (existing + pending.len()) as u64);
+    packed.resize(h.block_size, 0);
+    bitpack::pack(&packed, h.bits, buf);
+    Ok(())
+}
+
+/// Decode a full physical block.
+pub fn decode_block(buf: &[u8], h: &HeaderView, block_idx: usize, out: &mut Vec<i64>) {
+    let block_bytes = bitpack::packed_bytes(h.block_size, h.bits);
+    let start = h.data_offset + block_idx * block_bytes;
+    let mut packed = Vec::with_capacity(h.block_size);
+    bitpack::unpack(&buf[start..], h.bits, h.block_size, &mut packed);
+    out.extend(packed.iter().map(|&p| entry(buf, h, p as usize)));
+}
+
+/// Random access.
+pub fn get(buf: &[u8], h: &HeaderView, idx: u64) -> i64 {
+    let p = bitpack::get_one(&buf[h.data_offset..], h.bits, idx as usize);
+    entry(buf, h, p as usize)
+}
+
+/// The packed index (not the value) at `idx` — used when converting a
+/// dictionary *encoding* into dictionary *compression* (§3.4.3), where the
+/// indexes become the new column data.
+pub fn get_index(buf: &[u8], h: &HeaderView, idx: u64) -> u64 {
+    bitpack::get_one(&buf[h.data_offset..], h.bits, idx as usize)
+}
+
+/// Decode a block of packed indexes (not values).
+pub fn decode_index_block(buf: &[u8], h: &HeaderView, block_idx: usize, out: &mut Vec<u64>) {
+    let block_bytes = bitpack::packed_bytes(h.block_size, h.bits);
+    let start = h.data_offset + block_idx * block_bytes;
+    bitpack::unpack(&buf[start..], h.bits, h.block_size, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EncodedStream, BLOCK_SIZE};
+
+    #[test]
+    fn entries_in_first_appearance_order() {
+        let mut s = EncodedStream::new_dict(Width::W8, true, 4);
+        s.append_block(&[30, 10, 20, 10, 30]).unwrap();
+        assert_eq!(s.dict_entries().unwrap(), vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn failed_append_leaves_buffer_unchanged() {
+        let mut s = EncodedStream::new_dict(Width::W8, true, 2);
+        let block: Vec<i64> = (0..BLOCK_SIZE as i64).map(|i| i % 4).collect();
+        s.append_block(&block).unwrap();
+        let snapshot = s.as_bytes().to_vec();
+        // 5 distinct values > 4 capacity: fails even though 0..3 exist.
+        let bad: Vec<i64> = (0..BLOCK_SIZE as i64).map(|i| i % 5).collect();
+        assert_eq!(s.append_block(&bad), Err(EncodingFull::DictionaryFull));
+        assert_eq!(s.as_bytes(), &snapshot[..]);
+        // And the stream still accepts valid appends afterwards.
+        s.append_block(&block).unwrap();
+        assert_eq!(s.len(), 2 * BLOCK_SIZE as u64);
+    }
+
+    #[test]
+    fn negative_values_narrow_width() {
+        let mut s = EncodedStream::new_dict(Width::W1, true, 3);
+        s.append_block(&[-5, 3, -128, 127]).unwrap();
+        assert_eq!(s.decode_all(), vec![-5, 3, -128, 127]);
+    }
+
+    #[test]
+    fn index_stream_access() {
+        let mut s = EncodedStream::new_dict(Width::W8, true, 4);
+        s.append_block(&[100, 200, 100, 300]).unwrap();
+        let h = s.header();
+        assert_eq!(get_index(s.as_bytes(), &h, 0), 0);
+        assert_eq!(get_index(s.as_bytes(), &h, 1), 1);
+        assert_eq!(get_index(s.as_bytes(), &h, 2), 0);
+        assert_eq!(get_index(s.as_bytes(), &h, 3), 2);
+    }
+
+    #[test]
+    fn max_bits_dictionary() {
+        let mut s = EncodedStream::new_dict(Width::W8, true, DICT_MAX_BITS);
+        let vals: Vec<i64> = (0..(1i64 << DICT_MAX_BITS)).collect();
+        for chunk in vals.chunks(BLOCK_SIZE) {
+            s.append_block(chunk).unwrap();
+        }
+        assert_eq!(s.dict_entries().unwrap().len(), 1 << DICT_MAX_BITS);
+        assert_eq!(s.decode_all(), vals);
+    }
+}

@@ -1,0 +1,112 @@
+//! Frame-of-reference encoding (paper §3.1.1).
+//!
+//! The header holds an 8-byte frame value; the bit-packed values are added
+//! to the frame to produce the uncompressed values. The frame plus the bit
+//! width define the outer envelope of values present in the column, which
+//! the narrowing manipulation (§3.4.1) and the FoR→dictionary conversion
+//! (§3.4.3) read straight from the header.
+
+use crate::bitpack;
+use crate::header::{self, HeaderView};
+use crate::{Algorithm, EncodingFull};
+use tde_types::Width;
+
+/// Offset of the frame value within the header.
+pub const OFF_FRAME: usize = header::COMMON_LEN;
+
+/// Create an empty frame-of-reference stream buffer.
+pub fn new_stream(width: Width, block_size: usize, signed: bool, frame: i64, bits: u8) -> Vec<u8> {
+    let mut buf = header::make_common(Algorithm::FrameOfReference, width, bits, block_size, signed, 8);
+    header::put_i64(&mut buf, OFF_FRAME, frame);
+    buf
+}
+
+/// The frame value, read from the header.
+pub fn frame_value(buf: &[u8]) -> i64 {
+    header::get_i64(buf, OFF_FRAME)
+}
+
+/// Compute the packed offset of `v` relative to `frame`, if it fits.
+#[inline]
+fn pack_one(v: i64, frame: i64, bits: u8) -> Result<u64, EncodingFull> {
+    let off = (v as i128) - (frame as i128);
+    let limit = 1i128 << bits;
+    if off < 0 || off >= limit {
+        return Err(EncodingFull::ValueOutOfRange);
+    }
+    Ok(off as u64)
+}
+
+/// Append one block. Fails without modifying the buffer if any value lies
+/// outside `[frame, frame + 2^bits)`.
+pub fn append_block(buf: &mut Vec<u8>, h: &HeaderView, vals: &[i64]) -> Result<(), EncodingFull> {
+    let frame = frame_value(buf);
+    let mut packed = Vec::with_capacity(h.block_size);
+    for &v in vals {
+        packed.push(pack_one(v, frame, h.bits)?);
+    }
+    packed.resize(h.block_size, 0); // pad with the frame value
+    bitpack::pack(&packed, h.bits, buf);
+    Ok(())
+}
+
+/// Decode a full physical block.
+pub fn decode_block(buf: &[u8], h: &HeaderView, block_idx: usize, out: &mut Vec<i64>) {
+    let frame = frame_value(buf);
+    let block_bytes = bitpack::packed_bytes(h.block_size, h.bits);
+    let start = h.data_offset + block_idx * block_bytes;
+    let mut packed = Vec::with_capacity(h.block_size);
+    bitpack::unpack(&buf[start..], h.bits, h.block_size, &mut packed);
+    out.extend(packed.iter().map(|&p| frame.wrapping_add(p as i64)));
+}
+
+/// Random access.
+pub fn get(buf: &[u8], h: &HeaderView, idx: u64) -> i64 {
+    let frame = frame_value(buf);
+    let p = bitpack::get_one(&buf[h.data_offset..], h.bits, idx as usize);
+    frame.wrapping_add(p as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EncodedStream;
+
+    #[test]
+    fn negative_frame() {
+        let mut s = EncodedStream::new_frame(Width::W8, true, -1000, 11);
+        let data: Vec<i64> = (0..100).map(|i| -1000 + i * 20).collect();
+        s.append_block(&data).unwrap();
+        assert_eq!(s.decode_all(), data);
+    }
+
+    #[test]
+    fn frame_near_i64_min_does_not_overflow() {
+        let frame = i64::MIN;
+        let mut s = EncodedStream::new_frame(Width::W8, true, frame, 8);
+        s.append_block(&[frame, frame + 255]).unwrap();
+        assert_eq!(s.decode_all(), vec![frame, frame + 255]);
+        // A value 2^8 above the frame is out of range.
+        let mut s2 = EncodedStream::new_frame(Width::W8, true, frame, 8);
+        assert_eq!(s2.append_block(&[frame + 256]), Err(EncodingFull::ValueOutOfRange));
+    }
+
+    #[test]
+    fn zero_bits_means_constant() {
+        let mut s = EncodedStream::new_frame(Width::W8, true, 77, 0);
+        s.append_block(&[77, 77, 77]).unwrap();
+        assert_eq!(s.decode_all(), vec![77, 77, 77]);
+        let mut s2 = EncodedStream::new_frame(Width::W8, true, 77, 0);
+        assert_eq!(s2.append_block(&[78]), Err(EncodingFull::ValueOutOfRange));
+    }
+
+    #[test]
+    fn physical_size_tracks_bits() {
+        // 4-bit packing: one block of 1024 values = 512 bytes.
+        let mut s = EncodedStream::new_frame(Width::W8, true, 0, 4);
+        let block: Vec<i64> = (0..crate::BLOCK_SIZE as i64).map(|i| i % 16).collect();
+        s.append_block(&block).unwrap();
+        let h = s.header();
+        assert_eq!(s.physical_size() - h.data_offset, crate::BLOCK_SIZE / 2);
+    }
+}

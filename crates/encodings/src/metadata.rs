@@ -1,0 +1,271 @@
+//! Extracted column metadata (paper §3.4.2).
+//!
+//! The encoding statistics cheaply yield properties of the underlying
+//! data: sortedness (delta encoding with non-negative minimum delta),
+//! density and uniqueness (affine with delta 1 — the fetch-join enabler),
+//! the domain cardinality, the minimum and maximum value, and — because
+//! the TDE uses sentinel values for NULL — whether the column contains
+//! NULLs. Downstream operators use these for tactical optimizations and
+//! Tableau itself uses them to drive UI choices.
+
+use crate::manipulate;
+use crate::stats::ColumnStats;
+use crate::EncodedStream;
+use tde_types::sentinel::NULL_I64;
+use tde_types::Width;
+
+/// Tri-state knowledge about a column property: metadata is *extracted*, so
+/// a property can be known-true, known-false, or simply unknown (the
+/// encodings-off case, paper Fig 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Knowledge {
+    /// Nothing is known.
+    #[default]
+    Unknown,
+    /// The property is known to hold.
+    True,
+    /// The property is known not to hold.
+    False,
+}
+
+impl Knowledge {
+    /// Known (in either direction)?
+    pub fn is_known(self) -> bool {
+        self != Knowledge::Unknown
+    }
+
+    /// Known to be true?
+    pub fn is_true(self) -> bool {
+        self == Knowledge::True
+    }
+
+    /// From a definite boolean.
+    pub fn from_bool(b: bool) -> Knowledge {
+        if b {
+            Knowledge::True
+        } else {
+            Knowledge::False
+        }
+    }
+}
+
+/// Metadata describing one column, consumed by the tactical optimizer
+/// (fetch-join detection, hash algorithm choice, ordered aggregation) and
+/// reportable to the client.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnMetadata {
+    /// Sorted ascending.
+    pub sorted_asc: Knowledge,
+    /// Dense: the values form a contiguous integer range.
+    pub dense: Knowledge,
+    /// Unique: no value appears twice.
+    pub unique: Knowledge,
+    /// Minimum value (sentinels excluded).
+    pub min: Option<i64>,
+    /// Maximum value.
+    pub max: Option<i64>,
+    /// Domain cardinality.
+    pub cardinality: Option<u64>,
+    /// Whether NULLs are present.
+    pub has_nulls: Knowledge,
+    /// For string columns: whether the heap is sorted, making tokens
+    /// directly comparable (paper §2.3.4, §3.4.3).
+    pub sorted_heap_tokens: Knowledge,
+    /// Narrowest width known to hold every value.
+    pub width: Width,
+}
+
+impl ColumnMetadata {
+    /// Metadata with nothing known, at the default 8-byte width.
+    pub fn unknown() -> ColumnMetadata {
+        ColumnMetadata { width: Width::W8, ..Default::default() }
+    }
+
+    /// Derive full metadata from encoding statistics (the encodings-on
+    /// path of Fig 7).
+    pub fn from_stats(stats: &ColumnStats, width: Width) -> ColumnMetadata {
+        if stats.count == 0 {
+            return ColumnMetadata { width, ..Default::default() }
+        }
+        let dense_unique = stats.is_dense_unique();
+        let unique = if dense_unique {
+            Knowledge::True
+        } else if let Some(card) = stats.cardinality() {
+            Knowledge::from_bool(card == stats.count)
+        } else {
+            Knowledge::Unknown
+        };
+        ColumnMetadata {
+            sorted_asc: Knowledge::from_bool(stats.is_sorted_asc()),
+            dense: Knowledge::from_bool(dense_unique),
+            unique,
+            min: Some(stats.min),
+            max: Some(stats.max),
+            cardinality: stats.cardinality(),
+            has_nulls: Knowledge::from_bool(stats.has_nulls()),
+            sorted_heap_tokens: Knowledge::Unknown,
+            width,
+        }
+    }
+
+    /// Derive what metadata the stream *header* alone proves — what a
+    /// reader can recover from a stored column without its load-time
+    /// statistics.
+    pub fn from_stream_header(stream: &EncodedStream) -> ColumnMetadata {
+        let mut md = ColumnMetadata::unknown();
+        md.width = stream.width();
+        if manipulate::header_proves_sorted(stream) {
+            md.sorted_asc = Knowledge::True;
+        }
+        if manipulate::header_proves_dense_unique(stream) {
+            md.dense = Knowledge::True;
+            md.unique = Knowledge::True;
+        }
+        if let Some((lo, hi)) = manipulate::header_envelope(stream) {
+            // The FoR envelope is an outer bound, still valid as min/max
+            // bounds for pruning (not as exact statistics).
+            md.min = Some(lo);
+            md.max = Some(hi);
+            if lo > NULL_I64 {
+                md.has_nulls = Knowledge::False;
+            }
+        }
+        if let Some(entries) = stream.dict_entries() {
+            md.cardinality = Some(entries.len() as u64);
+        }
+        md
+    }
+
+    /// How many properties were detected — the quantity Fig 7 plots. A
+    /// property counts when it is known (min/max/cardinality present,
+    /// boolean properties known either way).
+    pub fn detected_count(&self) -> usize {
+        usize::from(self.sorted_asc.is_known())
+            + usize::from(self.dense.is_known())
+            + usize::from(self.unique.is_known())
+            + usize::from(self.min.is_some())
+            + usize::from(self.max.is_some())
+            + usize::from(self.cardinality.is_some())
+            + usize::from(self.has_nulls.is_known())
+    }
+
+    /// Merge another source of knowledge (e.g. accelerator statistics on
+    /// top of header-derived facts), preferring already-known values.
+    pub fn merge(&mut self, other: &ColumnMetadata) {
+        if !self.sorted_asc.is_known() {
+            self.sorted_asc = other.sorted_asc;
+        }
+        if !self.dense.is_known() {
+            self.dense = other.dense;
+        }
+        if !self.unique.is_known() {
+            self.unique = other.unique;
+        }
+        if self.min.is_none() {
+            self.min = other.min;
+        }
+        if self.max.is_none() {
+            self.max = other.max;
+        }
+        if self.cardinality.is_none() {
+            self.cardinality = other.cardinality;
+        }
+        if !self.has_nulls.is_known() {
+            self.has_nulls = other.has_nulls;
+        }
+        if !self.sorted_heap_tokens.is_known() {
+            self.sorted_heap_tokens = other.sorted_heap_tokens;
+        }
+        self.width = self.width.min(other.width);
+    }
+
+    /// Re-assert the dense property over a filtered contiguous sub-range
+    /// (paper §3.4.2: a range filter on a dense date dictionary leaves a
+    /// contiguous sub-range, re-enabling fetch joins).
+    pub fn reassert_dense(&mut self) {
+        self.dense = Knowledge::True;
+        self.unique = Knowledge::True;
+        self.sorted_asc = Knowledge::True;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::encode_all;
+
+    #[test]
+    fn full_extraction_from_stats() {
+        let vals: Vec<i64> = (10..5010).collect();
+        let mut stats = ColumnStats::new();
+        stats.update(&vals);
+        let md = ColumnMetadata::from_stats(&stats, Width::W2);
+        assert!(md.sorted_asc.is_true());
+        assert!(md.dense.is_true());
+        assert!(md.unique.is_true());
+        assert_eq!(md.min, Some(10));
+        assert_eq!(md.max, Some(5009));
+        assert_eq!(md.cardinality, Some(5000));
+        assert_eq!(md.has_nulls, Knowledge::False);
+        assert_eq!(md.detected_count(), 7);
+    }
+
+    #[test]
+    fn unknown_metadata_detects_nothing() {
+        assert_eq!(ColumnMetadata::unknown().detected_count(), 0);
+    }
+
+    #[test]
+    fn unsorted_column_is_known_unsorted() {
+        let mut stats = ColumnStats::new();
+        stats.update(&[3, 1, 2]);
+        let md = ColumnMetadata::from_stats(&stats, Width::W8);
+        assert_eq!(md.sorted_asc, Knowledge::False);
+        assert!(md.sorted_asc.is_known()); // known-false still counts
+    }
+
+    #[test]
+    fn header_derivation_affine() {
+        let vals: Vec<i64> = (1..=1000).collect();
+        let r = encode_all(&vals, Width::W8, true);
+        let md = ColumnMetadata::from_stream_header(&r.stream);
+        assert!(md.sorted_asc.is_true());
+        assert!(md.dense.is_true());
+        assert!(md.unique.is_true());
+        assert_eq!(md.min, Some(1));
+        assert_eq!(md.max, Some(1000));
+        assert_eq!(md.has_nulls, Knowledge::False);
+    }
+
+    #[test]
+    fn header_derivation_dict_cardinality() {
+        let vals: Vec<i64> = (0..4000).map(|i| (i % 12) * 1_000_000).collect();
+        let r = encode_all(&vals, Width::W8, true);
+        if r.stream.algorithm() == crate::Algorithm::Dictionary {
+            let md = ColumnMetadata::from_stream_header(&r.stream);
+            assert_eq!(md.cardinality, Some(12));
+        }
+    }
+
+    #[test]
+    fn merge_prefers_existing() {
+        let mut a = ColumnMetadata::unknown();
+        a.min = Some(5);
+        let mut b = ColumnMetadata::unknown();
+        b.min = Some(-100);
+        b.max = Some(10);
+        b.sorted_asc = Knowledge::True;
+        a.merge(&b);
+        assert_eq!(a.min, Some(5));
+        assert_eq!(a.max, Some(10));
+        assert!(a.sorted_asc.is_true());
+    }
+
+    #[test]
+    fn nulls_detected_via_sentinel_minimum() {
+        let mut stats = ColumnStats::new();
+        stats.update(&[NULL_I64, 5, 10]);
+        let md = ColumnMetadata::from_stats(&stats, Width::W8);
+        assert!(md.has_nulls.is_true());
+    }
+}

@@ -1,0 +1,65 @@
+//! Unencoded storage: fixed-width values, no compression.
+//!
+//! This is both the `encodings off` baseline and the fallback when no
+//! lightweight encoding pays for itself. It shares the common header so
+//! the rest of the system is oblivious to whether a stream is encoded.
+
+use crate::header::{self, HeaderView};
+use tde_types::Width;
+
+/// Create an empty raw stream buffer.
+pub fn new_stream(width: Width, block_size: usize, signed: bool) -> Vec<u8> {
+    header::make_common(crate::Algorithm::None, width, 0, block_size, signed, 0)
+}
+
+/// Append one block (padded to a full physical block with zero bytes).
+pub fn append_block(buf: &mut Vec<u8>, h: &HeaderView, vals: &[i64]) {
+    let w = h.width;
+    buf.reserve(h.block_size * w.bytes());
+    for &v in vals {
+        let bytes = v.to_le_bytes();
+        buf.extend_from_slice(&bytes[..w.bytes()]);
+    }
+    // Pad the physical block.
+    let pad = (h.block_size - vals.len()) * w.bytes();
+    buf.extend(std::iter::repeat_n(0u8, pad));
+}
+
+/// Decode a full physical block.
+pub fn decode_block(buf: &[u8], h: &HeaderView, block_idx: usize, out: &mut Vec<i64>) {
+    let w = h.width;
+    let start = h.data_offset + block_idx * h.block_size * w.bytes();
+    out.reserve(h.block_size);
+    for i in 0..h.block_size {
+        out.push(header::get_fixed(buf, start + i * w.bytes(), w, h.signed));
+    }
+}
+
+/// Random access.
+pub fn get(buf: &[u8], h: &HeaderView, idx: u64) -> i64 {
+    let w = h.width;
+    let off = h.data_offset + idx as usize * w.bytes();
+    header::get_fixed(buf, off, w, h.signed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EncodedStream;
+
+    #[test]
+    fn unsigned_raw_does_not_sign_extend() {
+        let mut s = EncodedStream::new_raw(Width::W1, false);
+        s.append_block(&[200, 255, 0]).unwrap();
+        assert_eq!(s.decode_all(), vec![200, 255, 0]);
+    }
+
+    #[test]
+    fn physical_size_is_width_times_blocks() {
+        let mut s = EncodedStream::new_raw(Width::W2, true);
+        let block: Vec<i64> = (0..crate::BLOCK_SIZE as i64).collect();
+        s.append_block(&block).unwrap();
+        let h = s.header();
+        assert_eq!(s.physical_size() - h.data_offset, crate::BLOCK_SIZE * 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Run-length encoding (paper §3.1.5).
+//!
+//! Unlike the bit-packed encodings, the data is a sequence of fixed-size
+//! (count, value) pairs; the header records the widths of the two fields,
+//! which are fixed for the entire stream. Runs longer than the count field
+//! can represent simply split into several pairs.
+//!
+//! Sequential access is cheap but *backward seeks require a scan from the
+//! start of the stream* (paper §4.3), which is why the strategic optimizer
+//! keeps RLE off the inner side of hash joins, and why the IndexTable of
+//! §4.2 — (value, count, start) triples extracted from these runs — exists.
+
+use crate::header::{self, HeaderView};
+use crate::{Algorithm, EncodingFull};
+use tde_types::Width;
+
+/// Offset of the count-field width byte.
+pub const OFF_COUNT_WIDTH: usize = header::COMMON_LEN;
+
+/// Offset of the value-field width byte.
+pub const OFF_VALUE_WIDTH: usize = header::COMMON_LEN + 1;
+
+/// Header length (count/value width bytes padded to 8).
+const HEADER_LEN: usize = header::COMMON_LEN + 8;
+
+/// Create an empty run-length stream buffer.
+pub fn new_stream(
+    width: Width,
+    block_size: usize,
+    signed: bool,
+    count_width: Width,
+    value_width: Width,
+) -> Vec<u8> {
+    let mut buf = header::make_common(Algorithm::RunLength, width, 0, block_size, signed, 8);
+    buf[OFF_COUNT_WIDTH] = count_width.bytes() as u8;
+    buf[OFF_VALUE_WIDTH] = value_width.bytes() as u8;
+    debug_assert_eq!(buf.len(), HEADER_LEN);
+    buf
+}
+
+/// The two field widths (count, value) from the header.
+pub fn field_widths(buf: &[u8]) -> (Width, Width) {
+    (
+        Width::from_bytes(buf[OFF_COUNT_WIDTH] as usize).expect("corrupt RLE count width"),
+        Width::from_bytes(buf[OFF_VALUE_WIDTH] as usize).expect("corrupt RLE value width"),
+    )
+}
+
+#[inline]
+fn pair_bytes(cw: Width, vw: Width) -> usize {
+    cw.bytes() + vw.bytes()
+}
+
+/// Largest count representable in the count field.
+#[inline]
+fn max_count(cw: Width) -> u64 {
+    if cw == Width::W8 {
+        u64::MAX
+    } else {
+        (1u64 << cw.bits()) - 1
+    }
+}
+
+/// Whether `v` fits in the value field.
+#[inline]
+fn value_fits(v: i64, vw: Width, signed: bool) -> bool {
+    if vw == Width::W8 {
+        return true;
+    }
+    if signed {
+        let lo = -(1i64 << (vw.bits() - 1));
+        let hi = (1i64 << (vw.bits() - 1)) - 1;
+        v >= lo && v <= hi
+    } else {
+        v >= 0 && (v as u64) < (1u64 << vw.bits())
+    }
+}
+
+/// Number of stored runs.
+pub fn run_count(buf: &[u8], h: &HeaderView) -> usize {
+    let (cw, vw) = field_widths(buf);
+    (buf.len() - h.data_offset) / pair_bytes(cw, vw)
+}
+
+/// Read run `r` as (value, count).
+pub fn run_at(buf: &[u8], h: &HeaderView, r: usize) -> (i64, u64) {
+    let (cw, vw) = field_widths(buf);
+    let off = h.data_offset + r * pair_bytes(cw, vw);
+    let count = header::get_fixed(buf, off, cw, false) as u64;
+    let value = header::get_fixed(buf, off + cw.bytes(), vw, h.signed);
+    (value, count)
+}
+
+/// All runs as (value, count) pairs — the raw material for an IndexTable.
+pub fn runs(buf: &[u8], h: &HeaderView) -> Vec<(i64, u64)> {
+    (0..run_count(buf, h)).map(|r| run_at(buf, h, r)).collect()
+}
+
+/// Append one block. The last stored run is extended in place when the
+/// first new values continue it; count-field overflow starts a new pair.
+pub fn append_block(buf: &mut Vec<u8>, h: &HeaderView, vals: &[i64]) -> Result<(), EncodingFull> {
+    let (cw, vw) = field_widths(buf);
+    // Validate the whole block before mutating anything.
+    for &v in vals {
+        if !value_fits(v, vw, h.signed) {
+            return Err(EncodingFull::ValueOutOfRange);
+        }
+    }
+    let pair = pair_bytes(cw, vw);
+    let cap = max_count(cw);
+    let mut i = 0usize;
+    // Try to extend the final stored run.
+    if buf.len() > h.data_offset {
+        let last_off = buf.len() - pair;
+        let last_count = header::get_fixed(buf, last_off, cw, false) as u64;
+        let last_value = header::get_fixed(buf, last_off + cw.bytes(), vw, h.signed);
+        if vals[0] == last_value && last_count < cap {
+            let mut n = 0u64;
+            while i < vals.len() && vals[i] == last_value && last_count + n < cap {
+                n += 1;
+                i += 1;
+            }
+            header::put_fixed(buf, last_off, cw, (last_count + n) as i64);
+        }
+    }
+    // Emit the remaining values as new runs.
+    while i < vals.len() {
+        let v = vals[i];
+        let mut n = 0u64;
+        while i < vals.len() && vals[i] == v && n < cap {
+            n += 1;
+            i += 1;
+        }
+        let off = buf.len();
+        buf.resize(off + pair, 0);
+        header::put_fixed(buf, off, cw, n as i64);
+        header::put_fixed(buf, off + cw.bytes(), vw, v);
+    }
+    Ok(())
+}
+
+/// Decode one block by scanning runs from the start of the stream
+/// (stateless; the sequential [`Cursor`] avoids the rescan). Unlike the
+/// bit-packed encodings there is no physical padding to strip: the run
+/// stream yields exactly the logical values.
+pub fn decode_block(buf: &[u8], h: &HeaderView, block_idx: usize, out: &mut Vec<i64>) {
+    let mut cursor = Cursor::new();
+    cursor.skip_to(buf, h, (block_idx * h.block_size) as u64);
+    cursor.take(buf, h, h.block_size, out);
+}
+
+/// Random access: a forward scan over the runs (paper §4.3).
+pub fn get(buf: &[u8], h: &HeaderView, idx: u64) -> i64 {
+    let mut seen = 0u64;
+    for r in 0..run_count(buf, h) {
+        let (v, c) = run_at(buf, h, r);
+        seen += c;
+        if idx < seen {
+            return v;
+        }
+    }
+    panic!("RLE index {idx} out of range");
+}
+
+/// A sequential decode cursor that remembers its run position, making a
+/// full-stream scan linear in runs instead of runs × blocks.
+#[derive(Debug, Clone, Default)]
+pub struct Cursor {
+    run: usize,
+    within: u64,
+    pos: u64,
+}
+
+impl Cursor {
+    /// A cursor at the start of the stream.
+    pub fn new() -> Cursor {
+        Cursor::default()
+    }
+
+    /// Current logical position.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Advance (forward only) to logical position `target`.
+    pub fn skip_to(&mut self, buf: &[u8], h: &HeaderView, target: u64) {
+        assert!(target >= self.pos, "RLE cursors cannot seek backwards");
+        let total = run_count(buf, h);
+        let mut remaining = target - self.pos;
+        while remaining > 0 && self.run < total {
+            let (_, c) = run_at(buf, h, self.run);
+            let left = c - self.within;
+            if remaining < left {
+                self.within += remaining;
+                remaining = 0;
+            } else {
+                remaining -= left;
+                self.run += 1;
+                self.within = 0;
+            }
+        }
+        self.pos = target;
+    }
+
+    /// Decode up to `n` values (fewer at end of stream), appending to `out`.
+    pub fn take(&mut self, buf: &[u8], h: &HeaderView, n: usize, out: &mut Vec<i64>) -> usize {
+        let total = run_count(buf, h);
+        let mut produced = 0usize;
+        while produced < n && self.run < total {
+            let (v, c) = run_at(buf, h, self.run);
+            let avail = (c - self.within) as usize;
+            let take = avail.min(n - produced);
+            out.extend(std::iter::repeat_n(v, take));
+            produced += take;
+            if take == avail {
+                self.run += 1;
+                self.within = 0;
+            } else {
+                self.within += take as u64;
+            }
+        }
+        self.pos += produced as u64;
+        produced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EncodedStream, BLOCK_SIZE};
+
+    fn build(data: &[i64]) -> EncodedStream {
+        let mut s = EncodedStream::new_rle(Width::W8, true, Width::W4, Width::W2);
+        for c in data.chunks(BLOCK_SIZE) {
+            s.append_block(c).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn cursor_matches_decode_all() {
+        let mut data = Vec::new();
+        for v in 0..60i64 {
+            data.extend(std::iter::repeat_n(v * 3, 37 + (v as usize % 11)));
+        }
+        let s = build(&data);
+        let h = s.header();
+        let mut cursor = Cursor::new();
+        let mut out = Vec::new();
+        while cursor.take(s.as_bytes(), &h, 100, &mut out) > 0 {}
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn cursor_skip_and_take() {
+        let mut data = Vec::new();
+        for v in 0..50i64 {
+            data.extend(std::iter::repeat_n(v, 20));
+        }
+        let s = build(&data);
+        let h = s.header();
+        let mut cursor = Cursor::new();
+        cursor.skip_to(s.as_bytes(), &h, 333);
+        let mut out = Vec::new();
+        cursor.take(s.as_bytes(), &h, 10, &mut out);
+        assert_eq!(out, data[333..343].to_vec());
+    }
+
+    #[test]
+    fn unsigned_values() {
+        let mut s = EncodedStream::new_rle(Width::W8, false, Width::W2, Width::W1);
+        s.append_block(&[200, 200, 255]).unwrap();
+        assert_eq!(s.decode_all(), vec![200, 200, 255]);
+        assert_eq!(
+            s.rle_runs().unwrap(),
+            vec![(200, 2), (255, 1)]
+        );
+    }
+
+    #[test]
+    fn atomic_failure_on_bad_value() {
+        let mut s = EncodedStream::new_rle(Width::W8, true, Width::W2, Width::W1);
+        s.append_block(&[1, 1]).unwrap();
+        let snap = s.as_bytes().to_vec();
+        assert_eq!(
+            s.append_block(&[1, 1000]),
+            Err(EncodingFull::ValueOutOfRange)
+        );
+        assert_eq!(s.as_bytes(), &snap[..]);
+    }
+
+    #[test]
+    fn alternating_values_worst_case() {
+        let data: Vec<i64> = (0..500).map(|i| i % 2).collect();
+        let s = build(&data);
+        assert_eq!(s.decode_all(), data);
+        assert_eq!(s.rle_runs().unwrap().len(), 500);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the encoding layer: every encoding must
+//! round-trip arbitrary data it accepts, the dynamic encoder must
+//! round-trip *any* data, and the header manipulations must never change
+//! decoded values.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tde_encodings::dynamic::encode_all;
+use tde_encodings::manipulate::{narrow, packed_body, rle_decompose, rle_rebuild};
+use tde_encodings::stats::{choose_encoding, AllowedAlgorithms, ColumnStats};
+use tde_encodings::{bitpack, Algorithm, EncodedStream, BLOCK_SIZE};
+use tde_types::Width;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitpack_roundtrip(bits in 0u8..=64, seed in any::<u64>(), count in 1usize..300) {
+        let mask = if bits == 0 { 0 } else if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let values: Vec<u64> = (0..count as u64)
+            .map(|i| seed.wrapping_mul(i.wrapping_add(0x9E37_79B9)) & mask)
+            .collect();
+        let mut packed = Vec::new();
+        bitpack::pack(&values, bits, &mut packed);
+        let mut out = Vec::new();
+        bitpack::unpack(&packed, bits, values.len(), &mut out);
+        prop_assert_eq!(&out, &values);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(bitpack::get_one(&packed, bits, i), v);
+        }
+    }
+
+    #[test]
+    fn dynamic_encoder_roundtrips_anything(data in vec(any::<i64>(), 0..4000)) {
+        let r = encode_all(&data, Width::W8, true);
+        prop_assert_eq!(r.stream.decode_all(), data.clone());
+        prop_assert_eq!(r.stats.count, data.len() as u64);
+    }
+
+    #[test]
+    fn dynamic_encoder_small_domain(data in vec(0i64..30, 0..5000)) {
+        let r = encode_all(&data, Width::W8, true);
+        prop_assert_eq!(r.stream.decode_all(), data.clone());
+        // A small domain must never stay raw once there is enough data.
+        if data.len() > 2 * BLOCK_SIZE {
+            prop_assert_ne!(r.stream.algorithm(), Algorithm::None);
+        }
+    }
+
+    #[test]
+    fn chosen_encoding_accepts_described_data(data in vec(-1000i64..1000, 1..3000)) {
+        // Any encoding chosen from complete statistics must accept every
+        // block of the data it was chosen for.
+        let mut stats = ColumnStats::new();
+        stats.update(&data);
+        let spec = choose_encoding(&stats, Width::W8, AllowedAlgorithms::all(), true);
+        let mut stream = spec.build(Width::W8, true);
+        for chunk in data.chunks(BLOCK_SIZE) {
+            prop_assert!(stream.append_block(chunk).is_ok(), "spec {:?} rejected data", spec);
+        }
+        prop_assert_eq!(stream.decode_all(), data);
+    }
+
+    #[test]
+    fn narrowing_never_changes_values(data in vec(0i64..120, 1..2000)) {
+        let r = encode_all(&data, Width::W8, true);
+        let mut s = r.stream;
+        let before = s.decode_all();
+        let body = packed_body(&s).to_vec();
+        narrow(&mut s);
+        prop_assert_eq!(s.decode_all(), before);
+        prop_assert_eq!(packed_body(&s), &body[..]);
+    }
+
+    #[test]
+    fn random_access_matches_sequential(data in vec(any::<i64>(), 1..2000), idx in any::<prop::sample::Index>()) {
+        let r = encode_all(&data, Width::W8, true);
+        let i = idx.index(data.len());
+        prop_assert_eq!(r.stream.get(i as u64), data[i]);
+    }
+
+    #[test]
+    fn rle_decompose_rebuild_identity(runs in vec((-100i64..100, 1u64..50), 1..60)) {
+        let mut data = Vec::new();
+        // Merge adjacent equal-valued runs the way the encoder would.
+        for &(v, c) in &runs {
+            data.extend(std::iter::repeat_n(v, c as usize));
+        }
+        let mut s = EncodedStream::new_rle(Width::W8, true, Width::W4, Width::W2);
+        for chunk in data.chunks(BLOCK_SIZE) {
+            s.append_block(chunk).unwrap();
+        }
+        let (values, counts) = rle_decompose(&s);
+        let rebuilt = rle_rebuild(&values, &counts, true);
+        prop_assert_eq!(rebuilt.decode_all(), data);
+    }
+
+    #[test]
+    fn serialization_roundtrip(data in vec(-50i64..50, 1..3000)) {
+        let r = encode_all(&data, Width::W8, true);
+        let bytes = r.stream.as_bytes().to_vec();
+        let restored = EncodedStream::from_buf(bytes);
+        prop_assert_eq!(restored.decode_all(), data);
+        prop_assert_eq!(restored.algorithm(), r.stream.algorithm());
+    }
+
+    #[test]
+    fn stats_min_max_are_exact(data in vec(any::<i64>(), 1..1000)) {
+        let mut stats = ColumnStats::new();
+        stats.update(&data);
+        prop_assert_eq!(stats.min, *data.iter().min().unwrap());
+        prop_assert_eq!(stats.max, *data.iter().max().unwrap());
+        prop_assert_eq!(stats.count, data.len() as u64);
+    }
+
+    #[test]
+    fn stats_sortedness_is_exact(data in vec(-20i64..20, 2..500)) {
+        let mut stats = ColumnStats::new();
+        stats.update(&data);
+        let actually_sorted = data.windows(2).all(|w| w[0] <= w[1]);
+        prop_assert_eq!(stats.is_sorted_asc(), actually_sorted);
+    }
+}

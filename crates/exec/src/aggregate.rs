@@ -1,0 +1,476 @@
+//! Aggregation: hash-based (with tactically chosen hash strategy) and
+//! ordered ("sandwiched", paper §4.2.2).
+//!
+//! The hash aggregate picks direct/perfect/collision hashing from the key
+//! columns' metadata (§2.3.4); the ordered aggregate exploits grouped
+//! input — a sorted primary key, or the value-sorted IndexedScan output of
+//! §4.2.2 — to aggregate in a single pass with no table at all.
+
+use crate::block::{Block, Field, Repr, Schema};
+use crate::expr::AggFunc;
+use crate::hash::GroupMap;
+use crate::tactical;
+use crate::{BoxOp, Operator, BLOCK_ROWS};
+use tde_types::sentinel::{is_null_real, null_real, NULL_I64, NULL_TOKEN};
+use tde_types::DataType;
+
+/// One aggregate to compute.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Input column index (ignored for `Count`).
+    pub col: usize,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggSpec {
+    /// Convenience constructor.
+    pub fn new(func: AggFunc, col: usize, name: impl Into<String>) -> AggSpec {
+        AggSpec { func, col, name: name.into() }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Domain {
+    Int,
+    Real,
+    Token,
+}
+
+fn domain_of(f: &Field) -> Domain {
+    match (&f.repr, f.dtype) {
+        (Repr::Token(_) | Repr::TokenCell(_), _) => Domain::Token,
+        (_, DataType::Real) => Domain::Real,
+        _ => Domain::Int,
+    }
+}
+
+/// Accumulator state for one (group, agg) cell.
+#[derive(Clone, Copy)]
+struct Acc {
+    value: i64,
+    count: u64,
+}
+
+fn init_acc() -> Acc {
+    Acc { value: 0, count: 0 }
+}
+
+#[inline]
+fn fold(acc: &mut Acc, func: AggFunc, domain: Domain, raw: i64) {
+    // NULL inputs are skipped (except COUNT counts rows).
+    if func == AggFunc::Count {
+        acc.count += 1;
+        return;
+    }
+    let is_null = match domain {
+        Domain::Int => raw == NULL_I64,
+        Domain::Real => is_null_real(f64::from_bits(raw as u64)),
+        Domain::Token => raw as u64 == NULL_TOKEN,
+    };
+    if is_null {
+        return;
+    }
+    if acc.count == 0 {
+        acc.value = raw;
+        acc.count = 1;
+        if func == AggFunc::Sum && domain == Domain::Real {
+            acc.value = raw; // already bits
+        }
+        return;
+    }
+    acc.count += 1;
+    match (func, domain) {
+        (AggFunc::Sum, Domain::Real) => {
+            let s = f64::from_bits(acc.value as u64) + f64::from_bits(raw as u64);
+            acc.value = s.to_bits() as i64;
+        }
+        (AggFunc::Sum, _) => acc.value = acc.value.wrapping_add(raw),
+        (AggFunc::Min, Domain::Real) => {
+            if f64::from_bits(raw as u64) < f64::from_bits(acc.value as u64) {
+                acc.value = raw;
+            }
+        }
+        (AggFunc::Max, Domain::Real) => {
+            if f64::from_bits(raw as u64) > f64::from_bits(acc.value as u64) {
+                acc.value = raw;
+            }
+        }
+        // Token min/max compares tokens: correct when the heap is sorted —
+        // the §3.4.3 payoff; otherwise it is heap order.
+        (AggFunc::Min, _) => acc.value = acc.value.min(raw),
+        (AggFunc::Max, _) => acc.value = acc.value.max(raw),
+        (AggFunc::Count, _) => unreachable!(),
+    }
+}
+
+fn final_value(acc: &Acc, func: AggFunc, domain: Domain) -> i64 {
+    match func {
+        AggFunc::Count => acc.count as i64,
+        _ if acc.count == 0 => match domain {
+            Domain::Real => null_real().to_bits() as i64,
+            Domain::Token => NULL_TOKEN as i64,
+            Domain::Int => NULL_I64,
+        },
+        _ => acc.value,
+    }
+}
+
+fn output_schema(input: &Schema, group_cols: &[usize], aggs: &[AggSpec]) -> Schema {
+    let mut fields: Vec<Field> =
+        group_cols.iter().map(|&c| input.fields[c].clone()).collect();
+    for a in aggs {
+        let mut f = match a.func {
+            AggFunc::Count => Field::scalar(a.name.clone(), DataType::Integer),
+            _ => {
+                let mut f = input.fields[a.col].clone();
+                f.metadata = tde_encodings::ColumnMetadata::unknown();
+                f
+            }
+        };
+        f.name = a.name.clone();
+        fields.push(f);
+    }
+    Schema::new(fields)
+}
+
+fn emit_blocks(rows: Vec<Vec<i64>>, ncols: usize) -> Vec<Block> {
+    // rows is column-major already.
+    let nrows = rows.first().map_or(0, Vec::len);
+    let mut blocks = Vec::new();
+    let mut at = 0;
+    while at < nrows {
+        let take = BLOCK_ROWS.min(nrows - at);
+        let columns: Vec<Vec<i64>> =
+            (0..ncols).map(|c| rows[c][at..at + take].to_vec()).collect();
+        blocks.push(Block { columns, len: take });
+        at += take;
+    }
+    blocks
+}
+
+/// Hash aggregation with a tactically chosen strategy.
+pub struct HashAggregate {
+    input: Option<BoxOp>,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    schema: Schema,
+    domains: Vec<Domain>,
+    output: Vec<Block>,
+    next: usize,
+    /// The strategy that was chosen (visible for tests and explain).
+    pub strategy: crate::hash::HashStrategy,
+    packing: Option<crate::hash::KeyPacking>,
+}
+
+impl HashAggregate {
+    /// Aggregate `input` grouped by `group_cols`.
+    pub fn new(input: BoxOp, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> HashAggregate {
+        let in_schema = input.schema();
+        let keys: Vec<&Field> = group_cols.iter().map(|&c| &in_schema.fields[c]).collect();
+        let (strategy, packing) = tactical::choose_hash_strategy(&keys);
+        let domains = aggs.iter().map(|a| domain_of(&in_schema.fields[a.col])).collect();
+        let schema = output_schema(in_schema, &group_cols, &aggs);
+        HashAggregate {
+            input: Some(input),
+            group_cols,
+            aggs,
+            schema,
+            domains,
+            output: Vec::new(),
+            next: 0,
+            strategy,
+            packing,
+        }
+    }
+
+    fn run(&mut self) {
+        let mut input = self.input.take().expect("aggregate already ran");
+        let mut groups = GroupMap::new(self.strategy, self.packing.clone());
+        let mut accs: Vec<Vec<Acc>> = Vec::new(); // [group][agg]
+        let mut key = vec![0i64; self.group_cols.len()];
+        while let Some(block) = input.next_block() {
+            for r in 0..block.len {
+                for (k, &c) in self.group_cols.iter().enumerate() {
+                    key[k] = block.columns[c][r];
+                }
+                let g = groups.get_or_insert(&key);
+                if g == accs.len() {
+                    accs.push(vec![init_acc(); self.aggs.len()]);
+                }
+                for (a, spec) in self.aggs.iter().enumerate() {
+                    fold(&mut accs[g][a], spec.func, self.domains[a], block.columns[spec.col][r]);
+                }
+            }
+        }
+        // A global aggregate (no group keys) over empty input still
+        // produces one row of empty aggregates, SQL-style.
+        if self.group_cols.is_empty() && groups.is_empty() {
+            groups.get_or_insert(&[]);
+            accs.push(vec![init_acc(); self.aggs.len()]);
+        }
+        // Assemble column-major output: group keys then aggregates.
+        let ng = groups.len();
+        let ncols = self.group_cols.len() + self.aggs.len();
+        let mut cols: Vec<Vec<i64>> = vec![Vec::with_capacity(ng); ncols];
+        for (g, gk) in groups.keys().iter().enumerate() {
+            for (k, &v) in gk.iter().enumerate() {
+                cols[k].push(v);
+            }
+            for (a, spec) in self.aggs.iter().enumerate() {
+                cols[self.group_cols.len() + a]
+                    .push(final_value(&accs[g][a], spec.func, self.domains[a]));
+            }
+        }
+        self.output = emit_blocks(cols, ncols);
+    }
+}
+
+impl Operator for HashAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_block(&mut self) -> Option<Block> {
+        if self.input.is_some() {
+            self.run();
+        }
+        let b = self.output.get(self.next).cloned();
+        self.next += 1;
+        b
+    }
+}
+
+/// Ordered (sandwiched) aggregation over grouped input: groups must arrive
+/// contiguously. One pass, no hash table (paper §4.2.2).
+pub struct OrderedAggregate {
+    input: BoxOp,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    schema: Schema,
+    domains: Vec<Domain>,
+    current_key: Option<Vec<i64>>,
+    current: Vec<Acc>,
+    key_scratch: Vec<i64>,
+    pending: Vec<Vec<i64>>, // column-major finished groups
+    done: bool,
+}
+
+impl OrderedAggregate {
+    /// Aggregate grouped `input` by `group_cols`.
+    pub fn new(input: BoxOp, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> OrderedAggregate {
+        let in_schema = input.schema();
+        let domains = aggs.iter().map(|a| domain_of(&in_schema.fields[a.col])).collect();
+        let schema = output_schema(in_schema, &group_cols, &aggs);
+        let ncols = group_cols.len() + aggs.len();
+        OrderedAggregate {
+            input,
+            group_cols,
+            aggs,
+            schema,
+            domains,
+            current_key: None,
+            current: Vec::new(),
+            key_scratch: Vec::new(),
+            pending: vec![Vec::new(); ncols],
+            done: false,
+        }
+    }
+
+    fn flush_group(&mut self) {
+        if let Some(key) = self.current_key.take() {
+            for (k, v) in key.into_iter().enumerate() {
+                self.pending[k].push(v);
+            }
+            for (a, spec) in self.aggs.iter().enumerate() {
+                self.pending[self.group_cols.len() + a]
+                    .push(final_value(&self.current[a], spec.func, self.domains[a]));
+            }
+        }
+    }
+
+    fn pending_rows(&self) -> usize {
+        self.pending.first().map_or(0, Vec::len)
+    }
+
+    fn take_pending(&mut self, n: usize) -> Block {
+        let columns: Vec<Vec<i64>> = self
+            .pending
+            .iter_mut()
+            .map(|c| {
+                let rest = c.split_off(n.min(c.len()));
+                std::mem::replace(c, rest)
+            })
+            .collect();
+        Block::new(columns)
+    }
+}
+
+impl Operator for OrderedAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_block(&mut self) -> Option<Block> {
+        while !self.done && self.pending_rows() < BLOCK_ROWS {
+            let Some(block) = self.input.next_block() else {
+                self.flush_group();
+                self.done = true;
+                break;
+            };
+            for r in 0..block.len {
+                self.key_scratch.clear();
+                for &c in &self.group_cols {
+                    self.key_scratch.push(block.columns[c][r]);
+                }
+                if self.current_key.as_deref() != Some(&self.key_scratch[..]) {
+                    self.flush_group();
+                    self.current_key = Some(self.key_scratch.clone());
+                    self.current = vec![init_acc(); self.aggs.len()];
+                }
+                for (a, spec) in self.aggs.iter().enumerate() {
+                    fold(
+                        &mut self.current[a],
+                        spec.func,
+                        self.domains[a],
+                        block.columns[spec.col][r],
+                    );
+                }
+            }
+        }
+        let n = self.pending_rows().min(BLOCK_ROWS);
+        if n == 0 {
+            return None;
+        }
+        Some(self.take_pending(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::TableScan;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use tde_storage::{ColumnBuilder, EncodingPolicy, Table};
+    use tde_types::{DataType, Value};
+
+    fn table(n: i64, groups: i64) -> Arc<Table> {
+        let mut g = ColumnBuilder::new("g", DataType::Integer, EncodingPolicy::default());
+        let mut v = ColumnBuilder::new("v", DataType::Integer, EncodingPolicy::default());
+        for i in 0..n {
+            g.append_i64((i * groups) / n); // sorted groups
+            v.append_i64(i % 97);
+        }
+        Arc::new(Table::new("t", vec![g.finish().column, v.finish().column]))
+    }
+
+    fn collect(mut op: BoxOp) -> HashMap<i64, (i64, i64, i64)> {
+        let mut out = HashMap::new();
+        while let Some(b) = op.next_block() {
+            for r in 0..b.len {
+                out.insert(
+                    b.columns[0][r],
+                    (b.columns[1][r], b.columns[2][r], b.columns[3][r]),
+                );
+            }
+        }
+        out
+    }
+
+    fn specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::new(AggFunc::Count, 1, "n"),
+            AggSpec::new(AggFunc::Min, 1, "lo"),
+            AggSpec::new(AggFunc::Max, 1, "hi"),
+        ]
+    }
+
+    #[test]
+    fn hash_and_ordered_agree() {
+        let t = table(50_000, 20);
+        let hash = collect(Box::new(HashAggregate::new(
+            Box::new(TableScan::new(t.clone())),
+            vec![0],
+            specs(),
+        )));
+        let ordered = collect(Box::new(OrderedAggregate::new(
+            Box::new(TableScan::new(t)),
+            vec![0],
+            specs(),
+        )));
+        assert_eq!(hash.len(), 20);
+        assert_eq!(hash, ordered);
+        let (n, lo, hi) = hash[&0];
+        assert_eq!(n, 2500);
+        assert_eq!(lo, 0);
+        assert_eq!(hi, 96);
+    }
+
+    #[test]
+    fn direct_strategy_chosen_for_narrow_keys() {
+        // The group column was built through FlowTable, so min/max are in
+        // its metadata; 0..19 fits in one byte → direct hashing.
+        let t = table(10_000, 20);
+        let agg = HashAggregate::new(Box::new(TableScan::new(t)), vec![0], specs());
+        assert_eq!(agg.strategy, crate::hash::HashStrategy::Direct64K);
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        let mut g = ColumnBuilder::new("g", DataType::Integer, EncodingPolicy::default());
+        let mut v = ColumnBuilder::new("v", DataType::Integer, EncodingPolicy::default());
+        for (gi, vi) in [(1, 5), (1, NULL_I64), (2, NULL_I64)] {
+            g.append_i64(gi);
+            v.append_i64(vi);
+        }
+        let t = Arc::new(Table::new("t", vec![g.finish().column, v.finish().column]));
+        let mut agg = HashAggregate::new(Box::new(TableScan::new(t)), vec![0], specs());
+        let schema = agg.schema().clone();
+        let b = agg.next_block().unwrap();
+        // Group 1: count 2 rows, min/max skip the NULL.
+        let row1 = (0..b.len).find(|&r| b.columns[0][r] == 1).unwrap();
+        assert_eq!(b.columns[1][row1], 2);
+        assert_eq!(b.columns[2][row1], 5);
+        // Group 2: all-NULL min is NULL.
+        let row2 = (0..b.len).find(|&r| b.columns[0][r] == 2).unwrap();
+        assert_eq!(schema.fields[2].value_of(b.columns[2][row2]), Value::Null);
+    }
+
+    #[test]
+    fn real_aggregation() {
+        let mut g = ColumnBuilder::new("g", DataType::Integer, EncodingPolicy::default());
+        let mut v = ColumnBuilder::new("v", DataType::Real, EncodingPolicy::default());
+        for x in [1.5f64, 2.5, -3.0] {
+            g.append_i64(0);
+            v.append_f64(x);
+        }
+        let t = Arc::new(Table::new("t", vec![g.finish().column, v.finish().column]));
+        let mut agg = HashAggregate::new(
+            Box::new(TableScan::new(t)),
+            vec![0],
+            vec![
+                AggSpec::new(AggFunc::Sum, 1, "s"),
+                AggSpec::new(AggFunc::Min, 1, "lo"),
+            ],
+        );
+        let b = agg.next_block().unwrap();
+        assert_eq!(f64::from_bits(b.columns[1][0] as u64), 1.0);
+        assert_eq!(f64::from_bits(b.columns[2][0] as u64), -3.0);
+    }
+
+    #[test]
+    fn global_aggregate_no_groups() {
+        let t = table(1000, 4);
+        let mut agg = HashAggregate::new(
+            Box::new(TableScan::new(t)),
+            vec![],
+            vec![AggSpec::new(AggFunc::Count, 0, "n")],
+        );
+        let b = agg.next_block().unwrap();
+        assert_eq!(b.len, 1);
+        assert_eq!(b.columns[0][0], 1000);
+    }
+}

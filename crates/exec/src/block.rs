@@ -1,0 +1,231 @@
+//! Execution blocks and schemas.
+//!
+//! Inside the engine every column is a vector of `i64` in one of three
+//! *representations*: plain scalars (with `Real` as bit patterns), heap
+//! tokens, or dictionary indexes. The representation travels in the
+//! schema, not the block, so blocks stay plain buffers. Keeping
+//! compressed representations flowing between operators — instead of
+//! widening the inter-operator interfaces — is exactly what the invisible
+//! join formulation buys (paper §4.1.1).
+
+use std::sync::Arc;
+use tde_encodings::ColumnMetadata;
+use tde_storage::StringHeap;
+use tde_types::sentinel::NULL_TOKEN;
+use tde_types::{DataType, Value};
+
+/// How a column's `i64` values map to logical values.
+#[derive(Debug, Clone)]
+pub enum Repr {
+    /// Scalar of the field's data type (`Real` travels as `f64` bits).
+    Scalar,
+    /// Byte-offset token into a frozen string heap.
+    Token(Arc<StringHeap>),
+    /// Byte-offset token into a *growing* compute heap — produced by
+    /// string functions mid-query (§4.1.2); FlowTable freezes it.
+    TokenCell(Arc<parking_lot::RwLock<StringHeap>>),
+    /// Index into a scalar dictionary (array compression, §2.3.2).
+    DictIndex(Arc<Vec<i64>>),
+}
+
+impl Repr {
+    /// Whether this is the scalar representation.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Repr::Scalar)
+    }
+}
+
+/// One column of an operator's output.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    pub dtype: DataType,
+    /// Value representation.
+    pub repr: Repr,
+    /// Metadata the upstream operator can assert about this column — the
+    /// carrier of the tactical optimizer's knowledge (§3.4.2).
+    pub metadata: ColumnMetadata,
+}
+
+impl Field {
+    /// A scalar field with unknown metadata.
+    pub fn scalar(name: impl Into<String>, dtype: DataType) -> Field {
+        Field {
+            name: name.into(),
+            dtype,
+            repr: Repr::Scalar,
+            metadata: ColumnMetadata::unknown(),
+        }
+    }
+
+    /// Materialize a stored `i64` as a boxed [`Value`].
+    pub fn value_of(&self, raw: i64) -> Value {
+        match &self.repr {
+            Repr::Scalar => match self.dtype {
+                DataType::Real => {
+                    let f = f64::from_bits(raw as u64);
+                    if tde_types::is_null_real(f) {
+                        Value::Null
+                    } else {
+                        Value::Real(f)
+                    }
+                }
+                dt => Value::from_i64(dt, raw),
+            },
+            Repr::Token(heap) => {
+                if raw as u64 == NULL_TOKEN {
+                    Value::Null
+                } else {
+                    Value::Str(heap.get_raw(raw as u64).to_owned())
+                }
+            }
+            Repr::TokenCell(cell) => {
+                if raw as u64 == NULL_TOKEN {
+                    Value::Null
+                } else {
+                    Value::Str(cell.read().get_raw(raw as u64).to_owned())
+                }
+            }
+            Repr::DictIndex(dict) => {
+                let scalar = dict[raw as usize];
+                Value::from_i64(self.dtype, scalar)
+            }
+        }
+    }
+}
+
+/// The NULL sentinel in a field's stored `i64` domain.
+pub fn null_raw(field: &Field) -> i64 {
+    match (&field.repr, field.dtype) {
+        (Repr::Token(_) | Repr::TokenCell(_), _) => NULL_TOKEN as i64,
+        (Repr::Scalar, DataType::Real) => tde_types::sentinel::null_real().to_bits() as i64,
+        // Dictionary indexes have no NULL slot; NULLs surface as the
+        // scalar sentinel after expansion.
+        _ => tde_types::sentinel::NULL_I64,
+    }
+}
+
+/// An operator's output shape.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    /// The fields.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build from fields.
+    pub fn new(fields: Vec<Field>) -> Schema {
+        Schema { fields }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field by name (panics if missing — plan construction validates).
+    pub fn field(&self, name: &str) -> &Field {
+        &self.fields[self.index_of(name).unwrap_or_else(|| panic!("no column named {name}"))]
+    }
+}
+
+/// A block of rows: one `i64` vector per column, all `len` long.
+#[derive(Debug, Clone, Default)]
+pub struct Block {
+    /// Column vectors.
+    pub columns: Vec<Vec<i64>>,
+    /// Row count.
+    pub len: usize,
+}
+
+impl Block {
+    /// An empty block shaped for `ncols` columns.
+    pub fn empty(ncols: usize) -> Block {
+        Block { columns: vec![Vec::new(); ncols], len: 0 }
+    }
+
+    /// Build from column vectors.
+    pub fn new(columns: Vec<Vec<i64>>) -> Block {
+        let len = columns.first().map_or(0, Vec::len);
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        Block { columns, len }
+    }
+
+    /// Keep only the rows where `keep` is true.
+    pub fn filter(&mut self, keep: &[bool]) {
+        debug_assert_eq!(keep.len(), self.len);
+        for col in &mut self.columns {
+            let mut w = 0;
+            for r in 0..keep.len() {
+                if keep[r] {
+                    col[w] = col[r];
+                    w += 1;
+                }
+            }
+            col.truncate(w);
+        }
+        self.len = keep.iter().filter(|&&k| k).count();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_filter() {
+        let mut b = Block::new(vec![vec![1, 2, 3, 4], vec![10, 20, 30, 40]]);
+        b.filter(&[true, false, true, false]);
+        assert_eq!(b.len, 2);
+        assert_eq!(b.columns[0], vec![1, 3]);
+        assert_eq!(b.columns[1], vec![10, 30]);
+    }
+
+    #[test]
+    fn field_value_materialization() {
+        let f = Field::scalar("x", DataType::Integer);
+        assert_eq!(f.value_of(5), Value::Int(5));
+
+        let mut heap = StringHeap::new();
+        let t = heap.append("hi") as i64;
+        let f = Field {
+            name: "s".into(),
+            dtype: DataType::Str,
+            repr: Repr::Token(Arc::new(heap)),
+            metadata: ColumnMetadata::unknown(),
+        };
+        assert_eq!(f.value_of(t), Value::Str("hi".into()));
+        assert_eq!(f.value_of(0), Value::Null);
+
+        let f = Field {
+            name: "d".into(),
+            dtype: DataType::Integer,
+            repr: Repr::DictIndex(Arc::new(vec![100, 200])),
+            metadata: ColumnMetadata::unknown(),
+        };
+        assert_eq!(f.value_of(1), Value::Int(200));
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = Schema::new(vec![
+            Field::scalar("a", DataType::Integer),
+            Field::scalar("b", DataType::Real),
+        ]);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert_eq!(s.field("a").name, "a");
+    }
+}

@@ -1,0 +1,192 @@
+//! DictionaryTable: expose a compressed column's dictionary as a table
+//! (paper §4.1.1).
+//!
+//! The operator has a column of the same type as the original, but the
+//! column data is the set of unique tokens in heap order. For variable
+//! width data (strings) that token column is the only one, sharing the
+//! original column's heap; for fixed width data the table has a second
+//! column holding the dictionary's scalar values. Expansion of the
+//! compressed column then becomes a foreign-key join between the main
+//! table and the token column — the *invisible join* — and the strategic
+//! optimizer can push filters and computations on the column's values down
+//! to the inner side.
+
+use crate::block::{Field, Repr, Schema};
+use crate::scan::TableScan;
+use crate::Operator;
+use std::sync::Arc;
+use tde_encodings::metadata::Knowledge;
+use tde_storage::{Column, ColumnBuilder, Compression, EncodingPolicy, Table};
+use tde_types::DataType;
+
+/// The dictionary of `column` as a table, plus its scan schema.
+///
+/// * Heap compression → one column `token` (type Str, sharing the heap):
+///   the distinct tokens in heap order.
+/// * Array compression → columns `token` (the dictionary indexes — dense,
+///   unique, sorted, hence fetch-joinable) and `value` (the scalars).
+pub fn dictionary_table(column: &Column, name: &str) -> (Arc<Table>, Schema) {
+    match &column.compression {
+        Compression::Heap { heap, sorted } => {
+            let mut b = ColumnBuilder::new("token", DataType::Str, EncodingPolicy::default());
+            let tokens: Vec<i64> = heap.iter().map(|(t, _)| t as i64).collect();
+            b.append_raw(&tokens);
+            let mut built = b.finish();
+            built.column.dtype = DataType::Str;
+            built.column.compression = Compression::Heap { heap: heap.clone(), sorted: *sorted };
+            // Token offsets for equal-width strings are affine; either way
+            // they are distinct and ascending in heap order.
+            built.column.metadata.unique = Knowledge::True;
+            built.column.metadata.sorted_asc = Knowledge::True; // heap order
+            let table = Arc::new(Table::new(name, vec![built.column]));
+            let scan = TableScan::new(table.clone());
+            let schema = scan.schema().clone();
+            (table, schema)
+        }
+        Compression::Array { dictionary, sorted } => {
+            let mut tok = ColumnBuilder::new("token", DataType::Integer, EncodingPolicy::default());
+            let mut val = ColumnBuilder::new("value", column.dtype, EncodingPolicy::default());
+            for (i, &v) in dictionary.iter().enumerate() {
+                tok.append_i64(i as i64);
+                val.append_i64(v);
+            }
+            let tok = tok.finish().column;
+            let mut val = val.finish().column;
+            if *sorted {
+                val.metadata.sorted_asc = Knowledge::True;
+            }
+            let table = Arc::new(Table::new(name, vec![tok, val]));
+            let scan = TableScan::new(table.clone());
+            let schema = scan.schema().clone();
+            (table, schema)
+        }
+        Compression::None => panic!("dictionary_table on an uncompressed column"),
+    }
+}
+
+/// Scan schema fields that an expansion join projects: the `value` column
+/// for array compression, the `token` column (as strings) for heaps.
+pub fn value_field(schema: &Schema) -> (usize, Field) {
+    if let Some(i) = schema.index_of("value") {
+        (i, schema.fields[i].clone())
+    } else {
+        let i = schema.index_of("token").expect("dictionary schema");
+        let mut f = schema.fields[i].clone();
+        debug_assert!(matches!(f.repr, Repr::Token(_)));
+        f.name = "value".into();
+        (i, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr};
+    use crate::filter::Filter;
+    use crate::flow_table::{flow_table, FlowTableOptions};
+    use crate::join::{Join, JoinKind};
+    use crate::tactical::JoinChoice;
+    use tde_storage::convert;
+    use tde_types::{Value, Width};
+
+    /// Build a dictionary-compressed date column (the §4.1.2 scenario).
+    fn date_table() -> Arc<Table> {
+        let days: Vec<i64> = (0..50_000).map(|i| 9000 + (i % 365)).collect();
+        let mut stream = tde_encodings::EncodedStream::new_dict(Width::W8, true, 10);
+        for c in days.chunks(tde_encodings::BLOCK_SIZE) {
+            stream.append_block(c).unwrap();
+        }
+        let mut col = Column::scalar("d", DataType::Date, stream);
+        convert::dict_encoding_to_compression(&mut col);
+        let mut other = ColumnBuilder::new("x", DataType::Integer, EncodingPolicy::default());
+        for i in 0..50_000i64 {
+            other.append_i64(i % 7);
+        }
+        Arc::new(Table::new("facts", vec![col, other.finish().column]))
+    }
+
+    #[test]
+    fn scalar_dictionary_table_shape() {
+        let t = date_table();
+        let (dt, schema) = dictionary_table(&t.columns[0], "d_dict");
+        assert_eq!(dt.row_count(), 365);
+        assert_eq!(schema.index_of("token"), Some(0));
+        assert_eq!(schema.index_of("value"), Some(1));
+        // The token column is dense/unique/sorted — fetch-joinable.
+        let md = &dt.columns[0].metadata;
+        assert!(md.dense.is_true() && md.unique.is_true() && md.sorted_asc.is_true());
+    }
+
+    #[test]
+    fn invisible_join_expands_column() {
+        let t = date_table();
+        let (dt, dschema) = dictionary_table(&t.columns[0], "d_dict");
+        let outer = Box::new(TableScan::new(t.clone()));
+        let (vi, _) = value_field(&dschema);
+        let j = Join::new(outer, &dt, &dschema, 0, 0, &[vi], JoinKind::Inner);
+        // Expansion joins on a fresh dictionary are fetch joins.
+        assert!(matches!(j.choice, JoinChoice::Fetch { .. }));
+        let schema = j.schema().clone();
+        let blocks = crate::drain(Box::new(j));
+        let total: usize = blocks.iter().map(|b| b.len).sum();
+        assert_eq!(total, 50_000);
+        // The expanded value matches the original column value.
+        let vcol = schema.len() - 1;
+        let first = &blocks[0];
+        assert_eq!(
+            schema.fields[vcol].value_of(first.columns[vcol][3]),
+            t.columns[0].value(3)
+        );
+    }
+
+    #[test]
+    fn pushed_down_filter_keeps_fetch_join() {
+        // Filter the dictionary to a contiguous date range, rebuild with
+        // FlowTable: the dense property re-asserts and the expansion join
+        // is *still* a fetch join (paper §3.4.2 / §4.1.2).
+        let t = date_table();
+        let (dt, _dschema) = dictionary_table(&t.columns[0], "d_dict");
+        let inner = Filter::new(
+            Box::new(TableScan::new(dt)),
+            Expr::And(
+                Box::new(Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::int(9100))),
+                Box::new(Expr::cmp(CmpOp::Lt, Expr::col(1), Expr::int(9200))),
+            ),
+        );
+        let built = flow_table(Box::new(inner), "d_dict_f", FlowTableOptions::default());
+        let fschema = TableScan::new(built.table.clone()).schema().clone();
+        assert!(built.table.columns[0].metadata.dense.is_true());
+        let j = Join::new(
+            Box::new(TableScan::new(t)),
+            &built.table,
+            &fschema,
+            0,
+            0,
+            &[1],
+            JoinKind::Inner,
+        );
+        assert!(matches!(j.choice, JoinChoice::Fetch { .. }));
+        let blocks = crate::drain(Box::new(j));
+        let total: usize = blocks.iter().map(|b| b.len).sum();
+        // 100 of 365 days survive the range.
+        let expect = (0..50_000).filter(|i| (100..200).contains(&(i % 365))).count();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn string_dictionary_table() {
+        let mut s = ColumnBuilder::new("s", DataType::Str, EncodingPolicy::default());
+        for i in 0..1000usize {
+            s.append_str(Some(["red", "green", "blue"][i % 3]));
+        }
+        let t = Arc::new(Table::new("t", vec![s.finish().column]));
+        let (dt, schema) = dictionary_table(&t.columns[0], "s_dict");
+        assert_eq!(dt.row_count(), 3);
+        let (vi, _) = value_field(&schema);
+        let col = &dt.columns[vi];
+        // Heap order after the builder's sorting pass is collation order.
+        assert_eq!(col.value(0), Value::Str("blue".into()));
+        assert_eq!(col.value(1), Value::Str("green".into()));
+        assert_eq!(col.value(2), Value::Str("red".into()));
+    }
+}

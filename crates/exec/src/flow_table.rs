@@ -1,0 +1,302 @@
+//! FlowTable: turn a stream of row blocks into a table (paper §3.3).
+//!
+//! The stop-and-go operator at the heart of the paper's import and
+//! decompression-join machinery. Each column is encoded *independently*
+//! with the dynamic encoder, so the per-column work is distributed across
+//! the available cores — substituting processing power for memory and I/O
+//! bandwidth. The build step finishes with the §3.4 post-processing
+//! manipulations (optimal conversion, heap sorting, narrowing, metadata
+//! extraction), which is how a FlowTable on the inner side of an expansion
+//! join hands the tactical optimizer the metadata it needs (§4.1.2): a
+//! filtered dense token range re-asserts the *dense* property, a computed
+//! string column gets a sorted minimal-width heap, and so on.
+
+use crate::block::{Block, Field, Repr, Schema};
+use crate::expr::token_str;
+use crate::{BoxOp, Operator};
+use std::sync::Arc;
+use tde_storage::{BuiltColumn, ColumnBuilder, Compression, EncodingPolicy, Table};
+use tde_types::DataType;
+
+/// FlowTable configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FlowTableOptions {
+    /// Column build policy (the strategic optimizer passes
+    /// [`EncodingPolicy::inner_side`] for hash-join inners, §4.3).
+    pub policy: EncodingPolicy,
+    /// Encode columns on separate threads.
+    pub parallel: bool,
+}
+
+impl Default for FlowTableOptions {
+    fn default() -> FlowTableOptions {
+        FlowTableOptions { policy: EncodingPolicy::default(), parallel: true }
+    }
+}
+
+/// The built table plus per-column build diagnostics.
+#[derive(Debug)]
+pub struct BuiltTable {
+    /// The materialized table.
+    pub table: Arc<Table>,
+    /// Mid-load re-encoding count per column.
+    pub reencodings: Vec<u32>,
+}
+
+/// Consume `input` entirely and build a table named `name`.
+pub fn flow_table(input: BoxOp, name: &str, opts: FlowTableOptions) -> BuiltTable {
+    let schema = input.schema().clone();
+    let blocks = crate::drain(input);
+    build_from_blocks(&schema, &blocks, name, opts)
+}
+
+/// Build a table from already-drained blocks.
+pub fn build_from_blocks(
+    schema: &Schema,
+    blocks: &[Block],
+    name: &str,
+    opts: FlowTableOptions,
+) -> BuiltTable {
+    let ncols = schema.len();
+    let build_one = |i: usize| -> BuiltColumn {
+        let field = &schema.fields[i];
+        build_column(field, blocks, i, opts.policy)
+    };
+    let built: Vec<BuiltColumn> = if opts.parallel && ncols > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..ncols).map(|i| s.spawn(move || build_one(i))).collect();
+            handles.into_iter().map(|h| h.join().expect("column build panicked")).collect()
+        })
+    } else {
+        (0..ncols).map(build_one).collect()
+    };
+    let mut reencodings = Vec::with_capacity(ncols);
+    let mut columns = Vec::with_capacity(ncols);
+    for b in built {
+        reencodings.push(b.reencodings);
+        columns.push(b.column);
+    }
+    BuiltTable { table: Arc::new(Table::new(name, columns)), reencodings }
+}
+
+fn build_column(field: &Field, blocks: &[Block], i: usize, policy: EncodingPolicy) -> BuiltColumn {
+    match &field.repr {
+        Repr::Scalar => {
+            let mut b = ColumnBuilder::new(field.name.clone(), field.dtype, policy);
+            for block in blocks {
+                b.append_raw(&block.columns[i]);
+            }
+            b.finish()
+        }
+        Repr::Token(heap) => {
+            // Frozen heap: tokens must be *preserved* so they stay
+            // join-compatible with the outer table's tokens (the invisible
+            // join equates token values). The token stream is re-encoded
+            // and narrowed; the heap is shared as-is.
+            let mut b = ColumnBuilder::new(field.name.clone(), DataType::Str, policy);
+            for block in blocks {
+                b.append_raw(&block.columns[i]);
+            }
+            let mut built = b.finish();
+            let sorted = field.metadata.sorted_heap_tokens.is_true();
+            built.column.compression = Compression::Heap { heap: heap.clone(), sorted };
+            if sorted {
+                built.column.metadata.sorted_heap_tokens =
+                    tde_encodings::metadata::Knowledge::True;
+            }
+            built
+        }
+        Repr::TokenCell(_) => {
+            // Growing compute heap (§4.1.2): freeze it by re-interning into
+            // a fresh heap, which the builder then sorts and narrows — the
+            // computed string column ends up with a minimal sorted domain.
+            let mut b = ColumnBuilder::new(field.name.clone(), DataType::Str, policy);
+            for block in blocks {
+                for &t in &block.columns[i] {
+                    b.append_str(token_str(&field.repr, t).as_deref());
+                }
+            }
+            b.finish()
+        }
+        Repr::DictIndex(dict) => {
+            // Keep array compression: encode the index stream, clone the
+            // dictionary.
+            let mut b = ColumnBuilder::new(field.name.clone(), field.dtype, policy);
+            for block in blocks {
+                b.append_raw(&block.columns[i]);
+            }
+            let mut built = b.finish();
+            let sorted = dict.windows(2).all(|w| w[0] <= w[1]);
+            built.column.compression =
+                Compression::Array { dictionary: dict.as_ref().clone(), sorted };
+            built
+        }
+    }
+}
+
+/// Operator wrapper: builds on first pull, then scans the result.
+pub struct FlowTable {
+    built: Option<BuiltTable>,
+    scan: Option<crate::scan::TableScan>,
+    schema: Schema,
+    input: Option<BoxOp>,
+    name: String,
+    opts: FlowTableOptions,
+}
+
+impl FlowTable {
+    /// A FlowTable over `input`.
+    pub fn new(input: BoxOp, name: &str, opts: FlowTableOptions) -> FlowTable {
+        let schema = input.schema().clone();
+        FlowTable {
+            built: None,
+            scan: None,
+            schema,
+            input: Some(input),
+            name: name.to_owned(),
+            opts,
+        }
+    }
+
+    /// Force the build and return the table.
+    pub fn materialize(&mut self) -> Arc<Table> {
+        if self.built.is_none() {
+            let input = self.input.take().expect("FlowTable already built");
+            let built = flow_table(input, &self.name, self.opts);
+            // The scan exposes the *built* columns (with their extracted
+            // metadata), not the input schema.
+            let scan = crate::scan::TableScan::new(built.table.clone());
+            self.schema = scan.schema().clone();
+            self.scan = Some(scan);
+            self.built = Some(built);
+        }
+        self.built.as_ref().unwrap().table.clone()
+    }
+}
+
+impl Operator for FlowTable {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_block(&mut self) -> Option<Block> {
+        self.materialize();
+        self.scan.as_mut().unwrap().next_block()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr, Func};
+    use crate::filter::Filter;
+    use crate::project::Project;
+    use crate::scan::TableScan;
+    use tde_types::Value;
+
+    fn strings_table() -> Arc<Table> {
+        let mut url = ColumnBuilder::new("url", DataType::Str, EncodingPolicy::default());
+        let mut hits = ColumnBuilder::new("hits", DataType::Integer, EncodingPolicy::default());
+        for i in 0..5000usize {
+            url.append_str(Some(&format!(
+                "/p{}/f{}.{}",
+                i % 7,
+                i % 23,
+                ["html", "css", "js", "png"][i % 4]
+            )));
+            hits.append_i64((i % 13) as i64);
+        }
+        Arc::new(Table::new("requests", vec![url.finish().column, hits.finish().column]))
+    }
+
+    #[test]
+    fn rebuild_roundtrips_values() {
+        let t = strings_table();
+        let built = flow_table(
+            Box::new(TableScan::new(t.clone())),
+            "copy",
+            FlowTableOptions::default(),
+        );
+        assert_eq!(built.table.row_count(), 5000);
+        for row in (0..5000).step_by(613) {
+            assert_eq!(built.table.columns[0].value(row), t.columns[0].value(row));
+            assert_eq!(built.table.columns[1].value(row), t.columns[1].value(row));
+        }
+    }
+
+    #[test]
+    fn computed_string_column_gets_sorted_minimal_heap() {
+        // The §4.1.2 scenario: extract the file extension; FlowTable must
+        // produce a sorted small heap with narrowed tokens.
+        let t = strings_table();
+        let p = Project::new(
+            Box::new(TableScan::project(t, &["url"], false)),
+            vec![("ext".into(), Expr::Func(Func::FileExtension, Box::new(Expr::col(0))))],
+        );
+        let built = flow_table(Box::new(p), "exts", FlowTableOptions::default());
+        let col = &built.table.columns[0];
+        match &col.compression {
+            Compression::Heap { heap, sorted } => {
+                assert!(*sorted, "small computed heap must be sorted");
+                assert_eq!(heap.len(), 4);
+            }
+            other => panic!("expected heap compression, got {other:?}"),
+        }
+        assert!(col.metadata.width < tde_types::Width::W8, "tokens must narrow");
+        assert_eq!(col.value(0), Value::Str("html".into()));
+        assert_eq!(col.value(1), Value::Str("css".into()));
+    }
+
+    #[test]
+    fn filtered_dense_range_reasserts_dense() {
+        // A dense id column filtered to a contiguous range must come out
+        // of FlowTable with the dense property re-asserted (§3.4.2).
+        let mut id = ColumnBuilder::new("id", DataType::Integer, EncodingPolicy::default());
+        for i in 0..10_000i64 {
+            id.append_i64(i);
+        }
+        let t = Arc::new(Table::new("t", vec![id.finish().column]));
+        let f = Filter::new(
+            Box::new(TableScan::new(t)),
+            Expr::And(
+                Box::new(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(2000))),
+                Box::new(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(3000))),
+            ),
+        );
+        let built = flow_table(Box::new(f), "sub", FlowTableOptions::default());
+        let md = &built.table.columns[0].metadata;
+        assert!(md.dense.is_true());
+        assert!(md.unique.is_true());
+        assert_eq!(md.min, Some(2000));
+        assert_eq!(md.max, Some(2999));
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_agree() {
+        let t = strings_table();
+        let a = flow_table(
+            Box::new(TableScan::new(t.clone())),
+            "a",
+            FlowTableOptions { parallel: false, ..Default::default() },
+        );
+        let b = flow_table(Box::new(TableScan::new(t)), "b", FlowTableOptions::default());
+        for row in (0..5000).step_by(777) {
+            assert_eq!(a.table.columns[0].value(row), b.table.columns[0].value(row));
+        }
+    }
+
+    #[test]
+    fn operator_wrapper_scans_built_table() {
+        let t = strings_table();
+        let mut ft = FlowTable::new(
+            Box::new(TableScan::new(t)),
+            "w",
+            FlowTableOptions::default(),
+        );
+        let mut rows = 0;
+        while let Some(b) = ft.next_block() {
+            rows += b.len;
+        }
+        assert_eq!(rows, 5000);
+    }
+}

@@ -1,0 +1,221 @@
+//! Grouping/join hash strategies (paper §2.3.4).
+//!
+//! Hashing performance is driven by key width: 1–2 bytes allows *direct*
+//! hashing with a small 64K-element lookup table; 3–8 packed bytes admit a
+//! *perfect* hash (the packed key is its own identity — no collision
+//! detection, no tuple comparison); anything wider needs full *collision*
+//! handling. Narrowing columns (§3.4.1) exists precisely to push keys down
+//! this ladder.
+
+use std::collections::HashMap;
+
+/// The chosen grouping strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashStrategy {
+    /// Keys pack into ≤ 16 bits: direct index into a 64K table.
+    Direct64K,
+    /// Keys pack into ≤ 64 bits: hash of the packed key, no tuple compare.
+    Perfect,
+    /// Wide keys: full tuple hashing with collision detection.
+    Collision,
+}
+
+impl HashStrategy {
+    /// Human-readable name for explain output.
+    pub fn name(self) -> &'static str {
+        match self {
+            HashStrategy::Direct64K => "direct-64k",
+            HashStrategy::Perfect => "perfect",
+            HashStrategy::Collision => "collision",
+        }
+    }
+}
+
+/// Packing plan for the direct/perfect strategies: per key column, a bias
+/// (the column minimum) and a bit shift.
+#[derive(Debug, Clone)]
+pub struct KeyPacking {
+    /// Per-column (bias, shift, bits).
+    pub parts: Vec<(i64, u32, u32)>,
+    /// Total packed bits.
+    pub total_bits: u32,
+}
+
+impl KeyPacking {
+    /// Plan a packing from per-column (min, max) ranges. Returns `None`
+    /// when a range is unknown or the packed key exceeds 64 bits.
+    pub fn plan(ranges: &[Option<(i64, i64)>]) -> Option<KeyPacking> {
+        let mut parts = Vec::with_capacity(ranges.len());
+        let mut shift = 0u32;
+        for r in ranges {
+            let (lo, hi) = (*r)?;
+            let span = (hi as i128) - (lo as i128);
+            debug_assert!(span >= 0);
+            let bits = if span == 0 { 0 } else { 128 - (span as u128).leading_zeros() };
+            if shift + bits > 64 {
+                return None;
+            }
+            parts.push((lo, shift, bits));
+            shift += bits;
+        }
+        Some(KeyPacking { parts, total_bits: shift })
+    }
+
+    /// Pack one key tuple.
+    #[inline]
+    pub fn pack(&self, key: &[i64]) -> u64 {
+        let mut out = 0u64;
+        for (v, (bias, shift, _)) in key.iter().zip(&self.parts) {
+            out |= ((v.wrapping_sub(*bias)) as u64) << shift;
+        }
+        out
+    }
+}
+
+/// A group map: key tuple → dense group id.
+pub enum GroupMap {
+    /// Direct 64K lookup table.
+    Direct { packing: KeyPacking, table: Vec<u32>, keys: Vec<Vec<i64>> },
+    /// Perfect hash on the packed key.
+    Perfect { packing: KeyPacking, map: HashMap<u64, u32>, keys: Vec<Vec<i64>> },
+    /// Collision-checked tuple hash.
+    Collision { map: HashMap<Vec<i64>, u32>, keys: Vec<Vec<i64>> },
+}
+
+const EMPTY: u32 = u32::MAX;
+
+impl GroupMap {
+    /// Build a map for the chosen strategy (`packing` required for the
+    /// packed strategies).
+    pub fn new(strategy: HashStrategy, packing: Option<KeyPacking>) -> GroupMap {
+        match strategy {
+            HashStrategy::Direct64K => GroupMap::Direct {
+                packing: packing.expect("direct strategy needs a packing"),
+                table: vec![EMPTY; 1 << 16],
+                keys: Vec::new(),
+            },
+            HashStrategy::Perfect => GroupMap::Perfect {
+                packing: packing.expect("perfect strategy needs a packing"),
+                map: HashMap::new(),
+                keys: Vec::new(),
+            },
+            HashStrategy::Collision => {
+                GroupMap::Collision { map: HashMap::new(), keys: Vec::new() }
+            }
+        }
+    }
+
+    /// The group id for `key`, allocating a new group on first sight.
+    #[inline]
+    pub fn get_or_insert(&mut self, key: &[i64]) -> usize {
+        match self {
+            GroupMap::Direct { packing, table, keys } => {
+                let packed = packing.pack(key) as usize;
+                let slot = &mut table[packed];
+                if *slot == EMPTY {
+                    *slot = keys.len() as u32;
+                    keys.push(key.to_vec());
+                }
+                *slot as usize
+            }
+            GroupMap::Perfect { packing, map, keys } => {
+                let packed = packing.pack(key);
+                *map.entry(packed).or_insert_with(|| {
+                    keys.push(key.to_vec());
+                    (keys.len() - 1) as u32
+                }) as usize
+            }
+            GroupMap::Collision { map, keys } => {
+                if let Some(&g) = map.get(key) {
+                    return g as usize;
+                }
+                let g = keys.len() as u32;
+                keys.push(key.to_vec());
+                map.insert(key.to_vec(), g);
+                g as usize
+            }
+        }
+    }
+
+    /// The distinct keys in group-id order.
+    pub fn keys(&self) -> &[Vec<i64>] {
+        match self {
+            GroupMap::Direct { keys, .. }
+            | GroupMap::Perfect { keys, .. }
+            | GroupMap::Collision { keys, .. } => keys,
+        }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.keys().len()
+    }
+
+    /// Whether no group has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.keys().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut m: GroupMap) {
+        let keys: Vec<Vec<i64>> = (0..50).map(|i| vec![i % 10, 100 + i % 5]).collect();
+        let mut ids = Vec::new();
+        for k in &keys {
+            ids.push(m.get_or_insert(k));
+        }
+        // 10 × 5 combinations but correlated: i%10 and i%5 give 10 groups.
+        assert_eq!(m.len(), 10);
+        // Same key, same id.
+        for (k, &id) in keys.iter().zip(&ids) {
+            assert_eq!(m.get_or_insert(k), id);
+            assert_eq!(&m.keys()[id], k);
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree() {
+        let ranges = [Some((0i64, 9)), Some((100, 104))];
+        let packing = KeyPacking::plan(&ranges).unwrap();
+        assert!(packing.total_bits <= 16);
+        exercise(GroupMap::new(HashStrategy::Direct64K, Some(packing.clone())));
+        exercise(GroupMap::new(HashStrategy::Perfect, Some(packing)));
+        exercise(GroupMap::new(HashStrategy::Collision, None));
+    }
+
+    #[test]
+    fn packing_plan_bounds() {
+        // 2^32 span twice = 64 bits: fits exactly.
+        let p = KeyPacking::plan(&[
+            Some((0, (1i64 << 32) - 1)),
+            Some((0, (1i64 << 32) - 1)),
+        ])
+        .unwrap();
+        assert_eq!(p.total_bits, 64);
+        // One more bit does not fit.
+        assert!(KeyPacking::plan(&[
+            Some((0, (1i64 << 32) - 1)),
+            Some((0, 1i64 << 32)),
+        ])
+        .is_none());
+        // Unknown range defeats packing.
+        assert!(KeyPacking::plan(&[None]).is_none());
+    }
+
+    #[test]
+    fn packing_handles_negative_bias() {
+        let p = KeyPacking::plan(&[Some((-50, 49))]).unwrap();
+        assert_eq!(p.pack(&[-50]), 0);
+        assert_eq!(p.pack(&[49]), 99);
+    }
+
+    #[test]
+    fn constant_key_packs_to_zero_bits() {
+        let p = KeyPacking::plan(&[Some((7, 7)), Some((0, 3))]).unwrap();
+        assert_eq!(p.total_bits, 2);
+        assert_eq!(p.pack(&[7, 2]), 2);
+    }
+}

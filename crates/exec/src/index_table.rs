@@ -1,0 +1,150 @@
+//! IndexTable: expose a run-length encoded column to the optimizer
+//! (paper §4.2.1).
+//!
+//! Three columns — *value*, *count* and *start* — where value and count
+//! come straight from the run pairs and start is the running total of the
+//! counts. Joining it back against the main table is a *rank join*:
+//!
+//! ```text
+//! Index.start <= Outer.rank < Index.start + Index.count
+//! ```
+//!
+//! Because the inner side is an ordinary table, single-column predicates
+//! and computations push down onto the *compressed* representation:
+//! filtering 5 % of the values touches ~5 runs, not 5 % of the rows.
+
+use crate::block::Schema;
+use crate::scan::TableScan;
+use crate::Operator;
+use std::sync::Arc;
+use tde_storage::{Column, ColumnBuilder, EncodingPolicy, Table};
+use tde_types::DataType;
+
+/// Build the IndexTable of a run-length encoded column.
+pub fn index_table(column: &Column, name: &str) -> (Arc<Table>, Schema) {
+    let runs = column
+        .data
+        .rle_runs()
+        .expect("index_table requires a run-length encoded column");
+    let mut value = ColumnBuilder::new("value", column.dtype, EncodingPolicy::default());
+    let mut count = ColumnBuilder::new("count", DataType::Integer, EncodingPolicy::default());
+    let mut start = ColumnBuilder::new("start", DataType::Integer, EncodingPolicy::default());
+    let mut at = 0i64;
+    for (v, c) in runs {
+        value.append_i64(v);
+        count.append_i64(c as i64);
+        start.append_i64(at);
+        at += c as i64;
+    }
+    let table = Arc::new(Table::new(
+        name,
+        vec![value.finish().column, count.finish().column, start.finish().column],
+    ));
+    let scan = TableScan::new(table.clone());
+    let schema = scan.schema().clone();
+    (table, schema)
+}
+
+/// Roll up an index table through an order-preserving calculation on the
+/// value column (paper §8): the computed result is aggregated with
+/// `MIN(start)` and `SUM(count)` per rolled-up value, converting an index
+/// on raw dates into one on, say, month starts.
+pub fn rollup_index(
+    index: &Arc<Table>,
+    rollup: impl Fn(i64) -> i64,
+    name: &str,
+) -> (Arc<Table>, Schema) {
+    let values = index.columns[0].data.decode_all();
+    let counts = index.columns[1].data.decode_all();
+    let starts = index.columns[2].data.decode_all();
+    let mut value = ColumnBuilder::new("value", index.columns[0].dtype, EncodingPolicy::default());
+    let mut count = ColumnBuilder::new("count", DataType::Integer, EncodingPolicy::default());
+    let mut start = ColumnBuilder::new("start", DataType::Integer, EncodingPolicy::default());
+    let mut current: Option<(i64, i64, i64)> = None; // (rolled, count, min start)
+    for ((&v, &c), &s) in values.iter().zip(&counts).zip(&starts) {
+        let r = rollup(v);
+        match &mut current {
+            Some((cur, cc, cs)) if *cur == r => {
+                *cc += c;
+                *cs = (*cs).min(s);
+            }
+            _ => {
+                if let Some((cur, cc, cs)) = current.take() {
+                    value.append_i64(cur);
+                    count.append_i64(cc);
+                    start.append_i64(cs);
+                }
+                current = Some((r, c, s));
+            }
+        }
+    }
+    if let Some((cur, cc, cs)) = current {
+        value.append_i64(cur);
+        count.append_i64(cc);
+        start.append_i64(cs);
+    }
+    let table = Arc::new(Table::new(
+        name,
+        vec![value.finish().column, count.finish().column, start.finish().column],
+    ));
+    let scan = TableScan::new(table.clone());
+    let schema = scan.schema().clone();
+    (table, schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tde_encodings::{EncodedStream, BLOCK_SIZE};
+    use tde_types::datetime::{days_from_ymd, trunc_to_month};
+    use tde_types::Width;
+
+    fn rle_column(runs: &[(i64, u64)]) -> Column {
+        let mut s = EncodedStream::new_rle(Width::W8, true, Width::W4, Width::W4);
+        let mut data = Vec::new();
+        for &(v, c) in runs {
+            data.extend(std::iter::repeat_n(v, c as usize));
+        }
+        for chunk in data.chunks(BLOCK_SIZE) {
+            s.append_block(chunk).unwrap();
+        }
+        Column::scalar("v", DataType::Integer, s)
+    }
+
+    #[test]
+    fn builds_value_count_start() {
+        let col = rle_column(&[(10, 500), (20, 300), (10, 200)]);
+        let (t, _) = index_table(&col, "idx");
+        assert_eq!(t.row_count(), 3);
+        let vals = t.columns[0].data.decode_all();
+        let counts = t.columns[1].data.decode_all();
+        let starts = t.columns[2].data.decode_all();
+        assert_eq!(vals, vec![10, 20, 10]);
+        assert_eq!(counts, vec![500, 300, 200]);
+        assert_eq!(starts, vec![0, 500, 800]);
+    }
+
+    #[test]
+    fn start_column_metadata_is_sorted() {
+        let col = rle_column(&[(1, 100), (2, 100), (3, 100)]);
+        let (t, _) = index_table(&col, "idx");
+        assert!(t.columns[2].metadata.sorted_asc.is_true());
+    }
+
+    #[test]
+    fn rollup_to_month() {
+        // Daily runs across two months roll up to two index rows.
+        let jan1 = days_from_ymd(1995, 1, 1);
+        let runs: Vec<(i64, u64)> = (0..40).map(|i| (jan1 + i, 10)).collect();
+        let col = rle_column(&runs);
+        let (idx, _) = index_table(&col, "daily");
+        let (rolled, _) = rollup_index(&idx, trunc_to_month, "monthly");
+        assert_eq!(rolled.row_count(), 2);
+        assert_eq!(
+            rolled.columns[0].data.decode_all(),
+            vec![days_from_ymd(1995, 1, 1), days_from_ymd(1995, 2, 1)]
+        );
+        assert_eq!(rolled.columns[1].data.decode_all(), vec![310, 90]);
+        assert_eq!(rolled.columns[2].data.decode_all(), vec![0, 310]);
+    }
+}

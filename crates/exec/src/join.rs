@@ -1,0 +1,237 @@
+//! Many-to-one joins: hash join and fetch join (paper §2.3.5).
+//!
+//! The Join operator takes a stop-and-go operator — a materialized table —
+//! as its inner relation (§4.1.2). At construction the tactical optimizer
+//! inspects the inner key column's metadata: a dense, unique, sorted key
+//! means the inner row id is an affine transformation of the key value and
+//! no lookup table is needed at all (the *fetch join*, the fastest join
+//! available). This is the common case for primary-key/foreign-key joins
+//! and especially for the expansion joins that decompress dictionary
+//! columns.
+
+use crate::block::{Block, Schema};
+use crate::tactical::{self, JoinChoice};
+use crate::{BoxOp, Operator};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tde_storage::Table;
+
+/// How unmatched outer rows are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Drop unmatched outer rows.
+    Inner,
+    /// Keep them with NULL inner values (Tableau's NULL join semantics
+    /// lean on left joins for expansion).
+    Left,
+}
+
+enum Lookup {
+    Fetch { base: i64, len: i64 },
+    Hash(HashMap<i64, u32>),
+}
+
+/// Joins a flowing outer against a materialized inner table on one key.
+pub struct Join {
+    outer: BoxOp,
+    inner_cols: Vec<Vec<i64>>, // decoded inner columns to project
+    inner_nulls: Vec<i64>,
+    outer_key: usize,
+    kind: JoinKind,
+    lookup: Lookup,
+    schema: Schema,
+    /// The tactical decision that was made (for tests/explain).
+    pub choice: JoinChoice,
+}
+
+impl Join {
+    /// Join `outer.col(outer_key) == inner.col(inner_key)`, appending the
+    /// `project` columns of `inner` to the output.
+    pub fn new(
+        outer: BoxOp,
+        inner: &Arc<Table>,
+        inner_schema: &Schema,
+        outer_key: usize,
+        inner_key: usize,
+        project: &[usize],
+        kind: JoinKind,
+    ) -> Join {
+        let choice = tactical::choose_join(&inner_schema.fields[inner_key]);
+        let key_col = inner.columns[inner_key].data.decode_all();
+        let lookup = match choice {
+            JoinChoice::Fetch { base } => Lookup::Fetch { base, len: key_col.len() as i64 },
+            JoinChoice::Hash => {
+                let mut map = HashMap::with_capacity(key_col.len());
+                for (row, &k) in key_col.iter().enumerate() {
+                    map.insert(k, row as u32);
+                }
+                Lookup::Hash(map)
+            }
+        };
+        let inner_cols: Vec<Vec<i64>> =
+            project.iter().map(|&c| inner.columns[c].data.decode_all()).collect();
+        let inner_nulls: Vec<i64> = project
+            .iter()
+            .map(|&c| crate::block::null_raw(&inner_schema.fields[c]))
+            .collect();
+        let mut fields = outer.schema().fields.clone();
+        for &c in project {
+            fields.push(inner_schema.fields[c].clone());
+        }
+        Join {
+            outer,
+            inner_cols,
+            inner_nulls,
+            outer_key,
+            kind,
+            lookup,
+            schema: Schema::new(fields),
+            choice,
+        }
+    }
+
+    #[inline]
+    fn probe(&self, key: i64) -> Option<usize> {
+        match &self.lookup {
+            Lookup::Fetch { base, len } => {
+                let row = key.wrapping_sub(*base);
+                (row >= 0 && row < *len).then_some(row as usize)
+            }
+            Lookup::Hash(map) => map.get(&key).map(|&r| r as usize),
+        }
+    }
+}
+
+impl Operator for Join {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_block(&mut self) -> Option<Block> {
+        loop {
+            let mut block = self.outer.next_block()?;
+            let nouter = block.columns.len();
+            let mut matched = vec![true; block.len];
+            let mut inner_out: Vec<Vec<i64>> =
+                vec![Vec::with_capacity(block.len); self.inner_cols.len()];
+            for (r, m) in matched.iter_mut().enumerate() {
+                match self.probe(block.columns[self.outer_key][r]) {
+                    Some(row) => {
+                        for (c, col) in self.inner_cols.iter().enumerate() {
+                            inner_out[c].push(col[row]);
+                        }
+                    }
+                    None => match self.kind {
+                        JoinKind::Inner => {
+                            *m = false;
+                            for (c, out) in inner_out.iter_mut().enumerate() {
+                                out.push(self.inner_nulls[c]); // dropped below
+                            }
+                        }
+                        JoinKind::Left => {
+                            for (c, out) in inner_out.iter_mut().enumerate() {
+                                out.push(self.inner_nulls[c]);
+                            }
+                        }
+                    },
+                }
+            }
+            block.columns.extend(inner_out);
+            debug_assert_eq!(block.columns.len(), nouter + self.inner_cols.len());
+            if self.kind == JoinKind::Inner && matched.iter().any(|&m| !m) {
+                block.filter(&matched);
+            }
+            if block.len > 0 {
+                return Some(block);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::TableScan;
+    use tde_storage::{ColumnBuilder, EncodingPolicy};
+    use tde_types::DataType;
+
+    fn inner_table(dense: bool) -> (Arc<Table>, Schema) {
+        let mut k = ColumnBuilder::new("k", DataType::Integer, EncodingPolicy::default());
+        let mut v = ColumnBuilder::new("v", DataType::Integer, EncodingPolicy::default());
+        for i in 0..100i64 {
+            k.append_i64(if dense { 10 + i } else { i * 3 });
+            v.append_i64(i * 100);
+        }
+        let t = Arc::new(Table::new("inner", vec![k.finish().column, v.finish().column]));
+        let scan = TableScan::new(t.clone());
+        let schema = scan.schema().clone();
+        (t, schema)
+    }
+
+    fn outer_scan(keys: &[i64]) -> BoxOp {
+        let mut k = ColumnBuilder::new("ok", DataType::Integer, EncodingPolicy::default());
+        for &x in keys {
+            k.append_i64(x);
+        }
+        Box::new(TableScan::new(Arc::new(Table::new("outer", vec![k.finish().column]))))
+    }
+
+    #[test]
+    fn fetch_join_chosen_for_dense_inner() {
+        let (t, schema) = inner_table(true);
+        let j = Join::new(outer_scan(&[10, 50, 109]), &t, &schema, 0, 0, &[1], JoinKind::Inner);
+        assert!(matches!(j.choice, JoinChoice::Fetch { base: 10 }));
+        let blocks = crate::drain(Box::new(j));
+        let v: Vec<i64> = blocks.iter().flat_map(|b| b.columns[1].clone()).collect();
+        assert_eq!(v, vec![0, 4000, 9900]);
+    }
+
+    #[test]
+    fn hash_join_for_sparse_inner() {
+        let (t, schema) = inner_table(false);
+        let j = Join::new(outer_scan(&[0, 3, 297]), &t, &schema, 0, 0, &[1], JoinKind::Inner);
+        assert!(matches!(j.choice, JoinChoice::Hash));
+        let blocks = crate::drain(Box::new(j));
+        let v: Vec<i64> = blocks.iter().flat_map(|b| b.columns[1].clone()).collect();
+        assert_eq!(v, vec![0, 100, 9900]);
+    }
+
+    #[test]
+    fn inner_join_drops_unmatched() {
+        let (t, schema) = inner_table(true);
+        let j = Join::new(outer_scan(&[10, 9999]), &t, &schema, 0, 0, &[1], JoinKind::Inner);
+        let blocks = crate::drain(Box::new(j));
+        let total: usize = blocks.iter().map(|b| b.len).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_as_null() {
+        let (t, schema) = inner_table(true);
+        let j = Join::new(outer_scan(&[10, 9999]), &t, &schema, 0, 0, &[1], JoinKind::Left);
+        let blocks = crate::drain(Box::new(j));
+        let v: Vec<i64> = blocks.iter().flat_map(|b| b.columns[1].clone()).collect();
+        assert_eq!(v[0], 0);
+        assert_eq!(v[1], tde_types::sentinel::NULL_I64);
+    }
+
+    #[test]
+    fn fetch_and_hash_agree() {
+        let (t, schema) = inner_table(true);
+        let keys: Vec<i64> = (0..500).map(|i| 10 + (i * 37) % 100).collect();
+        let fetch = Join::new(outer_scan(&keys), &t, &schema, 0, 0, &[1], JoinKind::Inner);
+        assert!(matches!(fetch.choice, JoinChoice::Fetch { .. }));
+        // Degrade the metadata to force a hash join.
+        let mut dull = schema.clone();
+        dull.fields[0].metadata = tde_encodings::ColumnMetadata::unknown();
+        let hash = Join::new(outer_scan(&keys), &t, &dull, 0, 0, &[1], JoinKind::Inner);
+        assert!(matches!(hash.choice, JoinChoice::Hash));
+        let a: Vec<i64> = crate::drain(Box::new(fetch))
+            .iter()
+            .flat_map(|b| b.columns[1].clone())
+            .collect();
+        let b: Vec<i64> =
+            crate::drain(Box::new(hash)).iter().flat_map(|b| b.columns[1].clone()).collect();
+        assert_eq!(a, b);
+    }
+}

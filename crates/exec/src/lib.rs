@@ -1,0 +1,79 @@
+//! Block-iterated Volcano-style execution engine (paper §2.3.1).
+//!
+//! Two operator styles exist: *flow* operators process one block of rows
+//! at a time ([`scan::TableScan`], [`filter::Filter`],
+//! [`project::Project`], [`exchange::Exchange`]); *stop-and-go* operators
+//! must consume their whole input before producing output
+//! ([`flow_table::FlowTable`], [`sort::Sort`], the aggregates and the join
+//! inner sides).
+//!
+//! The paper's contributions live in:
+//!
+//! * [`dictionary_table`] — the DictionaryTable operator behind invisible
+//!   joins (§4.1.1);
+//! * [`index_table`] / [`indexed_scan`] — the IndexTable pseudo-table over
+//!   a run-length column and the IndexedScan rank join that turns range
+//!   matches into block skips (§4.2);
+//! * [`flow_table`] — FlowTable with per-column parallel dynamic encoding
+//!   and the §3.4 post-processing (narrowing, heap sorting, metadata
+//!   extraction);
+//! * [`tactical`] — the run-time optimizer choices: hash strategy by key
+//!   width (§2.3.4), fetch joins from dense/unique metadata (§2.3.5),
+//!   ordered vs hash aggregation (§4.2.2);
+//! * [`exchange`] — parallel block routing with the order-preserving mode
+//!   the strategic optimizer forces upstream of encoders (§4.3).
+
+pub mod aggregate;
+pub mod block;
+pub mod cursor;
+pub mod dictionary_table;
+pub mod exchange;
+pub mod expr;
+pub mod filter;
+pub mod flow_table;
+pub mod hash;
+pub mod index_table;
+pub mod indexed_scan;
+pub mod join;
+pub mod parallel;
+pub mod project;
+pub mod scan;
+pub mod sort;
+pub mod tactical;
+pub mod topn;
+
+pub use block::{Block, Field, Repr, Schema};
+pub use expr::{AggFunc, CmpOp, Expr};
+
+/// Rows per execution block — matches the encoding decompression block
+/// size so one decode call serves one block (paper §3.1).
+pub const BLOCK_ROWS: usize = tde_encodings::BLOCK_SIZE;
+
+/// A boxed operator in a pipeline.
+pub type BoxOp = Box<dyn Operator + Send>;
+
+/// The Volcano block iterator interface.
+pub trait Operator {
+    /// The output schema.
+    fn schema(&self) -> &Schema;
+    /// Produce the next block, or `None` at end of stream.
+    fn next_block(&mut self) -> Option<Block>;
+}
+
+/// Drain an operator into a vector of blocks (tests, stop-and-go inputs).
+pub fn drain(mut op: BoxOp) -> Vec<Block> {
+    let mut out = Vec::new();
+    while let Some(b) = op.next_block() {
+        out.push(b);
+    }
+    out
+}
+
+/// Count the rows an operator produces.
+pub fn count_rows(mut op: BoxOp) -> u64 {
+    let mut n = 0;
+    while let Some(b) = op.next_block() {
+        n += b.len as u64;
+    }
+    n
+}

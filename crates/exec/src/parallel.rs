@@ -1,0 +1,236 @@
+//! Parallel ordered aggregation over partitioned index ranges (paper §8).
+//!
+//! The paper sketches this as future work: take the IndexTable of a sorted
+//! (e.g. date) column, optionally roll its values up through an
+//! order-preserving calculation (month start, year start — see
+//! [`crate::index_table::rollup_index`]), then *partition the index range*
+//! and run the scan-plus-ordered-aggregation for each partition on a
+//! separate core. Partition boundaries fall on value boundaries, so no
+//! group spans two partitions and the concatenated partial results are the
+//! exact grouped output, still in value order.
+//!
+//! This generalizes the paper's observation (§3.3/§8) that *work on
+//! independent columns parallelizes with minimal synchronization* to
+//! independent ranges of one index.
+
+use crate::aggregate::{AggSpec, OrderedAggregate};
+use crate::block::{Block, Schema};
+use crate::indexed_scan::IndexedScan;
+use crate::scan::TableScan;
+use crate::Operator;
+use std::sync::Arc;
+use tde_storage::{ColumnBuilder, EncodingPolicy, Table};
+
+/// Split an IndexTable (columns `value`, `count`, `start`, sorted by
+/// value) into at most `parts` contiguous sub-tables whose boundaries fall
+/// between distinct values.
+pub fn partition_index(index: &Arc<Table>, parts: usize) -> Vec<Arc<Table>> {
+    let values = index.columns[0].data.decode_all();
+    let counts = index.columns[1].data.decode_all();
+    let starts = index.columns[2].data.decode_all();
+    let n = values.len();
+    if n == 0 {
+        return vec![];
+    }
+    debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "index must be value-sorted");
+    let parts = parts.clamp(1, n);
+    let target = n.div_ceil(parts);
+    let mut tables = Vec::new();
+    let mut begin = 0usize;
+    while begin < n {
+        let mut end = (begin + target).min(n);
+        // Push the boundary forward past any run of equal values.
+        while end < n && values[end] == values[end - 1] {
+            end += 1;
+        }
+        let mut value = ColumnBuilder::new("value", index.columns[0].dtype, EncodingPolicy::default());
+        let mut count =
+            ColumnBuilder::new("count", index.columns[1].dtype, EncodingPolicy::default());
+        let mut start =
+            ColumnBuilder::new("start", index.columns[2].dtype, EncodingPolicy::default());
+        value.append_raw(&values[begin..end]);
+        count.append_raw(&counts[begin..end]);
+        start.append_raw(&starts[begin..end]);
+        tables.push(Arc::new(Table::new(
+            format!("{}_part{}", index.name, tables.len()),
+            vec![value.finish().column, count.finish().column, start.finish().column],
+        )));
+        begin = end;
+    }
+    tables
+}
+
+/// Run the §8 pipeline: for each partition of the (value-sorted) index,
+/// IndexedScan the qualified ranges of `outer` fetching `fetch` columns,
+/// aggregate ordered by the index value, and concatenate the partial
+/// results in partition order. `workers` caps the threads.
+pub fn parallel_indexed_aggregate(
+    index: &Arc<Table>,
+    outer: &Arc<Table>,
+    fetch: &[&str],
+    aggs: Vec<AggSpec>,
+    workers: usize,
+) -> (Schema, Vec<Block>) {
+    let partitions = partition_index(index, workers.max(1));
+    if partitions.is_empty() {
+        // Derive the schema from an empty run over the whole index.
+        let scan = IndexedScan::new(Box::new(TableScan::new(index.clone())), outer.clone(), fetch);
+        let agg = OrderedAggregate::new(Box::new(scan), vec![0], aggs);
+        return (agg.schema().clone(), vec![]);
+    }
+    let results: Vec<(Schema, Vec<Block>)> = std::thread::scope(|s| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|part| {
+                let part = part.clone();
+                let outer = outer.clone();
+                let aggs = aggs.clone();
+                s.spawn(move || {
+                    let scan =
+                        IndexedScan::new(Box::new(TableScan::new(part)), outer, fetch);
+                    let mut agg = OrderedAggregate::new(Box::new(scan), vec![0], aggs);
+                    let schema = agg.schema().clone();
+                    let mut blocks = Vec::new();
+                    while let Some(b) = agg.next_block() {
+                        blocks.push(b);
+                    }
+                    (schema, blocks)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+    });
+    let schema = results[0].0.clone();
+    let blocks = results.into_iter().flat_map(|(_, b)| b).collect();
+    (schema, blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::AggFunc;
+    use crate::index_table::{index_table, rollup_index};
+    use std::collections::BTreeMap;
+    use tde_encodings::{EncodedStream, BLOCK_SIZE};
+    use tde_storage::Column;
+    use tde_types::datetime::{days_from_ymd, trunc_to_month};
+    use tde_types::{DataType, Width};
+
+    /// A sorted daily date column (RLE) plus a payload.
+    fn dated_table(days: i64, per_day: usize) -> (Arc<Table>, Vec<i64>, Vec<i64>) {
+        let d0 = days_from_ymd(1995, 1, 1);
+        let mut dates = Vec::new();
+        let mut pay = Vec::new();
+        for d in 0..days {
+            for j in 0..per_day {
+                dates.push(d0 + d);
+                pay.push((d * 31 + j as i64) % 1000);
+            }
+        }
+        let mut date_stream = EncodedStream::new_rle(Width::W8, true, Width::W4, Width::W4);
+        for c in dates.chunks(BLOCK_SIZE) {
+            date_stream.append_block(c).unwrap();
+        }
+        let pay_stream = tde_encodings::dynamic::encode_all(&pay, Width::W8, true).stream;
+        let t = Arc::new(Table::new(
+            "t",
+            vec![
+                Column::scalar("day", DataType::Date, date_stream),
+                Column::scalar("pay", DataType::Integer, pay_stream),
+            ],
+        ));
+        (t, dates, pay)
+    }
+
+    #[test]
+    fn partitions_respect_value_boundaries() {
+        let (t, _, _) = dated_table(100, 37);
+        let (idx, _) = index_table(&t.columns[0], "idx");
+        let parts = partition_index(&idx, 4);
+        assert!(parts.len() >= 2 && parts.len() <= 4);
+        let mut last: Option<i64> = None;
+        let mut total_rows = 0;
+        for p in &parts {
+            let vals = p.columns[0].data.decode_all();
+            if let (Some(prev), Some(&first)) = (last, vals.first()) {
+                assert!(first > prev, "group split across partitions");
+            }
+            last = vals.last().copied();
+            total_rows += p.row_count();
+        }
+        assert_eq!(total_rows, idx.row_count());
+    }
+
+    #[test]
+    fn parallel_matches_serial_reference() {
+        let (t, dates, pay) = dated_table(60, 53);
+        let (idx, _) = index_table(&t.columns[0], "idx");
+        let aggs = vec![
+            AggSpec::new(AggFunc::Count, 1, "n"),
+            AggSpec::new(AggFunc::Max, 1, "mx"),
+        ];
+        let (_, blocks) = parallel_indexed_aggregate(&idx, &t, &["pay"], aggs, 4);
+        let mut got: Vec<(i64, i64, i64)> = Vec::new();
+        for b in &blocks {
+            for r in 0..b.len {
+                got.push((b.columns[0][r], b.columns[1][r], b.columns[2][r]));
+            }
+        }
+        // Output is globally ordered by the index value.
+        assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+        // Reference.
+        let mut reference: BTreeMap<i64, (i64, i64)> = BTreeMap::new();
+        for (&d, &p) in dates.iter().zip(&pay) {
+            let e = reference.entry(d).or_insert((0, i64::MIN));
+            e.0 += 1;
+            e.1 = e.1.max(p);
+        }
+        assert_eq!(got.len(), reference.len());
+        for (g, (k, (n, mx))) in got.iter().zip(reference) {
+            assert_eq!(*g, (k, n, mx));
+        }
+    }
+
+    #[test]
+    fn rollup_then_parallel_aggregate() {
+        // The full §8 proposal: roll daily dates up to month starts on the
+        // index (MIN(start), SUM(count)), then aggregate in parallel.
+        let (t, dates, _) = dated_table(90, 29); // three months of 1995
+        let (idx, _) = index_table(&t.columns[0], "daily");
+        let (monthly, _) = rollup_index(&idx, trunc_to_month, "monthly");
+        assert_eq!(monthly.row_count(), 3);
+        let aggs = vec![AggSpec::new(AggFunc::Count, 1, "n")];
+        let (_, blocks) = parallel_indexed_aggregate(&monthly, &t, &["pay"], aggs, 3);
+        let mut got: Vec<(i64, i64)> = Vec::new();
+        for b in &blocks {
+            for r in 0..b.len {
+                got.push((b.columns[0][r], b.columns[1][r]));
+            }
+        }
+        let jan = days_from_ymd(1995, 1, 1);
+        let feb = days_from_ymd(1995, 2, 1);
+        let mar = days_from_ymd(1995, 3, 1);
+        assert_eq!(
+            got,
+            vec![(jan, 31 * 29), (feb, 28 * 29), (mar, 31 * 29)],
+            "dates: {} total", dates.len()
+        );
+    }
+
+    #[test]
+    fn single_partition_and_oversubscription() {
+        let (t, _, _) = dated_table(5, 11);
+        let (idx, _) = index_table(&t.columns[0], "idx");
+        // More workers than index rows: clamps to one row per partition.
+        let parts = partition_index(&idx, 64);
+        assert_eq!(parts.len(), 5);
+        let aggs = vec![AggSpec::new(AggFunc::Count, 1, "n")];
+        let (_, blocks) = parallel_indexed_aggregate(&idx, &t, &["pay"], aggs.clone(), 64);
+        let total: usize = blocks.iter().map(|b| b.len).sum();
+        assert_eq!(total, 5);
+        // And a single worker degenerates to the serial pipeline.
+        let (_, blocks1) = parallel_indexed_aggregate(&idx, &t, &["pay"], aggs, 1);
+        let total1: usize = blocks1.iter().map(|b| b.len).sum();
+        assert_eq!(total1, 5);
+    }
+}

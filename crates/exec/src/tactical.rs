@@ -1,0 +1,118 @@
+//! The tactical (run-time) optimizer (paper §2.3.1, §4.1.2).
+//!
+//! Strategic optimization fixes the plan shape before execution; tactical
+//! decisions are delayed until run time, when the actual data — and the
+//! metadata FlowTable extracted from its encodings — is in hand. The
+//! choosers here implement the paper's three decision points:
+//!
+//! * grouping/join hash algorithm by key width (§2.3.4),
+//! * fetch join vs hash join from dense/unique key metadata (§2.3.5),
+//! * ordered vs hash aggregation from sortedness (§4.2.2).
+
+use crate::block::Field;
+use crate::hash::{HashStrategy, KeyPacking};
+use tde_encodings::ColumnMetadata;
+
+/// The range a key column is known to span, from its metadata.
+fn known_range(md: &ColumnMetadata) -> Option<(i64, i64)> {
+    Some((md.min?, md.max?))
+}
+
+/// Choose the hash strategy (and packing) for a set of key columns.
+pub fn choose_hash_strategy(keys: &[&Field]) -> (HashStrategy, Option<KeyPacking>) {
+    let ranges: Vec<Option<(i64, i64)>> =
+        keys.iter().map(|f| known_range(&f.metadata)).collect();
+    match KeyPacking::plan(&ranges) {
+        Some(p) if p.total_bits <= 16 => (HashStrategy::Direct64K, Some(p)),
+        Some(p) => (HashStrategy::Perfect, Some(p)),
+        None => (HashStrategy::Collision, None),
+    }
+}
+
+/// How a many-to-one join should be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinChoice {
+    /// The inner row id is an affine transformation of the key value —
+    /// no lookup table at all (paper §2.3.5).
+    Fetch {
+        /// Key value of inner row 0.
+        base: i64,
+    },
+    /// Hash the inner keys.
+    Hash,
+}
+
+/// Choose the join implementation from the inner key column's metadata:
+/// dense + unique + sorted means row id = key − min.
+pub fn choose_join(inner_key: &Field) -> JoinChoice {
+    let md = &inner_key.metadata;
+    if md.dense.is_true() && md.unique.is_true() && md.sorted_asc.is_true() {
+        if let Some(min) = md.min {
+            return JoinChoice::Fetch { base: min };
+        }
+    }
+    JoinChoice::Hash
+}
+
+/// Whether ordered (sandwiched) aggregation applies: every group key must
+/// be known sorted.
+pub fn can_aggregate_ordered(keys: &[&Field]) -> bool {
+    !keys.is_empty() && keys.iter().all(|f| f.metadata.sorted_asc.is_true())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tde_encodings::metadata::Knowledge;
+    use tde_types::DataType;
+
+    fn field_with(min: i64, max: i64) -> Field {
+        let mut f = Field::scalar("k", DataType::Integer);
+        f.metadata.min = Some(min);
+        f.metadata.max = Some(max);
+        f
+    }
+
+    #[test]
+    fn strategy_ladder() {
+        // 1-byte key: direct.
+        let f = field_with(0, 200);
+        let (s, _) = choose_hash_strategy(&[&f]);
+        assert_eq!(s, HashStrategy::Direct64K);
+        // Two 1-byte keys: still 16 bits — direct.
+        let (s, _) = choose_hash_strategy(&[&f, &f]);
+        assert_eq!(s, HashStrategy::Direct64K);
+        // 4-byte key: perfect.
+        let g = field_with(0, 1 << 30);
+        let (s, _) = choose_hash_strategy(&[&g]);
+        assert_eq!(s, HashStrategy::Perfect);
+        // Unknown range: collision.
+        let u = Field::scalar("u", DataType::Integer);
+        let (s, p) = choose_hash_strategy(&[&u]);
+        assert_eq!(s, HashStrategy::Collision);
+        assert!(p.is_none());
+        // Two wide keys exceed 64 bits: collision.
+        let w = field_with(i64::MIN / 2 + 1, i64::MAX / 2);
+        let (s, _) = choose_hash_strategy(&[&w, &w]);
+        assert_eq!(s, HashStrategy::Collision);
+    }
+
+    #[test]
+    fn fetch_join_requires_dense_unique_sorted() {
+        let mut f = field_with(100, 199);
+        assert_eq!(choose_join(&f), JoinChoice::Hash);
+        f.metadata.dense = Knowledge::True;
+        f.metadata.unique = Knowledge::True;
+        f.metadata.sorted_asc = Knowledge::True;
+        assert_eq!(choose_join(&f), JoinChoice::Fetch { base: 100 });
+    }
+
+    #[test]
+    fn ordered_aggregation_gate() {
+        let mut f = field_with(0, 10);
+        assert!(!can_aggregate_ordered(&[&f]));
+        f.metadata.sorted_asc = Knowledge::True;
+        assert!(can_aggregate_ordered(&[&f]));
+        assert!(!can_aggregate_ordered(&[]));
+    }
+}

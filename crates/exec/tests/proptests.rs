@@ -1,0 +1,188 @@
+//! Property tests for the execution engine: operators must agree with
+//! naive reference implementations on arbitrary inputs, and the
+//! decompression-join operators must be exact row-level equivalents of
+//! their scan-based counterparts.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+use tde_exec::aggregate::{AggSpec, HashAggregate, OrderedAggregate};
+use tde_exec::expr::{AggFunc, CmpOp, Expr};
+use tde_exec::filter::Filter;
+use tde_exec::index_table::index_table;
+use tde_exec::indexed_scan::IndexedScan;
+use tde_exec::scan::TableScan;
+use tde_exec::sort::{Sort, SortOrder};
+use tde_exec::topn::TopN;
+use tde_exec::{drain, BoxOp};
+use tde_storage::{Column, ColumnBuilder, EncodingPolicy, Table};
+use tde_types::{DataType, Width};
+
+fn table_of(cols: Vec<(&str, Vec<i64>)>) -> Arc<Table> {
+    let built = cols
+        .into_iter()
+        .map(|(name, vals)| {
+            let mut b = ColumnBuilder::new(name, DataType::Integer, EncodingPolicy::default());
+            b.append_raw(&vals);
+            b.finish().column
+        })
+        .collect();
+    Arc::new(Table::new("t", built))
+}
+
+fn rle_table_of(runs: &[(i64, u64)], payload: impl Fn(usize) -> i64) -> (Arc<Table>, Vec<i64>, Vec<i64>) {
+    let mut key_data = Vec::new();
+    for &(v, c) in runs {
+        key_data.extend(std::iter::repeat_n(v.rem_euclid(100), c as usize));
+    }
+    let pay: Vec<i64> = (0..key_data.len()).map(payload).collect();
+    let mut key = tde_encodings::EncodedStream::new_rle(Width::W8, true, Width::W4, Width::W1);
+    for c in key_data.chunks(tde_encodings::BLOCK_SIZE) {
+        key.append_block(c).unwrap();
+    }
+    let pay_stream = tde_encodings::dynamic::encode_all(&pay, Width::W8, true).stream;
+    let t = Arc::new(Table::new(
+        "t",
+        vec![
+            Column::scalar("key", DataType::Integer, key),
+            Column::scalar("pay", DataType::Integer, pay_stream),
+        ],
+    ));
+    (t, key_data, pay)
+}
+
+fn rows_of(op: BoxOp) -> Vec<Vec<i64>> {
+    let mut out = Vec::new();
+    for b in drain(op) {
+        for r in 0..b.len {
+            out.push(b.columns.iter().map(|c| c[r]).collect());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scan_emits_exact_values(data in vec(any::<i64>(), 1..3000)) {
+        let t = table_of(vec![("a", data.clone())]);
+        let rows = rows_of(Box::new(TableScan::new(t)));
+        let got: Vec<i64> = rows.iter().map(|r| r[0]).collect();
+        prop_assert_eq!(got, data);
+    }
+
+    #[test]
+    fn sort_is_a_permutation_in_order(data in vec(-500i64..500, 1..3000)) {
+        let t = table_of(vec![("a", data.clone())]);
+        let rows = rows_of(Box::new(Sort::new(
+            Box::new(TableScan::new(t)),
+            vec![(0, SortOrder::Asc)],
+        )));
+        let got: Vec<i64> = rows.iter().map(|r| r[0]).collect();
+        let mut expect = data;
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn topn_equals_sort_head(data in vec(-500i64..500, 1..2000), n in 1usize..50) {
+        let t = table_of(vec![("a", data.clone())]);
+        let top = rows_of(Box::new(TopN::new(
+            Box::new(TableScan::new(t)),
+            vec![(0, SortOrder::Asc)],
+            n,
+        )));
+        let mut expect = data;
+        expect.sort_unstable();
+        expect.truncate(n);
+        let got: Vec<i64> = top.iter().map(|r| r[0]).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn filter_conjunction_matches_reference(
+        data in vec(-50i64..50, 1..2500),
+        lo in -50i64..0,
+        hi in 0i64..50,
+    ) {
+        let t = table_of(vec![("a", data.clone())]);
+        let pred = Expr::And(
+            Box::new(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(lo))),
+            Box::new(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(hi))),
+        );
+        let rows = rows_of(Box::new(Filter::new(Box::new(TableScan::new(t)), pred)));
+        let expect: Vec<i64> = data.into_iter().filter(|&v| v >= lo && v < hi).collect();
+        let got: Vec<i64> = rows.iter().map(|r| r[0]).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn hash_and_ordered_aggregate_agree_on_grouped_input(
+        runs in vec((0i64..30, 1u64..100), 1..40),
+    ) {
+        // Grouped (sorted) input: both aggregation flavours must agree.
+        let mut sorted_runs: Vec<(i64, u64)> = runs;
+        sorted_runs.sort_by_key(|r| r.0);
+        let (t, _, _) = rle_table_of(&sorted_runs, |i| (i as i64 * 37) % 1000);
+        let specs = vec![
+            AggSpec::new(AggFunc::Count, 1, "n"),
+            AggSpec::new(AggFunc::Sum, 1, "s"),
+            AggSpec::new(AggFunc::Min, 1, "lo"),
+            AggSpec::new(AggFunc::Max, 1, "hi"),
+        ];
+        let mut hashed = rows_of(Box::new(HashAggregate::new(
+            Box::new(TableScan::new(t.clone())),
+            vec![0],
+            specs.clone(),
+        )));
+        hashed.sort_by_key(|r| r[0]);
+        let ordered = rows_of(Box::new(OrderedAggregate::new(
+            Box::new(TableScan::new(t)),
+            vec![0],
+            specs,
+        )));
+        prop_assert_eq!(hashed, ordered);
+    }
+
+    #[test]
+    fn indexed_scan_equals_row_filter(
+        runs in vec((0i64..100, 1u64..300), 1..30),
+        threshold in 0i64..100,
+    ) {
+        let mut sorted_runs: Vec<(i64, u64)> = runs;
+        sorted_runs.sort_by_key(|r| r.0);
+        let (t, key_data, pay) = rle_table_of(&sorted_runs, |i| (i as i64).wrapping_mul(31) % 777);
+        let (idx, _) = index_table(&t.columns[0], "idx");
+        let inner = Filter::new(
+            Box::new(TableScan::new(idx)),
+            Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(threshold)),
+        );
+        let scan = IndexedScan::new(Box::new(inner), t, &["pay"]);
+        let got = rows_of(Box::new(scan));
+        let expect: Vec<(i64, i64)> = key_data
+            .iter()
+            .zip(&pay)
+            .filter(|(&k, _)| k > threshold)
+            .map(|(&k, &p)| (k, p))
+            .collect();
+        prop_assert_eq!(got.len(), expect.len());
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert_eq!((g[0], g[1]), *e);
+        }
+    }
+
+    #[test]
+    fn value_sorted_indexed_scan_is_sorted_and_complete(
+        runs in vec((0i64..40, 1u64..200), 1..30),
+    ) {
+        let (t, key_data, _) = rle_table_of(&runs, |_| 0);
+        let (idx, _) = index_table(&t.columns[0], "idx");
+        let sorted = Sort::new(Box::new(TableScan::new(idx)), vec![(0, SortOrder::Asc)]);
+        let scan = IndexedScan::new(Box::new(sorted), t, &[]);
+        let got: Vec<i64> = rows_of(Box::new(scan)).iter().map(|r| r[0]).collect();
+        let mut expect = key_data;
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,293 @@
+//! Logical plans.
+//!
+//! A deliberately concrete IR: the generic relational nodes (scan, filter,
+//! project, aggregate, sort) plus the two decompression-join nodes the
+//! strategic optimizer introduces — [`LogicalPlan::ExpandJoin`] for
+//! dictionary-compressed columns (§4.1) and [`LogicalPlan::IndexScan`]
+//! for run-length columns (§4.2). Expressions reference input columns by
+//! index into the child's output schema.
+
+use std::sync::Arc;
+use tde_exec::aggregate::AggSpec;
+use tde_exec::sort::SortOrder;
+use tde_exec::Expr;
+use tde_storage::Table;
+
+/// Operations pushed down onto a decompression join's inner side: a
+/// filter and/or a computation over the dictionary *values*.
+#[derive(Debug, Clone, Default)]
+pub struct InnerOps {
+    /// Predicate over the inner schema (dictionary: `token[, value]`;
+    /// index: `value, count, start`).
+    pub filter: Option<Expr>,
+    /// A computed replacement for the value column (e.g. the §4.1.2 file
+    /// extension), evaluated over the inner schema.
+    pub compute: Option<(String, Expr)>,
+}
+
+impl InnerOps {
+    /// No pushed-down work.
+    pub fn none() -> InnerOps {
+        InnerOps::default()
+    }
+}
+
+/// A logical query plan.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Scan named columns of a stored table. `expand_dictionaries`
+    /// materializes array-compressed columns at the scan — the baseline
+    /// that forgoes invisible joins.
+    Scan {
+        /// The table.
+        table: Arc<Table>,
+        /// Column names to produce, in order.
+        columns: Vec<String>,
+        /// Expand array compression inline.
+        expand_dictionaries: bool,
+    },
+    /// Row filter.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input schema.
+        predicate: Expr,
+    },
+    /// Expression projection.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output columns as (name, expression).
+        exprs: Vec<(String, Expr)>,
+    },
+    /// Grouped aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group key column indexes.
+        group_by: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+    },
+    /// Total sort.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Keys (column, order), most significant first.
+        keys: Vec<(usize, SortOrder)>,
+    },
+    /// Invisible join (§4.1): expand compressed column `column` of the
+    /// outer scan through its DictionaryTable, with `inner` work pushed
+    /// onto the dictionary. The output schema equals the outer schema
+    /// with the column replaced by its (possibly computed) value; rows
+    /// whose dictionary entry fails the inner filter are dropped.
+    ExpandJoin {
+        /// Outer plan: must expose the compressed column's tokens at
+        /// `column`.
+        outer: Box<LogicalPlan>,
+        /// Index of the compressed column in the outer schema.
+        column: usize,
+        /// The table/column whose dictionary is joined.
+        source: (Arc<Table>, usize),
+        /// Pushed-down dictionary-side work.
+        inner: InnerOps,
+    },
+    /// Rank join over an IndexTable (§4.2): scan `source`'s run-length
+    /// column as (value, count, start) rows, apply the inner ops, then
+    /// IndexedScan the qualified ranges fetching `fetch` columns. Output
+    /// schema: the (possibly computed) value column, then `fetch`.
+    IndexScan {
+        /// The table and its RLE column.
+        source: (Arc<Table>, usize),
+        /// Pushed-down index-side work (filter on `value`).
+        inner: InnerOps,
+        /// Sort the index by value before scanning — the §4.2.2 ordered
+        /// retrieval that enables sandwiched aggregation.
+        sort_by_value: bool,
+        /// Outer columns to fetch for qualified ranges.
+        fetch: Vec<String>,
+    },
+}
+
+impl LogicalPlan {
+    /// The output column names, for rewrites and tests.
+    pub fn output_columns(&self) -> Vec<String> {
+        match self {
+            LogicalPlan::Scan { columns, .. } => columns.clone(),
+            LogicalPlan::Filter { input, .. } => input.output_columns(),
+            LogicalPlan::Project { exprs, .. } => {
+                exprs.iter().map(|(n, _)| n.clone()).collect()
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                let inputs = input.output_columns();
+                group_by
+                    .iter()
+                    .map(|&g| inputs[g].clone())
+                    .chain(aggs.iter().map(|a| a.name.clone()))
+                    .collect()
+            }
+            LogicalPlan::Sort { input, .. } => input.output_columns(),
+            LogicalPlan::ExpandJoin { outer, column, inner, .. } => {
+                let mut cols = outer.output_columns();
+                if let Some((name, _)) = &inner.compute {
+                    cols[*column] = name.clone();
+                }
+                cols
+            }
+            LogicalPlan::IndexScan { source, inner, fetch, .. } => {
+                let vname = inner
+                    .compute
+                    .as_ref()
+                    .map(|(n, _)| n.clone())
+                    .unwrap_or_else(|| source.0.columns[source.1].name.clone());
+                std::iter::once(vname).chain(fetch.iter().cloned()).collect()
+            }
+        }
+    }
+
+    /// Render the plan tree (explain output).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { table, columns, expand_dictionaries } => {
+                out.push_str(&format!(
+                    "{pad}Scan {} [{}]{}\n",
+                    table.name,
+                    columns.join(", "),
+                    if *expand_dictionaries { " (expanded)" } else { "" }
+                ));
+            }
+            LogicalPlan::Filter { input, .. } => {
+                out.push_str(&format!("{pad}Filter\n"));
+                input.explain_into(depth + 1, out);
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
+                out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
+                input.explain_into(depth + 1, out);
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => {
+                out.push_str(&format!(
+                    "{pad}Aggregate group_by={group_by:?} aggs={}\n",
+                    aggs.len()
+                ));
+                input.explain_into(depth + 1, out);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort {keys:?}\n"));
+                input.explain_into(depth + 1, out);
+            }
+            LogicalPlan::ExpandJoin { outer, column, inner, source } => {
+                out.push_str(&format!(
+                    "{pad}ExpandJoin col={column} dict={}.{}{}{}\n",
+                    source.0.name,
+                    source.0.columns[source.1].name,
+                    if inner.filter.is_some() { " +filter" } else { "" },
+                    if inner.compute.is_some() { " +compute" } else { "" },
+                ));
+                outer.explain_into(depth + 1, out);
+            }
+            LogicalPlan::IndexScan { source, inner, sort_by_value, fetch } => {
+                out.push_str(&format!(
+                    "{pad}IndexedScan {}.{} fetch=[{}]{}{}\n",
+                    source.0.name,
+                    source.0.columns[source.1].name,
+                    fetch.join(", "),
+                    if inner.filter.is_some() { " +filter" } else { "" },
+                    if *sort_by_value { " ordered" } else { "" },
+                ));
+            }
+        }
+    }
+}
+
+/// Fluent builder for logical plans.
+pub struct PlanBuilder {
+    plan: LogicalPlan,
+}
+
+impl PlanBuilder {
+    /// Start from a full-table scan.
+    pub fn scan(table: &Arc<Table>) -> PlanBuilder {
+        let columns = table.columns.iter().map(|c| c.name.clone()).collect();
+        PlanBuilder {
+            plan: LogicalPlan::Scan { table: table.clone(), columns, expand_dictionaries: false },
+        }
+    }
+
+    /// Start from a projection scan.
+    pub fn scan_columns(table: &Arc<Table>, columns: &[&str]) -> PlanBuilder {
+        PlanBuilder {
+            plan: LogicalPlan::Scan {
+                table: table.clone(),
+                columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+                expand_dictionaries: false,
+            },
+        }
+    }
+
+    /// Add a filter.
+    pub fn filter(self, predicate: Expr) -> PlanBuilder {
+        PlanBuilder { plan: LogicalPlan::Filter { input: Box::new(self.plan), predicate } }
+    }
+
+    /// Add a projection.
+    pub fn project(self, exprs: Vec<(String, Expr)>) -> PlanBuilder {
+        PlanBuilder { plan: LogicalPlan::Project { input: Box::new(self.plan), exprs } }
+    }
+
+    /// Add an aggregation.
+    pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggSpec>) -> PlanBuilder {
+        PlanBuilder {
+            plan: LogicalPlan::Aggregate { input: Box::new(self.plan), group_by, aggs },
+        }
+    }
+
+    /// Add a sort.
+    pub fn sort(self, keys: Vec<(usize, SortOrder)>) -> PlanBuilder {
+        PlanBuilder { plan: LogicalPlan::Sort { input: Box::new(self.plan), keys } }
+    }
+
+    /// Finish.
+    pub fn build(self) -> LogicalPlan {
+        self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tde_storage::{ColumnBuilder, EncodingPolicy};
+    use tde_types::DataType;
+
+    fn table() -> Arc<Table> {
+        let mut a = ColumnBuilder::new("a", DataType::Integer, EncodingPolicy::default());
+        let mut b = ColumnBuilder::new("b", DataType::Integer, EncodingPolicy::default());
+        for i in 0..10i64 {
+            a.append_i64(i);
+            b.append_i64(i * 2);
+        }
+        Arc::new(Table::new("t", vec![a.finish().column, b.finish().column]))
+    }
+
+    #[test]
+    fn builder_and_columns() {
+        use tde_exec::expr::{AggFunc, CmpOp};
+        let t = table();
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(3)))
+            .aggregate(vec![0], vec![AggSpec::new(AggFunc::Max, 1, "mx")])
+            .build();
+        assert_eq!(plan.output_columns(), vec!["a", "mx"]);
+        let text = plan.explain();
+        assert!(text.contains("Aggregate"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("Scan t"));
+    }
+}

@@ -1,0 +1,355 @@
+//! Physical lowering: logical plans → executable operator trees.
+//!
+//! This is where the tactical hand-off happens (paper §4.1.2): inner
+//! sides of decompression joins are materialized with FlowTable *first*,
+//! under the inner-side encoding policy (§4.3), and only then are the
+//! join implementation (fetch vs hash) and the aggregation flavour
+//! (ordered vs hash) chosen — from the metadata FlowTable just extracted.
+
+use crate::logical::{InnerOps, LogicalPlan};
+use tde_exec::aggregate::{AggSpec, HashAggregate, OrderedAggregate};
+use tde_exec::dictionary_table::dictionary_table;
+use tde_exec::filter::Filter;
+use tde_exec::flow_table::{flow_table, FlowTableOptions};
+use tde_exec::index_table::index_table;
+use tde_exec::indexed_scan::IndexedScan;
+use tde_exec::join::{Join, JoinKind};
+use tde_exec::project::Project;
+use tde_exec::scan::TableScan;
+use tde_exec::sort::{Sort, SortOrder};
+use tde_exec::{BoxOp, Expr, Operator};
+use tde_storage::EncodingPolicy;
+
+/// Lower and instantiate a logical plan.
+pub fn execute(plan: &LogicalPlan) -> BoxOp {
+    match plan {
+        LogicalPlan::Scan { table, columns, expand_dictionaries } => {
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            Box::new(TableScan::project(table.clone(), &names, *expand_dictionaries))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            Box::new(Filter::new(execute(input), predicate.clone()))
+        }
+        LogicalPlan::Project { input, exprs } => {
+            Box::new(Project::new(execute(input), exprs.clone()))
+        }
+        LogicalPlan::Sort { input, keys } => Box::new(Sort::new(execute(input), keys.clone())),
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            lower_aggregate(execute(input), group_by, aggs)
+        }
+        LogicalPlan::ExpandJoin { outer, column, source, inner } => {
+            lower_expand_join(execute(outer), *column, source, inner)
+        }
+        LogicalPlan::IndexScan { source, inner, sort_by_value, fetch } => {
+            lower_index_scan(source, inner, *sort_by_value, fetch)
+        }
+    }
+}
+
+/// Tactical choice: ordered aggregation when the (single) group key is
+/// known sorted, hash aggregation otherwise (§4.2.2).
+fn lower_aggregate(input: BoxOp, group_by: &[usize], aggs: &[AggSpec]) -> BoxOp {
+    let ordered = group_by.len() == 1
+        && input.schema().fields[group_by[0]].metadata.sorted_asc.is_true();
+    if ordered {
+        Box::new(OrderedAggregate::new(input, group_by.to_vec(), aggs.to_vec()))
+    } else {
+        Box::new(HashAggregate::new(input, group_by.to_vec(), aggs.to_vec()))
+    }
+}
+
+fn apply_inner_ops(mut op: BoxOp, inner: &InnerOps, keep_cols: &[&str]) -> BoxOp {
+    if let Some(pred) = &inner.filter {
+        op = Box::new(Filter::new(op, pred.clone()));
+    }
+    if let Some((name, expr)) = &inner.compute {
+        // Keep the structural columns, replace/append the computed value.
+        let schema = op.schema().clone();
+        let mut exprs: Vec<(String, Expr)> = keep_cols
+            .iter()
+            .filter_map(|n| schema.index_of(n).map(|i| ((*n).to_owned(), Expr::col(i))))
+            .collect();
+        exprs.push((name.clone(), expr.clone()));
+        op = Box::new(Project::new(op, exprs));
+    }
+    op
+}
+
+fn lower_expand_join(
+    outer: BoxOp,
+    column: usize,
+    source: &(std::sync::Arc<tde_storage::Table>, usize),
+    inner: &InnerOps,
+) -> BoxOp {
+    let src_col = &source.0.columns[source.1];
+    let (dict, _) = dictionary_table(src_col, &format!("{}_dict", src_col.name));
+    // Inner pipeline over the dictionary, then materialize with FlowTable
+    // under the inner-side policy (§4.3) so metadata is extracted and the
+    // join can go tactical.
+    let inner_op = apply_inner_ops(Box::new(TableScan::new(dict)), inner, &["token", "value"]);
+    let built = flow_table(
+        inner_op,
+        "expand_inner",
+        FlowTableOptions { policy: EncodingPolicy::inner_side(), parallel: true },
+    );
+    let inner_table = built.table;
+    let inner_schema = TableScan::new(inner_table.clone()).schema().clone();
+    let token_idx = inner_schema.index_of("token").expect("token column preserved");
+    // Project the expanded value: the `value` column for scalar
+    // dictionaries, the computed column when present, or nothing (pure
+    // semi-join filter) for plain string dictionaries.
+    let value_idx = inner
+        .compute
+        .as_ref()
+        .and_then(|(n, _)| inner_schema.index_of(n))
+        .or_else(|| inner_schema.index_of("value"));
+    let project: Vec<usize> = value_idx.into_iter().collect();
+
+    let nouter = outer.schema().len();
+    let out_names: Vec<String> =
+        outer.schema().fields.iter().map(|f| f.name.clone()).collect();
+    let join = Join::new(outer, &inner_table, &inner_schema, column, token_idx, &project, JoinKind::Inner);
+    if value_idx.is_none() {
+        // Semi-join: schema unchanged.
+        return Box::new(join);
+    }
+    // Splice the expanded value into the compressed column's position.
+    let exprs: Vec<(String, Expr)> = (0..nouter)
+        .map(|i| {
+            if i == column {
+                let name = inner
+                    .compute
+                    .as_ref()
+                    .map(|(n, _)| n.clone())
+                    .unwrap_or_else(|| out_names[i].clone());
+                (name, Expr::col(nouter))
+            } else {
+                (out_names[i].clone(), Expr::col(i))
+            }
+        })
+        .collect();
+    Box::new(Project::new(Box::new(join), exprs))
+}
+
+fn lower_index_scan(
+    source: &(std::sync::Arc<tde_storage::Table>, usize),
+    inner: &InnerOps,
+    sort_by_value: bool,
+    fetch: &[String],
+) -> BoxOp {
+    let src_col = &source.0.columns[source.1];
+    let (idx, _) = index_table(src_col, &format!("{}_index", src_col.name));
+    let mut inner_op: BoxOp =
+        apply_inner_ops(Box::new(TableScan::new(idx)), inner, &["count", "start"]);
+    if sort_by_value {
+        // Value is whatever column isn't count/start; after inner ops it
+        // sits wherever the projection put it — find it by exclusion.
+        let schema = inner_op.schema();
+        let vcol = (0..schema.len())
+            .find(|&i| {
+                let n = &schema.fields[i].name;
+                n != "count" && n != "start"
+            })
+            .expect("index inner keeps a value column");
+        inner_op = Box::new(Sort::new(inner_op, vec![(vcol, SortOrder::Asc)]));
+    }
+    let fetch_refs: Vec<&str> = fetch.iter().map(String::as_str).collect();
+    Box::new(IndexedScan::new(inner_op, source.0.clone(), &fetch_refs))
+}
+
+/// Run a plan to completion, returning every block (convenience for tests
+/// and examples).
+pub fn run(plan: &LogicalPlan) -> (tde_exec::Schema, Vec<tde_exec::Block>) {
+    let mut op = execute(plan);
+    let schema = op.schema().clone();
+    let mut blocks = Vec::new();
+    while let Some(b) = op.next_block() {
+        blocks.push(b);
+    }
+    (schema, blocks)
+}
+
+/// Render the result of a plan as rows of display strings (examples).
+pub fn run_to_strings(plan: &LogicalPlan) -> Vec<Vec<String>> {
+    let (schema, blocks) = run(plan);
+    let mut rows = Vec::new();
+    for b in &blocks {
+        for r in 0..b.len {
+            rows.push(
+                (0..schema.len())
+                    .map(|c| schema.fields[c].value_of(b.columns[c][r]).to_string())
+                    .collect(),
+            );
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::PlanBuilder;
+    use crate::strategic::{optimize, OptimizerOptions};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use tde_encodings::{EncodedStream, BLOCK_SIZE};
+    use tde_exec::expr::{AggFunc, CmpOp, Func};
+    use tde_storage::{convert, Column, ColumnBuilder, Table};
+    use tde_types::{DataType, Width};
+
+    fn rle_table(rows: i64, domain: i64) -> Arc<Table> {
+        let per = rows / domain;
+        let mut key_data = Vec::new();
+        let mut other_data = Vec::new();
+        for v in 0..domain {
+            for j in 0..per {
+                key_data.push(v);
+                other_data.push((v * 37 + j) % 1000);
+            }
+        }
+        let mut key = EncodedStream::new_rle(Width::W8, true, Width::W4, Width::W2);
+        for c in key_data.chunks(BLOCK_SIZE) {
+            key.append_block(c).unwrap();
+        }
+        let other = tde_encodings::dynamic::encode_all(&other_data, Width::W8, true).stream;
+        Arc::new(Table::new(
+            "t",
+            vec![
+                Column::scalar("k", DataType::Integer, key),
+                Column::scalar("o", DataType::Integer, other),
+            ],
+        ))
+    }
+
+    fn agg_results(plan: &LogicalPlan) -> HashMap<i64, i64> {
+        let (_, blocks) = run(plan);
+        let mut m = HashMap::new();
+        for b in &blocks {
+            for r in 0..b.len {
+                m.insert(b.columns[0][r], b.columns[1][r]);
+            }
+        }
+        m
+    }
+
+    /// The paper's Fig 10 query under all three plans must agree.
+    #[test]
+    fn three_plans_agree_on_fig10_query() {
+        let t = rle_table(100_000, 100);
+        let query = |t: &Arc<Table>| {
+            PlanBuilder::scan(t)
+                .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(100 - 30)))
+                .aggregate(
+                    vec![0],
+                    vec![AggSpec::new(AggFunc::Max, 1, "mx")],
+                )
+                .build()
+        };
+        // Plan 1: control (no rewrites).
+        let p1 = optimize(
+            query(&t),
+            OptimizerOptions {
+                invisible_joins: false,
+                index_tables: false,
+                ordered_retrieval: false,
+            },
+        );
+        // Plan 2: indexed scan, hash aggregation.
+        let p2 = optimize(
+            query(&t),
+            OptimizerOptions { ordered_retrieval: false, ..Default::default() },
+        );
+        // Plan 3: indexed scan, sorted, ordered aggregation.
+        let p3 = optimize(query(&t), OptimizerOptions::default());
+        let (r1, r2, r3) = (agg_results(&p1), agg_results(&p2), agg_results(&p3));
+        assert_eq!(r1.len(), 29);
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r3);
+    }
+
+    #[test]
+    fn ordered_plan_uses_ordered_aggregate() {
+        let t = rle_table(50_000, 50);
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(25)))
+            .aggregate(vec![0], vec![AggSpec::new(AggFunc::Count, 1, "n")])
+            .build();
+        let opt = optimize(plan, OptimizerOptions::default());
+        assert!(opt.explain().contains("ordered"));
+        // Execute: results must match the control.
+        let control = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(25)))
+            .aggregate(vec![0], vec![AggSpec::new(AggFunc::Count, 1, "n")])
+            .build();
+        assert_eq!(agg_results(&opt), agg_results(&control));
+    }
+
+    #[test]
+    fn invisible_join_plan_executes() {
+        // Dictionary-compressed date column with a range filter.
+        let days: Vec<i64> = (0..30_000).map(|i| 9000 + (i % 300)).collect();
+        let mut stream = EncodedStream::new_dict(Width::W8, true, 9);
+        for c in days.chunks(BLOCK_SIZE) {
+            stream.append_block(c).unwrap();
+        }
+        let mut col = Column::scalar("d", DataType::Date, stream);
+        convert::dict_encoding_to_compression(&mut col);
+        let mut x = ColumnBuilder::new("x", DataType::Integer, Default::default());
+        for i in 0..30_000i64 {
+            x.append_i64(i % 11);
+        }
+        let t = Arc::new(Table::new("facts", vec![col, x.finish().column]));
+
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(9100)))
+            .build();
+        let opt = optimize(plan, OptimizerOptions::default());
+        assert!(opt.explain().contains("ExpandJoin"), "{}", opt.explain());
+        let (schema, blocks) = run(&opt);
+        let total: usize = blocks.iter().map(|b| b.len).sum();
+        assert_eq!(total, 10_000); // 100 of 300 days qualify
+        // The expanded column is a scalar date again.
+        assert_eq!(schema.fields[0].dtype, DataType::Date);
+        for b in &blocks {
+            assert!(b.columns[0].iter().all(|&d| (9000..9100).contains(&d)));
+        }
+    }
+
+    #[test]
+    fn computed_dictionary_column() {
+        // Push a month computation onto the dictionary (§3.4.3 rationale).
+        let days: Vec<i64> = (0..10_000)
+            .map(|i| tde_types::datetime::days_from_ymd(1995, 1, 1) + (i % 250))
+            .collect();
+        let mut stream = EncodedStream::new_dict(Width::W8, true, 8);
+        for c in days.chunks(BLOCK_SIZE) {
+            stream.append_block(c).unwrap();
+        }
+        let mut col = Column::scalar("d", DataType::Date, stream);
+        convert::dict_encoding_to_compression(&mut col);
+        let t = Arc::new(Table::new("facts", vec![col]));
+
+        let plan = LogicalPlan::ExpandJoin {
+            outer: Box::new(PlanBuilder::scan(&t).build()),
+            column: 0,
+            source: (t.clone(), 0),
+            inner: crate::logical::InnerOps {
+                filter: None,
+                compute: Some((
+                    "month".into(),
+                    Expr::Func(Func::Month, Box::new(Expr::col(1))),
+                )),
+            },
+        };
+        let (schema, blocks) = run(&plan);
+        assert_eq!(schema.fields[0].name, "month");
+        let total: usize = blocks.iter().map(|b| b.len).sum();
+        assert_eq!(total, 10_000);
+        for b in &blocks {
+            assert!(b.columns[0].iter().all(|&m| (1..=12).contains(&m)));
+        }
+        // Spot-check against direct computation.
+        let expect = tde_types::datetime::month_of(days[5]);
+        assert_eq!(blocks[0].columns[0][5], expect);
+    }
+}

@@ -1,0 +1,323 @@
+//! The strategic optimizer (paper §2.3.1, §4).
+//!
+//! Rule-based rewrites applied before execution:
+//!
+//! 1. **Invisible-join pushdown** (§4.1.1): a filter or computation whose
+//!    single column is dictionary-compressed moves onto a DictionaryTable
+//!    expansion join's inner side. Computations on the compressed data are
+//!    thereby expressed as part of a traditional query plan, without
+//!    widening the inter-operator interfaces.
+//! 2. **Rank-join pushdown** (§4.2.1): a filter whose single column is
+//!    run-length encoded becomes an IndexTable scan — the predicate is
+//!    evaluated per *run* and an IndexedScan turns the qualified ranges
+//!    into block skips on the outer table.
+//! 3. **Ordered retrieval** (§4.2.2): when the query then groups by the
+//!    indexed value, the index can additionally be sorted by value so the
+//!    downstream aggregation is ordered. This is a costed choice (short
+//!    runs degrade it), exposed as an optimizer option so the Fig 10
+//!    experiment can compare both.
+//!
+//! The lowering in [`crate::physical`] completes the §4.3 hygiene: inner
+//! FlowTables get [`tde_storage::EncodingPolicy::inner_side`] and
+//! encoder-feeding exchanges are order-preserving.
+
+use crate::logical::{InnerOps, LogicalPlan};
+use tde_exec::Expr;
+use tde_storage::Compression;
+use tde_types::DataType;
+
+/// Optimizer configuration. The defaults enable every rewrite; the figure
+/// harnesses toggle them to build the paper's comparison plans.
+#[derive(Debug, Clone, Copy)]
+pub struct OptimizerOptions {
+    /// Rewrite filters on dictionary-compressed columns to invisible
+    /// joins with pushdown.
+    pub invisible_joins: bool,
+    /// Rewrite filters on run-length columns to IndexTable + IndexedScan.
+    pub index_tables: bool,
+    /// Sort qualified index rows by value when the query groups by that
+    /// value (ordered retrieval).
+    pub ordered_retrieval: bool,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> OptimizerOptions {
+        OptimizerOptions { invisible_joins: true, index_tables: true, ordered_retrieval: true }
+    }
+}
+
+/// Apply the strategic rewrites bottom-up.
+pub fn optimize(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
+    let plan = rewrite_children(plan, opts);
+    let plan = rewrite_filter_pushdown(plan, opts);
+    rewrite_ordered_retrieval(plan, opts)
+}
+
+fn rewrite_children(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            LogicalPlan::Filter { input: Box::new(optimize(*input, opts)), predicate }
+        }
+        LogicalPlan::Project { input, exprs } => {
+            LogicalPlan::Project { input: Box::new(optimize(*input, opts)), exprs }
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate { input: Box::new(optimize(*input, opts)), group_by, aggs }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            LogicalPlan::Sort { input: Box::new(optimize(*input, opts)), keys }
+        }
+        other => other,
+    }
+}
+
+/// Rule 1 & 2: `Filter(Scan)` with a single-column predicate over a
+/// compressed column becomes a decompression join with the predicate on
+/// the inner side.
+fn rewrite_filter_pushdown(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
+    let LogicalPlan::Filter { input, predicate } = plan else {
+        return plan;
+    };
+    let (table, columns, expand_dictionaries) = match input.as_ref() {
+        LogicalPlan::Scan { table, columns, expand_dictionaries } => {
+            (table.clone(), columns.clone(), *expand_dictionaries)
+        }
+        _ => return LogicalPlan::Filter { input, predicate },
+    };
+    let Some(col_idx) = predicate.single_column() else {
+        return LogicalPlan::Filter { input, predicate };
+    };
+    let table_col = match table.column_index(&columns[col_idx]) {
+        Some(i) => i,
+        None => return LogicalPlan::Filter { input, predicate },
+    };
+    let column = &table.columns[table_col];
+
+    // Rule 1: dictionary-compressed column → invisible join (§4.1).
+    if opts.invisible_joins && !expand_dictionaries {
+        if let Compression::Array { .. } = &column.compression {
+            // Inner schema is (token, value): the predicate moves from the
+            // outer column to the inner `value` column (index 1).
+            let inner_pred = predicate.remap_columns(&|_| 1);
+            return LogicalPlan::ExpandJoin {
+                outer: input,
+                column: col_idx,
+                source: (table.clone(), table_col),
+                inner: InnerOps { filter: Some(inner_pred), compute: None },
+            };
+        }
+        if let Compression::Heap { .. } = &column.compression {
+            if column.dtype == DataType::Str {
+                // Inner schema is (token): predicate applies to it.
+                let inner_pred = predicate.remap_columns(&|_| 0);
+                return LogicalPlan::ExpandJoin {
+                    outer: input,
+                    column: col_idx,
+                    source: (table.clone(), table_col),
+                    inner: InnerOps { filter: Some(inner_pred), compute: None },
+                };
+            }
+        }
+    }
+
+    // Rule 2: run-length column → IndexTable + IndexedScan (§4.2).
+    if opts.index_tables
+        && matches!(column.compression, Compression::None)
+        && column.data.algorithm() == tde_encodings::Algorithm::RunLength
+    {
+        // Inner schema is (value, count, start): predicate moves to value.
+        let inner_pred = predicate.remap_columns(&|_| 0);
+        let fetch: Vec<String> =
+            columns.iter().filter(|n| *n != &columns[col_idx]).cloned().collect();
+        let source = (table.clone(), table_col);
+        let node = LogicalPlan::IndexScan {
+            source,
+            inner: InnerOps { filter: Some(inner_pred), compute: None },
+            sort_by_value: false,
+            fetch,
+        };
+        // Restore the scan's column order (IndexScan puts value first).
+        return reorder_to(node, &columns.clone());
+    }
+
+    LogicalPlan::Filter { input, predicate }
+}
+
+/// Wrap `plan` with a projection producing `wanted` column order.
+fn reorder_to(plan: LogicalPlan, wanted: &[String]) -> LogicalPlan {
+    let have = plan.output_columns();
+    if have == wanted {
+        return plan;
+    }
+    let exprs = wanted
+        .iter()
+        .map(|n| {
+            let i = have.iter().position(|h| h == n).expect("column preserved by rewrite");
+            (n.clone(), Expr::col(i))
+        })
+        .collect();
+    LogicalPlan::Project { input: Box::new(plan), exprs }
+}
+
+/// Rule 3: `Aggregate(… IndexScan …)` grouped by the indexed value turns
+/// on value-sorted retrieval so the aggregation runs ordered (§4.2.2).
+fn rewrite_ordered_retrieval(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
+    if !opts.ordered_retrieval {
+        return plan;
+    }
+    let LogicalPlan::Aggregate { input, group_by, aggs } = plan else {
+        return plan;
+    };
+    let input = *input;
+    let rewritten = match input {
+        LogicalPlan::IndexScan { source, inner, fetch, .. } if group_by == vec![0] => {
+            LogicalPlan::IndexScan { source, inner, sort_by_value: true, fetch }
+        }
+        // Look through a pure column-reorder projection.
+        LogicalPlan::Project { input: pinput, exprs }
+            if matches!(*pinput, LogicalPlan::IndexScan { .. })
+                && exprs.iter().all(|(_, e)| matches!(e, Expr::Col(_))) =>
+        {
+            // The grouped output column must map back to the index value
+            // (inner column 0).
+            let maps_to_value = group_by.len() == 1
+                && matches!(exprs[group_by[0]].1, Expr::Col(0));
+            let LogicalPlan::IndexScan { source, inner, fetch, sort_by_value } = *pinput else {
+                unreachable!()
+            };
+            let node = LogicalPlan::IndexScan {
+                source,
+                inner,
+                sort_by_value: sort_by_value || maps_to_value,
+                fetch,
+            };
+            LogicalPlan::Project { input: Box::new(node), exprs }
+        }
+        other => other,
+    };
+    LogicalPlan::Aggregate { input: Box::new(rewritten), group_by, aggs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::PlanBuilder;
+    use std::sync::Arc;
+    use tde_encodings::{EncodedStream, BLOCK_SIZE};
+    use tde_exec::expr::{AggFunc, CmpOp};
+    use tde_exec::aggregate::AggSpec;
+    use tde_storage::{convert, Column, ColumnBuilder, EncodingPolicy, Table};
+    use tde_types::Width;
+
+    fn dict_compressed_table() -> Arc<Table> {
+        let days: Vec<i64> = (0..5000).map(|i| 9000 + (i % 200)).collect();
+        let mut stream = EncodedStream::new_dict(Width::W8, true, 8);
+        for c in days.chunks(BLOCK_SIZE) {
+            stream.append_block(c).unwrap();
+        }
+        let mut col = Column::scalar("d", DataType::Date, stream);
+        convert::dict_encoding_to_compression(&mut col);
+        let mut x = ColumnBuilder::new("x", DataType::Integer, EncodingPolicy::default());
+        for i in 0..5000i64 {
+            x.append_i64(i);
+        }
+        Arc::new(Table::new("facts", vec![col, x.finish().column]))
+    }
+
+    fn rle_table() -> Arc<Table> {
+        let mut data = Vec::new();
+        for v in 0..100i64 {
+            data.extend(std::iter::repeat_n(v, 500));
+        }
+        let mut s = EncodedStream::new_rle(Width::W8, true, Width::W4, Width::W1);
+        for c in data.chunks(BLOCK_SIZE) {
+            s.append_block(c).unwrap();
+        }
+        let key = Column::scalar("k", DataType::Integer, s);
+        let mut other = ColumnBuilder::new("o", DataType::Integer, EncodingPolicy::default());
+        for i in 0..50_000i64 {
+            other.append_i64(i % 31);
+        }
+        Arc::new(Table::new("runs", vec![key, other.finish().column]))
+    }
+
+    #[test]
+    fn dictionary_filter_becomes_expand_join() {
+        let t = dict_compressed_table();
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(9100)))
+            .build();
+        let opt = optimize(plan, OptimizerOptions::default());
+        match &opt {
+            LogicalPlan::ExpandJoin { column, inner, .. } => {
+                assert_eq!(*column, 0);
+                let f = inner.filter.as_ref().unwrap();
+                // Predicate now references the inner `value` column.
+                assert_eq!(f.single_column(), Some(1));
+            }
+            other => panic!("expected ExpandJoin, got {other:?}"),
+        }
+        assert_eq!(opt.output_columns(), vec!["d", "x"]);
+    }
+
+    #[test]
+    fn rle_filter_becomes_index_scan() {
+        let t = rle_table();
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(80)))
+            .build();
+        let opt = optimize(plan, OptimizerOptions::default());
+        // Reordered to the scan's column order by a projection.
+        assert_eq!(opt.output_columns(), vec!["k", "o"]);
+        assert!(opt.explain().contains("IndexedScan"));
+    }
+
+    #[test]
+    fn aggregate_over_index_scan_goes_ordered() {
+        let t = rle_table();
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(80)))
+            .aggregate(vec![0], vec![AggSpec::new(AggFunc::Max, 1, "mx")])
+            .build();
+        let opt = optimize(plan, OptimizerOptions::default());
+        assert!(opt.explain().contains("ordered"), "{}", opt.explain());
+        // And not when the option is off.
+        let t2 = rle_table();
+        let plan = PlanBuilder::scan(&t2)
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(80)))
+            .aggregate(vec![0], vec![AggSpec::new(AggFunc::Max, 1, "mx")])
+            .build();
+        let opt = optimize(
+            plan,
+            OptimizerOptions { ordered_retrieval: false, ..Default::default() },
+        );
+        assert!(!opt.explain().contains("ordered"));
+    }
+
+    #[test]
+    fn disabled_rewrites_keep_plan_shape() {
+        let t = dict_compressed_table();
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(9100)))
+            .build();
+        let opt = optimize(
+            plan,
+            OptimizerOptions {
+                invisible_joins: false,
+                index_tables: false,
+                ordered_retrieval: false,
+            },
+        );
+        assert!(matches!(opt, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn multi_column_predicate_is_not_pushed() {
+        let t = rle_table();
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::col(1)))
+            .build();
+        let opt = optimize(plan, OptimizerOptions::default());
+        assert!(matches!(opt, LogicalPlan::Filter { .. }));
+    }
+}

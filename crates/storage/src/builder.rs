@@ -1,0 +1,416 @@
+//! Column builders: the storage half of the FlowTable operator
+//! (paper §3.3–3.4).
+//!
+//! A [`ColumnBuilder`] accepts blocks of values, feeds them through the
+//! dynamic encoder (and, for strings, through the heap accelerator), and
+//! on `finish` applies the paper's post-processing manipulations:
+//!
+//! 1. optional conversion to the optimal encoding (§3.2),
+//! 2. heap sorting through the encoding dictionary (§3.4.3 / §6.3),
+//! 3. type narrowing via header edits (§3.4.1 / §6.5),
+//! 4. metadata extraction (§3.4.2 / §6.4).
+//!
+//! Each builder is independent, which is what lets FlowTable distribute
+//! column encoding across cores (§3.3).
+
+use crate::accelerator::HeapAccelerator;
+use crate::column::{Column, Compression};
+use crate::convert;
+use crate::heap::StringHeap;
+use std::sync::Arc;
+use tde_encodings::manipulate;
+use tde_encodings::metadata::Knowledge;
+use tde_encodings::stats::AllowedAlgorithms;
+use tde_encodings::{Algorithm, ColumnMetadata, DynamicEncoder, BLOCK_SIZE};
+use tde_types::sentinel::{null_real, NULL_I64, NULL_TOKEN};
+use tde_types::{Collation, DataType, Value, Width};
+
+/// Knobs controlling how columns are built — the axes the paper's
+/// experiments sweep (encoding on/off, acceleration on/off) plus the
+/// strategic optimizer's restrictions (§4.3).
+#[derive(Debug, Clone, Copy)]
+pub struct EncodingPolicy {
+    /// Whether lightweight encodings are applied at all.
+    pub encodings: bool,
+    /// Whether string columns use the heap accelerator.
+    pub acceleration: bool,
+    /// Which algorithms the dynamic encoder may choose.
+    pub allow: AllowedAlgorithms,
+    /// Whether to convert to the optimal encoding at the end of the load.
+    pub convert_to_optimal: bool,
+    /// Whether to sort small string heaps through the encoding dictionary.
+    pub sort_heaps: bool,
+    /// Whether to narrow column widths via header manipulation.
+    pub narrow: bool,
+    /// Collation for string columns.
+    pub collation: Collation,
+    /// Give-up threshold for the accelerator.
+    pub accelerator_threshold: u64,
+}
+
+impl Default for EncodingPolicy {
+    fn default() -> EncodingPolicy {
+        EncodingPolicy {
+            encodings: true,
+            acceleration: true,
+            allow: AllowedAlgorithms::all(),
+            convert_to_optimal: true,
+            sort_heaps: true,
+            narrow: true,
+            collation: Collation::Binary,
+            accelerator_threshold: crate::accelerator::DEFAULT_GIVE_UP,
+        }
+    }
+}
+
+impl EncodingPolicy {
+    /// Everything off: the paper's baseline configuration.
+    pub fn baseline() -> EncodingPolicy {
+        EncodingPolicy {
+            encodings: false,
+            acceleration: false,
+            sort_heaps: false,
+            narrow: false,
+            ..EncodingPolicy::default()
+        }
+    }
+
+    /// Inner-join-side policy: only cheap-random-access encodings
+    /// (paper §4.3).
+    pub fn inner_side() -> EncodingPolicy {
+        EncodingPolicy { allow: AllowedAlgorithms::random_access(), ..EncodingPolicy::default() }
+    }
+}
+
+/// A finished column plus everything learned while building it.
+#[derive(Debug)]
+pub struct BuiltColumn {
+    /// The column.
+    pub column: Column,
+    /// Mid-load encoding changes (experiment E9).
+    pub reencodings: u32,
+    /// Whether the end-of-load optimal conversion fired.
+    pub final_converted: bool,
+}
+
+/// Streaming builder for one column.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    name: String,
+    dtype: DataType,
+    policy: EncodingPolicy,
+    enc: DynamicEncoder,
+    pending: Vec<i64>,
+    heap: Option<StringHeap>,
+    accel: Option<HeapAccelerator>,
+}
+
+impl ColumnBuilder {
+    /// A builder for a column of `dtype` under `policy`.
+    pub fn new(name: impl Into<String>, dtype: DataType, policy: EncodingPolicy) -> ColumnBuilder {
+        // Heap tokens are unsigned offsets; everything else is signed.
+        let signed = !dtype.is_string();
+        let mut enc = DynamicEncoder::new(Width::W8, signed, policy.allow, policy.encodings);
+        if dtype.is_string() {
+            // Heap tokens are offsets, not dense indexes: small domains
+            // should land on dictionary encoding (paper §6.3), which is
+            // what makes heap sorting and token remapping possible.
+            enc = enc.prefer_dictionary();
+        }
+        let (heap, accel) = if dtype.is_string() {
+            let accel = policy.acceleration.then(|| {
+                HeapAccelerator::with_threshold(policy.collation, policy.accelerator_threshold)
+            });
+            (Some(StringHeap::new()), accel)
+        } else {
+            (None, None)
+        };
+        ColumnBuilder {
+            name: name.into(),
+            dtype,
+            policy,
+            enc,
+            pending: Vec::with_capacity(BLOCK_SIZE),
+            heap,
+            accel,
+        }
+    }
+
+    /// Rows appended so far.
+    pub fn len(&self) -> u64 {
+        self.enc.len() + self.pending.len() as u64
+    }
+
+    /// Whether nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn push_raw(&mut self, v: i64) {
+        self.pending.push(v);
+        if self.pending.len() == BLOCK_SIZE {
+            self.enc.append_block(&self.pending);
+            self.pending.clear();
+        }
+    }
+
+    /// Append already-storage-encoded values: scalars with sentinel NULLs,
+    /// f64 bit patterns, or heap tokens (strings must instead go through
+    /// [`ColumnBuilder::append_str`]).
+    pub fn append_raw(&mut self, vals: &[i64]) {
+        for &v in vals {
+            self.push_raw(v);
+        }
+    }
+
+    /// Append one integral scalar (Integer/Date/Timestamp/Bool domain).
+    pub fn append_i64(&mut self, v: i64) {
+        debug_assert!(!self.dtype.is_string() && self.dtype != DataType::Real);
+        self.push_raw(v);
+    }
+
+    /// Append one real as its bit pattern.
+    pub fn append_f64(&mut self, v: f64) {
+        debug_assert_eq!(self.dtype, DataType::Real);
+        self.push_raw(v.to_bits() as i64);
+    }
+
+    /// Append one string (or NULL), interning through the accelerator
+    /// when one is attached.
+    pub fn append_str(&mut self, s: Option<&str>) {
+        debug_assert!(self.dtype.is_string());
+        let token = match s {
+            None => NULL_TOKEN,
+            Some(s) => {
+                let heap = self.heap.as_mut().expect("string builder has a heap");
+                match &mut self.accel {
+                    Some(acc) => acc.intern(heap, s),
+                    None => heap.append(s),
+                }
+            }
+        };
+        self.push_raw(token as i64);
+    }
+
+    /// Append a boxed value (slow path for convenience APIs).
+    pub fn append_value(&mut self, v: &Value) {
+        match (self.dtype, v) {
+            (DataType::Str, Value::Str(s)) => self.append_str(Some(s)),
+            (DataType::Str, Value::Null) => self.append_str(None),
+            (DataType::Real, Value::Null) => self.append_f64(null_real()),
+            (DataType::Real, _) => {
+                self.append_f64(v.as_f64().unwrap_or_else(|| panic!("type mismatch for {v}")))
+            }
+            (_, Value::Null) => self.append_i64(NULL_I64),
+            _ => self.append_i64(v.as_i64().unwrap_or_else(|| panic!("type mismatch for {v}"))),
+        }
+    }
+
+    /// Finish the column, applying the §3.4 post-processing manipulations.
+    pub fn finish(mut self) -> BuiltColumn {
+        if !self.pending.is_empty() {
+            let tail = std::mem::take(&mut self.pending);
+            self.enc.append_block(&tail);
+        }
+        let policy = self.policy;
+        let result = self.enc.finish(policy.convert_to_optimal);
+        let mut stream = result.stream;
+        let mut metadata = if policy.encodings {
+            // Full extraction from the encoding statistics (§3.4.2).
+            ColumnMetadata::from_stats(&result.stats, Width::W8)
+        } else {
+            ColumnMetadata::unknown()
+        };
+
+        let compression = if let Some(heap) = self.heap.take() {
+            let mut sorted = heap.is_empty();
+            // Fortuitous sortedness: the strings arrived in order
+            // (the no-encoding bars of Fig 6).
+            if let Some(acc) = &self.accel {
+                if acc.is_active() {
+                    metadata.merge(&ColumnMetadata {
+                        cardinality: Some(heap.len()),
+                        ..ColumnMetadata::unknown()
+                    });
+                    if acc.input_was_sorted() {
+                        sorted = true;
+                    }
+                }
+            }
+            let mut heap = heap;
+            if policy.sort_heaps
+                && !sorted
+                && stream.algorithm() == Algorithm::Dictionary
+                && self.accel.as_ref().is_some_and(HeapAccelerator::is_active)
+            {
+                // The token stream is dictionary-encoded and the heap is
+                // distinct: sort it through the dictionary (§3.4.3) in
+                // time proportional to the domain, not the rows.
+                heap = convert::sort_heap_via_dictionary(&mut stream, &heap, policy.collation);
+                sorted = true;
+            }
+            Compression::Heap { heap: Arc::new(heap), sorted }
+        } else {
+            Compression::None
+        };
+
+        if policy.narrow && policy.encodings {
+            let w = manipulate::narrow(&mut stream);
+            // Delta streams carry no envelope in the header, but the load
+            // statistics prove the range; record it in the width field.
+            if stream.algorithm() == Algorithm::Delta && self.dtype != DataType::Real {
+                let sw = Width::for_signed_range(result.stats.min, result.stats.max, true);
+                if sw < w {
+                    manipulate::set_width(&mut stream, sw);
+                }
+            }
+            metadata.width = stream.width();
+        }
+        // Width metadata for reals is meaningless (bit patterns).
+        if self.dtype == DataType::Real {
+            metadata = ColumnMetadata { width: Width::W8, ..ColumnMetadata::unknown() };
+        }
+        if let Compression::Heap { sorted, .. } = &compression {
+            if *sorted {
+                metadata.sorted_heap_tokens = Knowledge::True;
+            }
+        }
+
+        BuiltColumn {
+            column: Column {
+                name: self.name,
+                dtype: self.dtype,
+                data: stream,
+                compression,
+                metadata,
+            },
+            reencodings: result.reencodings,
+            final_converted: result.final_converted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_ints(vals: &[i64], policy: EncodingPolicy) -> BuiltColumn {
+        let mut b = ColumnBuilder::new("x", DataType::Integer, policy);
+        b.append_raw(vals);
+        b.finish()
+    }
+
+    #[test]
+    fn integer_column_narrows() {
+        let vals: Vec<i64> = (0..10_000).map(|i| i % 100).collect();
+        let built = build_ints(&vals, EncodingPolicy::default());
+        assert_eq!(built.column.metadata.width, Width::W1);
+        assert_eq!(built.column.data.decode_all(), vals);
+    }
+
+    #[test]
+    fn baseline_stays_wide_and_unencoded() {
+        let vals: Vec<i64> = (0..5000).map(|i| i % 100).collect();
+        let built = build_ints(&vals, EncodingPolicy::baseline());
+        assert_eq!(built.column.data.algorithm(), Algorithm::None);
+        assert_eq!(built.column.metadata.width, Width::W8);
+        assert_eq!(built.column.metadata.detected_count(), 0);
+    }
+
+    #[test]
+    fn string_column_dedupes_and_sorts_heap() {
+        let mut b = ColumnBuilder::new("s", DataType::Str, EncodingPolicy::default());
+        let words = ["delta", "alpha", "charlie", "bravo"];
+        for i in 0..4000 {
+            b.append_str(Some(words[i % 4]));
+        }
+        let built = b.finish();
+        let col = &built.column;
+        match &col.compression {
+            Compression::Heap { heap, sorted } => {
+                assert!(*sorted);
+                assert!(heap.is_sorted(Collation::Binary));
+                assert_eq!(heap.len(), 4);
+            }
+            other => panic!("expected heap compression, got {other:?}"),
+        }
+        // Values survive the heap rebuild.
+        assert_eq!(col.value(0), Value::Str("delta".into()));
+        assert_eq!(col.value(1), Value::Str("alpha".into()));
+        // Sorted heap means token order is string order.
+        let ta = col.data.get(1); // alpha
+        let tb = col.data.get(3); // bravo
+        let tc = col.data.get(2); // charlie
+        let td = col.data.get(0); // delta
+        assert!(ta < tb && tb < tc && tc < td);
+    }
+
+    #[test]
+    fn string_nulls_are_token_zero() {
+        let mut b = ColumnBuilder::new("s", DataType::Str, EncodingPolicy::default());
+        b.append_str(Some("x"));
+        b.append_str(None);
+        let built = b.finish();
+        assert_eq!(built.column.value(0), Value::Str("x".into()));
+        assert_eq!(built.column.value(1), Value::Null);
+    }
+
+    #[test]
+    fn unaccelerated_strings_duplicate() {
+        let policy = EncodingPolicy { acceleration: false, ..EncodingPolicy::default() };
+        let mut b = ColumnBuilder::new("s", DataType::Str, policy);
+        for _ in 0..10 {
+            b.append_str(Some("dup"));
+        }
+        let built = b.finish();
+        let heap = built.column.heap().unwrap();
+        assert_eq!(heap.len(), 10); // no dedup without the accelerator
+    }
+
+    #[test]
+    fn real_column_roundtrip() {
+        let mut b = ColumnBuilder::new("r", DataType::Real, EncodingPolicy::default());
+        for v in [1.0, 2.5, -3.75, 1.0] {
+            b.append_f64(v);
+        }
+        b.append_value(&Value::Null);
+        let built = b.finish();
+        assert_eq!(built.column.value(1), Value::Real(2.5));
+        assert_eq!(built.column.value(4), Value::Null);
+    }
+
+    #[test]
+    fn date_column_dense_metadata() {
+        let vals: Vec<i64> = (8000..9000).collect(); // 1000 consecutive days
+        let mut b = ColumnBuilder::new("d", DataType::Date, EncodingPolicy::default());
+        b.append_raw(&vals);
+        let built = b.finish();
+        assert!(built.column.metadata.dense.is_true());
+        assert!(built.column.metadata.sorted_asc.is_true());
+        assert_eq!(built.column.data.algorithm(), Algorithm::Affine);
+    }
+
+    #[test]
+    fn pending_buffer_flushes_across_blocks() {
+        // Appends of odd sizes must still produce whole + final partial
+        // blocks in order.
+        let mut b = ColumnBuilder::new("x", DataType::Integer, EncodingPolicy::default());
+        let vals: Vec<i64> = (0..2500).collect();
+        for chunk in vals.chunks(7) {
+            b.append_raw(chunk);
+        }
+        let built = b.finish();
+        assert_eq!(built.column.data.decode_all(), vals);
+    }
+
+    #[test]
+    fn value_append_roundtrip() {
+        let mut b = ColumnBuilder::new("d", DataType::Date, EncodingPolicy::default());
+        b.append_value(&Value::date(1995, 6, 1));
+        b.append_value(&Value::Null);
+        let built = b.finish();
+        assert_eq!(built.column.value(0), Value::date(1995, 6, 1));
+        assert_eq!(built.column.value(1), Value::Null);
+        assert!(built.column.metadata.has_nulls.is_true());
+    }
+}

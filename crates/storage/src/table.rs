@@ -1,0 +1,89 @@
+//! Tables: named collections of equal-length columns.
+
+use crate::column::Column;
+
+/// A read-only table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// The columns, all the same length.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Build a table, validating column lengths.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Table {
+        if let Some(first) = columns.first() {
+            for c in &columns {
+                assert_eq!(
+                    c.len(),
+                    first.len(),
+                    "column {} has {} rows, expected {}",
+                    c.name,
+                    c.len(),
+                    first.len()
+                );
+            }
+        }
+        Table { name: name.into(), columns }
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> u64 {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Find a column by name.
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Total physical size of every column.
+    pub fn physical_size(&self) -> u64 {
+        self.columns.iter().map(Column::physical_size).sum()
+    }
+
+    /// Total logical (un-encoded) size of every column.
+    pub fn logical_size(&self) -> u64 {
+        self.columns.iter().map(Column::logical_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tde_encodings::dynamic::encode_all;
+    use tde_types::{DataType, Width};
+
+    fn col(name: &str, vals: &[i64]) -> Column {
+        Column::scalar(name, DataType::Integer, encode_all(vals, Width::W8, true).stream)
+    }
+
+    #[test]
+    fn lookup_and_counts() {
+        let t = Table::new("t", vec![col("a", &[1, 2, 3]), col("b", &[4, 5, 6])]);
+        assert_eq!(t.row_count(), 3);
+        assert!(t.column("a").is_some());
+        assert!(t.column("z").is_none());
+        assert_eq!(t.column_index("b"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn mismatched_lengths_panic() {
+        Table::new("t", vec![col("a", &[1, 2]), col("b", &[1])]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("t", vec![]);
+        assert_eq!(t.row_count(), 0);
+        assert_eq!(t.physical_size(), 0);
+    }
+}

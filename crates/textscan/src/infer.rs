@@ -1,0 +1,211 @@
+//! Column typing and header detection (paper §5.1.1).
+//!
+//! A sample block of rows is typed by comparing the results of parsers for
+//! each data type to see which produced the fewest errors. The winning
+//! parser then scans the whole file. The parsers are also applied to the
+//! first row: no errors ⇒ the file has no header and every value is data;
+//! errors ⇒ the first row is the column names.
+
+use crate::parsers;
+use crate::sniff::{detect_separator, sample_lines, split_fields, SAMPLE_LINES};
+use tde_types::DataType;
+
+/// Inference result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferredSchema {
+    /// Field separator byte.
+    pub separator: u8,
+    /// Whether the first row is a header.
+    pub has_header: bool,
+    /// Column names: from the header row, or `col_0 …` when absent.
+    pub names: Vec<String>,
+    /// Inferred logical types.
+    pub types: Vec<DataType>,
+}
+
+/// Count parse errors for `dtype` over the sampled fields of one column.
+fn errors_for(dtype: DataType, fields: &[&[u8]]) -> usize {
+    fields
+        .iter()
+        .filter(|f| match dtype {
+            DataType::Bool => parsers::parse_bool(f).is_err(),
+            DataType::Integer => parsers::parse_i64(f).is_err(),
+            DataType::Real => parsers::parse_f64(f).is_err(),
+            DataType::Date => parsers::parse_date(f).is_err(),
+            DataType::Timestamp => parsers::parse_timestamp(f).is_err(),
+            DataType::Str => false,
+        })
+        .count()
+}
+
+/// Candidate types in tie-break priority order (most specific first;
+/// `Str` parses anything and comes last).
+const CANDIDATE_TYPES: [DataType; 6] = [
+    DataType::Bool,
+    DataType::Date,
+    DataType::Timestamp,
+    DataType::Integer,
+    DataType::Real,
+    DataType::Str,
+];
+
+/// Fraction of sampled fields a typed parser may fail on before the
+/// column falls back to `Str` (which parses anything). A small tolerance
+/// keeps one dirty value in a sample from stringifying a numeric column.
+const ERROR_TOLERANCE: f64 = 0.05;
+
+/// Pick the type with the fewest errors over the sample (first in
+/// priority order on ties — zero-error `Integer` beats zero-error `Real`;
+/// `Str` wins only when every typed parser exceeds the error tolerance).
+pub fn infer_type(fields: &[&[u8]]) -> DataType {
+    let mut best = DataType::Str;
+    let mut best_errors = usize::MAX;
+    let allowed = (fields.len() as f64 * ERROR_TOLERANCE).floor() as usize;
+    for dtype in CANDIDATE_TYPES {
+        if dtype == DataType::Str {
+            continue;
+        }
+        let e = errors_for(dtype, fields);
+        if e < best_errors {
+            best = dtype;
+            best_errors = e;
+        }
+        if best_errors == 0 {
+            break;
+        }
+    }
+    if best_errors > allowed {
+        DataType::Str
+    } else {
+        best
+    }
+}
+
+/// Infer separator, header and column types from the head of a file.
+pub fn infer_schema(data: &[u8]) -> InferredSchema {
+    let separator = detect_separator(data);
+    let lines = sample_lines(data, SAMPLE_LINES);
+    if lines.is_empty() {
+        return InferredSchema { separator, has_header: false, names: vec![], types: vec![] };
+    }
+    let mut first_fields = Vec::new();
+    split_fields(lines[0], separator, &mut first_fields);
+    let ncols = first_fields.len();
+
+    // Type each column from the sample *excluding* the first row.
+    let mut columns: Vec<Vec<&[u8]>> = vec![Vec::new(); ncols];
+    let mut scratch = Vec::new();
+    for line in lines.iter().skip(1) {
+        split_fields(line, separator, &mut scratch);
+        for (c, f) in scratch.iter().enumerate().take(ncols) {
+            columns[c].push(f);
+        }
+    }
+    // Single-line files type from that one line.
+    let single_line = lines.len() == 1;
+    if single_line {
+        for (c, f) in first_fields.iter().enumerate() {
+            columns[c].push(f);
+        }
+    }
+    let types: Vec<DataType> = columns.iter().map(|c| infer_type(c)).collect();
+
+    // Header detection: apply the winning parsers to the first row; any
+    // error means the first row is column names.
+    let has_header = !single_line
+        && first_fields.iter().zip(&types).any(|(f, &t)| errors_for(t, &[f]) > 0);
+
+    let names: Vec<String> = if has_header {
+        first_fields.iter().map(|f| String::from_utf8_lossy(f).into_owned()).collect()
+    } else {
+        (0..ncols).map(|i| format!("col_{i}")).collect()
+    };
+    InferredSchema { separator, has_header, names, types }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_tpch_like_rows() {
+        let data = b"1|Customer#000000001|xyz|15|25-989-741-2988|711.56|BUILDING|note|\n\
+                     2|Customer#000000002|abc|13|23-768-687-3665|121.65|AUTOMOBILE|note|\n\
+                     3|Customer#000000003|def|1|11-719-748-3364|7498.12|MACHINERY|note|\n";
+        let s = infer_schema(data);
+        assert_eq!(s.separator, b'|');
+        assert!(!s.has_header);
+        assert_eq!(
+            s.types,
+            vec![
+                DataType::Integer,
+                DataType::Str,
+                DataType::Str,
+                DataType::Integer,
+                DataType::Str,
+                DataType::Real,
+                DataType::Str,
+                DataType::Str
+            ]
+        );
+        assert_eq!(s.names[0], "col_0");
+    }
+
+    #[test]
+    fn detects_header_row() {
+        let data = b"flight_date,carrier,delay,cancelled\n\
+                     1998-01-01,AA,5,false\n\
+                     1998-01-02,DL,-3,true\n";
+        let s = infer_schema(data);
+        assert!(s.has_header);
+        assert_eq!(s.names, vec!["flight_date", "carrier", "delay", "cancelled"]);
+        assert_eq!(
+            s.types,
+            vec![DataType::Date, DataType::Str, DataType::Integer, DataType::Bool]
+        );
+    }
+
+    #[test]
+    fn all_string_header_is_ambiguous_data() {
+        // When every column is Str, the header parses fine and is treated
+        // as data — the documented limitation the schema override solves.
+        let data = b"name,city\nalice,berlin\nbob,paris\n";
+        let s = infer_schema(data);
+        assert!(!s.has_header);
+        assert_eq!(s.types, vec![DataType::Str, DataType::Str]);
+    }
+
+    #[test]
+    fn nulls_do_not_break_typing() {
+        let data = b"h1,h2\n1,\n,2.5\n3,\n";
+        let s = infer_schema(data);
+        assert_eq!(s.types, vec![DataType::Integer, DataType::Real]);
+    }
+
+    #[test]
+    fn fewest_errors_wins_within_tolerance() {
+        // One bad value in 40 integers (2.5% < 5% tolerance): Integer wins.
+        let mut fields: Vec<&[u8]> = vec![b"7"; 39];
+        fields.push(b"x");
+        assert_eq!(infer_type(&fields), DataType::Integer);
+        // One bad value in 3 (33%): fall back to Str.
+        let dates: Vec<&[u8]> = vec![b"1995-01-01", b"1995-01-02", b"oops"];
+        assert_eq!(infer_type(&dates), DataType::Str);
+        // All-clean dates stay dates.
+        let dates: Vec<&[u8]> = vec![b"1995-01-01", b"1995-01-02"];
+        assert_eq!(infer_type(&dates), DataType::Date);
+    }
+
+    #[test]
+    fn timestamp_detection() {
+        let fields: Vec<&[u8]> = vec![b"1995-01-01 10:00:00", b"1995-01-02 11:30:00"];
+        assert_eq!(infer_type(&fields), DataType::Timestamp);
+    }
+
+    #[test]
+    fn single_line_file() {
+        let s = infer_schema(b"1|2|3|\n");
+        assert!(!s.has_header);
+        assert_eq!(s.types, vec![DataType::Integer; 3]);
+    }
+}

@@ -1,0 +1,36 @@
+//! TextScan: high-performance flat-file import (paper §5.1).
+//!
+//! A flow-type operator that reads a byte stream and produces blocks of
+//! typed data, inferring field separators, column types and header rows
+//! when no schema is given. The implementation follows the paper's
+//! development arc:
+//!
+//! * [`sniff`] — record/field boundary detection by statistical analysis
+//!   of a sample (§5.1.1);
+//! * [`infer`] — column typing by competing parsers over a sample block,
+//!   plus header detection (§5.1.1);
+//! * [`parsers`] — tightly written buffer-oriented parsers relying on no
+//!   external state (§5.1.3), and
+//! * [`locale`] — the original locale-sensitive parsers whose singleton
+//!   lock made parallel parsing *slower* by an order of magnitude
+//!   (§5.1.2), kept as a reproducible baseline;
+//! * [`scan`] — tokenization, column cracking at every deferral level
+//!   (Fig 4's Tokenize/Split/Scalars/All), and the parallel per-column
+//!   parse into [`tde_storage::ColumnBuilder`]s.
+
+// The field parsers return `Result<Option<T>, ()>`: the only failure mode
+// is "not this type", which the inference layer counts — an error payload
+// would be dead weight on the per-field hot path.
+#![allow(clippy::result_unit_err)]
+
+pub mod infer;
+pub mod locale;
+pub mod parsers;
+pub mod scan;
+pub mod sniff;
+
+pub use infer::{infer_schema, InferredSchema};
+pub use scan::{
+    import_bytes, import_file, read_bandwidth, split, tokenize, ImportOptions, ImportResult,
+    ParserKind, ScanMode,
+};

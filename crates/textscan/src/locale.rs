@@ -1,0 +1,104 @@
+//! The locale-sensitive parser baseline (paper §5.1.2).
+//!
+//! The first TextScan implementation parsed fields with the C++ standard
+//! library, whose stream parsers are locale sensitive: every parse first
+//! obtained and locked a singleton locale object. Under parallel execution
+//! the lock contention made the scan *an order of magnitude slower* than
+//! single-threaded parsing. This module reproduces that architecture — a
+//! process-global mutex-guarded locale consulted once per field — so the
+//! degradation is measurable (experiment E10).
+
+use parking_lot::Mutex;
+
+/// A stand-in for the C++ singleton locale: decimal point, digit grouping
+/// and a touch of state that must be read under the lock.
+#[derive(Debug)]
+pub struct Locale {
+    /// Decimal separator.
+    pub decimal_point: u8,
+    /// Grouping separator (ignored by our data, but consulted).
+    pub thousands_sep: u8,
+    /// Parses served — state mutated under the lock, defeating any
+    /// read-lock optimization, exactly like facet reference counting.
+    pub uses: u64,
+}
+
+static GLOBAL_LOCALE: Mutex<Locale> =
+    Mutex::new(Locale { decimal_point: b'.', thousands_sep: b',', uses: 0 });
+
+/// Number of locale acquisitions so far (for tests).
+pub fn locale_uses() -> u64 {
+    GLOBAL_LOCALE.lock().uses
+}
+
+/// Touch the locale state per character, as the C++ facet machinery does
+/// (`num_get` consults `numpunct` while iterating the stream — all while
+/// the locale reference is held).
+#[inline]
+fn consult_facets(locale: &mut Locale, field: &[u8]) {
+    locale.uses += 1;
+    let mut acc = 0u8;
+    for &b in field {
+        acc ^= b ^ locale.decimal_point ^ locale.thousands_sep;
+    }
+    std::hint::black_box(acc);
+}
+
+/// Parse an integer the "standard library" way: acquire the global locale
+/// and parse *while holding it*, character checks going through the
+/// facets. Semantics match [`crate::parsers::parse_i64`].
+pub fn parse_i64_locale(field: &[u8]) -> Result<Option<i64>, ()> {
+    let mut locale = GLOBAL_LOCALE.lock();
+    consult_facets(&mut locale, field);
+    crate::parsers::parse_i64(field)
+}
+
+/// Locale-locking real parser.
+pub fn parse_f64_locale(field: &[u8]) -> Result<Option<f64>, ()> {
+    let mut locale = GLOBAL_LOCALE.lock();
+    consult_facets(&mut locale, field);
+    crate::parsers::parse_f64(field)
+}
+
+/// Locale-locking date parser.
+pub fn parse_date_locale(field: &[u8]) -> Result<Option<i64>, ()> {
+    let mut locale = GLOBAL_LOCALE.lock();
+    consult_facets(&mut locale, field);
+    crate::parsers::parse_date(field)
+}
+
+/// Locale-locking timestamp parser.
+pub fn parse_timestamp_locale(field: &[u8]) -> Result<Option<i64>, ()> {
+    let mut locale = GLOBAL_LOCALE.lock();
+    consult_facets(&mut locale, field);
+    crate::parsers::parse_timestamp(field)
+}
+
+/// Locale-locking boolean parser.
+pub fn parse_bool_locale(field: &[u8]) -> Result<Option<bool>, ()> {
+    let mut locale = GLOBAL_LOCALE.lock();
+    consult_facets(&mut locale, field);
+    crate::parsers::parse_bool(field)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_semantics_as_buffer_parsers() {
+        assert_eq!(parse_i64_locale(b"42"), Ok(Some(42)));
+        assert_eq!(parse_f64_locale(b"1.5"), Ok(Some(1.5)));
+        assert_eq!(parse_date_locale(b"1995-07-14"), crate::parsers::parse_date(b"1995-07-14"));
+        assert_eq!(parse_bool_locale(b"true"), Ok(Some(true)));
+    }
+
+    #[test]
+    fn every_parse_takes_the_lock() {
+        let before = locale_uses();
+        for _ in 0..10 {
+            parse_i64_locale(b"1").unwrap();
+        }
+        assert!(locale_uses() >= before + 10);
+    }
+}

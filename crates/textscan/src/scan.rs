@@ -1,0 +1,556 @@
+//! The TextScan operator: tokenization, column cracking and the parallel
+//! per-column parse (paper §5.1, Fig 4).
+//!
+//! Each of Fig 4's measurement levels is a function here:
+//!
+//! * [`read_bandwidth`] — sum all the bytes of the text file;
+//! * [`tokenize`] — find record and field boundaries;
+//! * [`split`] — crack the file into per-column text files without parsing;
+//! * [`import_file`] with [`ScanMode::Scalars`] — parse numbers and dates,
+//!   split the string columns for later parsing;
+//! * [`import_file`] with [`ScanMode::All`] — parse every column into a
+//!   [`Table`] through [`ColumnBuilder`]s (the TextScan + FlowTable
+//!   combined system of §5.2).
+//!
+//! Column parsers produce independent output from shared read-only state,
+//! so blocks are parsed with one thread per column (§5.1.2). With the
+//! buffer-oriented parsers this scales; with [`ParserKind::LocaleLocking`]
+//! it reproduces the order-of-magnitude collapse the paper describes.
+
+use crate::infer::{infer_schema, InferredSchema};
+use crate::locale;
+use crate::parsers;
+use crate::sniff::split_fields;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use tde_storage::{BuiltColumn, ColumnBuilder, EncodingPolicy, Table};
+use tde_types::sentinel::NULL_I64;
+use tde_types::{sentinel, DataType};
+
+/// Rows tokenized per processing chunk.
+const ROWS_PER_CHUNK: usize = 16_384;
+
+/// How much of the file to parse (the Fig 4 levels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Parse every column.
+    All,
+    /// Parse scalar columns (numbers, dates, booleans); split string
+    /// columns into text buffers for later parsing.
+    Scalars,
+}
+
+/// Which parser family to use (§5.1.2 vs §5.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParserKind {
+    /// Buffer-oriented parsers relying on no external state.
+    #[default]
+    Buffer,
+    /// Parsers that lock a global locale singleton per field — the
+    /// baseline whose contention defeats parallelism.
+    LocaleLocking,
+}
+
+/// Import configuration.
+#[derive(Debug, Clone)]
+pub struct ImportOptions {
+    /// Encoding/acceleration policy for the produced columns.
+    pub policy: EncodingPolicy,
+    /// Explicit schema (names and types); inferred when absent.
+    pub schema: Option<Vec<(String, DataType)>>,
+    /// Force header presence; inferred when absent.
+    pub has_header: Option<bool>,
+    /// Parse columns on separate threads.
+    pub parallel: bool,
+    /// Parser family.
+    pub parser: ParserKind,
+    /// What to parse.
+    pub mode: ScanMode,
+    /// Name for the produced table.
+    pub table_name: String,
+}
+
+impl Default for ImportOptions {
+    fn default() -> ImportOptions {
+        ImportOptions {
+            policy: EncodingPolicy::default(),
+            schema: None,
+            has_header: None,
+            parallel: true,
+            parser: ParserKind::Buffer,
+            mode: ScanMode::All,
+            table_name: "imported".to_owned(),
+        }
+    }
+}
+
+/// What an import produced.
+#[derive(Debug)]
+pub struct ImportResult {
+    /// The table (string columns are empty/absent under
+    /// [`ScanMode::Scalars`]).
+    pub table: Table,
+    /// Per-column mid-load re-encoding counts (experiment E9).
+    pub reencodings: Vec<(String, u32)>,
+    /// Fields that failed to parse and were stored as NULL.
+    pub parse_errors: u64,
+    /// Bytes of input processed.
+    pub bytes_read: u64,
+    /// Bytes of split string text produced under [`ScanMode::Scalars`].
+    pub split_bytes: u64,
+    /// The schema that was used.
+    pub schema: InferredSchema,
+}
+
+/// Fig 4 level 1: read the file and sum its bytes.
+pub fn read_bandwidth(path: impl AsRef<Path>) -> io::Result<(u64, u64)> {
+    let data = std::fs::read(path)?;
+    let sum = data.iter().fold(0u64, |acc, &b| acc.wrapping_add(u64::from(b)));
+    Ok((data.len() as u64, sum))
+}
+
+/// Fig 4 level 2: find record and field boundaries; returns
+/// `(bytes, rows, fields)`.
+pub fn tokenize(path: impl AsRef<Path>) -> io::Result<(u64, u64, u64)> {
+    let data = std::fs::read(path)?;
+    let schema = infer_schema(&data);
+    let mut rows = 0u64;
+    let mut fields = 0u64;
+    let mut scratch = Vec::new();
+    for_each_line(&data, |line| {
+        split_fields(line, schema.separator, &mut scratch);
+        rows += 1;
+        fields += scratch.len() as u64;
+    });
+    Ok((data.len() as u64, rows, fields))
+}
+
+/// Fig 4 level 3: crack the file into one text file per column, without
+/// parsing. Strings are written quoted with end-of-line separators —
+/// approximately the same I/O as writing heap entries (§5.1.4). Returns
+/// `(bytes_read, bytes_written)`.
+pub fn split(path: impl AsRef<Path>, out_dir: impl AsRef<Path>) -> io::Result<(u64, u64)> {
+    let data = std::fs::read(&path)?;
+    let schema = infer_schema(&data);
+    std::fs::create_dir_all(&out_dir)?;
+    let ncols = schema.names.len();
+    let mut writers: Vec<io::BufWriter<std::fs::File>> = (0..ncols)
+        .map(|c| {
+            let p = out_dir.as_ref().join(format!("col_{c}.txt"));
+            Ok(io::BufWriter::with_capacity(1 << 16, std::fs::File::create(p)?))
+        })
+        .collect::<io::Result<_>>()?;
+    let mut written = 0u64;
+    let mut scratch = Vec::new();
+    let mut first = true;
+    for_each_line(&data, |line| {
+        if first {
+            first = false;
+            if schema.has_header {
+                return;
+            }
+        }
+        split_fields(line, schema.separator, &mut scratch);
+        for (c, f) in scratch.iter().enumerate().take(ncols) {
+            let w = &mut writers[c];
+            let _ = w.write_all(b"\"");
+            let _ = w.write_all(f);
+            let _ = w.write_all(b"\"\n");
+            written += f.len() as u64 + 3;
+        }
+    });
+    for mut w in writers {
+        w.flush()?;
+    }
+    Ok((data.len() as u64, written))
+}
+
+/// Iterate the lines of `data` (no trailing-newline requirement). The
+/// callback receives slices tied to `data`'s lifetime so callers can keep
+/// field ranges across lines.
+fn for_each_line<'a>(data: &'a [u8], mut f: impl FnMut(&'a [u8])) {
+    let mut start = 0;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            let end = if i > start && data[i - 1] == b'\r' { i - 1 } else { i };
+            f(&data[start..end]);
+            start = i + 1;
+        }
+    }
+    if start < data.len() {
+        f(&data[start..]);
+    }
+}
+
+/// One column's parse work for a chunk of rows.
+struct ColumnTask<'a> {
+    dtype: DataType,
+    builder: Option<ColumnBuilder>,
+    split_buf: Vec<u8>,
+    errors: u64,
+    name: &'a str,
+}
+
+impl ColumnTask<'_> {
+    /// Parse this column's fields out of the interleaved range table:
+    /// entries `col, col + stride, col + 2·stride, …` of `ranges`. Reading
+    /// with a stride avoids materializing a per-column copy of the ranges
+    /// for every chunk (the tokenizer output is shared read-only state,
+    /// §5.1.2).
+    fn parse_chunk(
+        &mut self,
+        data: &[u8],
+        ranges: &[(u32, u32)],
+        col: usize,
+        stride: usize,
+        kind: ParserKind,
+    ) {
+        let picks = ranges.iter().skip(col).step_by(stride);
+        let Some(builder) = self.builder.as_mut() else {
+            // Scalars mode string column: split into a text buffer.
+            for &(a, b) in picks {
+                self.split_buf.push(b'"');
+                self.split_buf.extend_from_slice(&data[a as usize..b as usize]);
+                self.split_buf.extend_from_slice(b"\"\n");
+            }
+            return;
+        };
+        for &(a, b) in picks {
+            let field = &data[a as usize..b as usize];
+            match self.dtype {
+                DataType::Str => {
+                    if field.is_empty() {
+                        builder.append_str(None);
+                    } else {
+                        match std::str::from_utf8(field) {
+                            Ok(s) => builder.append_str(Some(s)),
+                            Err(_) => {
+                                self.errors += 1;
+                                builder.append_str(None);
+                            }
+                        }
+                    }
+                }
+                DataType::Real => {
+                    let parsed = match kind {
+                        ParserKind::Buffer => parsers::parse_f64(field),
+                        ParserKind::LocaleLocking => locale::parse_f64_locale(field),
+                    };
+                    match parsed {
+                        Ok(Some(v)) => builder.append_f64(v),
+                        Ok(None) => builder.append_f64(sentinel::null_real()),
+                        Err(()) => {
+                            self.errors += 1;
+                            builder.append_f64(sentinel::null_real());
+                        }
+                    }
+                }
+                DataType::Bool => {
+                    let parsed = match kind {
+                        ParserKind::Buffer => parsers::parse_bool(field),
+                        ParserKind::LocaleLocking => locale::parse_bool_locale(field),
+                    };
+                    match parsed {
+                        Ok(Some(v)) => builder.append_i64(i64::from(v)),
+                        Ok(None) => builder.append_i64(NULL_I64),
+                        Err(()) => {
+                            self.errors += 1;
+                            builder.append_i64(NULL_I64);
+                        }
+                    }
+                }
+                DataType::Integer | DataType::Date | DataType::Timestamp => {
+                    let parsed = match (self.dtype, kind) {
+                        (DataType::Integer, ParserKind::Buffer) => parsers::parse_i64(field),
+                        (DataType::Integer, ParserKind::LocaleLocking) => {
+                            locale::parse_i64_locale(field)
+                        }
+                        (DataType::Date, ParserKind::Buffer) => parsers::parse_date(field),
+                        (DataType::Date, ParserKind::LocaleLocking) => {
+                            locale::parse_date_locale(field)
+                        }
+                        (DataType::Timestamp, ParserKind::Buffer) => {
+                            parsers::parse_timestamp(field)
+                        }
+                        (DataType::Timestamp, ParserKind::LocaleLocking) => {
+                            locale::parse_timestamp_locale(field)
+                        }
+                        _ => unreachable!(),
+                    };
+                    match parsed {
+                        Ok(Some(v)) => builder.append_i64(v),
+                        Ok(None) => builder.append_i64(NULL_I64),
+                        Err(()) => {
+                            self.errors += 1;
+                            builder.append_i64(NULL_I64);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Import a flat file into a [`Table`] (the TextScan + FlowTable pipeline).
+pub fn import_file(path: impl AsRef<Path>, options: &ImportOptions) -> io::Result<ImportResult> {
+    let data = std::fs::read(&path)?;
+    import_bytes(&data, options)
+}
+
+/// Import from an in-memory byte stream (the operator reads from a
+/// memory-mapped byte stream in the paper; a slice models that).
+pub fn import_bytes(data: &[u8], options: &ImportOptions) -> io::Result<ImportResult> {
+    let mut schema = infer_schema(data);
+    if let Some(explicit) = &options.schema {
+        schema.names = explicit.iter().map(|(n, _)| n.clone()).collect();
+        schema.types = explicit.iter().map(|(_, t)| *t).collect();
+    }
+    if let Some(h) = options.has_header {
+        schema.has_header = h;
+    }
+    let ncols = schema.names.len();
+
+    let mut tasks: Vec<ColumnTask> = schema
+        .names
+        .iter()
+        .zip(&schema.types)
+        .map(|(name, &dtype)| {
+            let wants_builder = options.mode == ScanMode::All || dtype != DataType::Str;
+            ColumnTask {
+                dtype,
+                builder: wants_builder
+                    .then(|| ColumnBuilder::new(name.clone(), dtype, options.policy)),
+                split_buf: Vec::new(),
+                errors: 0,
+                name,
+            }
+        })
+        .collect();
+
+    // Tokenize into chunks of rows, then hand each chunk's field ranges to
+    // the per-column parsers.
+    let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(ROWS_PER_CHUNK * ncols);
+    let mut rows_in_chunk = 0usize;
+    let mut scratch: Vec<&[u8]> = Vec::new();
+    let base = data.as_ptr() as usize;
+    let mut first = true;
+    let flush = |tasks: &mut Vec<ColumnTask>, ranges: &[(u32, u32)], rows: usize| {
+        if rows == 0 {
+            return;
+        }
+        if options.parallel && tasks.len() > 1 {
+            std::thread::scope(|s| {
+                for (c, task) in tasks.iter_mut().enumerate() {
+                    s.spawn(move || task.parse_chunk(data, ranges, c, ncols, options.parser));
+                }
+            });
+        } else {
+            for (c, task) in tasks.iter_mut().enumerate() {
+                task.parse_chunk(data, ranges, c, ncols, options.parser);
+            }
+        }
+    };
+    for_each_line(data, |line| {
+        if first {
+            first = false;
+            if schema.has_header {
+                return;
+            }
+        }
+        split_fields(line, schema.separator, &mut scratch);
+        for c in 0..ncols {
+            match scratch.get(c) {
+                Some(f) => {
+                    let off = (f.as_ptr() as usize - base) as u32;
+                    ranges.push((off, off + f.len() as u32));
+                }
+                // Short row: the missing field is NULL (empty range).
+                None => ranges.push((0, 0)),
+            }
+        }
+        rows_in_chunk += 1;
+        if rows_in_chunk == ROWS_PER_CHUNK {
+            flush(&mut tasks, &ranges, rows_in_chunk);
+            ranges.clear();
+            rows_in_chunk = 0;
+        }
+    });
+    flush(&mut tasks, &ranges, rows_in_chunk);
+
+    let mut columns = Vec::with_capacity(ncols);
+    let mut reencodings = Vec::with_capacity(ncols);
+    let mut parse_errors = 0u64;
+    let mut split_bytes = 0u64;
+    for task in tasks {
+        parse_errors += task.errors;
+        split_bytes += task.split_buf.len() as u64;
+        if let Some(builder) = task.builder {
+            let BuiltColumn { column, reencodings: re, .. } = builder.finish();
+            reencodings.push((task.name.to_owned(), re));
+            columns.push(column);
+        }
+    }
+    Ok(ImportResult {
+        table: Table::new(options.table_name.clone(), columns),
+        reencodings,
+        parse_errors,
+        bytes_read: data.len() as u64,
+        split_bytes,
+        schema,
+    })
+}
+
+/// Convenience: split-column output paths for a given table path.
+pub fn split_dir_for(path: impl AsRef<Path>) -> PathBuf {
+    let mut p = path.as_ref().to_path_buf();
+    let name = p.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+    p.set_file_name(format!("{name}_split"));
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tde_types::Value;
+
+    const SAMPLE: &[u8] = b"1|alpha|2.5|1995-01-01|\n\
+                            2|beta|3.5|1995-01-02|\n\
+                            3|alpha||1995-01-03|\n\
+                            4|gamma|9.25|1995-01-04|\n";
+
+    #[test]
+    fn import_all_columns() {
+        let r = import_bytes(SAMPLE, &ImportOptions::default()).unwrap();
+        let t = &r.table;
+        assert_eq!(t.row_count(), 4);
+        assert_eq!(t.columns.len(), 4);
+        assert_eq!(t.columns[0].value(0), Value::Int(1));
+        assert_eq!(t.columns[1].value(1), Value::Str("beta".into()));
+        assert_eq!(t.columns[2].value(2), Value::Null); // empty field
+        assert_eq!(t.columns[3].value(3), Value::date(1995, 1, 4));
+        assert_eq!(r.parse_errors, 0);
+    }
+
+    #[test]
+    fn scalars_mode_splits_strings() {
+        let opts = ImportOptions { mode: ScanMode::Scalars, ..ImportOptions::default() };
+        let r = import_bytes(SAMPLE, &opts).unwrap();
+        // Only the three scalar columns are materialized.
+        assert_eq!(r.table.columns.len(), 3);
+        assert!(r.split_bytes > 0);
+    }
+
+    #[test]
+    fn header_file_with_types() {
+        let data = b"id,when,ok\n1,1999-05-05,true\n2,1999-05-06,false\n";
+        let r = import_bytes(data, &ImportOptions::default()).unwrap();
+        assert_eq!(r.table.row_count(), 2);
+        assert_eq!(r.table.column("when").unwrap().value(0), Value::date(1999, 5, 5));
+        assert_eq!(r.table.column("ok").unwrap().value(1), Value::Bool(false));
+    }
+
+    #[test]
+    fn explicit_schema_overrides_inference() {
+        // Force the integer column to be read as Real.
+        let opts = ImportOptions {
+            schema: Some(vec![
+                ("a".to_owned(), DataType::Real),
+                ("b".to_owned(), DataType::Str),
+                ("c".to_owned(), DataType::Real),
+                ("d".to_owned(), DataType::Str),
+            ]),
+            has_header: Some(false),
+            ..ImportOptions::default()
+        };
+        let r = import_bytes(SAMPLE, &opts).unwrap();
+        assert_eq!(r.table.column("a").unwrap().value(0), Value::Real(1.0));
+        assert_eq!(r.table.column("d").unwrap().value(0), Value::Str("1995-01-01".into()));
+    }
+
+    #[test]
+    fn parse_errors_become_nulls() {
+        // A clean sample infers Integer; a dirty value past the sample
+        // window (100 lines) parses as NULL and is counted.
+        let mut data = Vec::new();
+        for i in 0..150 {
+            if i == 140 {
+                data.extend_from_slice(b"oops|z|\n");
+            } else {
+                data.extend_from_slice(format!("{i}|z|\n").as_bytes());
+            }
+        }
+        let r = import_bytes(&data, &ImportOptions::default()).unwrap();
+        assert_eq!(r.parse_errors, 1);
+        assert_eq!(r.table.columns[0].value(140), Value::Null);
+        assert_eq!(r.table.columns[0].value(141), Value::Int(141));
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let serial = import_bytes(
+            SAMPLE,
+            &ImportOptions { parallel: false, ..ImportOptions::default() },
+        )
+        .unwrap();
+        let parallel = import_bytes(
+            SAMPLE,
+            &ImportOptions { parallel: true, ..ImportOptions::default() },
+        )
+        .unwrap();
+        for (a, b) in serial.table.columns.iter().zip(&parallel.table.columns) {
+            for row in 0..serial.table.row_count() {
+                assert_eq!(a.value(row), b.value(row));
+            }
+        }
+    }
+
+    #[test]
+    fn locale_parsers_agree_with_buffer_parsers() {
+        let with_locale = import_bytes(
+            SAMPLE,
+            &ImportOptions { parser: ParserKind::LocaleLocking, ..ImportOptions::default() },
+        )
+        .unwrap();
+        let buffer = import_bytes(SAMPLE, &ImportOptions::default()).unwrap();
+        for (a, b) in with_locale.table.columns.iter().zip(&buffer.table.columns) {
+            for row in 0..buffer.table.row_count() {
+                assert_eq!(a.value(row), b.value(row));
+            }
+        }
+    }
+
+    #[test]
+    fn tokenize_and_bandwidth() {
+        let dir = std::env::temp_dir().join("tde_textscan_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("s.tbl");
+        std::fs::write(&p, SAMPLE).unwrap();
+        let (bytes, _sum) = read_bandwidth(&p).unwrap();
+        assert_eq!(bytes, SAMPLE.len() as u64);
+        let (_, rows, fields) = tokenize(&p).unwrap();
+        assert_eq!(rows, 4);
+        assert_eq!(fields, 16);
+    }
+
+    #[test]
+    fn split_writes_column_files() {
+        let dir = std::env::temp_dir().join("tde_textscan_split");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("s.tbl");
+        std::fs::write(&p, SAMPLE).unwrap();
+        let out = dir.join("out");
+        let (read, written) = split(&p, &out).unwrap();
+        assert_eq!(read, SAMPLE.len() as u64);
+        assert!(written > 0);
+        let col1 = std::fs::read_to_string(out.join("col_1.txt")).unwrap();
+        assert_eq!(col1, "\"alpha\"\n\"beta\"\n\"alpha\"\n\"gamma\"\n");
+    }
+
+    #[test]
+    fn short_rows_pad_with_nulls() {
+        let data = b"1|a|\n2|\n3|c|\n";
+        let r = import_bytes(data, &ImportOptions::default()).unwrap();
+        assert_eq!(r.table.row_count(), 3);
+        assert_eq!(r.table.columns[1].value(1), Value::Null);
+    }
+}

@@ -1,0 +1,124 @@
+//! Record and field boundary detection (paper §5.1.1).
+//!
+//! A sample of rows is tokenized using the record separator (default
+//! end-of-line); simple statistical analysis over the sample determines
+//! the field separator: the candidate with the most consistent, non-zero
+//! per-line count wins.
+
+/// Field separator candidates, in tie-break priority order.
+pub const CANDIDATES: [u8; 4] = [b'|', b',', b'\t', b';'];
+
+/// How many sample lines the sniffers look at.
+pub const SAMPLE_LINES: usize = 100;
+
+/// Split the first `limit` lines of `data` (handles missing trailing
+/// newline).
+pub fn sample_lines(data: &[u8], limit: usize) -> Vec<&[u8]> {
+    let mut lines = Vec::with_capacity(limit.min(64));
+    let mut start = 0;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            let end = if i > start && data[i - 1] == b'\r' { i - 1 } else { i };
+            lines.push(&data[start..end]);
+            start = i + 1;
+            if lines.len() == limit {
+                return lines;
+            }
+        }
+    }
+    if start < data.len() {
+        lines.push(&data[start..]);
+    }
+    lines
+}
+
+/// Detect the field separator from a sample: for each candidate compute
+/// the per-line occurrence counts; prefer the candidate whose count is
+/// non-zero and constant across lines, breaking ties by the larger count
+/// and then by candidate priority.
+pub fn detect_separator(data: &[u8]) -> u8 {
+    let lines = sample_lines(data, SAMPLE_LINES);
+    if lines.is_empty() {
+        return CANDIDATES[0];
+    }
+    let mut best = (false, 0u64, usize::MAX); // (consistent, count, priority)
+    let mut best_sep = CANDIDATES[0];
+    for (prio, &sep) in CANDIDATES.iter().enumerate() {
+        let counts: Vec<u64> =
+            lines.iter().map(|l| l.iter().filter(|&&b| b == sep).count() as u64).collect();
+        let first = counts[0];
+        if first == 0 {
+            continue;
+        }
+        let consistent = counts.iter().all(|&c| c == first);
+        let key = (consistent, first, usize::MAX - prio);
+        if key > best {
+            best = key;
+            best_sep = sep;
+        }
+    }
+    best_sep
+}
+
+/// Split one record into fields. A trailing separator (dbgen's
+/// `|`-terminated rows) does not produce a trailing empty field.
+pub fn split_fields<'a>(line: &'a [u8], sep: u8, out: &mut Vec<&'a [u8]>) {
+    out.clear();
+    let line = if line.last() == Some(&sep) { &line[..line.len() - 1] } else { line };
+    let mut start = 0;
+    for (i, &b) in line.iter().enumerate() {
+        if b == sep {
+            out.push(&line[start..i]);
+            start = i + 1;
+        }
+    }
+    out.push(&line[start..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_pipe() {
+        let data = b"1|foo|2.5|\n2|bar|3.5|\n3|baz|4.5|\n";
+        assert_eq!(detect_separator(data), b'|');
+    }
+
+    #[test]
+    fn detects_comma_with_noise() {
+        // Some commas appear inside text, but counts are consistent.
+        let data = b"a,b,c\nd,e,f\ng,h,i\n";
+        assert_eq!(detect_separator(data), b',');
+    }
+
+    #[test]
+    fn consistency_beats_count() {
+        // '|' appears consistently twice; ',' appears 3 then 1 times.
+        let data = b"a|b,c,d,e|f\ng|h,i|j\n";
+        assert_eq!(detect_separator(data), b'|');
+    }
+
+    #[test]
+    fn split_handles_trailing_separator() {
+        let mut out = Vec::new();
+        split_fields(b"1|foo|2.5|", b'|', &mut out);
+        assert_eq!(out, vec![&b"1"[..], b"foo", b"2.5"]);
+        split_fields(b"a,b,", b',', &mut out);
+        assert_eq!(out, vec![&b"a"[..], b"b"]);
+        split_fields(b"a,,c", b',', &mut out);
+        assert_eq!(out, vec![&b"a"[..], b"", b"c"]);
+    }
+
+    #[test]
+    fn sample_lines_handles_crlf_and_no_trailing_newline() {
+        let lines = sample_lines(b"a\r\nb\nc", 10);
+        assert_eq!(lines, vec![&b"a"[..], b"b", b"c"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(detect_separator(b""), b'|');
+        assert!(sample_lines(b"", 5).is_empty());
+    }
+}

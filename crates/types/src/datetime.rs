@@ -1,0 +1,171 @@
+//! Calendar arithmetic for `Date` and `Timestamp` columns.
+//!
+//! Dates are stored as days since 1970-01-01 and timestamps as microseconds
+//! since the epoch. The conversions use Howard Hinnant's branchless civil
+//! calendar algorithms, which are exact over the full `i32` day range.
+//!
+//! Date roll-ups (e.g. truncating to month start, paper §8) and part
+//! extraction (e.g. the expensive month calculation §3.4.3 pushes onto the
+//! dictionary) live here so the expression library and the IndexTable
+//! roll-up share one implementation.
+
+/// Microseconds per day.
+pub const MICROS_PER_DAY: i64 = 86_400_000_000;
+
+/// Days since 1970-01-01 for a civil (proleptic Gregorian) date.
+pub fn days_from_ymd(y: i32, m: u32, d: u32) -> i64 {
+    debug_assert!((1..=12).contains(&m));
+    debug_assert!((1..=31).contains(&d));
+    let y = i64::from(y) - i64::from(m <= 2);
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = i64::from((m + 9) % 12); // [0, 11], Mar = 0
+    let doy = (153 * mp + 2) / 5 + i64::from(d) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil (year, month, day) for a days-since-epoch value.
+pub fn ymd_from_days(days: i64) -> (i32, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+/// Extract the year of a date (days since epoch).
+#[inline]
+pub fn year_of(days: i64) -> i64 {
+    i64::from(ymd_from_days(days).0)
+}
+
+/// Extract the month (1–12) of a date (days since epoch).
+#[inline]
+pub fn month_of(days: i64) -> i64 {
+    i64::from(ymd_from_days(days).1)
+}
+
+/// Extract the day of month (1–31) of a date (days since epoch).
+#[inline]
+pub fn day_of(days: i64) -> i64 {
+    i64::from(ymd_from_days(days).2)
+}
+
+/// Roll a date down to the first day of its month — the order-preserving
+/// roll-up calculation the paper proposes applying to an IndexTable (§8).
+pub fn trunc_to_month(days: i64) -> i64 {
+    let (y, m, _) = ymd_from_days(days);
+    days_from_ymd(y, m, 1)
+}
+
+/// Roll a date down to the first day of its year.
+pub fn trunc_to_year(days: i64) -> i64 {
+    let (y, _, _) = ymd_from_days(days);
+    days_from_ymd(y, 1, 1)
+}
+
+/// Roll a timestamp (micros since epoch) down to the start of its hour.
+pub fn trunc_to_hour(micros: i64) -> i64 {
+    micros.div_euclid(3_600_000_000) * 3_600_000_000
+}
+
+/// Roll a timestamp down to the start of its day.
+pub fn trunc_to_day(micros: i64) -> i64 {
+    micros.div_euclid(MICROS_PER_DAY) * MICROS_PER_DAY
+}
+
+/// Day of week, 0 = Monday … 6 = Sunday (ISO).
+pub fn weekday(days: i64) -> u32 {
+    (days + 3).rem_euclid(7) as u32
+}
+
+/// Number of days in a given month of a given year.
+pub fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("invalid month {m}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_ymd(1970, 1, 1), 0);
+        assert_eq!(ymd_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(days_from_ymd(2000, 3, 1), 11_017);
+        assert_eq!(days_from_ymd(1969, 12, 31), -1);
+        assert_eq!(ymd_from_days(days_from_ymd(1992, 2, 29)), (1992, 2, 29));
+        // TPC-H date range endpoints.
+        assert_eq!(ymd_from_days(days_from_ymd(1992, 1, 1)), (1992, 1, 1));
+        assert_eq!(ymd_from_days(days_from_ymd(1998, 12, 31)), (1998, 12, 31));
+    }
+
+    #[test]
+    fn roundtrip_range() {
+        // Exhaustive roundtrip over ~60 years around the epoch.
+        for days in -11_000..11_000 {
+            let (y, m, d) = ymd_from_days(days);
+            assert_eq!(days_from_ymd(y, m, d), days, "day {days}");
+            assert!((1..=12).contains(&m));
+            assert!(d >= 1 && d <= days_in_month(y, m));
+        }
+    }
+
+    #[test]
+    fn month_extraction_and_truncation() {
+        let d = days_from_ymd(1995, 7, 14);
+        assert_eq!(year_of(d), 1995);
+        assert_eq!(month_of(d), 7);
+        assert_eq!(day_of(d), 14);
+        assert_eq!(trunc_to_month(d), days_from_ymd(1995, 7, 1));
+        assert_eq!(trunc_to_year(d), days_from_ymd(1995, 1, 1));
+    }
+
+    #[test]
+    fn truncation_is_monotone() {
+        // Order preservation is what makes roll-up safe on an IndexTable.
+        let mut prev = i64::MIN;
+        for days in 0..2000 {
+            let t = trunc_to_month(days);
+            assert!(t >= prev);
+            assert!(t <= days);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn timestamp_truncation() {
+        let micros = 3 * MICROS_PER_DAY + 5 * 3_600_000_000 + 42;
+        assert_eq!(trunc_to_day(micros), 3 * MICROS_PER_DAY);
+        assert_eq!(trunc_to_hour(micros), 3 * MICROS_PER_DAY + 5 * 3_600_000_000);
+        // Negative timestamps truncate toward -inf, not toward zero.
+        assert_eq!(trunc_to_day(-1), -MICROS_PER_DAY);
+    }
+
+    #[test]
+    fn weekday_known() {
+        assert_eq!(weekday(days_from_ymd(1970, 1, 1)), 3); // Thursday
+        assert_eq!(weekday(days_from_ymd(2024, 1, 1)), 0); // Monday
+    }
+}

@@ -1,0 +1,144 @@
+//! Core type system for the TDE reproduction.
+//!
+//! Tableau models data types loosely: only Boolean, integer, real, date,
+//! timestamp and locale-sensitive string types exist (paper §2.3.4). The
+//! engine is therefore free to choose any physical representation for a
+//! column, which this crate captures with the separation between
+//! [`DataType`] (logical) and [`Width`] (physical).
+//!
+//! NULL is represented with per-width *sentinel values* (paper §3.4.2),
+//! which is what lets the metadata extractor derive nullability from the
+//! minimum statistic of an encoded column.
+
+pub mod collation;
+pub mod datetime;
+pub mod sentinel;
+pub mod value;
+pub mod width;
+
+pub use collation::Collation;
+pub use sentinel::{is_null_real, null_sentinel, NULL_REAL_BITS};
+pub use value::Value;
+pub use width::Width;
+
+/// The logical data types Tableau exposes to the engine (paper §2.3.4).
+///
+/// The engine can pick any physical representation for each of these; e.g.
+/// an `Integer` column may be stored in 1, 2, 4 or 8 bytes depending on its
+/// observed domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean, stored as 0/1 with a sentinel for NULL.
+    Bool,
+    /// Signed integer; logical domain is `i64`.
+    Integer,
+    /// IEEE double; NULL is a dedicated NaN bit pattern.
+    Real,
+    /// Calendar date, stored as days since 1970-01-01.
+    Date,
+    /// Timestamp, stored as microseconds since 1970-01-01T00:00:00.
+    Timestamp,
+    /// Locale-collated string; column data holds heap tokens.
+    Str,
+}
+
+impl DataType {
+    /// Default physical width when a column of this type is first created,
+    /// before any narrowing has been applied (paper §6.5: integers and
+    /// tokens are parsed with a default width of 8 bytes).
+    pub fn default_width(self) -> Width {
+        match self {
+            DataType::Bool => Width::W1,
+            _ => Width::W8,
+        }
+    }
+
+    /// Whether the logical values are integers under the hood (everything
+    /// except `Real`), i.e. amenable to the integer bit-packing encodings.
+    pub fn is_integral(self) -> bool {
+        !matches!(self, DataType::Real)
+    }
+
+    /// Whether column data holds heap tokens rather than scalar values.
+    pub fn is_string(self) -> bool {
+        matches!(self, DataType::Str)
+    }
+
+    /// Short lowercase name used in plan explain output and file headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataType::Bool => "bool",
+            DataType::Integer => "int",
+            DataType::Real => "real",
+            DataType::Date => "date",
+            DataType::Timestamp => "timestamp",
+            DataType::Str => "str",
+        }
+    }
+
+    /// Stable one-byte tag used by the single-file database format.
+    pub fn tag(self) -> u8 {
+        match self {
+            DataType::Bool => 0,
+            DataType::Integer => 1,
+            DataType::Real => 2,
+            DataType::Date => 3,
+            DataType::Timestamp => 4,
+            DataType::Str => 5,
+        }
+    }
+
+    /// Inverse of [`DataType::tag`].
+    pub fn from_tag(tag: u8) -> Option<DataType> {
+        Some(match tag {
+            0 => DataType::Bool,
+            1 => DataType::Integer,
+            2 => DataType::Real,
+            3 => DataType::Date,
+            4 => DataType::Timestamp,
+            5 => DataType::Str,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for DataType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip() {
+        for dt in [
+            DataType::Bool,
+            DataType::Integer,
+            DataType::Real,
+            DataType::Date,
+            DataType::Timestamp,
+            DataType::Str,
+        ] {
+            assert_eq!(DataType::from_tag(dt.tag()), Some(dt));
+        }
+        assert_eq!(DataType::from_tag(17), None);
+    }
+
+    #[test]
+    fn default_widths() {
+        assert_eq!(DataType::Bool.default_width(), Width::W1);
+        assert_eq!(DataType::Integer.default_width(), Width::W8);
+        assert_eq!(DataType::Str.default_width(), Width::W8);
+    }
+
+    #[test]
+    fn integral_classification() {
+        assert!(DataType::Integer.is_integral());
+        assert!(DataType::Date.is_integral());
+        assert!(DataType::Str.is_integral()); // tokens are integers
+        assert!(!DataType::Real.is_integral());
+    }
+}

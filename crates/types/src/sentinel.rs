@@ -1,0 +1,80 @@
+//! Sentinel NULL representation.
+//!
+//! The TDE uses sentinel values for NULL (paper §3.4.2): the minimum
+//! representable value of the column's physical width. This makes
+//! nullability derivable from the encoding statistics — if the observed
+//! minimum equals the sentinel, the column contains NULLs.
+
+use crate::width::Width;
+
+/// The sentinel for signed integral values of a given width, expressed in
+/// the logical `i64` domain.
+#[inline]
+pub fn null_sentinel(width: Width) -> i64 {
+    match width {
+        Width::W1 => i8::MIN as i64,
+        Width::W2 => i16::MIN as i64,
+        Width::W4 => i32::MIN as i64,
+        Width::W8 => i64::MIN,
+    }
+}
+
+/// The logical (8-byte) sentinel, used everywhere inside the engine before
+/// a column has been narrowed.
+pub const NULL_I64: i64 = i64::MIN;
+
+/// Token 0 is reserved in every string heap for the NULL string, so a token
+/// of zero marks a NULL string value.
+pub const NULL_TOKEN: u64 = 0;
+
+/// NULL sentinel for `Real` columns: a quiet NaN with a payload that normal
+/// computation never produces.
+pub const NULL_REAL_BITS: u64 = 0x7FF8_0000_DEAD_BEEF;
+
+/// The NULL real as an `f64`.
+#[inline]
+pub fn null_real() -> f64 {
+    f64::from_bits(NULL_REAL_BITS)
+}
+
+/// Check whether an `f64` is the NULL sentinel (bit-exact, since ordinary
+/// NaN comparisons cannot distinguish payloads).
+#[inline]
+pub fn is_null_real(v: f64) -> bool {
+    v.to_bits() == NULL_REAL_BITS
+}
+
+/// Check whether a logical integral value is the 8-byte sentinel.
+#[inline]
+pub fn is_null_i64(v: i64) -> bool {
+    v == NULL_I64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinels_are_width_minima() {
+        assert_eq!(null_sentinel(Width::W1), -128);
+        assert_eq!(null_sentinel(Width::W2), -32768);
+        assert_eq!(null_sentinel(Width::W4), i32::MIN as i64);
+        assert_eq!(null_sentinel(Width::W8), i64::MIN);
+    }
+
+    #[test]
+    fn null_real_is_nan_but_distinguishable() {
+        let n = null_real();
+        assert!(n.is_nan());
+        assert!(is_null_real(n));
+        assert!(!is_null_real(f64::NAN));
+        assert!(!is_null_real(0.0));
+    }
+
+    #[test]
+    fn null_i64_detection() {
+        assert!(is_null_i64(NULL_I64));
+        assert!(!is_null_i64(0));
+        assert!(!is_null_i64(i64::MIN + 1));
+    }
+}

@@ -1,0 +1,206 @@
+//! Scalar values crossing the engine boundary (constants in expressions,
+//! query results, dictionary entries).
+
+use crate::datetime::{days_from_ymd, ymd_from_days, MICROS_PER_DAY};
+use crate::sentinel::{is_null_real, null_real, NULL_I64};
+use crate::DataType;
+
+/// A single scalar value of one of Tableau's six logical types.
+///
+/// Inside columns, values live as raw widened integers/doubles; `Value` is
+/// the boxed form used at the edges (expression constants, result rows,
+/// import parsing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL of any type.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// IEEE double.
+    Real(f64),
+    /// Date: days since 1970-01-01.
+    Date(i64),
+    /// Timestamp: microseconds since the epoch.
+    Timestamp(i64),
+    /// String.
+    Str(String),
+}
+
+impl Value {
+    /// The logical type, or `None` for NULL (NULL is typeless until bound
+    /// to a column).
+    pub fn data_type(&self) -> Option<DataType> {
+        Some(match self {
+            Value::Null => return None,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Integer,
+            Value::Real(_) => DataType::Real,
+            Value::Date(_) => DataType::Date,
+            Value::Timestamp(_) => DataType::Timestamp,
+            Value::Str(_) => DataType::Str,
+        })
+    }
+
+    /// True for `Value::Null` and for the in-band sentinel encodings.
+    pub fn is_null(&self) -> bool {
+        match self {
+            Value::Null => true,
+            Value::Int(v) | Value::Date(v) | Value::Timestamp(v) => *v == NULL_I64,
+            Value::Real(v) => is_null_real(*v),
+            _ => false,
+        }
+    }
+
+    /// The logical integral representation used in column storage, if this
+    /// value has one (everything except `Real` and `Str`).
+    pub fn as_i64(&self) -> Option<i64> {
+        Some(match self {
+            Value::Null => NULL_I64,
+            Value::Bool(b) => i64::from(*b),
+            Value::Int(v) | Value::Date(v) | Value::Timestamp(v) => *v,
+            _ => return None,
+        })
+    }
+
+    /// The floating-point representation, converting integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self {
+            Value::Null => null_real(),
+            Value::Int(v) => *v as f64,
+            Value::Real(v) => *v,
+            _ => return None,
+        })
+    }
+
+    /// Reconstruct a value of `dtype` from its stored integral form.
+    pub fn from_i64(dtype: DataType, raw: i64) -> Value {
+        if raw == NULL_I64 {
+            return Value::Null;
+        }
+        match dtype {
+            DataType::Bool => Value::Bool(raw != 0),
+            DataType::Integer => Value::Int(raw),
+            DataType::Date => Value::Date(raw),
+            DataType::Timestamp => Value::Timestamp(raw),
+            DataType::Real | DataType::Str => {
+                panic!("from_i64 called for non-integral type {dtype}")
+            }
+        }
+    }
+
+    /// Convenience constructor for dates.
+    pub fn date(y: i32, m: u32, d: u32) -> Value {
+        Value::Date(days_from_ymd(y, m, d))
+    }
+
+    /// Convenience constructor for timestamps at midnight.
+    pub fn timestamp_midnight(y: i32, m: u32, d: u32) -> Value {
+        Value::Timestamp(days_from_ymd(y, m, d) * MICROS_PER_DAY)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => {
+                if is_null_real(*v) {
+                    f.write_str("NULL")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Date(d) => {
+                if *d == NULL_I64 {
+                    return f.write_str("NULL");
+                }
+                let (y, m, dd) = ymd_from_days(*d);
+                write!(f, "{y:04}-{m:02}-{dd:02}")
+            }
+            Value::Timestamp(us) => {
+                if *us == NULL_I64 {
+                    return f.write_str("NULL");
+                }
+                let days = us.div_euclid(MICROS_PER_DAY);
+                let rem = us.rem_euclid(MICROS_PER_DAY);
+                let (y, m, dd) = ymd_from_days(days);
+                let secs = rem / 1_000_000;
+                let (h, mi, s) = (secs / 3600, (secs / 60) % 60, secs % 60);
+                write!(f, "{y:04}-{m:02}-{dd:02} {h:02}:{mi:02}:{s:02}")
+            }
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Real(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_detection() {
+        assert!(Value::Null.is_null());
+        assert!(Value::Int(NULL_I64).is_null());
+        assert!(Value::Real(null_real()).is_null());
+        assert!(!Value::Int(0).is_null());
+        assert!(!Value::Real(f64::NAN).is_null()); // plain NaN is not NULL
+    }
+
+    #[test]
+    fn i64_roundtrip() {
+        for v in [Value::Bool(true), Value::Int(-5), Value::date(1995, 7, 14)] {
+            let raw = v.as_i64().unwrap();
+            let dt = v.data_type().unwrap();
+            assert_eq!(Value::from_i64(dt, raw), v);
+        }
+        assert_eq!(Value::from_i64(DataType::Integer, NULL_I64), Value::Null);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::date(1998, 12, 1).to_string(), "1998-12-01");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(
+            Value::timestamp_midnight(2001, 2, 3).to_string(),
+            "2001-02-03 00:00:00"
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::Int(2).as_f64(), Some(2.0));
+    }
+}

@@ -1,0 +1,141 @@
+//! Physical widths for fixed-width column data.
+//!
+//! Minimising data width is an explicit physical design goal of the TDE
+//! (paper §2.3.4): 1–2 byte keys allow direct hashing with a 64K lookup
+//! table, 3–4 byte keys admit a perfect hash, and anything wider needs
+//! collision detection. Width is therefore a first-class concept that the
+//! narrowing manipulations (§3.4.1) operate on.
+
+/// Physical width of a fixed-width value, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Width {
+    /// 1 byte.
+    W1,
+    /// 2 bytes.
+    W2,
+    /// 4 bytes.
+    W4,
+    /// 8 bytes.
+    W8,
+}
+
+impl Width {
+    /// Number of bytes.
+    #[inline]
+    pub fn bytes(self) -> usize {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        self.bytes() as u32 * 8
+    }
+
+    /// Construct from a byte count. Only 1, 2, 4 and 8 are valid.
+    pub fn from_bytes(bytes: usize) -> Option<Width> {
+        Some(match bytes {
+            1 => Width::W1,
+            2 => Width::W2,
+            4 => Width::W4,
+            8 => Width::W8,
+            _ => return None,
+        })
+    }
+
+    /// Smallest width whose *signed* range contains every value in
+    /// `[min, max]`, leaving room for the sentinel (the sentinel is the
+    /// minimum representable value of the width, so `min` must be strictly
+    /// greater than it when `reserve_sentinel` is set).
+    pub fn for_signed_range(min: i64, max: i64, reserve_sentinel: bool) -> Width {
+        debug_assert!(min <= max);
+        let slack = i64::from(reserve_sentinel);
+        for w in [Width::W1, Width::W2, Width::W4] {
+            let lo = -(1i64 << (w.bits() - 1)) + slack;
+            let hi = (1i64 << (w.bits() - 1)) - 1;
+            if min >= lo && max <= hi {
+                return w;
+            }
+        }
+        Width::W8
+    }
+
+    /// Smallest width whose *unsigned* range contains every value in
+    /// `[0, max]`. Used for heap tokens and dictionary indexes, which are
+    /// unsigned (paper §3.1: packed values are treated as unsigned).
+    pub fn for_unsigned_max(max: u64) -> Width {
+        if max <= u8::MAX as u64 {
+            Width::W1
+        } else if max <= u16::MAX as u64 {
+            Width::W2
+        } else if max <= u32::MAX as u64 {
+            Width::W4
+        } else {
+            Width::W8
+        }
+    }
+
+    /// The widths in ascending order, useful for histograms (Figs 8 & 9).
+    pub const ALL: [Width; 4] = [Width::W1, Width::W2, Width::W4, Width::W8];
+}
+
+impl Default for Width {
+    /// Columns start at the default width of 8 bytes (paper §6.5).
+    fn default() -> Width {
+        Width::W8
+    }
+}
+
+impl std::fmt::Display for Width {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_and_bits() {
+        assert_eq!(Width::W1.bytes(), 1);
+        assert_eq!(Width::W8.bits(), 64);
+        assert_eq!(Width::from_bytes(4), Some(Width::W4));
+        assert_eq!(Width::from_bytes(3), None);
+    }
+
+    #[test]
+    fn signed_range_without_sentinel() {
+        assert_eq!(Width::for_signed_range(-128, 127, false), Width::W1);
+        assert_eq!(Width::for_signed_range(-129, 0, false), Width::W2);
+        assert_eq!(Width::for_signed_range(0, 128, false), Width::W2);
+        assert_eq!(Width::for_signed_range(0, 1 << 20, false), Width::W4);
+        assert_eq!(Width::for_signed_range(i64::MIN, i64::MAX, false), Width::W8);
+    }
+
+    #[test]
+    fn signed_range_reserving_sentinel() {
+        // -128 is the W1 sentinel, so a column containing it must widen.
+        assert_eq!(Width::for_signed_range(-128, 0, true), Width::W2);
+        assert_eq!(Width::for_signed_range(-127, 127, true), Width::W1);
+    }
+
+    #[test]
+    fn unsigned_max() {
+        assert_eq!(Width::for_unsigned_max(0), Width::W1);
+        assert_eq!(Width::for_unsigned_max(255), Width::W1);
+        assert_eq!(Width::for_unsigned_max(256), Width::W2);
+        assert_eq!(Width::for_unsigned_max(u64::from(u32::MAX) + 1), Width::W8);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Width::W1 < Width::W2);
+        assert!(Width::W4 < Width::W8);
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: import a flat file, save a single-file extract, query it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tde::exec::expr::{AggFunc, CmpOp, Expr};
+use tde::textscan::ImportOptions;
+use tde::{Extract, Query};
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join("tde_quickstart");
+    std::fs::create_dir_all(&dir)?;
+
+    // 1. Make a small CSV (in real use this is your data file).
+    let csv = dir.join("orders.csv");
+    let mut text = String::from("day,region,qty,price\n");
+    for i in 0..10_000u32 {
+        text.push_str(&format!(
+            "2024-{:02}-{:02},{},{},{}.{:02}\n",
+            1 + (i / 900) % 12,
+            1 + i % 28,
+            ["east", "west", "north", "south"][(i % 4) as usize],
+            i % 50,
+            3 + i % 90,
+            i % 100,
+        ));
+    }
+    std::fs::write(&csv, text)?;
+
+    // 2. Import: separator, header and types are inferred; columns are
+    //    dynamically encoded, narrowed and annotated with metadata.
+    let mut extract = Extract::new();
+    let table = extract.import(
+        &csv,
+        &ImportOptions { table_name: "orders".into(), ..Default::default() },
+    )?;
+    println!("imported {} rows", table.row_count());
+    for col in &table.columns {
+        println!(
+            "  {:<8} {:<9} encoding={:<6} width={} physical={}B logical={}B",
+            col.name,
+            col.dtype.to_string(),
+            col.data.algorithm().to_string(),
+            col.metadata.width,
+            col.physical_size(),
+            col.logical_size(),
+        );
+    }
+
+    // 3. Save the whole extract as ONE file and load it back.
+    let file = dir.join("orders.tde");
+    extract.save(&file)?;
+    println!(
+        "\nsaved {} ({} bytes on disk, {} bytes logical)",
+        file.display(),
+        std::fs::metadata(&file)?.len(),
+        extract.logical_size(),
+    );
+    let extract = Extract::load(&file)?;
+
+    // 4. Query: qty statistics per region for busy days.
+    let orders = extract.table("orders").unwrap();
+    let query = Query::scan(&orders)
+        .filter(Expr::cmp(CmpOp::Ge, Expr::col(2), Expr::int(25)))
+        .aggregate(
+            vec![1],
+            vec![(AggFunc::Count, 2, "orders"), (AggFunc::Max, 2, "max_qty")],
+        );
+    println!("\nplan:\n{}", {
+        let q = Query::scan(&orders)
+            .filter(Expr::cmp(CmpOp::Ge, Expr::col(2), Expr::int(25)))
+            .aggregate(
+                vec![1],
+                vec![(AggFunc::Count, 2, "orders"), (AggFunc::Max, 2, "max_qty")],
+            );
+        q.explain()
+    });
+    println!("region   orders  max_qty");
+    let mut rows = query.rows();
+    rows.sort_by_key(|r| r[0].to_string());
+    for row in rows {
+        println!("{:<8} {:<7} {}", row[0], row[1], row[2]);
+    }
+    Ok(())
+}
