@@ -57,8 +57,7 @@ fn main() {
             for _ in 0..scale.reps.max(2) {
                 s = Some(build(block_size, kind));
             }
-            let encode_rate =
-                (N * scale.reps.max(2)) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+            let encode_rate = (N * scale.reps.max(2)) as f64 / t0.elapsed().as_secs_f64() / 1e6;
             let s = s.unwrap();
             // Decode.
             let t0 = Instant::now();
@@ -71,8 +70,7 @@ fn main() {
                     sink = sink.wrapping_add(out[0]);
                 }
             }
-            let decode_rate =
-                (N * scale.reps.max(2)) as f64 / t0.elapsed().as_secs_f64() / 1e6;
+            let decode_rate = (N * scale.reps.max(2)) as f64 / t0.elapsed().as_secs_f64() / 1e6;
             // Random access.
             let probes = 100_000u64;
             let t0 = Instant::now();

@@ -44,7 +44,10 @@ fn rle_column(rows: u64, run_len: u64) -> Column {
 fn main() {
     let scale = Scale::from_env();
     let rows = scale.rle_small.max(1_000_000);
-    banner("Ablation A2 (§8)", "RLE rewrite: run decomposition vs full re-encode");
+    banner(
+        "Ablation A2 (§8)",
+        "RLE rewrite: run decomposition vs full re-encode",
+    );
     println!("rows = {rows}\n");
     println!(
         "{:>9} {:>9} {:>16} {:>16} {:>9}",
@@ -75,7 +78,11 @@ fn main() {
         }
         println!(
             "{:>9} {:>9} {:>16.4} {:>16.4} {:>8.1}x",
-            run_len, runs, t_dec, t_full, t_full / t_dec
+            run_len,
+            runs,
+            t_dec,
+            t_full,
+            t_full / t_dec
         );
     }
     println!("\nThe decomposition route costs O(runs): its advantage over the");

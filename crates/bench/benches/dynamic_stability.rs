@@ -36,7 +36,10 @@ fn report(label: &str, result: &tde_textscan::ImportResult) {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("§3.2 (E9)", "dynamic encoder stability (mid-load re-encodings)");
+    banner(
+        "§3.2 (E9)",
+        "dynamic encoder stability (mid-load re-encodings)",
+    );
 
     let dir = tpch_files(scale.sf_large);
     let opts = import_options(TpchTable::Lineitem, true, true, ScanMode::All);

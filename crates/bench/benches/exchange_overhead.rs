@@ -29,7 +29,10 @@ fn build_table(rows: i64) -> Arc<Table> {
         id.append_i64(i);
         val.append_i64(i % 89);
     }
-    Arc::new(Table::new("t", vec![id.finish().column, val.finish().column]))
+    Arc::new(Table::new(
+        "t",
+        vec![id.finish().column, val.finish().column],
+    ))
 }
 
 /// The parallel per-block work: a filter plus per-row computation with
@@ -72,15 +75,22 @@ fn run_size(table: &Arc<Table>, routing: Routing, workers: usize) -> u64 {
 fn main() {
     let scale = Scale::from_env();
     let rows = (scale.rle_small as i64).max(1_000_000);
-    banner("§4.3 (E8)", "order-preserving exchange: overhead and encoding quality");
+    banner(
+        "§4.3 (E8)",
+        "order-preserving exchange: overhead and encoding quality",
+    );
     println!("rows={rows}, workers=4, downstream FlowTable encodes the result\n");
     let table = build_table(rows);
 
-    println!("{:<22} {:>12} {:>16}", "routing", "exchange (s)", "encoded bytes");
+    println!(
+        "{:<22} {:>12} {:>16}",
+        "routing", "exchange (s)", "encoded bytes"
+    );
     let mut results = Vec::new();
-    for (name, routing) in
-        [("as-completed", Routing::AsCompleted), ("order-preserving", Routing::OrderPreserving)]
-    {
+    for (name, routing) in [
+        ("as-completed", Routing::AsCompleted),
+        ("order-preserving", Routing::OrderPreserving),
+    ] {
         let mut best = f64::MAX;
         for _ in 0..scale.reps.max(3) {
             best = best.min(run_timing(&table, routing, 4));

@@ -38,24 +38,35 @@ fn run_query(
     opts: OptimizerOptions,
 ) -> usize {
     Query::scan_columns(table, &[key, other])
-        .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(100 - selectivity)))
+        .filter(Expr::cmp(
+            CmpOp::Gt,
+            Expr::col(0),
+            Expr::int(100 - selectivity),
+        ))
         .aggregate(vec![0], vec![(AggFunc::Max, 1, "mx")])
         .with_optimizer(opts)
         .rows()
         .len()
 }
 
-fn sweep(table: &Arc<Table>, rows: u64, reps: usize) {
+fn sweep(table: &Arc<Table>, rows: u64, reps: usize, report: &mut BenchReport) {
     let control = OptimizerOptions {
         invisible_joins: false,
         index_tables: false,
         ordered_retrieval: false,
     };
-    let indexed = OptimizerOptions { ordered_retrieval: false, ..Default::default() };
+    let indexed = OptimizerOptions {
+        ordered_retrieval: false,
+        ..Default::default()
+    };
     let ordered = OptimizerOptions::default();
 
     for key in ["primary", "secondary"] {
-        let other = if key == "primary" { "secondary" } else { "primary" };
+        let other = if key == "primary" {
+            "secondary"
+        } else {
+            "primary"
+        };
         println!("\n-- {rows} rows, filter on {key} --");
         println!(
             "{:>11} {:>12} {:>12} {:>12} {:>8} {:>8}",
@@ -74,6 +85,9 @@ fn sweep(table: &Arc<Table>, rows: u64, reps: usize) {
             });
             assert_eq!(groups[0], groups[1], "plans disagree");
             assert_eq!(groups[0], groups[2], "plans disagree");
+            for (plan, t) in [("scan", t1), ("index", t2), ("sorted", t3)] {
+                report.timing(&format!("{rows}r {key} sel={sel}% {plan}"), t);
+            }
             println!(
                 "{:>10}% {:>11.4}s {:>11.4}s {:>11.4}s {:>7.2}x {:>7.2}x",
                 sel,
@@ -89,8 +103,15 @@ fn sweep(table: &Arc<Table>, rows: u64, reps: usize) {
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 10", "filter + aggregate over run-length data, three plans");
-    println!("(RLE_SMALL={}, RLE_LARGE={}, reps={})", scale.rle_small, scale.rle_large, scale.reps);
+    let mut report = BenchReport::new("fig10_filtering");
+    banner(
+        "Figure 10",
+        "filter + aggregate over run-length data, three plans",
+    );
+    println!(
+        "(RLE_SMALL={}, RLE_LARGE={}, reps={})",
+        scale.rle_small, scale.rle_large, scale.reps
+    );
 
     for (label, rows) in [("small", scale.rle_small), ("large", scale.rle_large)] {
         println!("\nbuilding the {label} table ...");
@@ -101,11 +122,28 @@ fn main() {
             "  secondary runs: {} (avg {:.0} rows — {} the {}-row block size)",
             runs,
             avg,
-            if avg >= tde_encodings::BLOCK_SIZE as f64 { "above" } else { "below" },
+            if avg >= tde_encodings::BLOCK_SIZE as f64 {
+                "above"
+            } else {
+                "below"
+            },
             tde_encodings::BLOCK_SIZE
         );
-        sweep(&table, rows, scale.reps);
+        report.table(&table);
+        sweep(&table, rows, scale.reps, &mut report);
+
+        // One fully traced run of the ordered plan at 10% selectivity:
+        // the per-operator tree plus the tactical decisions behind it.
+        let traced = Query::scan_columns(&table, &["secondary", "primary"])
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(90)))
+            .aggregate(vec![0], vec![(AggFunc::Max, 1, "mx")])
+            .explain_analyze();
+        report.json(
+            &format!("explain:{label} secondary sel=10%"),
+            traced.to_json(),
+        );
     }
+    report.write();
 
     println!("\nPaper check: primary-key index plans ≈2× over the control;");
     println!("secondary-key ordered plan wins on the large table but degrades");

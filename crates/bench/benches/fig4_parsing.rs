@@ -14,12 +14,22 @@ use tde_bench::*;
 use tde_datagen::tpch::TpchTable;
 use tde_textscan::{import_file, read_bandwidth, split, tokenize, ScanMode};
 
-fn run_table(label: &str, path: &std::path::Path, opts_for: &dyn Fn(bool, bool, ScanMode) -> tde_textscan::ImportOptions, reps: usize) {
+fn run_table(
+    label: &str,
+    path: &std::path::Path,
+    opts_for: &dyn Fn(bool, bool, ScanMode) -> tde_textscan::ImportOptions,
+    reps: usize,
+) {
     let bytes = file_size(path);
     println!("\n-- {label} ({} MB) --", mb(bytes));
     println!("{:<26} {:>9}  {:>9}", "mode", "seconds", "MB/s");
     let report = |mode: &str, secs: f64| {
-        println!("{:<26} {:>9.3}  {:>9.1}", mode, secs, bytes as f64 / 1e6 / secs);
+        println!(
+            "{:<26} {:>9.3}  {:>9.1}",
+            mode,
+            secs,
+            bytes as f64 / 1e6 / secs
+        );
     };
 
     let t = measure(reps, || {
@@ -62,8 +72,14 @@ fn run_table(label: &str, path: &std::path::Path, opts_for: &dyn Fn(bool, bool, 
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 4", "parsing performance (import latency per deferral level)");
-    println!("(SF_LARGE={}, FLIGHTS_ROWS={}, reps={})", scale.sf_large, scale.flights_rows, scale.reps);
+    banner(
+        "Figure 4",
+        "parsing performance (import latency per deferral level)",
+    );
+    println!(
+        "(SF_LARGE={}, FLIGHTS_ROWS={}, reps={})",
+        scale.sf_large, scale.flights_rows, scale.reps
+    );
 
     let tpch_dir = tpch_files(scale.sf_large);
     let lineitem = tpch_dir.join(TpchTable::Lineitem.file_name());

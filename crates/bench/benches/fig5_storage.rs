@@ -19,8 +19,7 @@ use tde_textscan::{import_file, ScanMode};
 fn breakdown(table: &Table) -> BTreeMap<&'static str, u64> {
     let mut by_alg: BTreeMap<&'static str, u64> = BTreeMap::new();
     for col in &table.columns {
-        *by_alg.entry(col.data.algorithm().name()).or_default() +=
-            col.data.physical_size() as u64;
+        *by_alg.entry(col.data.algorithm().name()).or_default() += col.data.physical_size() as u64;
         match &col.compression {
             tde_storage::Compression::Heap { heap, .. } => {
                 *by_alg.entry("heap").or_default() += heap.byte_size() as u64;
@@ -34,7 +33,11 @@ fn breakdown(table: &Table) -> BTreeMap<&'static str, u64> {
     by_alg
 }
 
-fn run_table(label: &str, path: &std::path::Path, opts_for: &dyn Fn(bool, bool) -> tde_textscan::ImportOptions) {
+fn run_table(
+    label: &str,
+    path: &std::path::Path,
+    opts_for: &dyn Fn(bool, bool) -> tde_textscan::ImportOptions,
+) {
     let flat = file_size(path);
     println!("\n-- {label} (flat file {} MB) --", mb(flat));
     println!(
@@ -63,7 +66,11 @@ fn run_table(label: &str, path: &std::path::Path, opts_for: &dyn Fn(bool, bool) 
 }
 
 fn onoff(b: bool) -> &'static str {
-    if b { "on" } else { "off" }
+    if b {
+        "on"
+    } else {
+        "off"
+    }
 }
 
 fn main() {
@@ -75,9 +82,11 @@ fn main() {
         &tpch_dir.join(TpchTable::Lineitem.file_name()),
         &|enc, accel| import_options(TpchTable::Lineitem, enc, accel, ScanMode::All),
     );
-    run_table("flights", &flights_file(scale.flights_rows), &|enc, accel| {
-        flights_options(enc, accel, ScanMode::All)
-    });
+    run_table(
+        "flights",
+        &flights_file(scale.flights_rows),
+        &|enc, accel| flights_options(enc, accel, ScanMode::All),
+    );
 
     // E11: whole-database size over the SF table set, with and without
     // encodings (the paper's "660 MB → −140 MB" comparison at SF-1).
@@ -93,7 +102,11 @@ fn main() {
         }
         let size = db.serialized_size();
         sizes.push(size);
-        println!("encodings {:>3}: single-file database = {} MB", onoff(enc), mb(size));
+        println!(
+            "encodings {:>3}: single-file database = {} MB",
+            onoff(enc),
+            mb(size)
+        );
     }
     println!(
         "encoding the database saved {} MB ({:.0}%)",

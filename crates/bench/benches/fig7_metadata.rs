@@ -14,13 +14,24 @@ use tde_datagen::tpch::TpchTable;
 use tde_textscan::{import_file, ScanMode};
 
 fn detected(result: &tde_textscan::ImportResult) -> usize {
-    result.table.columns.iter().map(|c| c.metadata.detected_count()).sum()
+    result
+        .table
+        .columns
+        .iter()
+        .map(|c| c.metadata.detected_count())
+        .sum()
 }
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 7", "metadata properties detected (encoding off vs on)");
-    println!("{:<12} {:>8} {:>8} {:>8}", "table", "columns", "enc off", "enc on");
+    banner(
+        "Figure 7",
+        "metadata properties detected (encoding off vs on)",
+    );
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "table", "columns", "enc off", "enc on"
+    );
     let small_dir = tpch_files(scale.sf);
     let large_dir = tpch_files(scale.sf_large);
 
@@ -37,7 +48,10 @@ fn main() {
             counts[i] = detected(&r);
             ncols = r.table.columns.len();
         }
-        println!("{:<12} {:>8} {:>8} {:>8}", name, ncols, counts[0], counts[1]);
+        println!(
+            "{:<12} {:>8} {:>8} {:>8}",
+            name, ncols, counts[0], counts[1]
+        );
         sum[0] += counts[0];
         sum[1] += counts[1];
     };

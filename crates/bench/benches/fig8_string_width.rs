@@ -26,7 +26,10 @@ fn main() {
         let mut widths = Vec::new();
         for col in &r.table.columns {
             if col.dtype == DataType::Str {
-                let slot = Width::ALL.iter().position(|&w| w == col.metadata.width).unwrap();
+                let slot = Width::ALL
+                    .iter()
+                    .position(|&w| w == col.metadata.width)
+                    .unwrap();
                 histogram[slot] += 1;
                 widths.push(format!("{}={}", col.name, col.metadata.width));
             }

@@ -26,8 +26,14 @@ fn main() {
         let r = import_file(&path, &opts).unwrap();
         let mut widths = Vec::new();
         for col in &r.table.columns {
-            if matches!(col.dtype, DataType::Integer | DataType::Date | DataType::Timestamp) {
-                let slot = Width::ALL.iter().position(|&w| w == col.metadata.width).unwrap();
+            if matches!(
+                col.dtype,
+                DataType::Integer | DataType::Date | DataType::Timestamp
+            ) {
+                let slot = Width::ALL
+                    .iter()
+                    .position(|&w| w == col.metadata.width)
+                    .unwrap();
                 histogram[slot] += 1;
                 widths.push(format!("{}={}", col.name, col.metadata.width));
             }

@@ -27,8 +27,9 @@ fn main() {
 
     // Part 1: the per-field tax of going through the locked locale, in a
     // tight single-threaded parse loop (no tokenizer noise).
-    let fields: Vec<Vec<u8>> =
-        (0..1_000_000).map(|i| format!("{}", (i * 7919) % 1_000_000).into_bytes()).collect();
+    let fields: Vec<Vec<u8>> = (0..1_000_000)
+        .map(|i| format!("{}", (i * 7919) % 1_000_000).into_bytes())
+        .collect();
     let t0 = Instant::now();
     let mut sink = 0i64;
     for f in &fields {
@@ -42,7 +43,10 @@ fn main() {
     let locale_ns = t0.elapsed().as_nanos() as f64 / fields.len() as f64;
     std::hint::black_box(sink);
     println!("per-field integer parse: buffer {buffer_ns:.0} ns, locale-locking {locale_ns:.0} ns");
-    println!("single-threaded locale tax: {:.1}x\n", locale_ns / buffer_ns);
+    println!(
+        "single-threaded locale tax: {:.1}x\n",
+        locale_ns / buffer_ns
+    );
 
     // Part 2: the 2×2 import grid (scalar parsing isolated, encodings off
     // so the parsers dominate). On multi-core hardware the locale-locking
@@ -51,23 +55,41 @@ fn main() {
     // this run was in.
     println!("{:<26} {:>9}", "configuration", "seconds");
     let mut grid = Vec::new();
-    for (kind, kname) in
-        [(ParserKind::Buffer, "buffer"), (ParserKind::LocaleLocking, "locale-locking")]
-    {
+    for (kind, kname) in [
+        (ParserKind::Buffer, "buffer"),
+        (ParserKind::LocaleLocking, "locale-locking"),
+    ] {
         for (parallel, pname) in [(false, "serial"), (true, "parallel")] {
             let base = import_options(TpchTable::Lineitem, false, false, ScanMode::Scalars);
-            let opts = ImportOptions { parser: kind, parallel, ..base };
+            let opts = ImportOptions {
+                parser: kind,
+                parallel,
+                ..base
+            };
             let t = measure(scale.reps.min(3), || {
                 import_file(&path, &opts).unwrap();
             });
-            println!("{:<26} {:>9.3}", format!("{kname} {pname}"), t.as_secs_f64());
+            println!(
+                "{:<26} {:>9.3}",
+                format!("{kname} {pname}"),
+                t.as_secs_f64()
+            );
             grid.push(t.as_secs_f64());
         }
     }
     // grid: [buffer serial, buffer parallel, locale serial, locale parallel]
-    println!("\nbuffer parsers: parallel speedup {:.2}x", grid[0] / grid[1]);
-    println!("locale-locking: parallel 'speedup' {:.2}x", grid[2] / grid[3]);
-    println!("locale parallel vs buffer parallel: {:.2}x slower", grid[3] / grid[1]);
+    println!(
+        "\nbuffer parsers: parallel speedup {:.2}x",
+        grid[0] / grid[1]
+    );
+    println!(
+        "locale-locking: parallel 'speedup' {:.2}x",
+        grid[2] / grid[3]
+    );
+    println!(
+        "locale parallel vs buffer parallel: {:.2}x slower",
+        grid[3] / grid[1]
+    );
     if cores == 1 {
         println!("\n(single core: the contention collapse cannot manifest; the");
         println!(" per-field locale tax above is the measurable component here)");

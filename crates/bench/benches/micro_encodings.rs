@@ -40,12 +40,20 @@ fn bench_bitpack(c: &mut Criterion) {
 fn datasets() -> Vec<(&'static str, Vec<i64>)> {
     vec![
         ("sequential", (0..N as i64).collect()),
-        ("small_range", (0..N as i64).map(|i| 1000 + (i * 37) % 200).collect()),
-        ("small_domain", (0..N as i64).map(|i| (i % 20) * 1_000_003).collect()),
+        (
+            "small_range",
+            (0..N as i64).map(|i| 1000 + (i * 37) % 200).collect(),
+        ),
+        (
+            "small_domain",
+            (0..N as i64).map(|i| (i % 20) * 1_000_003).collect(),
+        ),
         ("runs", (0..N as i64).map(|i| i / 4096).collect()),
         (
             "random",
-            (0..N as i64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64)).collect(),
+            (0..N as i64)
+                .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15u64 as i64))
+                .collect(),
         ),
     ]
 }
@@ -107,5 +115,10 @@ fn bench_manipulations(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bitpack, bench_encode_decode, bench_manipulations);
+criterion_group!(
+    benches,
+    bench_bitpack,
+    bench_encode_decode,
+    bench_manipulations
+);
 criterion_main!(benches);

@@ -21,18 +21,26 @@ fn bench_strategies(c: &mut Criterion) {
     let packing = KeyPacking::plan(&[Some((0, 19)), Some((100, 109))]).unwrap();
     assert!(packing.total_bits <= 16);
 
-    for strategy in [HashStrategy::Direct64K, HashStrategy::Perfect, HashStrategy::Collision] {
-        g.bench_with_input(BenchmarkId::new("group", strategy.name()), &keys, |b, keys| {
-            b.iter(|| {
-                let packing = (strategy != HashStrategy::Collision).then(|| packing.clone());
-                let mut m = GroupMap::new(strategy, packing);
-                let mut acc = 0usize;
-                for k in keys {
-                    acc += m.get_or_insert(k);
-                }
-                acc
-            });
-        });
+    for strategy in [
+        HashStrategy::Direct64K,
+        HashStrategy::Perfect,
+        HashStrategy::Collision,
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("group", strategy.name()),
+            &keys,
+            |b, keys| {
+                b.iter(|| {
+                    let packing = (strategy != HashStrategy::Collision).then(|| packing.clone());
+                    let mut m = GroupMap::new(strategy, packing);
+                    let mut acc = 0usize;
+                    for k in keys {
+                        acc += m.get_or_insert(k);
+                    }
+                    acc
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -41,7 +49,9 @@ fn bench_accelerator(c: &mut Criterion) {
     let mut g = c.benchmark_group("heap_accelerator");
     g.sample_size(15);
     let small: Vec<String> = (0..N).map(|i| format!("value_{}", i % 100)).collect();
-    let large: Vec<String> = (0..N / 10).map(|i| format!("unique_string_number_{i}")).collect();
+    let large: Vec<String> = (0..N / 10)
+        .map(|i| format!("unique_string_number_{i}"))
+        .collect();
     g.throughput(Throughput::Elements(N as u64));
     g.bench_function("intern_small_domain", |b| {
         b.iter(|| {

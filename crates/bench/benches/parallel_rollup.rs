@@ -6,8 +6,9 @@
 //! rows), partition the index range, and run the IndexedScan + ordered
 //! aggregation for each partition on its own core.
 
+use std::sync::Arc;
 use std::time::Instant;
-use tde_bench::{banner, Scale};
+use tde_bench::{banner, BenchReport, Scale};
 use tde_core::exec::aggregate::AggSpec;
 use tde_core::exec::expr::AggFunc;
 use tde_core::exec::index_table::{index_table, rollup_index};
@@ -16,7 +17,6 @@ use tde_encodings::{EncodedStream, BLOCK_SIZE};
 use tde_storage::{Column, Table};
 use tde_types::datetime::{days_from_ymd, trunc_to_month};
 use tde_types::{DataType, Width};
-use std::sync::Arc;
 
 fn build(rows: u64) -> Arc<Table> {
     // Ten years of sorted daily dates plus a payload.
@@ -49,8 +49,12 @@ fn build(rows: u64) -> Arc<Table> {
 
 fn main() {
     let scale = Scale::from_env();
+    let mut report = BenchReport::new("parallel_rollup");
     let rows = scale.rle_large / 2;
-    banner("§8 (A3)", "parallel ordered aggregation on a rolled-up date index");
+    banner(
+        "§8 (A3)",
+        "parallel ordered aggregation on a rolled-up date index",
+    );
     println!("building {rows} rows over 10 years of daily dates ...");
     let t = build(rows);
     let (daily, _) = index_table(&t.columns[0], "daily");
@@ -82,7 +86,17 @@ fn main() {
             baseline = best;
         }
         println!("{:>8} {:>10.4} {:>8.2}x", workers, best, baseline / best);
+        report.json(
+            &format!("workers={workers}"),
+            format!(
+                "{{\"elapsed_ns\":{},\"speedup\":{:.3}}}",
+                (best * 1e9) as u64,
+                baseline / best
+            ),
+        );
     }
+    report.table(&t);
+    report.write();
     println!("\nPartition boundaries fall between months, so the concatenated");
     println!("partials are the exact ordered result — no merge, no hash table.");
 }

@@ -41,11 +41,17 @@ pub struct Scale {
 }
 
 fn env_f64(name: &str, default: f64) -> f64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl Scale {
@@ -99,7 +105,11 @@ pub fn import_options(
     acceleration: bool,
     mode: ScanMode,
 ) -> ImportOptions {
-    let schema = table.schema().into_iter().map(|(n, t)| (n.to_owned(), t)).collect();
+    let schema = table
+        .schema()
+        .into_iter()
+        .map(|(n, t)| (n.to_owned(), t))
+        .collect();
     ImportOptions {
         policy: policy(encodings, acceleration),
         schema: Some(schema),
@@ -143,8 +153,11 @@ pub fn measure(reps: usize, mut f: impl FnMut()) -> Duration {
         })
         .collect();
     times.sort_unstable();
-    let trimmed: &[Duration] =
-        if times.len() >= 4 { &times[1..times.len() - 1] } else { &times };
+    let trimmed: &[Duration] = if times.len() >= 4 {
+        &times[1..times.len() - 1]
+    } else {
+        &times
+    };
     trimmed.iter().sum::<Duration>() / trimmed.len() as u32
 }
 
@@ -169,8 +182,98 @@ pub fn build_rle_table(rows: u64, seed: u64) -> std::sync::Arc<Table> {
     };
     std::sync::Arc::new(Table::new(
         "rle",
-        vec![build(spec.primary_runs(), "primary"), build(spec.secondary_runs(), "secondary")],
+        vec![
+            build(spec.primary_runs(), "primary"),
+            build(spec.secondary_runs(), "secondary"),
+        ],
     ))
+}
+
+/// Directory where figure harnesses dump machine-readable results
+/// (`bench_results/BENCH_<figure>.json`), overridable with
+/// `TDE_BENCH_RESULTS`.
+pub fn results_dir() -> PathBuf {
+    // `cargo bench` runs harnesses with the crate directory as cwd, so
+    // anchor the default at the workspace root, not the working dir.
+    let d = std::env::var("TDE_BENCH_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results"));
+    std::fs::create_dir_all(&d).expect("create bench results dir");
+    d
+}
+
+/// JSON telemetry accumulated by one figure-harness invocation and
+/// written to `bench_results/BENCH_<figure>.json`.
+///
+/// Sections are raw JSON values: timings from [`BenchReport::timing`],
+/// per-column compression telemetry from [`BenchReport::table`], or any
+/// pre-rendered document (e.g. `ExplainAnalyze::to_json`) via
+/// [`BenchReport::json`].
+pub struct BenchReport {
+    figure: String,
+    sections: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// Start a report for `figure` (used in the output file name; keep it
+    /// filesystem-safe).
+    pub fn new(figure: &str) -> BenchReport {
+        BenchReport {
+            figure: figure.to_owned(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Attach a pre-rendered JSON value under `label`.
+    pub fn json(&mut self, label: &str, json: impl Into<String>) {
+        self.sections.push((label.to_owned(), json.into()));
+    }
+
+    /// Attach a timing measurement.
+    pub fn timing(&mut self, label: &str, elapsed: Duration) {
+        self.json(label, format!("{{\"elapsed_ns\":{}}}", elapsed.as_nanos()));
+    }
+
+    /// Attach the per-column compression telemetry of `table`.
+    pub fn table(&mut self, table: &Table) {
+        let cols: Vec<String> = table
+            .compression_telemetry()
+            .iter()
+            .map(|c| c.to_json())
+            .collect();
+        self.json(
+            &format!("table:{}", table.name),
+            format!(
+                "{{\"table\":\"{}\",\"rows\":{},\"columns\":[{}]}}",
+                tde_obs::json_escape(&table.name),
+                table.row_count(),
+                cols.join(",")
+            ),
+        );
+    }
+
+    /// Write `bench_results/BENCH_<figure>.json` and return its path.
+    pub fn write(&self) -> PathBuf {
+        let body: Vec<String> = self
+            .sections
+            .iter()
+            .map(|(label, json)| {
+                format!(
+                    "{{\"label\":\"{}\",\"value\":{json}}}",
+                    tde_obs::json_escape(label)
+                )
+            })
+            .collect();
+        let doc = format!(
+            "{{\"figure\":\"{}\",\"sections\":[{}]}}\n",
+            tde_obs::json_escape(&self.figure),
+            body.join(",")
+        );
+        let path = results_dir().join(format!("BENCH_{}.json", self.figure));
+        std::fs::write(&path, doc).expect("write bench report");
+        println!("[telemetry] wrote {}", path.display());
+        path
+    }
 }
 
 /// Print a header for a figure harness.
@@ -219,6 +322,24 @@ mod tests {
         let s = Scale::from_env();
         assert!(s.sf > 0.0);
         assert!(s.rle_large > s.rle_small);
+    }
+
+    #[test]
+    fn bench_report_writes_valid_json() {
+        let dir = std::env::temp_dir().join("tde_bench_report_test");
+        std::env::set_var("TDE_BENCH_RESULTS", &dir);
+        let mut r = BenchReport::new("test_fig");
+        r.timing("import \"quoted\"", Duration::from_micros(1500));
+        r.table(&build_rle_table(10_000, 1));
+        let path = r.write();
+        std::env::remove_var("TDE_BENCH_RESULTS");
+        let doc = std::fs::read_to_string(&path).unwrap();
+        assert!(doc.contains("\"figure\":\"test_fig\""));
+        assert!(doc.contains("\"elapsed_ns\":1500000"));
+        assert!(doc.contains("\"table\":\"rle\""));
+        assert!(doc.contains("import \\\"quoted\\\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

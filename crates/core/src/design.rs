@@ -126,7 +126,10 @@ mod tests {
         let changes = optimize_physical_design(&mut t, DesignOptions::default());
         assert_eq!(changes[0], DesignChange::DictCompressed("d".into()));
         assert_eq!(changes[1], DesignChange::Unchanged("x".into()));
-        assert!(matches!(t.columns[0].compression, Compression::Array { .. }));
+        assert!(matches!(
+            t.columns[0].compression,
+            Compression::Array { .. }
+        ));
         assert_eq!(t.columns[0].value(17), before);
     }
 
@@ -141,9 +144,14 @@ mod tests {
         let mut t = Table::new("t", vec![s.finish().column, r.finish().column]);
         let changes = optimize_physical_design(
             &mut t,
-            DesignOptions { compress_all_scalars: true, ..Default::default() },
+            DesignOptions {
+                compress_all_scalars: true,
+                ..Default::default()
+            },
         );
-        assert!(changes.iter().all(|c| matches!(c, DesignChange::Unchanged(_))));
+        assert!(changes
+            .iter()
+            .all(|c| matches!(c, DesignChange::Unchanged(_))));
         assert_eq!(t.columns[0].value(1), Value::Str("b".into()));
     }
 

@@ -46,7 +46,11 @@ impl Extract {
     /// types are inferred unless `options` overrides them; the columns are
     /// dynamically encoded, narrowed and annotated with metadata during
     /// the load (paper §3).
-    pub fn import(&mut self, path: impl AsRef<Path>, options: &ImportOptions) -> io::Result<&Table> {
+    pub fn import(
+        &mut self,
+        path: impl AsRef<Path>,
+        options: &ImportOptions,
+    ) -> io::Result<&Table> {
         let result = import_file(path, options)?;
         self.db.add_table(result.table);
         Ok(self.db.tables.last().expect("just added"))
@@ -76,7 +80,10 @@ impl Extract {
     /// Load an extract from a file. (Source links are a runtime notion
     /// and do not persist in the single-file format.)
     pub fn load(path: impl AsRef<Path>) -> io::Result<Extract> {
-        Ok(Extract { db: Database::load(path)?, sources: Vec::new() })
+        Ok(Extract {
+            db: Database::load(path)?,
+            sources: Vec::new(),
+        })
     }
 
     /// Import a flat file and remember it as the table's source, so
@@ -153,11 +160,17 @@ mod tests {
         let dir = std::env::temp_dir().join("tde_core_extract");
         std::fs::create_dir_all(&dir).unwrap();
         let csv = dir.join("people.csv");
-        std::fs::write(&csv, "name,age,joined\nada,36,1851-07-02\ngrace,40,1946-07-01\n")
-            .unwrap();
+        std::fs::write(
+            &csv,
+            "name,age,joined\nada,36,1851-07-02\ngrace,40,1946-07-01\n",
+        )
+        .unwrap();
 
         let mut ex = Extract::new();
-        let opts = ImportOptions { table_name: "people".into(), ..Default::default() };
+        let opts = ImportOptions {
+            table_name: "people".into(),
+            ..Default::default()
+        };
         ex.import(&csv, &opts).unwrap();
         assert_eq!(ex.tables().len(), 1);
         assert_eq!(ex.table("people").unwrap().row_count(), 2);
@@ -180,7 +193,10 @@ mod tests {
         let csv = dir.join("live.csv");
         std::fs::write(&csv, "v\n1\n2\n").unwrap();
         let mut ex = Extract::new();
-        let opts = ImportOptions { table_name: "live".into(), ..Default::default() };
+        let opts = ImportOptions {
+            table_name: "live".into(),
+            ..Default::default()
+        };
         ex.import_linked(&csv, &opts).unwrap();
         assert_eq!(ex.table("live").unwrap().row_count(), 2);
         assert!(!ex.is_stale());

@@ -6,13 +6,15 @@
 //! programmatic use.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tde_exec::aggregate::AggSpec;
 use tde_exec::expr::AggFunc;
 use tde_exec::sort::SortOrder;
 use tde_exec::{Block, Expr, Schema};
+use tde_obs::{Event, NodeSnapshot, Trace};
 use tde_plan::strategic::OptimizerOptions;
 use tde_plan::{LogicalPlan, PlanBuilder};
-use tde_storage::Table;
+use tde_storage::{ColumnTelemetry, Table};
 use tde_types::Value;
 
 /// A query under construction.
@@ -24,7 +26,10 @@ pub struct Query {
 impl Query {
     /// Start from a table scan.
     pub fn scan(table: &Arc<Table>) -> Query {
-        Query { builder: PlanBuilder::scan(table), opts: OptimizerOptions::default() }
+        Query {
+            builder: PlanBuilder::scan(table),
+            opts: OptimizerOptions::default(),
+        }
     }
 
     /// Start from a projection scan.
@@ -37,23 +42,38 @@ impl Query {
 
     /// Filter rows.
     pub fn filter(self, predicate: Expr) -> Query {
-        Query { builder: self.builder.filter(predicate), opts: self.opts }
+        Query {
+            builder: self.builder.filter(predicate),
+            opts: self.opts,
+        }
     }
 
     /// Compute output columns.
     pub fn project(self, exprs: Vec<(String, Expr)>) -> Query {
-        Query { builder: self.builder.project(exprs), opts: self.opts }
+        Query {
+            builder: self.builder.project(exprs),
+            opts: self.opts,
+        }
     }
 
     /// Group and aggregate.
     pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<(AggFunc, usize, &str)>) -> Query {
-        let aggs = aggs.into_iter().map(|(f, c, n)| AggSpec::new(f, c, n)).collect();
-        Query { builder: self.builder.aggregate(group_by, aggs), opts: self.opts }
+        let aggs = aggs
+            .into_iter()
+            .map(|(f, c, n)| AggSpec::new(f, c, n))
+            .collect();
+        Query {
+            builder: self.builder.aggregate(group_by, aggs),
+            opts: self.opts,
+        }
     }
 
     /// Sort the result.
     pub fn sort(self, keys: Vec<(usize, SortOrder)>) -> Query {
-        Query { builder: self.builder.sort(keys), opts: self.opts }
+        Query {
+            builder: self.builder.sort(keys),
+            opts: self.opts,
+        }
     }
 
     /// Override the optimizer options (the figure harnesses compare
@@ -79,6 +99,40 @@ impl Query {
         tde_plan::physical::run(&plan)
     }
 
+    /// Execute with full instrumentation: every physical operator is
+    /// wrapped in a counting adapter, the tactical optimizer's decisions
+    /// and the dynamic encoder's re-encodings are recorded, and the
+    /// result carries per-table compression telemetry. The query still
+    /// runs to completion and its output is available on the report.
+    pub fn explain_analyze(self) -> ExplainAnalyze {
+        let plan = self.plan();
+        let logical = plan.explain();
+        let trace = Trace::new();
+        let (schema, blocks, elapsed) = {
+            let _guard = tde_obs::install(&trace);
+            let t0 = Instant::now();
+            let (schema, blocks) = tde_plan::physical::run_traced(&plan, &trace);
+            (schema, blocks, t0.elapsed())
+        };
+        let tables: Vec<(String, u64, Vec<ColumnTelemetry>)> = plan
+            .referenced_tables()
+            .iter()
+            .map(|t| (t.name.clone(), t.row_count(), t.compression_telemetry()))
+            .collect();
+        let row_count = blocks.iter().map(|b| b.len as u64).sum();
+        ExplainAnalyze {
+            logical,
+            operator_tree: trace.render_tree(),
+            operators: trace.nodes(),
+            events: trace.events(),
+            tables,
+            row_count,
+            elapsed,
+            schema,
+            blocks,
+        }
+    }
+
     /// Execute, returning typed value rows (convenient, not fast).
     pub fn rows(self) -> Vec<Vec<Value>> {
         let (schema, blocks) = self.run();
@@ -93,6 +147,104 @@ impl Query {
             }
         }
         rows
+    }
+}
+
+/// The result of [`Query::explain_analyze`]: the executed query's
+/// output plus everything the recorder captured while it ran.
+#[derive(Debug)]
+pub struct ExplainAnalyze {
+    /// The optimized logical plan, rendered.
+    pub logical: String,
+    /// The physical operator tree annotated with blocks/rows/elapsed.
+    pub operator_tree: String,
+    /// Raw per-operator counters (arena order; parents precede children).
+    pub operators: Vec<NodeSnapshot>,
+    /// Tactical decisions, re-encodings and conversions, in order.
+    pub events: Vec<Event>,
+    /// Per-table compression telemetry: (table, rows, columns).
+    pub tables: Vec<(String, u64, Vec<ColumnTelemetry>)>,
+    /// Rows the query produced.
+    pub row_count: u64,
+    /// Wall time for the whole execution (lowering + drain).
+    pub elapsed: Duration,
+    /// Output schema.
+    pub schema: Schema,
+    /// Output blocks (the query result).
+    pub blocks: Vec<Block>,
+}
+
+impl ExplainAnalyze {
+    /// The report as one JSON document (hand-rolled; the engine carries
+    /// no serialization dependency). Written by the bench harnesses into
+    /// `bench_results/`.
+    pub fn to_json(&self) -> String {
+        let ops: Vec<String> = self
+            .operators
+            .iter()
+            .map(|n| {
+                format!(
+                    "{{\"label\":\"{}\",\"parent\":{},\"blocks\":{},\"rows\":{},\
+                     \"elapsed_ns\":{}}}",
+                    tde_obs::json_escape(&n.label),
+                    n.parent.map_or("null".to_string(), |p| p.to_string()),
+                    n.blocks,
+                    n.rows,
+                    n.elapsed.as_nanos()
+                )
+            })
+            .collect();
+        let events: Vec<String> = self.events.iter().map(Event::to_json).collect();
+        let tables: Vec<String> = self
+            .tables
+            .iter()
+            .map(|(name, rows, cols)| {
+                let cols: Vec<String> = cols.iter().map(ColumnTelemetry::to_json).collect();
+                format!(
+                    "{{\"table\":\"{}\",\"rows\":{},\"columns\":[{}]}}",
+                    tde_obs::json_escape(name),
+                    rows,
+                    cols.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"rows\":{},\"elapsed_ns\":{},\"operators\":[{}],\"events\":[{}],\
+             \"tables\":[{}]}}",
+            self.row_count,
+            self.elapsed.as_nanos(),
+            ops.join(","),
+            events.join(","),
+            tables.join(",")
+        )
+    }
+}
+
+impl std::fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== physical plan ==")?;
+        f.write_str(&self.operator_tree)?;
+        writeln!(f, "\n== decisions & encoding events ==")?;
+        if self.events.is_empty() {
+            writeln!(f, "  (none recorded)")?;
+        }
+        for e in &self.events {
+            writeln!(f, "  - {e}")?;
+        }
+        writeln!(f, "\n== compression telemetry ==")?;
+        for (name, rows, cols) in &self.tables {
+            let physical: u64 = cols.iter().map(|c| c.physical_bytes).sum();
+            let logical: u64 = cols.iter().map(|c| c.logical_bytes).sum();
+            writeln!(
+                f,
+                "table {name} ({rows} rows, {physical} physical / {logical} logical bytes)"
+            )?;
+            for c in cols {
+                writeln!(f, "  {c}")?;
+            }
+        }
+        writeln!(f, "\n== result ==")?;
+        writeln!(f, "{} row(s) in {:.3?}", self.row_count, self.elapsed)
     }
 }
 
@@ -120,7 +272,10 @@ mod tests {
     fn end_to_end_group_by() {
         let t = sales();
         let mut rows = Query::scan(&t)
-            .aggregate(vec![0], vec![(AggFunc::Count, 1, "n"), (AggFunc::Max, 1, "mx")])
+            .aggregate(
+                vec![0],
+                vec![(AggFunc::Count, 1, "n"), (AggFunc::Max, 1, "mx")],
+            )
             .rows();
         rows.sort_by_key(|r| r[0].to_string());
         assert_eq!(rows.len(), 3);

@@ -16,17 +16,18 @@ use tde_types::datetime::{days_from_ymd, ymd_from_days};
 use tde_types::DataType;
 
 /// Two-letter carrier codes (the real domain is ~14).
-pub const CARRIERS: [&str; 14] =
-    ["AA", "AS", "B6", "CO", "DL", "EV", "F9", "FL", "HA", "MQ", "NW", "OO", "UA", "WN"];
+pub const CARRIERS: [&str; 14] = [
+    "AA", "AS", "B6", "CO", "DL", "EV", "F9", "FL", "HA", "MQ", "NW", "OO", "UA", "WN",
+];
 
 /// Airport codes (the real domain is ~300; 60 preserves the small-domain
 /// property at our scale).
 pub const AIRPORTS: [&str; 60] = [
-    "ATL", "LAX", "ORD", "DFW", "DEN", "JFK", "SFO", "SEA", "LAS", "MCO", "EWR", "CLT",
-    "PHX", "IAH", "MIA", "BOS", "MSP", "FLL", "DTW", "PHL", "LGA", "BWI", "SLC", "SAN",
-    "IAD", "DCA", "MDW", "TPA", "PDX", "HNL", "STL", "HOU", "AUS", "OAK", "MSY", "RDU",
-    "SJC", "SNA", "DAL", "SMF", "SAT", "RSW", "PIT", "CLE", "IND", "MCI", "CMH", "OGG",
-    "PBI", "BDL", "CVG", "JAX", "ANC", "BUF", "ABQ", "ONT", "OMA", "BUR", "MEM", "OKC",
+    "ATL", "LAX", "ORD", "DFW", "DEN", "JFK", "SFO", "SEA", "LAS", "MCO", "EWR", "CLT", "PHX",
+    "IAH", "MIA", "BOS", "MSP", "FLL", "DTW", "PHL", "LGA", "BWI", "SLC", "SAN", "IAD", "DCA",
+    "MDW", "TPA", "PDX", "HNL", "STL", "HOU", "AUS", "OAK", "MSY", "RDU", "SJC", "SNA", "DAL",
+    "SMF", "SAT", "RSW", "PIT", "CLE", "IND", "MCI", "CMH", "OGG", "PBI", "BDL", "CVG", "JAX",
+    "ANC", "BUF", "ABQ", "ONT", "OMA", "BUR", "MEM", "OKC",
 ];
 
 /// Column names and logical types of the generated file.
@@ -67,16 +68,32 @@ pub fn write_file(path: impl AsRef<Path>, rows: u64, seed: u64) -> io::Result<Pa
         let date = start + (i as i64 * span as i64) / rows.max(1) as i64;
         let (y, m, d) = ymd_from_days(date);
         let carrier = CARRIERS[rng.gen_range(0..CARRIERS.len())];
-        let tail = format!("N{:03}{}", rng.gen_range(0..500), carrier.as_bytes()[0] as char);
-        let origin = AIRPORTS[rng.gen_range(0..AIRPORTS.len())];
-        let mut dest = AIRPORTS[rng.gen_range(0..AIRPORTS.len())];
-        if dest == origin {
-            dest = AIRPORTS[(rng.gen_range(0..AIRPORTS.len() - 1) + 1) % AIRPORTS.len()];
+        let tail = format!(
+            "N{:03}{}",
+            rng.gen_range(0..500),
+            carrier.as_bytes()[0] as char
+        );
+        let origin_idx = rng.gen_range(0..AIRPORTS.len());
+        let origin = AIRPORTS[origin_idx];
+        // Sample dest from the 59 non-origin airports directly (a retry
+        // that re-included the origin was how this used to go wrong).
+        let mut dest_idx = rng.gen_range(0..AIRPORTS.len() - 1);
+        if dest_idx >= origin_idx {
+            dest_idx += 1;
         }
+        let dest = AIRPORTS[dest_idx];
         let dep_time = rng.gen_range(5..23) * 100 + rng.gen_range(0..60);
         let cancelled = rng.gen_bool(0.02);
-        let dep_delay: i64 = if cancelled { 0 } else { rng.gen_range(-10..120) };
-        let arr_delay = if cancelled { 0 } else { dep_delay + rng.gen_range(-15..30) };
+        let dep_delay: i64 = if cancelled {
+            0
+        } else {
+            rng.gen_range(-10..120)
+        };
+        let arr_delay = if cancelled {
+            0
+        } else {
+            dep_delay + rng.gen_range(-15..30)
+        };
         writeln!(
             w,
             "{y:04}-{m:02}-{d:02},{carrier},{},{tail},{origin},{dest},{dep_time},{dep_delay},{arr_delay},{},{}",
@@ -111,8 +128,11 @@ mod tests {
         let p = std::env::temp_dir().join("tde_flights_test/sorted.csv");
         write_file(&p, 1000, 5).unwrap();
         let text = std::fs::read_to_string(&p).unwrap();
-        let dates: Vec<&str> =
-            text.lines().skip(1).map(|l| l.split(',').next().unwrap()).collect();
+        let dates: Vec<&str> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').next().unwrap())
+            .collect();
         assert!(dates.windows(2).all(|w| w[0] <= w[1]));
         assert!(dates[0].starts_with("1998"));
         assert!(dates.last().unwrap().starts_with("2007"));
@@ -123,11 +143,17 @@ mod tests {
         let p = std::env::temp_dir().join("tde_flights_test/domains.csv");
         write_file(&p, 2000, 5).unwrap();
         let text = std::fs::read_to_string(&p).unwrap();
-        let carriers: std::collections::HashSet<&str> =
-            text.lines().skip(1).map(|l| l.split(',').nth(1).unwrap()).collect();
+        let carriers: std::collections::HashSet<&str> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap())
+            .collect();
         assert!(carriers.len() <= CARRIERS.len());
-        let origins: std::collections::HashSet<&str> =
-            text.lines().skip(1).map(|l| l.split(',').nth(4).unwrap()).collect();
+        let origins: std::collections::HashSet<&str> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(4).unwrap())
+            .collect();
         assert!(origins.len() <= AIRPORTS.len());
     }
 

@@ -117,7 +117,10 @@ mod tests {
     fn totals_are_exact() {
         let t = RleTable::generate(1_000_000, 3);
         assert_eq!(t.primary_runs().iter().map(|r| r.1).sum::<u64>(), 1_000_000);
-        assert_eq!(t.secondary_runs().iter().map(|r| r.1).sum::<u64>(), 1_000_000);
+        assert_eq!(
+            t.secondary_runs().iter().map(|r| r.1).sum::<u64>(),
+            1_000_000
+        );
     }
 
     #[test]
@@ -135,10 +138,18 @@ mod tests {
     fn secondary_run_length_regimes() {
         // 1M rows: secondary runs ≈ 100 < block size (degraded regime).
         let small = RleTable::generate(1_000_000, 3);
-        assert!(small.avg_secondary_run() < 512.0, "{}", small.avg_secondary_run());
+        assert!(
+            small.avg_secondary_run() < 512.0,
+            "{}",
+            small.avg_secondary_run()
+        );
         // 32M rows: secondary runs ≈ 3200 > block size (winning regime).
         let large = RleTable::generate(32_000_000, 3);
-        assert!(large.avg_secondary_run() > 2048.0, "{}", large.avg_secondary_run());
+        assert!(
+            large.avg_secondary_run() > 2048.0,
+            "{}",
+            large.avg_secondary_run()
+        );
     }
 
     #[test]
@@ -147,7 +158,10 @@ mod tests {
         let runs = t.secondary_runs();
         // ~100 descending restarts — count positions where value drops.
         let restarts = runs.windows(2).filter(|w| w[1].0 <= w[0].0).count();
-        assert!(restarts >= 99, "expected ~100 groups, saw {restarts} restarts");
+        assert!(
+            restarts >= 99,
+            "expected ~100 groups, saw {restarts} restarts"
+        );
     }
 
     #[test]

@@ -175,17 +175,47 @@ impl TpchTable {
 }
 
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO",
-    "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA",
-    "UNITED KINGDOM", "UNITED STATES",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
 ];
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
-const PRIORITIES: [&str; 5] =
-    ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
-const INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const CONTAINERS1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 const CONTAINERS2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
@@ -232,7 +262,12 @@ pub fn write_table(
         }
         TpchTable::Nation => {
             for (i, name) in NATIONS.iter().enumerate() {
-                writeln!(w, "{i}|{name}|{}|{}|", i % 5, words::comment(&mut rng, 30, 110))?;
+                writeln!(
+                    w,
+                    "{i}|{name}|{}|{}|",
+                    i % 5,
+                    words::comment(&mut rng, 30, 110)
+                )?;
             }
         }
         TpchTable::Supplier => {
@@ -348,7 +383,11 @@ pub fn write_table(
                         } else {
                             "A"
                         },
-                        if ship > days_from_ymd(1995, 6, 17) { "O" } else { "F" },
+                        if ship > days_from_ymd(1995, 6, 17) {
+                            "O"
+                        } else {
+                            "F"
+                        },
                         fmt_date(ship),
                         fmt_date(commit),
                         fmt_date(receipt),
@@ -367,7 +406,10 @@ pub fn write_table(
 /// Write every table at `sf` into `dir`.
 pub fn write_all(dir: impl AsRef<Path>, sf: f64, seed: u64) -> io::Result<Vec<PathBuf>> {
     std::fs::create_dir_all(dir.as_ref())?;
-    TpchTable::ALL.iter().map(|&t| write_table(dir.as_ref(), t, sf, seed)).collect()
+    TpchTable::ALL
+        .iter()
+        .map(|&t| write_table(dir.as_ref(), t, sf, seed))
+        .collect()
 }
 
 #[cfg(test)]

@@ -5,22 +5,106 @@ use rand::Rng;
 
 /// Vocabulary for comment text, loosely modelled on dbgen's grammar pools.
 pub const WORDS: &[&str] = &[
-    "furiously", "slyly", "carefully", "quickly", "blithely", "express", "regular", "special",
-    "final", "ironic", "pending", "bold", "even", "silent", "daring", "unusual", "close",
-    "quiet", "accounts", "packages", "deposits", "requests", "instructions", "foxes",
-    "pinto", "beans", "theodolites", "dependencies", "platelets", "ideas", "asymptotes",
-    "somas", "dugouts", "realms", "sauternes", "warthogs", "sheaves", "sentiments",
-    "sleep", "wake", "haggle", "nag", "cajole", "doze", "boost", "engage", "detect",
-    "integrate", "among", "above", "beneath", "against", "according", "to", "the", "of",
+    "furiously",
+    "slyly",
+    "carefully",
+    "quickly",
+    "blithely",
+    "express",
+    "regular",
+    "special",
+    "final",
+    "ironic",
+    "pending",
+    "bold",
+    "even",
+    "silent",
+    "daring",
+    "unusual",
+    "close",
+    "quiet",
+    "accounts",
+    "packages",
+    "deposits",
+    "requests",
+    "instructions",
+    "foxes",
+    "pinto",
+    "beans",
+    "theodolites",
+    "dependencies",
+    "platelets",
+    "ideas",
+    "asymptotes",
+    "somas",
+    "dugouts",
+    "realms",
+    "sauternes",
+    "warthogs",
+    "sheaves",
+    "sentiments",
+    "sleep",
+    "wake",
+    "haggle",
+    "nag",
+    "cajole",
+    "doze",
+    "boost",
+    "engage",
+    "detect",
+    "integrate",
+    "among",
+    "above",
+    "beneath",
+    "against",
+    "according",
+    "to",
+    "the",
+    "of",
 ];
 
 /// Colors for part names (dbgen's P_NAME pool).
 pub const COLORS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
-    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
-    "coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger",
-    "drab", "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod",
-    "green", "grey", "honeydew", "hot", "indian", "ivory", "khaki",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
 ];
 
 /// Generate a comment of `min..=max` characters from the word pool.
@@ -56,7 +140,9 @@ pub fn phone(rng: &mut StdRng, nation: i64) -> String {
 pub fn address(rng: &mut StdRng) -> String {
     const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ,";
     let len = rng.gen_range(10..40);
-    (0..len).map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char).collect()
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())] as char)
+        .collect()
 }
 
 #[cfg(test)]

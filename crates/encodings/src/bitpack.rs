@@ -101,7 +101,11 @@ pub fn get_one(data: &[u8], bits: u8, idx: usize) -> u64 {
     for (i, &b) in data[byte_pos..end].iter().enumerate() {
         acc |= u128::from(b) << (8 * i);
     }
-    let mask: u128 = if bits == 64 { u64::MAX as u128 } else { (1u128 << bits) - 1 };
+    let mask: u128 = if bits == 64 {
+        u64::MAX as u128
+    } else {
+        (1u128 << bits) - 1
+    };
     ((acc >> shift) & mask) as u64
 }
 
@@ -124,7 +128,11 @@ mod tests {
     #[test]
     fn roundtrip_all_bit_widths() {
         for bits in 1..=64u8 {
-            let max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let max = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             let values: Vec<u64> = (0..64u64)
                 .map(|i| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)) & max)
                 .collect();

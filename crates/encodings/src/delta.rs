@@ -19,7 +19,13 @@ use tde_types::Width;
 pub const OFF_MIN_DELTA: usize = header::COMMON_LEN;
 
 /// Create an empty delta stream buffer.
-pub fn new_stream(width: Width, block_size: usize, signed: bool, min_delta: i64, bits: u8) -> Vec<u8> {
+pub fn new_stream(
+    width: Width,
+    block_size: usize,
+    signed: bool,
+    min_delta: i64,
+    bits: u8,
+) -> Vec<u8> {
     let mut buf = header::make_common(Algorithm::Delta, width, bits, block_size, signed, 8);
     header::put_i64(&mut buf, OFF_MIN_DELTA, min_delta);
     buf

@@ -26,10 +26,20 @@ pub const OFF_ENTRIES: usize = header::COMMON_LEN + 8;
 
 /// Create an empty dictionary stream buffer with room for `2^bits` entries.
 pub fn new_stream(width: Width, block_size: usize, signed: bool, bits: u8) -> Vec<u8> {
-    assert!(bits <= DICT_MAX_BITS, "dictionary encodings are limited to 2^{DICT_MAX_BITS} values");
+    assert!(
+        bits <= DICT_MAX_BITS,
+        "dictionary encodings are limited to 2^{DICT_MAX_BITS} values"
+    );
     let slots = 1usize << bits;
     let extra = 8 + slots * width.bytes();
-    let mut buf = header::make_common(Algorithm::Dictionary, width, bits, block_size, signed, extra);
+    let mut buf = header::make_common(
+        Algorithm::Dictionary,
+        width,
+        bits,
+        block_size,
+        signed,
+        extra,
+    );
     header::put_u64(&mut buf, OFF_ENTRY_COUNT, 0);
     buf
 }

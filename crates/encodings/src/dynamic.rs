@@ -28,6 +28,7 @@ pub struct DynamicEncoder {
     reencodings: u32,
     enabled: bool,
     prefer_dictionary: bool,
+    label: String,
 }
 
 /// The finished column stream plus everything learned while building it.
@@ -58,6 +59,7 @@ impl DynamicEncoder {
             reencodings: 0,
             enabled,
             prefer_dictionary: false,
+            label: String::new(),
         }
     }
 
@@ -65,6 +67,13 @@ impl DynamicEncoder {
     /// string heap token streams (paper §6.3).
     pub fn prefer_dictionary(mut self) -> Self {
         self.prefer_dictionary = true;
+        self
+    }
+
+    /// Label re-encoding events with a column name (observability only;
+    /// encoding behaviour is unchanged).
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
         self
     }
 
@@ -119,7 +128,13 @@ impl DynamicEncoder {
         if self.stream.is_none() {
             // First block: pick the initial encoding from its statistics.
             self.spec = if self.enabled {
-                choose_encoding_with(&self.stats, self.width, self.allow, false, self.prefer_dictionary)
+                choose_encoding_with(
+                    &self.stats,
+                    self.width,
+                    self.allow,
+                    false,
+                    self.prefer_dictionary,
+                )
             } else {
                 EncodingSpec::None
             };
@@ -137,9 +152,27 @@ impl DynamicEncoder {
     /// already include the failed block) and rewrite the stream.
     fn reencode_with(&mut self, vals: &[i64]) {
         self.reencodings += 1;
-        let mut existing = self.stream.as_ref().expect("reencode without stream").decode_all();
+        let mut existing = self
+            .stream
+            .as_ref()
+            .expect("reencode without stream")
+            .decode_all();
         existing.extend_from_slice(vals);
-        self.spec = choose_encoding_with(&self.stats, self.width, self.allow, false, self.prefer_dictionary);
+        let from = self.spec;
+        self.spec = choose_encoding_with(
+            &self.stats,
+            self.width,
+            self.allow,
+            false,
+            self.prefer_dictionary,
+        );
+        tde_obs::emit(|| tde_obs::Event::Reencode {
+            column: self.label.clone(),
+            from: format!("{from:?}"),
+            to: format!("{:?}", self.spec),
+            rows: self.stats.count,
+            kind: tde_obs::ReencodeKind::MidLoad,
+        });
         let mut fresh = self.spec.build(self.width, self.signed);
         for chunk in existing.chunks(BLOCK_SIZE) {
             fresh
@@ -159,8 +192,13 @@ impl DynamicEncoder {
             .unwrap_or_else(|| EncodedStream::new_raw(self.width, self.signed));
         let mut final_converted = false;
         if convert_to_optimal && self.enabled && !stream.is_empty() {
-            let optimal =
-                choose_encoding_with(&self.stats, self.width, self.allow, true, self.prefer_dictionary);
+            let optimal = choose_encoding_with(
+                &self.stats,
+                self.width,
+                self.allow,
+                true,
+                self.prefer_dictionary,
+            );
             if optimal != self.spec {
                 let mut fresh = optimal.build(self.width, self.signed);
                 for chunk in stream.decode_all().chunks(BLOCK_SIZE) {
@@ -169,6 +207,13 @@ impl DynamicEncoder {
                         .expect("optimal encoding must accept all values");
                 }
                 if fresh.physical_size() < stream.physical_size() {
+                    tde_obs::emit(|| tde_obs::Event::Reencode {
+                        column: self.label.clone(),
+                        from: format!("{:?}", self.spec),
+                        to: format!("{optimal:?}"),
+                        rows: self.stats.count,
+                        kind: tde_obs::ReencodeKind::FinalConvert,
+                    });
                     stream = fresh;
                     self.spec = optimal;
                     final_converted = true;

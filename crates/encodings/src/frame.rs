@@ -16,7 +16,14 @@ pub const OFF_FRAME: usize = header::COMMON_LEN;
 
 /// Create an empty frame-of-reference stream buffer.
 pub fn new_stream(width: Width, block_size: usize, signed: bool, frame: i64, bits: u8) -> Vec<u8> {
-    let mut buf = header::make_common(Algorithm::FrameOfReference, width, bits, block_size, signed, 8);
+    let mut buf = header::make_common(
+        Algorithm::FrameOfReference,
+        width,
+        bits,
+        block_size,
+        signed,
+        8,
+    );
     header::put_i64(&mut buf, OFF_FRAME, frame);
     buf
 }
@@ -88,7 +95,10 @@ mod tests {
         assert_eq!(s.decode_all(), vec![frame, frame + 255]);
         // A value 2^8 above the frame is out of range.
         let mut s2 = EncodedStream::new_frame(Width::W8, true, frame, 8);
-        assert_eq!(s2.append_block(&[frame + 256]), Err(EncodingFull::ValueOutOfRange));
+        assert_eq!(
+            s2.append_block(&[frame + 256]),
+            Err(EncodingFull::ValueOutOfRange)
+        );
     }
 
     #[test]

@@ -116,10 +116,17 @@ pub fn make_common(
     signed: bool,
     extra_header_len: usize,
 ) -> Vec<u8> {
-    debug_assert!(block_size.is_multiple_of(32), "block size must be a multiple of 32");
+    debug_assert!(
+        block_size.is_multiple_of(32),
+        "block size must be a multiple of 32"
+    );
     let mut buf = vec![0u8; COMMON_LEN + extra_header_len];
     put_u64(&mut buf, OFF_LOGICAL_SIZE, 0);
-    put_u64(&mut buf, OFF_DATA_OFFSET, (COMMON_LEN + extra_header_len) as u64);
+    put_u64(
+        &mut buf,
+        OFF_DATA_OFFSET,
+        (COMMON_LEN + extra_header_len) as u64,
+    );
     put_u32(&mut buf, OFF_BLOCK_SIZE, block_size as u32);
     buf[OFF_ALGORITHM] = algorithm as u8;
     buf[OFF_WIDTH] = width.bytes() as u8;

@@ -99,7 +99,9 @@ pub fn narrow(stream: &mut EncodedStream) -> Width {
         // new slots never overlap not-yet-read old slots because the new
         // width is strictly smaller).
         let n = dict::entry_count(stream.as_bytes());
-        let entries: Vec<i64> = (0..n).map(|i| dict::entry(stream.as_bytes(), &h, i)).collect();
+        let entries: Vec<i64> = (0..n)
+            .map(|i| dict::entry(stream.as_bytes(), &h, i))
+            .collect();
         stream.buf[header::OFF_WIDTH] = target.bytes() as u8;
         let nh = stream.header();
         for (i, &e) in entries.iter().enumerate() {
@@ -131,8 +133,16 @@ pub fn set_width(stream: &mut EncodedStream, width: Width) {
 /// every row of the column — are untouched; cost is O(2^bits).
 pub fn remap_dict_entries(stream: &mut EncodedStream, new_entries: &[i64]) {
     let h = stream.header();
-    assert_eq!(h.algorithm, Algorithm::Dictionary, "remap on non-dictionary stream");
-    assert_eq!(new_entries.len(), dict::entry_count(stream.as_bytes()), "entry count mismatch");
+    assert_eq!(
+        h.algorithm,
+        Algorithm::Dictionary,
+        "remap on non-dictionary stream"
+    );
+    assert_eq!(
+        new_entries.len(),
+        dict::entry_count(stream.as_bytes()),
+        "entry count mismatch"
+    );
     for (i, &e) in new_entries.iter().enumerate() {
         dict::set_entry(&mut stream.buf, &h, i, e);
     }
@@ -175,7 +185,11 @@ pub fn rle_rebuild(values: &[i64], counts: &[u64], signed: bool) -> EncodedStrea
     let mut logical = 0u64;
     for (&v, &c) in values.iter().zip(counts) {
         // Split runs longer than the count field can carry.
-        let cap = if cw == Width::W8 { u64::MAX } else { (1u64 << cw.bits()) - 1 };
+        let cap = if cw == Width::W8 {
+            u64::MAX
+        } else {
+            (1u64 << cw.bits()) - 1
+        };
         let mut remaining = c;
         while remaining > 0 {
             let n = remaining.min(cap);

@@ -78,14 +78,20 @@ pub struct ColumnMetadata {
 impl ColumnMetadata {
     /// Metadata with nothing known, at the default 8-byte width.
     pub fn unknown() -> ColumnMetadata {
-        ColumnMetadata { width: Width::W8, ..Default::default() }
+        ColumnMetadata {
+            width: Width::W8,
+            ..Default::default()
+        }
     }
 
     /// Derive full metadata from encoding statistics (the encodings-on
     /// path of Fig 7).
     pub fn from_stats(stats: &ColumnStats, width: Width) -> ColumnMetadata {
         if stats.count == 0 {
-            return ColumnMetadata { width, ..Default::default() }
+            return ColumnMetadata {
+                width,
+                ..Default::default()
+            };
         }
         let dense_unique = stats.is_dense_unique();
         let unique = if dense_unique {

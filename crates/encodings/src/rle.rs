@@ -271,10 +271,7 @@ mod tests {
         let mut s = EncodedStream::new_rle(Width::W8, false, Width::W2, Width::W1);
         s.append_block(&[200, 200, 255]).unwrap();
         assert_eq!(s.decode_all(), vec![200, 200, 255]);
-        assert_eq!(
-            s.rle_runs().unwrap(),
-            vec![(200, 2), (255, 1)]
-        );
+        assert_eq!(s.rle_runs().unwrap(), vec![(200, 2), (255, 1)]);
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub struct DistinctSet {
 impl DistinctSet {
     fn new() -> DistinctSet {
         let cap = 64usize;
-        DistinctSet { slots: vec![0; cap], used: vec![false; cap], shift: 64 - cap.trailing_zeros(), len: 0 }
+        DistinctSet {
+            slots: vec![0; cap],
+            used: vec![false; cap],
+            shift: 64 - cap.trailing_zeros(),
+            len: 0,
+        }
     }
 
     /// Number of distinct values inserted.
@@ -40,7 +45,11 @@ impl DistinctSet {
 
     /// Iterate the values.
     pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
-        self.slots.iter().zip(&self.used).filter(|(_, &u)| u).map(|(&v, _)| v)
+        self.slots
+            .iter()
+            .zip(&self.used)
+            .filter(|(_, &u)| u)
+            .map(|(&v, _)| v)
     }
 
     #[inline]
@@ -234,7 +243,10 @@ pub enum EncodingSpec {
     /// Affine progression.
     Affine { base: i64, delta: i64 },
     /// Run-length with the given field widths.
-    Rle { count_width: Width, value_width: Width },
+    Rle {
+        count_width: Width,
+        value_width: Width,
+    },
 }
 
 impl EncodingSpec {
@@ -264,9 +276,10 @@ impl EncodingSpec {
             EncodingSpec::Affine { base, delta } => {
                 EncodedStream::new_affine(width, signed, base, delta)
             }
-            EncodingSpec::Rle { count_width, value_width } => {
-                EncodedStream::new_rle(width, signed, count_width, value_width)
-            }
+            EncodingSpec::Rle {
+                count_width,
+                value_width,
+            } => EncodedStream::new_rle(width, signed, count_width, value_width),
         }
     }
 }
@@ -329,9 +342,10 @@ pub fn estimated_size(spec: &EncodingSpec, stats: &ColumnStats, width: Width) ->
                 + blocks * (BLOCK_SIZE as u64 * u64::from(bits)).div_ceil(8)
         }
         EncodingSpec::Affine { .. } => header + 16,
-        EncodingSpec::Rle { count_width, value_width } => {
-            header + stats.runs * (count_width.bytes() + value_width.bytes()) as u64
-        }
+        EncodingSpec::Rle {
+            count_width,
+            value_width,
+        } => header + stats.runs * (count_width.bytes() + value_width.bytes()) as u64,
     }
 }
 
@@ -392,16 +406,30 @@ pub fn choose_encoding_with(
     // Frame-of-reference over the value range.
     let range = (stats.max as i128) - (stats.min as i128);
     if range < (1i128 << 64) {
-        let bits = if range == 0 { 0 } else { bits_for_max(range as u64) };
-        consider(EncodingSpec::Frame { frame: stats.min, bits });
+        let bits = if range == 0 {
+            0
+        } else {
+            bits_for_max(range as u64)
+        };
+        consider(EncodingSpec::Frame {
+            frame: stats.min,
+            bits,
+        });
     }
 
     // Delta over the delta range.
     if stats.count >= 2 && !stats.delta_overflow {
         let drange = (stats.max_delta as i128) - (stats.min_delta as i128);
         if (0..(1i128 << 64)).contains(&drange) {
-            let bits = if drange == 0 { 0 } else { bits_for_max(drange as u64) };
-            consider(EncodingSpec::Delta { min_delta: stats.min_delta, bits });
+            let bits = if drange == 0 {
+                0
+            } else {
+                bits_for_max(drange as u64)
+            };
+            consider(EncodingSpec::Delta {
+                min_delta: stats.min_delta,
+                bits,
+            });
         }
     }
 
@@ -409,7 +437,11 @@ pub fn choose_encoding_with(
     if let Some(card) = stats.cardinality() {
         if card > 0 && card <= (1 << DICT_MAX_BITS) {
             let exact = bits_for_max(card - 1).max(1);
-            let bits = if final_pass { exact } else { (exact + 1).min(DICT_MAX_BITS) };
+            let bits = if final_pass {
+                exact
+            } else {
+                (exact + 1).min(DICT_MAX_BITS)
+            };
             if bits <= DICT_MAX_BITS && allow.allows(Algorithm::Dictionary) {
                 let spec = EncodingSpec::Dict { bits };
                 if prefer_dictionary {
@@ -431,7 +463,10 @@ pub fn choose_encoding_with(
     // Run-length over the observed runs.
     let count_width = Width::for_unsigned_max(stats.max_run.max(1));
     let value_width = Width::for_signed_range(stats.min, stats.max, false);
-    consider(EncodingSpec::Rle { count_width, value_width });
+    consider(EncodingSpec::Rle {
+        count_width,
+        value_width,
+    });
 
     best
 }
@@ -500,8 +535,7 @@ mod tests {
         let spec = choose_encoding(&s, Width::W8, AllowedAlgorithms::all(), true);
         assert!(matches!(spec, EncodingSpec::Rle { .. }), "{spec:?}");
         // ...but not when RLE is disallowed (hash-join inner side).
-        let spec =
-            choose_encoding(&s, Width::W8, AllowedAlgorithms::random_access(), true);
+        let spec = choose_encoding(&s, Width::W8, AllowedAlgorithms::random_access(), true);
         assert_ne!(spec.algorithm(), Algorithm::RunLength);
     }
 
@@ -512,7 +546,13 @@ mod tests {
         // no dictionary overhead and wins; both beat raw by ~8x.
         let s = stats_of(&vals);
         let spec = choose_encoding(&s, Width::W8, AllowedAlgorithms::all(), true);
-        assert_eq!(spec, EncodingSpec::Frame { frame: 1_000_000, bits: 8 });
+        assert_eq!(
+            spec,
+            EncodingSpec::Frame {
+                frame: 1_000_000,
+                bits: 8
+            }
+        );
     }
 
     #[test]
@@ -527,7 +567,16 @@ mod tests {
             .collect();
         let s = stats_of(&vals);
         let spec = choose_encoding(&s, Width::W8, AllowedAlgorithms::all(), true);
-        assert!(matches!(spec, EncodingSpec::Delta { min_delta: 1000, .. }), "{spec:?}");
+        assert!(
+            matches!(
+                spec,
+                EncodingSpec::Delta {
+                    min_delta: 1000,
+                    ..
+                }
+            ),
+            "{spec:?}"
+        );
     }
 
     #[test]

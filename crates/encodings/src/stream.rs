@@ -34,13 +34,21 @@ impl EncodedStream {
     /// Create an empty frame-of-reference stream. Values must satisfy
     /// `0 <= v - frame < 2^bits`.
     pub fn new_frame(width: Width, signed: bool, frame_value: i64, bits: u8) -> EncodedStream {
-        EncodedStream::from_buf(frame::new_stream(width, BLOCK_SIZE, signed, frame_value, bits))
+        EncodedStream::from_buf(frame::new_stream(
+            width,
+            BLOCK_SIZE,
+            signed,
+            frame_value,
+            bits,
+        ))
     }
 
     /// Create an empty delta stream. Successive deltas must satisfy
     /// `0 <= d - min_delta < 2^bits`.
     pub fn new_delta(width: Width, signed: bool, min_delta: i64, bits: u8) -> EncodedStream {
-        EncodedStream::from_buf(delta::new_stream(width, BLOCK_SIZE, signed, min_delta, bits))
+        EncodedStream::from_buf(delta::new_stream(
+            width, BLOCK_SIZE, signed, min_delta, bits,
+        ))
     }
 
     /// Create an empty dictionary stream with room for `2^bits` entries.
@@ -54,8 +62,19 @@ impl EncodedStream {
     }
 
     /// Create an empty run-length stream with the given field widths.
-    pub fn new_rle(width: Width, signed: bool, count_width: Width, value_width: Width) -> EncodedStream {
-        EncodedStream::from_buf(rle::new_stream(width, BLOCK_SIZE, signed, count_width, value_width))
+    pub fn new_rle(
+        width: Width,
+        signed: bool,
+        count_width: Width,
+        value_width: Width,
+    ) -> EncodedStream {
+        EncodedStream::from_buf(rle::new_stream(
+            width,
+            BLOCK_SIZE,
+            signed,
+            count_width,
+            value_width,
+        ))
     }
 
     /// Wrap an existing buffer (e.g. read from a database file).
@@ -63,7 +82,11 @@ impl EncodedStream {
         let h = HeaderView::parse(&buf);
         let pads_blocks = !matches!(h.algorithm, Algorithm::Affine | Algorithm::RunLength);
         let sealed = pads_blocks && !h.logical_size.is_multiple_of(h.block_size as u64);
-        EncodedStream { buf, dict_index: None, sealed }
+        EncodedStream {
+            buf,
+            dict_index: None,
+            sealed,
+        }
     }
 
     /// The raw buffer, e.g. for writing to a database file.
@@ -161,7 +184,10 @@ impl EncodedStream {
     pub fn decode_block(&self, block_idx: usize, out: &mut Vec<i64>) {
         let h = self.header();
         let start = block_idx * h.block_size;
-        assert!((start as u64) < h.logical_size, "block {block_idx} out of range");
+        assert!(
+            (start as u64) < h.logical_size,
+            "block {block_idx} out of range"
+        );
         let take = (h.logical_size as usize - start).min(h.block_size);
         let before = out.len();
         match h.algorithm {

@@ -28,7 +28,11 @@ pub struct AggSpec {
 impl AggSpec {
     /// Convenience constructor.
     pub fn new(func: AggFunc, col: usize, name: impl Into<String>) -> AggSpec {
-        AggSpec { func, col, name: name.into() }
+        AggSpec {
+            func,
+            col,
+            name: name.into(),
+        }
     }
 }
 
@@ -119,8 +123,10 @@ fn final_value(acc: &Acc, func: AggFunc, domain: Domain) -> i64 {
 }
 
 fn output_schema(input: &Schema, group_cols: &[usize], aggs: &[AggSpec]) -> Schema {
-    let mut fields: Vec<Field> =
-        group_cols.iter().map(|&c| input.fields[c].clone()).collect();
+    let mut fields: Vec<Field> = group_cols
+        .iter()
+        .map(|&c| input.fields[c].clone())
+        .collect();
     for a in aggs {
         let mut f = match a.func {
             AggFunc::Count => Field::scalar(a.name.clone(), DataType::Integer),
@@ -143,8 +149,9 @@ fn emit_blocks(rows: Vec<Vec<i64>>, ncols: usize) -> Vec<Block> {
     let mut at = 0;
     while at < nrows {
         let take = BLOCK_ROWS.min(nrows - at);
-        let columns: Vec<Vec<i64>> =
-            (0..ncols).map(|c| rows[c][at..at + take].to_vec()).collect();
+        let columns: Vec<Vec<i64>> = (0..ncols)
+            .map(|c| rows[c][at..at + take].to_vec())
+            .collect();
         blocks.push(Block { columns, len: take });
         at += take;
     }
@@ -171,7 +178,10 @@ impl HashAggregate {
         let in_schema = input.schema();
         let keys: Vec<&Field> = group_cols.iter().map(|&c| &in_schema.fields[c]).collect();
         let (strategy, packing) = tactical::choose_hash_strategy(&keys);
-        let domains = aggs.iter().map(|a| domain_of(&in_schema.fields[a.col])).collect();
+        let domains = aggs
+            .iter()
+            .map(|a| domain_of(&in_schema.fields[a.col]))
+            .collect();
         let schema = output_schema(in_schema, &group_cols, &aggs);
         HashAggregate {
             input: Some(input),
@@ -201,7 +211,12 @@ impl HashAggregate {
                     accs.push(vec![init_acc(); self.aggs.len()]);
                 }
                 for (a, spec) in self.aggs.iter().enumerate() {
-                    fold(&mut accs[g][a], spec.func, self.domains[a], block.columns[spec.col][r]);
+                    fold(
+                        &mut accs[g][a],
+                        spec.func,
+                        self.domains[a],
+                        block.columns[spec.col][r],
+                    );
                 }
             }
         }
@@ -220,8 +235,11 @@ impl HashAggregate {
                 cols[k].push(v);
             }
             for (a, spec) in self.aggs.iter().enumerate() {
-                cols[self.group_cols.len() + a]
-                    .push(final_value(&accs[g][a], spec.func, self.domains[a]));
+                cols[self.group_cols.len() + a].push(final_value(
+                    &accs[g][a],
+                    spec.func,
+                    self.domains[a],
+                ));
             }
         }
         self.output = emit_blocks(cols, ncols);
@@ -262,7 +280,10 @@ impl OrderedAggregate {
     /// Aggregate grouped `input` by `group_cols`.
     pub fn new(input: BoxOp, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> OrderedAggregate {
         let in_schema = input.schema();
-        let domains = aggs.iter().map(|a| domain_of(&in_schema.fields[a.col])).collect();
+        let domains = aggs
+            .iter()
+            .map(|a| domain_of(&in_schema.fields[a.col]))
+            .collect();
         let schema = output_schema(in_schema, &group_cols, &aggs);
         let ncols = group_cols.len() + aggs.len();
         OrderedAggregate {
@@ -285,8 +306,11 @@ impl OrderedAggregate {
                 self.pending[k].push(v);
             }
             for (a, spec) in self.aggs.iter().enumerate() {
-                self.pending[self.group_cols.len() + a]
-                    .push(final_value(&self.current[a], spec.func, self.domains[a]));
+                self.pending[self.group_cols.len() + a].push(final_value(
+                    &self.current[a],
+                    spec.func,
+                    self.domains[a],
+                ));
             }
         }
     }

@@ -137,7 +137,9 @@ impl Schema {
 
     /// The field by name (panics if missing — plan construction validates).
     pub fn field(&self, name: &str) -> &Field {
-        &self.fields[self.index_of(name).unwrap_or_else(|| panic!("no column named {name}"))]
+        &self.fields[self
+            .index_of(name)
+            .unwrap_or_else(|| panic!("no column named {name}"))]
     }
 }
 
@@ -153,7 +155,10 @@ pub struct Block {
 impl Block {
     /// An empty block shaped for `ncols` columns.
     pub fn empty(ncols: usize) -> Block {
-        Block { columns: vec![Vec::new(); ncols], len: 0 }
+        Block {
+            columns: vec![Vec::new(); ncols],
+            len: 0,
+        }
     }
 
     /// Build from column vectors.

@@ -22,7 +22,11 @@ impl StreamCursor {
     /// A cursor at the start of the stream.
     pub fn new(stream: &EncodedStream) -> StreamCursor {
         let rle = (stream.algorithm() == Algorithm::RunLength).then(rle::Cursor::new);
-        StreamCursor { next_block: 0, rle, remaining: stream.len() }
+        StreamCursor {
+            next_block: 0,
+            rle,
+            remaining: stream.len(),
+        }
     }
 
     /// Decode up to `n` values of `stream` (which must be the stream the
@@ -79,12 +83,22 @@ impl RangeReader {
             }
             (starts, values)
         });
-        RangeReader { rle_index, scratch: Vec::new(), scratch_block: None }
+        RangeReader {
+            rle_index,
+            scratch: Vec::new(),
+            scratch_block: None,
+        }
     }
 
     /// Append the values of rows `[start, start + count)` of `stream`
     /// (which must be the stream the reader was created for) to `out`.
-    pub fn read_range(&mut self, stream: &EncodedStream, start: u64, count: u64, out: &mut Vec<i64>) {
+    pub fn read_range(
+        &mut self,
+        stream: &EncodedStream,
+        start: u64,
+        count: u64,
+        out: &mut Vec<i64>,
+    ) {
         match &self.rle_index {
             Some((starts, values)) => {
                 // Find the run containing `start`.
@@ -95,8 +109,7 @@ impl RangeReader {
                 let mut remaining = count;
                 let mut at = start;
                 while remaining > 0 {
-                    let run_end =
-                        starts.get(run + 1).copied().unwrap_or(stream.len());
+                    let run_end = starts.get(run + 1).copied().unwrap_or(stream.len());
                     let take = remaining.min(run_end - at);
                     out.extend(std::iter::repeat_n(values[run], take as usize));
                     remaining -= take;

@@ -33,7 +33,10 @@ pub fn dictionary_table(column: &Column, name: &str) -> (Arc<Table>, Schema) {
             b.append_raw(&tokens);
             let mut built = b.finish();
             built.column.dtype = DataType::Str;
-            built.column.compression = Compression::Heap { heap: heap.clone(), sorted: *sorted };
+            built.column.compression = Compression::Heap {
+                heap: heap.clone(),
+                sorted: *sorted,
+            };
             // Token offsets for equal-width strings are affine; either way
             // they are distinct and ascending in heap order.
             built.column.metadata.unique = Knowledge::True;
@@ -169,7 +172,9 @@ mod tests {
         let blocks = crate::drain(Box::new(j));
         let total: usize = blocks.iter().map(|b| b.len).sum();
         // 100 of 365 days survive the range.
-        let expect = (0..50_000).filter(|i| (100..200).contains(&(i % 365))).count();
+        let expect = (0..50_000)
+            .filter(|i| (100..200).contains(&(i % 365)))
+            .count();
         assert_eq!(total, expect);
     }
 

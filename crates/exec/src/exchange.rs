@@ -52,6 +52,18 @@ impl Exchange {
         out_schema: Schema,
     ) -> Exchange {
         let workers = workers.max(1);
+        tde_obs::emit(|| tde_obs::Event::Decision {
+            point: "exchange",
+            choice: format!("{routing:?}"),
+            reason: format!(
+                "{workers} worker(s); {}",
+                match routing {
+                    Routing::AsCompleted => "no encoder downstream: emit blocks as completed",
+                    Routing::OrderPreserving =>
+                        "encoder downstream is order-sensitive: number and release blocks in order",
+                }
+            ),
+        });
         let (task_tx, task_rx) = bounded::<(u64, Block)>(workers * 2);
         let (out_tx, out_rx) = bounded::<(u64, Block)>(workers * 2);
         let feeder = std::thread::spawn(move || {

@@ -167,12 +167,14 @@ impl Expr {
                 Box::new(a.remap_columns(map)),
                 Box::new(b.remap_columns(map)),
             ),
-            Expr::And(a, b) => {
-                Expr::And(Box::new(a.remap_columns(map)), Box::new(b.remap_columns(map)))
-            }
-            Expr::Or(a, b) => {
-                Expr::Or(Box::new(a.remap_columns(map)), Box::new(b.remap_columns(map)))
-            }
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.remap_columns(map)),
+                Box::new(b.remap_columns(map)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.remap_columns(map)),
+                Box::new(b.remap_columns(map)),
+            ),
             Expr::Not(a) => Expr::Not(Box::new(a.remap_columns(map))),
             Expr::Arith(op, a, b) => Expr::Arith(
                 *op,
@@ -265,7 +267,10 @@ pub fn eval(
                 // invisible-join rewrite avoids by pushing the expression
                 // onto the dictionary side (§4.1.1).
                 return EvalOutput {
-                    data: block.columns[*i].iter().map(|&ix| dict[ix as usize]).collect(),
+                    data: block.columns[*i]
+                        .iter()
+                        .map(|&ix| dict[ix as usize])
+                        .collect(),
                     field: Field {
                         name: f.name.clone(),
                         dtype: f.dtype,
@@ -274,14 +279,19 @@ pub fn eval(
                     },
                 };
             }
-            EvalOutput { data: block.columns[*i].clone(), field: f.clone() }
+            EvalOutput {
+                data: block.columns[*i].clone(),
+                field: f.clone(),
+            }
         }
         Expr::Lit(v) => {
             let (raw, dtype) = match v {
                 Value::Null => (NULL_I64, DataType::Integer),
                 Value::Real(r) => (r.to_bits() as i64, DataType::Real),
                 Value::Str(s) => {
-                    let heap = compute_heap.as_deref_mut().expect("string literal needs a compute heap");
+                    let heap = compute_heap
+                        .as_deref_mut()
+                        .expect("string literal needs a compute heap");
                     let t = heap.intern(s) as i64;
                     let cell = heap.heap.clone();
                     return EvalOutput {
@@ -305,12 +315,24 @@ pub fn eval(
         Expr::And(a, b) => {
             let x = eval(a, schema, block, compute_heap);
             let y = eval(b, schema, block, compute_heap);
-            bool_out(x.data.iter().zip(&y.data).map(|(&p, &q)| p != 0 && q != 0).collect())
+            bool_out(
+                x.data
+                    .iter()
+                    .zip(&y.data)
+                    .map(|(&p, &q)| p != 0 && q != 0)
+                    .collect(),
+            )
         }
         Expr::Or(a, b) => {
             let x = eval(a, schema, block, compute_heap);
             let y = eval(b, schema, block, compute_heap);
-            bool_out(x.data.iter().zip(&y.data).map(|(&p, &q)| p != 0 || q != 0).collect())
+            bool_out(
+                x.data
+                    .iter()
+                    .zip(&y.data)
+                    .map(|(&p, &q)| p != 0 || q != 0)
+                    .collect(),
+            )
         }
         Expr::Not(a) => {
             let x = eval(a, schema, block, compute_heap);
@@ -322,9 +344,11 @@ pub fn eval(
                 (Repr::Token(_) | Repr::TokenCell(_), _) => {
                     x.data.iter().map(|&t| t as u64 == NULL_TOKEN).collect()
                 }
-                (_, DataType::Real) => {
-                    x.data.iter().map(|&v| is_null_real(f64::from_bits(v as u64))).collect()
-                }
+                (_, DataType::Real) => x
+                    .data
+                    .iter()
+                    .map(|&v| is_null_real(f64::from_bits(v as u64)))
+                    .collect(),
                 _ => x.data.iter().map(|&v| v == NULL_I64).collect(),
             };
             bool_out(nulls)
@@ -378,7 +402,11 @@ pub fn eval(
                 data,
                 field: Field::scalar(
                     "arith",
-                    if real { DataType::Real } else { DataType::Integer },
+                    if real {
+                        DataType::Real
+                    } else {
+                        DataType::Integer
+                    },
                 ),
             }
         }
@@ -578,10 +606,19 @@ mod tests {
         let (s, b) = int_block(&[d]);
         let schema = Schema::new(vec![Field::scalar("d", DataType::Date)]);
         let _ = s;
-        let r = eval(&Expr::Func(Func::Month, Box::new(Expr::col(0))), &schema, &b, &mut None);
+        let r = eval(
+            &Expr::Func(Func::Month, Box::new(Expr::col(0))),
+            &schema,
+            &b,
+            &mut None,
+        );
         assert_eq!(r.data, vec![7]);
-        let r =
-            eval(&Expr::Func(Func::TruncMonth, Box::new(Expr::col(0))), &schema, &b, &mut None);
+        let r = eval(
+            &Expr::Func(Func::TruncMonth, Box::new(Expr::col(0))),
+            &schema,
+            &b,
+            &mut None,
+        );
         assert_eq!(r.data, vec![Value::date(1995, 7, 1).as_i64().unwrap()]);
         assert_eq!(r.field.dtype, DataType::Date);
     }
@@ -598,7 +635,11 @@ mod tests {
             metadata: ColumnMetadata::unknown(),
         }]);
         let b = Block::new(vec![vec![ta, tb, NULL_TOKEN as i64]]);
-        let e = Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::Lit(Value::Str("apple".into())));
+        let e = Expr::cmp(
+            CmpOp::Eq,
+            Expr::col(0),
+            Expr::Lit(Value::Str("apple".into())),
+        );
         let mut ch = ComputeHeap::new();
         let r = eval(&e, &schema, &b, &mut Some(&mut ch));
         assert_eq!(r.data, vec![1, 0, 0]);
@@ -623,8 +664,11 @@ mod tests {
             &b,
             &mut Some(&mut ch),
         );
-        let exts: Vec<Option<String>> =
-            r.data.iter().map(|&t| token_str(&r.field.repr, t)).collect();
+        let exts: Vec<Option<String>> = r
+            .data
+            .iter()
+            .map(|&t| token_str(&r.field.repr, t))
+            .collect();
         assert_eq!(
             exts,
             vec![

@@ -16,7 +16,12 @@ impl Filter {
     /// Wrap `input` with `predicate`.
     pub fn new(input: BoxOp, predicate: Expr) -> Filter {
         let schema = input.schema().clone();
-        Filter { input, predicate, compute_heap: Some(ComputeHeap::new()), schema }
+        Filter {
+            input,
+            predicate,
+            compute_heap: Some(ComputeHeap::new()),
+            schema,
+        }
     }
 }
 

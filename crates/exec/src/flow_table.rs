@@ -30,7 +30,10 @@ pub struct FlowTableOptions {
 
 impl Default for FlowTableOptions {
     fn default() -> FlowTableOptions {
-        FlowTableOptions { policy: EncodingPolicy::default(), parallel: true }
+        FlowTableOptions {
+            policy: EncodingPolicy::default(),
+            parallel: true,
+        }
     }
 }
 
@@ -65,7 +68,10 @@ pub fn build_from_blocks(
     let built: Vec<BuiltColumn> = if opts.parallel && ncols > 1 {
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..ncols).map(|i| s.spawn(move || build_one(i))).collect();
-            handles.into_iter().map(|h| h.join().expect("column build panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("column build panicked"))
+                .collect()
         })
     } else {
         (0..ncols).map(build_one).collect()
@@ -73,10 +79,21 @@ pub fn build_from_blocks(
     let mut reencodings = Vec::with_capacity(ncols);
     let mut columns = Vec::with_capacity(ncols);
     for b in built {
+        tde_obs::emit(|| tde_obs::Event::ColumnBuilt {
+            table: name.to_owned(),
+            column: b.column.name.clone(),
+            algorithm: format!("{:?}", b.column.data.algorithm()),
+            rows: b.column.data.len(),
+            reencodings: b.reencodings,
+            final_converted: b.final_converted,
+        });
         reencodings.push(b.reencodings);
         columns.push(b.column);
     }
-    BuiltTable { table: Arc::new(Table::new(name, columns)), reencodings }
+    BuiltTable {
+        table: Arc::new(Table::new(name, columns)),
+        reencodings,
+    }
 }
 
 fn build_column(field: &Field, blocks: &[Block], i: usize, policy: EncodingPolicy) -> BuiltColumn {
@@ -99,10 +116,12 @@ fn build_column(field: &Field, blocks: &[Block], i: usize, policy: EncodingPolic
             }
             let mut built = b.finish();
             let sorted = field.metadata.sorted_heap_tokens.is_true();
-            built.column.compression = Compression::Heap { heap: heap.clone(), sorted };
+            built.column.compression = Compression::Heap {
+                heap: heap.clone(),
+                sorted,
+            };
             if sorted {
-                built.column.metadata.sorted_heap_tokens =
-                    tde_encodings::metadata::Knowledge::True;
+                built.column.metadata.sorted_heap_tokens = tde_encodings::metadata::Knowledge::True;
             }
             built
         }
@@ -127,8 +146,10 @@ fn build_column(field: &Field, blocks: &[Block], i: usize, policy: EncodingPolic
             }
             let mut built = b.finish();
             let sorted = dict.windows(2).all(|w| w[0] <= w[1]);
-            built.column.compression =
-                Compression::Array { dictionary: dict.as_ref().clone(), sorted };
+            built.column.compression = Compression::Array {
+                dictionary: dict.as_ref().clone(),
+                sorted,
+            };
             built
         }
     }
@@ -206,7 +227,10 @@ mod tests {
             )));
             hits.append_i64((i % 13) as i64);
         }
-        Arc::new(Table::new("requests", vec![url.finish().column, hits.finish().column]))
+        Arc::new(Table::new(
+            "requests",
+            vec![url.finish().column, hits.finish().column],
+        ))
     }
 
     #[test]
@@ -231,7 +255,10 @@ mod tests {
         let t = strings_table();
         let p = Project::new(
             Box::new(TableScan::project(t, &["url"], false)),
-            vec![("ext".into(), Expr::Func(Func::FileExtension, Box::new(Expr::col(0))))],
+            vec![(
+                "ext".into(),
+                Expr::Func(Func::FileExtension, Box::new(Expr::col(0))),
+            )],
         );
         let built = flow_table(Box::new(p), "exts", FlowTableOptions::default());
         let col = &built.table.columns[0];
@@ -242,7 +269,10 @@ mod tests {
             }
             other => panic!("expected heap compression, got {other:?}"),
         }
-        assert!(col.metadata.width < tde_types::Width::W8, "tokens must narrow");
+        assert!(
+            col.metadata.width < tde_types::Width::W8,
+            "tokens must narrow"
+        );
         assert_eq!(col.value(0), Value::Str("html".into()));
         assert_eq!(col.value(1), Value::Str("css".into()));
     }
@@ -277,9 +307,16 @@ mod tests {
         let a = flow_table(
             Box::new(TableScan::new(t.clone())),
             "a",
-            FlowTableOptions { parallel: false, ..Default::default() },
+            FlowTableOptions {
+                parallel: false,
+                ..Default::default()
+            },
         );
-        let b = flow_table(Box::new(TableScan::new(t)), "b", FlowTableOptions::default());
+        let b = flow_table(
+            Box::new(TableScan::new(t)),
+            "b",
+            FlowTableOptions::default(),
+        );
         for row in (0..5000).step_by(777) {
             assert_eq!(a.table.columns[0].value(row), b.table.columns[0].value(row));
         }

@@ -51,14 +51,21 @@ impl KeyPacking {
             let (lo, hi) = (*r)?;
             let span = (hi as i128) - (lo as i128);
             debug_assert!(span >= 0);
-            let bits = if span == 0 { 0 } else { 128 - (span as u128).leading_zeros() };
+            let bits = if span == 0 {
+                0
+            } else {
+                128 - (span as u128).leading_zeros()
+            };
             if shift + bits > 64 {
                 return None;
             }
             parts.push((lo, shift, bits));
             shift += bits;
         }
-        Some(KeyPacking { parts, total_bits: shift })
+        Some(KeyPacking {
+            parts,
+            total_bits: shift,
+        })
     }
 
     /// Pack one key tuple.
@@ -75,11 +82,22 @@ impl KeyPacking {
 /// A group map: key tuple → dense group id.
 pub enum GroupMap {
     /// Direct 64K lookup table.
-    Direct { packing: KeyPacking, table: Vec<u32>, keys: Vec<Vec<i64>> },
+    Direct {
+        packing: KeyPacking,
+        table: Vec<u32>,
+        keys: Vec<Vec<i64>>,
+    },
     /// Perfect hash on the packed key.
-    Perfect { packing: KeyPacking, map: HashMap<u64, u32>, keys: Vec<Vec<i64>> },
+    Perfect {
+        packing: KeyPacking,
+        map: HashMap<u64, u32>,
+        keys: Vec<Vec<i64>>,
+    },
     /// Collision-checked tuple hash.
-    Collision { map: HashMap<Vec<i64>, u32>, keys: Vec<Vec<i64>> },
+    Collision {
+        map: HashMap<Vec<i64>, u32>,
+        keys: Vec<Vec<i64>>,
+    },
 }
 
 const EMPTY: u32 = u32::MAX;
@@ -99,9 +117,10 @@ impl GroupMap {
                 map: HashMap::new(),
                 keys: Vec::new(),
             },
-            HashStrategy::Collision => {
-                GroupMap::Collision { map: HashMap::new(), keys: Vec::new() }
-            }
+            HashStrategy::Collision => GroupMap::Collision {
+                map: HashMap::new(),
+                keys: Vec::new(),
+            },
         }
     }
 
@@ -109,7 +128,11 @@ impl GroupMap {
     #[inline]
     pub fn get_or_insert(&mut self, key: &[i64]) -> usize {
         match self {
-            GroupMap::Direct { packing, table, keys } => {
+            GroupMap::Direct {
+                packing,
+                table,
+                keys,
+            } => {
                 let packed = packing.pack(key) as usize;
                 let slot = &mut table[packed];
                 if *slot == EMPTY {
@@ -181,7 +204,10 @@ mod tests {
         let ranges = [Some((0i64, 9)), Some((100, 104))];
         let packing = KeyPacking::plan(&ranges).unwrap();
         assert!(packing.total_bits <= 16);
-        exercise(GroupMap::new(HashStrategy::Direct64K, Some(packing.clone())));
+        exercise(GroupMap::new(
+            HashStrategy::Direct64K,
+            Some(packing.clone()),
+        ));
         exercise(GroupMap::new(HashStrategy::Perfect, Some(packing)));
         exercise(GroupMap::new(HashStrategy::Collision, None));
     }
@@ -189,18 +215,11 @@ mod tests {
     #[test]
     fn packing_plan_bounds() {
         // 2^32 span twice = 64 bits: fits exactly.
-        let p = KeyPacking::plan(&[
-            Some((0, (1i64 << 32) - 1)),
-            Some((0, (1i64 << 32) - 1)),
-        ])
-        .unwrap();
+        let p =
+            KeyPacking::plan(&[Some((0, (1i64 << 32) - 1)), Some((0, (1i64 << 32) - 1))]).unwrap();
         assert_eq!(p.total_bits, 64);
         // One more bit does not fit.
-        assert!(KeyPacking::plan(&[
-            Some((0, (1i64 << 32) - 1)),
-            Some((0, 1i64 << 32)),
-        ])
-        .is_none());
+        assert!(KeyPacking::plan(&[Some((0, (1i64 << 32) - 1)), Some((0, 1i64 << 32)),]).is_none());
         // Unknown range defeats packing.
         assert!(KeyPacking::plan(&[None]).is_none());
     }

@@ -38,7 +38,11 @@ pub fn index_table(column: &Column, name: &str) -> (Arc<Table>, Schema) {
     }
     let table = Arc::new(Table::new(
         name,
-        vec![value.finish().column, count.finish().column, start.finish().column],
+        vec![
+            value.finish().column,
+            count.finish().column,
+            start.finish().column,
+        ],
     ));
     let scan = TableScan::new(table.clone());
     let schema = scan.schema().clone();
@@ -85,7 +89,11 @@ pub fn rollup_index(
     }
     let table = Arc::new(Table::new(
         name,
-        vec![value.finish().column, count.finish().column, start.finish().column],
+        vec![
+            value.finish().column,
+            count.finish().column,
+            start.finish().column,
+        ],
     ));
     let scan = TableScan::new(table.clone());
     let schema = scan.schema().clone();

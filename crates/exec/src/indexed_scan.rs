@@ -43,16 +43,24 @@ impl IndexedScan {
     /// outer-table columns to read for the qualified ranges.
     pub fn new(mut inner: BoxOp, outer: Arc<Table>, fetch: &[&str]) -> IndexedScan {
         let ischema = inner.schema().clone();
-        let count_col = ischema.index_of("count").expect("inner must have a count column");
-        let start_col = ischema.index_of("start").expect("inner must have a start column");
-        let carried_cols: Vec<usize> =
-            (0..ischema.len()).filter(|&i| i != count_col && i != start_col).collect();
+        let count_col = ischema
+            .index_of("count")
+            .expect("inner must have a count column");
+        let start_col = ischema
+            .index_of("start")
+            .expect("inner must have a start column");
+        let carried_cols: Vec<usize> = (0..ischema.len())
+            .filter(|&i| i != count_col && i != start_col)
+            .collect();
 
         let mut ranges = Vec::new();
         let mut carried: Vec<Vec<i64>> = vec![Vec::new(); carried_cols.len()];
         while let Some(b) = inner.next_block() {
             for r in 0..b.len {
-                ranges.push((b.columns[start_col][r] as u64, b.columns[count_col][r] as u64));
+                ranges.push((
+                    b.columns[start_col][r] as u64,
+                    b.columns[count_col][r] as u64,
+                ));
                 for (k, &c) in carried_cols.iter().enumerate() {
                     carried[k].push(b.columns[c][r]);
                 }
@@ -62,10 +70,16 @@ impl IndexedScan {
 
         let fetch_cols: Vec<usize> = fetch
             .iter()
-            .map(|n| outer.column_index(n).unwrap_or_else(|| panic!("no outer column {n}")))
+            .map(|n| {
+                outer
+                    .column_index(n)
+                    .unwrap_or_else(|| panic!("no outer column {n}"))
+            })
             .collect();
-        let mut fields: Vec<Field> =
-            carried_cols.iter().map(|&c| ischema.fields[c].clone()).collect();
+        let mut fields: Vec<Field> = carried_cols
+            .iter()
+            .map(|&c| ischema.fields[c].clone())
+            .collect();
         // Values arrive grouped by index row; if the index was sorted by
         // value the carried value column is sorted — assert it so the
         // downstream aggregate can go ordered (§4.2.2).
@@ -90,8 +104,10 @@ impl IndexedScan {
                 metadata: col.metadata.clone(),
             });
         }
-        let readers =
-            fetch_cols.iter().map(|&c| RangeReader::new(&outer.columns[c].data)).collect();
+        let readers = fetch_cols
+            .iter()
+            .map(|&c| RangeReader::new(&outer.columns[c].data))
+            .collect();
         IndexedScan {
             ranges,
             carried,
@@ -132,13 +148,19 @@ impl Operator for IndexedScan {
             let avail = count - self.range_off;
             let take = avail.min((BLOCK_ROWS - filled) as u64);
             for (k, col) in columns.iter_mut().take(ncarried).enumerate() {
-                col.extend(
-                    std::iter::repeat_n(self.carried[k][self.next_range], take as usize),
-                );
+                col.extend(std::iter::repeat_n(
+                    self.carried[k][self.next_range],
+                    take as usize,
+                ));
             }
             for (k, reader) in self.readers.iter_mut().enumerate() {
                 let stream = &self.outer.columns[self.fetch_cols[k]].data;
-                reader.read_range(stream, start + self.range_off, take, &mut columns[ncarried + k]);
+                reader.read_range(
+                    stream,
+                    start + self.range_off,
+                    take,
+                    &mut columns[ncarried + k],
+                );
             }
             filled += take as usize;
             self.range_off += take;
@@ -150,7 +172,10 @@ impl Operator for IndexedScan {
         if filled == 0 {
             return None;
         }
-        Some(Block { columns, len: filled })
+        Some(Block {
+            columns,
+            len: filled,
+        })
     }
 }
 
@@ -232,7 +257,10 @@ mod tests {
         for c in key_data.chunks(BLOCK_SIZE) {
             key.append_block(c).unwrap();
         }
-        let t = Arc::new(Table::new("t", vec![Column::scalar("key", DataType::Integer, key)]));
+        let t = Arc::new(Table::new(
+            "t",
+            vec![Column::scalar("key", DataType::Integer, key)],
+        ));
         let (idx, _) = index_table(&t.columns[0], "idx");
         let sorted = Sort::new(Box::new(TableScan::new(idx)), vec![(0, SortOrder::Asc)]);
         let mut scan = IndexedScan::new(Box::new(sorted), t, &[]);

@@ -14,6 +14,7 @@ use crate::tactical::{self, JoinChoice};
 use crate::{BoxOp, Operator};
 use std::collections::HashMap;
 use std::sync::Arc;
+use tde_encodings::metadata::Knowledge;
 use tde_storage::Table;
 
 /// How unmatched outer rows are handled.
@@ -59,7 +60,10 @@ impl Join {
         let choice = tactical::choose_join(&inner_schema.fields[inner_key]);
         let key_col = inner.columns[inner_key].data.decode_all();
         let lookup = match choice {
-            JoinChoice::Fetch { base } => Lookup::Fetch { base, len: key_col.len() as i64 },
+            JoinChoice::Fetch { base } => Lookup::Fetch {
+                base,
+                len: key_col.len() as i64,
+            },
             JoinChoice::Hash => {
                 let mut map = HashMap::with_capacity(key_col.len());
                 for (row, &k) in key_col.iter().enumerate() {
@@ -68,15 +72,39 @@ impl Join {
                 Lookup::Hash(map)
             }
         };
-        let inner_cols: Vec<Vec<i64>> =
-            project.iter().map(|&c| inner.columns[c].data.decode_all()).collect();
+        let inner_cols: Vec<Vec<i64>> = project
+            .iter()
+            .map(|&c| inner.columns[c].data.decode_all())
+            .collect();
         let inner_nulls: Vec<i64> = project
             .iter()
             .map(|&c| crate::block::null_raw(&inner_schema.fields[c]))
             .collect();
+        // Joined-in columns are reordered by the outer key's probe order,
+        // so order-dependent metadata only survives when the probe order
+        // itself is monotone: outer key sorted and inner key sorted (row
+        // id monotone in key). Uniqueness survives only when the outer
+        // key never probes the same inner row twice. Value bounds and
+        // cardinality remain valid as bounds either way.
+        let outer_key_md = outer.schema().fields[outer_key].metadata.clone();
+        let inner_key_md = &inner_schema.fields[inner_key].metadata;
+        let order_kept = outer_key_md.sorted_asc.is_true() && inner_key_md.sorted_asc.is_true();
         let mut fields = outer.schema().fields.clone();
         for &c in project {
-            fields.push(inner_schema.fields[c].clone());
+            let mut f = inner_schema.fields[c].clone();
+            if !order_kept {
+                f.metadata.sorted_asc = Knowledge::Unknown;
+            }
+            if !outer_key_md.unique.is_true() {
+                f.metadata.unique = Knowledge::Unknown;
+            }
+            // An inner join can drop rows and a left join can add NULLs,
+            // so a contiguous-range claim never survives.
+            f.metadata.dense = Knowledge::Unknown;
+            if kind == JoinKind::Left {
+                f.metadata.has_nulls = Knowledge::Unknown;
+            }
+            fields.push(f);
         }
         Join {
             outer,
@@ -162,7 +190,10 @@ mod tests {
             k.append_i64(if dense { 10 + i } else { i * 3 });
             v.append_i64(i * 100);
         }
-        let t = Arc::new(Table::new("inner", vec![k.finish().column, v.finish().column]));
+        let t = Arc::new(Table::new(
+            "inner",
+            vec![k.finish().column, v.finish().column],
+        ));
         let scan = TableScan::new(t.clone());
         let schema = scan.schema().clone();
         (t, schema)
@@ -173,13 +204,24 @@ mod tests {
         for &x in keys {
             k.append_i64(x);
         }
-        Box::new(TableScan::new(Arc::new(Table::new("outer", vec![k.finish().column]))))
+        Box::new(TableScan::new(Arc::new(Table::new(
+            "outer",
+            vec![k.finish().column],
+        ))))
     }
 
     #[test]
     fn fetch_join_chosen_for_dense_inner() {
         let (t, schema) = inner_table(true);
-        let j = Join::new(outer_scan(&[10, 50, 109]), &t, &schema, 0, 0, &[1], JoinKind::Inner);
+        let j = Join::new(
+            outer_scan(&[10, 50, 109]),
+            &t,
+            &schema,
+            0,
+            0,
+            &[1],
+            JoinKind::Inner,
+        );
         assert!(matches!(j.choice, JoinChoice::Fetch { base: 10 }));
         let blocks = crate::drain(Box::new(j));
         let v: Vec<i64> = blocks.iter().flat_map(|b| b.columns[1].clone()).collect();
@@ -189,7 +231,15 @@ mod tests {
     #[test]
     fn hash_join_for_sparse_inner() {
         let (t, schema) = inner_table(false);
-        let j = Join::new(outer_scan(&[0, 3, 297]), &t, &schema, 0, 0, &[1], JoinKind::Inner);
+        let j = Join::new(
+            outer_scan(&[0, 3, 297]),
+            &t,
+            &schema,
+            0,
+            0,
+            &[1],
+            JoinKind::Inner,
+        );
         assert!(matches!(j.choice, JoinChoice::Hash));
         let blocks = crate::drain(Box::new(j));
         let v: Vec<i64> = blocks.iter().flat_map(|b| b.columns[1].clone()).collect();
@@ -199,7 +249,15 @@ mod tests {
     #[test]
     fn inner_join_drops_unmatched() {
         let (t, schema) = inner_table(true);
-        let j = Join::new(outer_scan(&[10, 9999]), &t, &schema, 0, 0, &[1], JoinKind::Inner);
+        let j = Join::new(
+            outer_scan(&[10, 9999]),
+            &t,
+            &schema,
+            0,
+            0,
+            &[1],
+            JoinKind::Inner,
+        );
         let blocks = crate::drain(Box::new(j));
         let total: usize = blocks.iter().map(|b| b.len).sum();
         assert_eq!(total, 1);
@@ -208,7 +266,15 @@ mod tests {
     #[test]
     fn left_join_keeps_unmatched_as_null() {
         let (t, schema) = inner_table(true);
-        let j = Join::new(outer_scan(&[10, 9999]), &t, &schema, 0, 0, &[1], JoinKind::Left);
+        let j = Join::new(
+            outer_scan(&[10, 9999]),
+            &t,
+            &schema,
+            0,
+            0,
+            &[1],
+            JoinKind::Left,
+        );
         let blocks = crate::drain(Box::new(j));
         let v: Vec<i64> = blocks.iter().flat_map(|b| b.columns[1].clone()).collect();
         assert_eq!(v[0], 0);
@@ -230,8 +296,10 @@ mod tests {
             .iter()
             .flat_map(|b| b.columns[1].clone())
             .collect();
-        let b: Vec<i64> =
-            crate::drain(Box::new(hash)).iter().flat_map(|b| b.columns[1].clone()).collect();
+        let b: Vec<i64> = crate::drain(Box::new(hash))
+            .iter()
+            .flat_map(|b| b.columns[1].clone())
+            .collect();
         assert_eq!(a, b);
     }
 }

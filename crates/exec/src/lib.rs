@@ -35,6 +35,7 @@ pub mod hash;
 pub mod index_table;
 pub mod indexed_scan;
 pub mod join;
+pub mod obs;
 pub mod parallel;
 pub mod project;
 pub mod scan;

@@ -32,7 +32,10 @@ pub fn partition_index(index: &Arc<Table>, parts: usize) -> Vec<Arc<Table>> {
     if n == 0 {
         return vec![];
     }
-    debug_assert!(values.windows(2).all(|w| w[0] <= w[1]), "index must be value-sorted");
+    debug_assert!(
+        values.windows(2).all(|w| w[0] <= w[1]),
+        "index must be value-sorted"
+    );
     let parts = parts.clamp(1, n);
     let target = n.div_ceil(parts);
     let mut tables = Vec::new();
@@ -43,7 +46,8 @@ pub fn partition_index(index: &Arc<Table>, parts: usize) -> Vec<Arc<Table>> {
         while end < n && values[end] == values[end - 1] {
             end += 1;
         }
-        let mut value = ColumnBuilder::new("value", index.columns[0].dtype, EncodingPolicy::default());
+        let mut value =
+            ColumnBuilder::new("value", index.columns[0].dtype, EncodingPolicy::default());
         let mut count =
             ColumnBuilder::new("count", index.columns[1].dtype, EncodingPolicy::default());
         let mut start =
@@ -53,7 +57,11 @@ pub fn partition_index(index: &Arc<Table>, parts: usize) -> Vec<Arc<Table>> {
         start.append_raw(&starts[begin..end]);
         tables.push(Arc::new(Table::new(
             format!("{}_part{}", index.name, tables.len()),
-            vec![value.finish().column, count.finish().column, start.finish().column],
+            vec![
+                value.finish().column,
+                count.finish().column,
+                start.finish().column,
+            ],
         )));
         begin = end;
     }
@@ -74,7 +82,11 @@ pub fn parallel_indexed_aggregate(
     let partitions = partition_index(index, workers.max(1));
     if partitions.is_empty() {
         // Derive the schema from an empty run over the whole index.
-        let scan = IndexedScan::new(Box::new(TableScan::new(index.clone())), outer.clone(), fetch);
+        let scan = IndexedScan::new(
+            Box::new(TableScan::new(index.clone())),
+            outer.clone(),
+            fetch,
+        );
         let agg = OrderedAggregate::new(Box::new(scan), vec![0], aggs);
         return (agg.schema().clone(), vec![]);
     }
@@ -86,8 +98,7 @@ pub fn parallel_indexed_aggregate(
                 let outer = outer.clone();
                 let aggs = aggs.clone();
                 s.spawn(move || {
-                    let scan =
-                        IndexedScan::new(Box::new(TableScan::new(part)), outer, fetch);
+                    let scan = IndexedScan::new(Box::new(TableScan::new(part)), outer, fetch);
                     let mut agg = OrderedAggregate::new(Box::new(scan), vec![0], aggs);
                     let schema = agg.schema().clone();
                     let mut blocks = Vec::new();
@@ -98,7 +109,10 @@ pub fn parallel_indexed_aggregate(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("partition worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
     });
     let schema = results[0].0.clone();
     let blocks = results.into_iter().flat_map(|(_, b)| b).collect();
@@ -213,7 +227,8 @@ mod tests {
         assert_eq!(
             got,
             vec![(jan, 31 * 29), (feb, 28 * 29), (mar, 31 * 29)],
-            "dates: {} total", dates.len()
+            "dates: {} total",
+            dates.len()
         );
     }
 

@@ -58,7 +58,10 @@ impl Operator for Project {
             columns.push(eval(e, in_schema, &block, &mut heap).data);
         }
         let _ = &self.names;
-        Some(Block { columns, len: block.len })
+        Some(Block {
+            columns,
+            len: block.len,
+        })
     }
 }
 
@@ -102,11 +105,20 @@ mod tests {
         let t = Arc::new(Table::new("t", vec![s.finish().column]));
         let mut p = Project::new(
             Box::new(TableScan::new(t)),
-            vec![("ext".into(), Expr::Func(Func::FileExtension, Box::new(Expr::col(0))))],
+            vec![(
+                "ext".into(),
+                Expr::Func(Func::FileExtension, Box::new(Expr::col(0))),
+            )],
         );
         let schema = p.schema().clone();
         let b = p.next_block().unwrap();
-        assert_eq!(schema.fields[0].value_of(b.columns[0][0]), Value::Str("html".into()));
-        assert_eq!(schema.fields[0].value_of(b.columns[0][1]), Value::Str("css".into()));
+        assert_eq!(
+            schema.fields[0].value_of(b.columns[0][0]),
+            Value::Str("html".into())
+        );
+        assert_eq!(
+            schema.fields[0].value_of(b.columns[0][1]),
+            Value::Str("css".into())
+        );
     }
 }

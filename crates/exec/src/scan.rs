@@ -29,7 +29,11 @@ impl TableScan {
     /// Scan a projection of `table`. `expand_dictionaries` materializes
     /// array-compressed columns to scalars at the scan (the baseline that
     /// forgoes invisible joins).
-    pub fn with_columns(table: Arc<Table>, cols: Vec<usize>, expand_dictionaries: bool) -> TableScan {
+    pub fn with_columns(
+        table: Arc<Table>,
+        cols: Vec<usize>,
+        expand_dictionaries: bool,
+    ) -> TableScan {
         let fields = cols
             .iter()
             .map(|&i| {
@@ -45,10 +49,18 @@ impl TableScan {
                         }
                     }
                 };
-                Field { name: c.name.clone(), dtype: c.dtype, repr, metadata: c.metadata.clone() }
+                Field {
+                    name: c.name.clone(),
+                    dtype: c.dtype,
+                    repr,
+                    metadata: c.metadata.clone(),
+                }
             })
             .collect();
-        let cursors = cols.iter().map(|&i| StreamCursor::new(&table.columns[i].data)).collect();
+        let cursors = cols
+            .iter()
+            .map(|&i| StreamCursor::new(&table.columns[i].data))
+            .collect();
         TableScan {
             table,
             cols,
@@ -63,7 +75,11 @@ impl TableScan {
     pub fn project(table: Arc<Table>, names: &[&str], expand_dictionaries: bool) -> TableScan {
         let cols = names
             .iter()
-            .map(|n| table.column_index(n).unwrap_or_else(|| panic!("no column {n}")))
+            .map(|n| {
+                table
+                    .column_index(n)
+                    .unwrap_or_else(|| panic!("no column {n}"))
+            })
             .collect();
         TableScan::with_columns(table, cols, expand_dictionaries)
     }
@@ -142,8 +158,14 @@ mod tests {
         let mut scan = TableScan::project(t, &["s"], false);
         let b = scan.next_block().unwrap();
         assert_eq!(scan.schema().fields.len(), 1);
-        assert_eq!(scan.schema().fields[0].value_of(b.columns[0][0]), Value::Str("x".into()));
-        assert_eq!(scan.schema().fields[0].value_of(b.columns[0][1]), Value::Str("y".into()));
+        assert_eq!(
+            scan.schema().fields[0].value_of(b.columns[0][0]),
+            Value::Str("x".into())
+        );
+        assert_eq!(
+            scan.schema().fields[0].value_of(b.columns[0][1]),
+            Value::Str("y".into())
+        );
     }
 
     #[test]

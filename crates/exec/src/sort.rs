@@ -34,10 +34,15 @@ impl Sort {
         // Sorting by the leading key makes the output sorted on it — the
         // downstream ordered aggregate relies on this metadata.
         if let Some(&(first, SortOrder::Asc)) = keys.first() {
-            schema.fields[first].metadata.sorted_asc =
-                tde_encodings::metadata::Knowledge::True;
+            schema.fields[first].metadata.sorted_asc = tde_encodings::metadata::Knowledge::True;
         }
-        Sort { input: Some(input), keys, schema, output: Vec::new(), next: 0 }
+        Sort {
+            input: Some(input),
+            keys,
+            schema,
+            output: Vec::new(),
+            next: 0,
+        }
     }
 
     fn run(&mut self) {
@@ -91,7 +96,12 @@ impl Sort {
         while at < total {
             let take = BLOCK_ROWS.min(total - at);
             let columns: Vec<Vec<i64>> = (0..ncols)
-                .map(|c| order[at..at + take].iter().map(|&r| cols[c][r as usize]).collect())
+                .map(|c| {
+                    order[at..at + take]
+                        .iter()
+                        .map(|&r| cols[c][r as usize])
+                        .collect()
+                })
                 .collect();
             self.output.push(Block { columns, len: take });
             at += take;
@@ -139,7 +149,10 @@ mod tests {
         assert_eq!(all.len(), 5000);
         assert!(all.windows(2).all(|w| w[0] <= w[1]));
 
-        let s = Sort::new(Box::new(TableScan::new(table())), vec![(0, SortOrder::Desc)]);
+        let s = Sort::new(
+            Box::new(TableScan::new(table())),
+            vec![(0, SortOrder::Desc)],
+        );
         let blocks = crate::drain(Box::new(s));
         let all: Vec<i64> = blocks.iter().flat_map(|b| b.columns[0].clone()).collect();
         assert!(all.windows(2).all(|w| w[0] >= w[1]));

@@ -20,13 +20,37 @@ fn known_range(md: &ColumnMetadata) -> Option<(i64, i64)> {
 
 /// Choose the hash strategy (and packing) for a set of key columns.
 pub fn choose_hash_strategy(keys: &[&Field]) -> (HashStrategy, Option<KeyPacking>) {
-    let ranges: Vec<Option<(i64, i64)>> =
-        keys.iter().map(|f| known_range(&f.metadata)).collect();
-    match KeyPacking::plan(&ranges) {
+    let ranges: Vec<Option<(i64, i64)>> = keys.iter().map(|f| known_range(&f.metadata)).collect();
+    let chosen = match KeyPacking::plan(&ranges) {
         Some(p) if p.total_bits <= 16 => (HashStrategy::Direct64K, Some(p)),
         Some(p) => (HashStrategy::Perfect, Some(p)),
         None => (HashStrategy::Collision, None),
-    }
+    };
+    tde_obs::emit(|| {
+        let names: Vec<&str> = keys.iter().map(|f| f.name.as_str()).collect();
+        let reason = match &chosen.1 {
+            Some(p) if p.total_bits <= 16 => format!(
+                "keys [{}] pack into {} bits <= 16: direct index into a 64K table",
+                names.join(", "),
+                p.total_bits
+            ),
+            Some(p) => format!(
+                "keys [{}] pack into {} bits: collision-free open addressing",
+                names.join(", "),
+                p.total_bits
+            ),
+            None => format!(
+                "keys [{}] have unknown or >64-bit combined range: classic collision hashing",
+                names.join(", ")
+            ),
+        };
+        tde_obs::Event::Decision {
+            point: "hash-strategy",
+            choice: format!("{:?}", chosen.0),
+            reason,
+        }
+    });
+    chosen
 }
 
 /// How a many-to-one join should be executed.
@@ -46,18 +70,66 @@ pub enum JoinChoice {
 /// dense + unique + sorted means row id = key − min.
 pub fn choose_join(inner_key: &Field) -> JoinChoice {
     let md = &inner_key.metadata;
-    if md.dense.is_true() && md.unique.is_true() && md.sorted_asc.is_true() {
-        if let Some(min) = md.min {
-            return JoinChoice::Fetch { base: min };
-        }
+    let choice = if md.dense.is_true() && md.unique.is_true() && md.sorted_asc.is_true() {
+        md.min.map(|min| JoinChoice::Fetch { base: min })
+    } else {
+        None
     }
-    JoinChoice::Hash
+    .unwrap_or(JoinChoice::Hash);
+    tde_obs::emit(|| {
+        let (choice_str, reason) = match choice {
+            JoinChoice::Fetch { base } => (
+                format!("Fetch {{ base: {base} }}"),
+                format!(
+                    "inner key '{}' is dense+unique+sorted: row id = key - {base}, no lookup table",
+                    inner_key.name
+                ),
+            ),
+            JoinChoice::Hash => (
+                "Hash".to_string(),
+                format!(
+                    "inner key '{}' lacks dense/unique/sorted metadata \
+                     (dense={:?} unique={:?} sorted={:?}): hash the inner keys",
+                    inner_key.name, md.dense, md.unique, md.sorted_asc
+                ),
+            ),
+        };
+        tde_obs::Event::Decision {
+            point: "join",
+            choice: choice_str,
+            reason,
+        }
+    });
+    choice
 }
 
 /// Whether ordered (sandwiched) aggregation applies: every group key must
 /// be known sorted.
 pub fn can_aggregate_ordered(keys: &[&Field]) -> bool {
-    !keys.is_empty() && keys.iter().all(|f| f.metadata.sorted_asc.is_true())
+    let ordered = !keys.is_empty() && keys.iter().all(|f| f.metadata.sorted_asc.is_true());
+    tde_obs::emit(|| {
+        let names: Vec<&str> = keys.iter().map(|f| f.name.as_str()).collect();
+        tde_obs::Event::Decision {
+            point: "aggregation",
+            choice: if ordered {
+                "Ordered".into()
+            } else {
+                "Hash".into()
+            },
+            reason: if ordered {
+                format!(
+                    "group keys [{}] are all known sorted: sandwiched aggregation",
+                    names.join(", ")
+                )
+            } else {
+                format!(
+                    "group keys [{}] are not all known sorted: hash aggregation",
+                    names.join(", ")
+                )
+            },
+        }
+    });
+    ordered
 }
 
 #[cfg(test)]
@@ -114,5 +186,105 @@ mod tests {
         f.metadata.sorted_asc = Knowledge::True;
         assert!(can_aggregate_ordered(&[&f]));
         assert!(!can_aggregate_ordered(&[]));
+    }
+
+    // Decision-event tests. Field names are unique per test and the
+    // assertions are contains-style: tests in this binary run
+    // concurrently, so an installed trace can pick up events from
+    // whatever else is executing at the same time.
+
+    /// The decisions recorded while `f` runs, as (point, choice, reason).
+    fn decisions_during(f: impl FnOnce()) -> Vec<(&'static str, String, String)> {
+        let trace = tde_obs::Trace::new();
+        {
+            let _guard = tde_obs::install(&trace);
+            f();
+        }
+        trace
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                tde_obs::Event::Decision {
+                    point,
+                    choice,
+                    reason,
+                } => Some((point, choice, reason)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hash_strategy_ladder_is_traced() {
+        let mut narrow = field_with(0, 200);
+        narrow.name = "tt_narrow".into();
+        let mut wide = field_with(0, 1 << 30);
+        wide.name = "tt_wide".into();
+        let mut unknown = Field::scalar("tt_unknown", DataType::Integer);
+        unknown.metadata.min = None;
+
+        let events = decisions_during(|| {
+            choose_hash_strategy(&[&narrow]);
+            choose_hash_strategy(&[&wide]);
+            choose_hash_strategy(&[&unknown]);
+        });
+        let find = |name: &str| {
+            events
+                .iter()
+                .find(|(p, _, r)| *p == "hash-strategy" && r.contains(name))
+                .unwrap_or_else(|| panic!("no hash-strategy event for {name} in {events:?}"))
+        };
+        assert_eq!(find("tt_narrow").1, "Direct64K");
+        assert!(find("tt_narrow").2.contains("<= 16"));
+        assert_eq!(find("tt_wide").1, "Perfect");
+        assert_eq!(find("tt_unknown").1, "Collision");
+        assert!(find("tt_unknown").2.contains("unknown"));
+    }
+
+    #[test]
+    fn join_choice_is_traced_with_metadata_reason() {
+        let mut pk = field_with(100, 199);
+        pk.name = "tt_pk".into();
+        pk.metadata.dense = Knowledge::True;
+        pk.metadata.unique = Knowledge::True;
+        pk.metadata.sorted_asc = Knowledge::True;
+        let messy = Field::scalar("tt_messy", DataType::Integer);
+
+        let events = decisions_during(|| {
+            choose_join(&pk);
+            choose_join(&messy);
+        });
+        let fetch = events
+            .iter()
+            .find(|(p, _, r)| *p == "join" && r.contains("tt_pk"))
+            .expect("fetch decision");
+        assert_eq!(fetch.1, "Fetch { base: 100 }");
+        assert!(fetch.2.contains("dense+unique+sorted"));
+        let hash = events
+            .iter()
+            .find(|(p, _, r)| *p == "join" && r.contains("tt_messy"))
+            .expect("hash decision");
+        assert_eq!(hash.1, "Hash");
+        assert!(hash.2.contains("lacks"));
+    }
+
+    #[test]
+    fn aggregation_flavor_is_traced() {
+        let mut sorted = field_with(0, 10);
+        sorted.name = "tt_sorted".into();
+        sorted.metadata.sorted_asc = Knowledge::True;
+        let mut unsorted = field_with(0, 10);
+        unsorted.name = "tt_unsorted".into();
+
+        let events = decisions_during(|| {
+            can_aggregate_ordered(&[&sorted]);
+            can_aggregate_ordered(&[&unsorted]);
+        });
+        assert!(events
+            .iter()
+            .any(|(p, c, r)| *p == "aggregation" && c == "Ordered" && r.contains("tt_sorted")));
+        assert!(events
+            .iter()
+            .any(|(p, c, r)| *p == "aggregation" && c == "Hash" && r.contains("tt_unsorted")));
     }
 }

@@ -76,7 +76,14 @@ impl TopN {
     /// Top `n` rows of `input` ordered by `keys`.
     pub fn new(input: BoxOp, keys: Vec<(usize, SortOrder)>, n: usize) -> TopN {
         let schema = input.schema().clone();
-        TopN { input: Some(input), keys, n, schema, output: Vec::new(), next: 0 }
+        TopN {
+            input: Some(input),
+            keys,
+            n,
+            schema,
+            output: Vec::new(),
+            next: 0,
+        }
     }
 
     fn run(&mut self) {
@@ -163,7 +170,12 @@ mod tests {
     fn collect(op: TopN) -> Vec<(i64, i64)> {
         crate::drain(Box::new(op))
             .iter()
-            .flat_map(|b| b.columns[0].iter().zip(&b.columns[1]).map(|(&x, &y)| (x, y)))
+            .flat_map(|b| {
+                b.columns[0]
+                    .iter()
+                    .zip(&b.columns[1])
+                    .map(|(&x, &y)| (x, y))
+            })
             .collect()
     }
 
@@ -176,9 +188,7 @@ mod tests {
             25,
         ));
         // Reference: full sort.
-        let mut all: Vec<(i64, i64)> = (0..20_000)
-            .map(|i| (((i * 7919) % 1000), i))
-            .collect();
+        let mut all: Vec<(i64, i64)> = (0..20_000).map(|i| (((i * 7919) % 1000), i)).collect();
         all.sort_unstable();
         assert_eq!(got, all[..25].to_vec());
     }
@@ -191,13 +201,20 @@ mod tests {
             vec![(1, SortOrder::Desc)],
             3,
         ));
-        assert_eq!(got.iter().map(|r| r.1).collect::<Vec<_>>(), vec![4999, 4998, 4997]);
+        assert_eq!(
+            got.iter().map(|r| r.1).collect::<Vec<_>>(),
+            vec![4999, 4998, 4997]
+        );
     }
 
     #[test]
     fn n_larger_than_input() {
         let t = table(10);
-        let got = collect(TopN::new(Box::new(TableScan::new(t)), vec![(1, SortOrder::Asc)], 100));
+        let got = collect(TopN::new(
+            Box::new(TableScan::new(t)),
+            vec![(1, SortOrder::Asc)],
+            100,
+        ));
         assert_eq!(got.len(), 10);
         assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
     }

@@ -30,7 +30,10 @@ fn table_of(cols: Vec<(&str, Vec<i64>)>) -> Arc<Table> {
     Arc::new(Table::new("t", built))
 }
 
-fn rle_table_of(runs: &[(i64, u64)], payload: impl Fn(usize) -> i64) -> (Arc<Table>, Vec<i64>, Vec<i64>) {
+fn rle_table_of(
+    runs: &[(i64, u64)],
+    payload: impl Fn(usize) -> i64,
+) -> (Arc<Table>, Vec<i64>, Vec<i64>) {
     let mut key_data = Vec::new();
     for &(v, c) in runs {
         key_data.extend(std::iter::repeat_n(v.rem_euclid(100), c as usize));

@@ -1,0 +1,514 @@
+//! Observability core for the TDE reproduction.
+//!
+//! The engine makes most of its interesting choices at *run time* — the
+//! tactical optimizer picks hash strategies and join implementations from
+//! encoding metadata (§2.3.4–§2.3.5), the dynamic encoder re-encodes
+//! columns mid-load (§3.2), and the §3.4.3 conversions reshape columns
+//! through their headers. This crate records those choices, plus
+//! per-operator block/row/time counters, without perturbing the engine:
+//!
+//! * [`OpStats`] — three atomic counters an operator adapter bumps per
+//!   block;
+//! * [`Event`] — a structured record of one decision, re-encoding or
+//!   conversion;
+//! * [`Trace`] — an arena of operator nodes plus an event log, rendered
+//!   as an annotated plan tree;
+//! * a process-wide recorder ([`install`] / [`emit`]) that instrumented
+//!   code reports into.
+//!
+//! **Overhead contract**: with no trace installed, [`emit`] is a single
+//! relaxed atomic load and [`is_enabled`] likewise — instrumentation
+//! points may sit on per-column or per-operator paths (never per-row) and
+//! stay well under the 5 % budget the benches enforce.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Why a dynamic-encoding transition happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReencodeKind {
+    /// A block failed to insert mid-load; the stream was rewritten under
+    /// a new encoding chosen from the covering statistics (§3.2).
+    MidLoad,
+    /// The end-of-load comparison against the optimal encoding fired and
+    /// the stream was converted because it was physically smaller.
+    FinalConvert,
+}
+
+impl ReencodeKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ReencodeKind::MidLoad => "mid-load",
+            ReencodeKind::FinalConvert => "final-convert",
+        }
+    }
+}
+
+/// One structured observation from inside the engine.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A tactical (run-time) decision: which implementation was chosen
+    /// at `point` and the metadata that justified it.
+    Decision {
+        /// Decision point, e.g. `"hash-strategy"`, `"join"`.
+        point: &'static str,
+        /// The alternative chosen, e.g. `"Direct64K"`.
+        choice: String,
+        /// Why, in terms of the metadata consulted.
+        reason: String,
+    },
+    /// A dynamic-encoding transition on one column (§3.2).
+    Reencode {
+        /// Column label (empty when the encoder was built bare).
+        column: String,
+        /// Encoding before the transition (spec debug form).
+        from: String,
+        /// Encoding after the transition.
+        to: String,
+        /// Rows inserted when the transition happened.
+        rows: u64,
+        /// Mid-load rewrite or end-of-load optimal conversion.
+        kind: ReencodeKind,
+    },
+    /// An encoding→compression conversion route (§3.4.3).
+    Conversion {
+        /// Column name.
+        column: String,
+        /// Route taken, e.g. `"dict-encoding->array-compression"`.
+        route: &'static str,
+        /// Route-specific detail (dictionary size, envelope, …).
+        detail: String,
+    },
+    /// A FlowTable finished building one column (§3.3).
+    ColumnBuilt {
+        /// Destination table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Final encoding algorithm.
+        algorithm: String,
+        /// Rows encoded.
+        rows: u64,
+        /// Mid-load re-encoding count.
+        reencodings: u32,
+        /// Whether the end-of-load optimal conversion fired.
+        final_converted: bool,
+    },
+}
+
+impl std::fmt::Display for Event {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Event::Decision {
+                point,
+                choice,
+                reason,
+            } => {
+                write!(f, "[{point}] {choice}: {reason}")
+            }
+            Event::Reencode {
+                column,
+                from,
+                to,
+                rows,
+                kind,
+            } => {
+                write!(
+                    f,
+                    "[reencode:{}] {column}: {from} -> {to} at {rows} rows",
+                    kind.as_str()
+                )
+            }
+            Event::Conversion {
+                column,
+                route,
+                detail,
+            } => {
+                write!(f, "[convert] {column}: {route} ({detail})")
+            }
+            Event::ColumnBuilt {
+                table,
+                column,
+                algorithm,
+                rows,
+                reencodings,
+                final_converted,
+            } => {
+                write!(
+                    f,
+                    "[flow-table] {table}.{column}: {algorithm}, {rows} rows, \
+                     {reencodings} re-encoding(s){}",
+                    if *final_converted {
+                        ", final-converted"
+                    } else {
+                        ""
+                    }
+                )
+            }
+        }
+    }
+}
+
+impl Event {
+    /// The event as one JSON object (hand-rolled; the engine has no
+    /// serialization dependency).
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::Decision {
+                point,
+                choice,
+                reason,
+            } => format!(
+                "{{\"kind\":\"decision\",\"point\":\"{}\",\"choice\":\"{}\",\"reason\":\"{}\"}}",
+                json_escape(point),
+                json_escape(choice),
+                json_escape(reason)
+            ),
+            Event::Reencode {
+                column,
+                from,
+                to,
+                rows,
+                kind,
+            } => format!(
+                "{{\"kind\":\"reencode\",\"column\":\"{}\",\"from\":\"{}\",\"to\":\"{}\",\
+                 \"rows\":{},\"phase\":\"{}\"}}",
+                json_escape(column),
+                json_escape(from),
+                json_escape(to),
+                rows,
+                kind.as_str()
+            ),
+            Event::Conversion {
+                column,
+                route,
+                detail,
+            } => format!(
+                "{{\"kind\":\"conversion\",\"column\":\"{}\",\"route\":\"{}\",\"detail\":\"{}\"}}",
+                json_escape(column),
+                json_escape(route),
+                json_escape(detail)
+            ),
+            Event::ColumnBuilt {
+                table,
+                column,
+                algorithm,
+                rows,
+                reencodings,
+                final_converted,
+            } => {
+                format!(
+                    "{{\"kind\":\"column_built\",\"table\":\"{}\",\"column\":\"{}\",\
+                     \"algorithm\":\"{}\",\"rows\":{},\"reencodings\":{},\"final_converted\":{}}}",
+                    json_escape(table),
+                    json_escape(column),
+                    json_escape(algorithm),
+                    rows,
+                    reencodings,
+                    final_converted
+                )
+            }
+        }
+    }
+}
+
+/// Per-operator counters, bumped once per block by the instrumenting
+/// adapter. Shared `Arc`s let the trace read while the operator runs.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    /// Blocks produced.
+    pub blocks: AtomicU64,
+    /// Rows produced.
+    pub rows: AtomicU64,
+    /// Wall time inside `next_block`, in nanoseconds.
+    pub nanos: AtomicU64,
+}
+
+impl OpStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Arc<OpStats> {
+        Arc::new(OpStats::default())
+    }
+
+    /// Record one produced block.
+    pub fn record_block(&self, rows: u64, nanos: u64) {
+        self.blocks.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(rows, Ordering::Relaxed);
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record time spent producing end-of-stream (the final `None`).
+    pub fn record_eos(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Snapshot: (blocks, rows, elapsed).
+    pub fn snapshot(&self) -> (u64, u64, Duration) {
+        (
+            self.blocks.load(Ordering::Relaxed),
+            self.rows.load(Ordering::Relaxed),
+            Duration::from_nanos(self.nanos.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+/// One operator in the traced plan tree.
+#[derive(Debug)]
+struct TraceNode {
+    label: String,
+    parent: Option<usize>,
+    stats: Arc<OpStats>,
+}
+
+/// A read-only snapshot of one trace node.
+#[derive(Debug, Clone)]
+pub struct NodeSnapshot {
+    /// Operator label, e.g. `"HashAggregate"`.
+    pub label: String,
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Blocks produced.
+    pub blocks: u64,
+    /// Rows produced.
+    pub rows: u64,
+    /// Wall time inside `next_block`.
+    pub elapsed: Duration,
+}
+
+/// A recording of one query execution: the operator arena plus the event
+/// log. Shared behind an `Arc`; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct Trace {
+    nodes: Mutex<Vec<TraceNode>>,
+    events: Mutex<Vec<Event>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Arc<Trace> {
+        Arc::new(Trace::default())
+    }
+
+    /// Add an operator node; returns its id and shared counters.
+    pub fn add_node(
+        &self,
+        label: impl Into<String>,
+        parent: Option<usize>,
+    ) -> (usize, Arc<OpStats>) {
+        let stats = OpStats::new();
+        let mut nodes = lock(&self.nodes);
+        let id = nodes.len();
+        nodes.push(TraceNode {
+            label: label.into(),
+            parent,
+            stats: stats.clone(),
+        });
+        (id, stats)
+    }
+
+    /// Refine a node's label after a run-time choice is known.
+    pub fn set_label(&self, id: usize, label: impl Into<String>) {
+        let mut nodes = lock(&self.nodes);
+        if let Some(n) = nodes.get_mut(id) {
+            n.label = label.into();
+        }
+    }
+
+    /// Append an event.
+    pub fn push_event(&self, event: Event) {
+        lock(&self.events).push(event);
+    }
+
+    /// Snapshot of the event log.
+    pub fn events(&self) -> Vec<Event> {
+        lock(&self.events).clone()
+    }
+
+    /// Snapshot of the operator nodes (arena order; parents precede
+    /// children).
+    pub fn nodes(&self) -> Vec<NodeSnapshot> {
+        lock(&self.nodes)
+            .iter()
+            .map(|n| {
+                let (blocks, rows, elapsed) = n.stats.snapshot();
+                NodeSnapshot {
+                    label: n.label.clone(),
+                    parent: n.parent,
+                    blocks,
+                    rows,
+                    elapsed,
+                }
+            })
+            .collect()
+    }
+
+    /// Render the operator tree annotated with per-operator counters.
+    pub fn render_tree(&self) -> String {
+        let nodes = self.nodes();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut roots = Vec::new();
+        for (id, n) in nodes.iter().enumerate() {
+            match n.parent {
+                Some(p) => children[p].push(id),
+                None => roots.push(id),
+            }
+        }
+        let mut out = String::new();
+        fn walk(
+            id: usize,
+            depth: usize,
+            nodes: &[NodeSnapshot],
+            children: &[Vec<usize>],
+            out: &mut String,
+        ) {
+            let n = &nodes[id];
+            let label = format!("{}{}", "  ".repeat(depth), n.label);
+            out.push_str(&format!(
+                "{label:<44} blocks={:<6} rows={:<9} elapsed={:.3?}\n",
+                n.blocks, n.rows, n.elapsed
+            ));
+            for &c in &children[id] {
+                walk(c, depth + 1, nodes, children, out);
+            }
+        }
+        for r in roots {
+            walk(r, 0, &nodes, &children, &mut out);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process-wide recorder.
+// ---------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CURRENT: Mutex<Option<Arc<Trace>>> = Mutex::new(None);
+// Serializes installers so concurrent tests/queries cannot interleave
+// their events in one another's traces.
+static INSTALL: Mutex<()> = Mutex::new(());
+
+/// Whether a trace is currently installed. One relaxed atomic load.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Record an event into the installed trace, if any. The closure only
+/// runs when recording is enabled, so argument formatting costs nothing
+/// on the disabled path.
+#[inline]
+pub fn emit(f: impl FnOnce() -> Event) {
+    if !is_enabled() {
+        return;
+    }
+    let current = lock(&CURRENT).clone();
+    if let Some(trace) = current {
+        trace.push_event(f());
+    }
+}
+
+/// Keeps the trace installed; uninstalls on drop.
+pub struct RecorderGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Relaxed);
+        *lock(&CURRENT) = None;
+    }
+}
+
+/// Install `trace` as the process-wide recorder until the guard drops.
+/// Installations are serialized: a second caller blocks until the first
+/// guard drops, so traces never mix.
+pub fn install(trace: &Arc<Trace>) -> RecorderGuard {
+    let serial = INSTALL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    *lock(&CURRENT) = Some(trace.clone());
+    ENABLED.store(true, Ordering::Relaxed);
+    RecorderGuard { _serial: serial }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_without_trace_is_a_noop() {
+        assert!(!is_enabled());
+        emit(|| panic!("closure must not run while disabled"));
+    }
+
+    #[test]
+    fn install_records_and_uninstall_stops() {
+        let trace = Trace::new();
+        {
+            let _g = install(&trace);
+            assert!(is_enabled());
+            emit(|| Event::Decision {
+                point: "test",
+                choice: "a".into(),
+                reason: "because".into(),
+            });
+        }
+        assert!(!is_enabled());
+        emit(|| panic!("closure must not run after guard drop"));
+        let events = trace.events();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].to_string().contains("[test] a"));
+    }
+
+    #[test]
+    fn tree_renders_nested_counters() {
+        let trace = Trace::new();
+        let (root, rs) = trace.add_node("Aggregate", None);
+        let (_child, cs) = trace.add_node("Scan t [a, b]", Some(root));
+        cs.record_block(1024, 5_000);
+        cs.record_block(512, 4_000);
+        rs.record_block(3, 50_000);
+        trace.set_label(root, "HashAggregate [strategy=Direct64K]");
+        let tree = trace.render_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].contains("HashAggregate [strategy=Direct64K]"));
+        assert!(lines[0].contains("rows=3"));
+        assert!(lines[1].starts_with("  Scan t"));
+        assert!(lines[1].contains("blocks=2"));
+        assert!(lines[1].contains("rows=1536"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let e = Event::Conversion {
+            column: "c\"1".into(),
+            route: "r",
+            detail: "d".into(),
+        };
+        assert!(e.to_json().contains("\\\"1"));
+    }
+}

@@ -115,10 +115,12 @@ impl LogicalPlan {
         match self {
             LogicalPlan::Scan { columns, .. } => columns.clone(),
             LogicalPlan::Filter { input, .. } => input.output_columns(),
-            LogicalPlan::Project { exprs, .. } => {
-                exprs.iter().map(|(n, _)| n.clone()).collect()
-            }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Project { exprs, .. } => exprs.iter().map(|(n, _)| n.clone()).collect(),
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 let inputs = input.output_columns();
                 group_by
                     .iter()
@@ -127,22 +129,62 @@ impl LogicalPlan {
                     .collect()
             }
             LogicalPlan::Sort { input, .. } => input.output_columns(),
-            LogicalPlan::ExpandJoin { outer, column, inner, .. } => {
+            LogicalPlan::ExpandJoin {
+                outer,
+                column,
+                inner,
+                ..
+            } => {
                 let mut cols = outer.output_columns();
                 if let Some((name, _)) = &inner.compute {
                     cols[*column] = name.clone();
                 }
                 cols
             }
-            LogicalPlan::IndexScan { source, inner, fetch, .. } => {
+            LogicalPlan::IndexScan {
+                source,
+                inner,
+                fetch,
+                ..
+            } => {
                 let vname = inner
                     .compute
                     .as_ref()
                     .map(|(n, _)| n.clone())
                     .unwrap_or_else(|| source.0.columns[source.1].name.clone());
-                std::iter::once(vname).chain(fetch.iter().cloned()).collect()
+                std::iter::once(vname)
+                    .chain(fetch.iter().cloned())
+                    .collect()
             }
         }
+    }
+
+    /// Every stored table the plan references — scan sources plus
+    /// decompression-join sources — deduplicated by identity. Used by
+    /// EXPLAIN ANALYZE to report compression telemetry per table.
+    pub fn referenced_tables(&self) -> Vec<Arc<Table>> {
+        fn push(out: &mut Vec<Arc<Table>>, t: &Arc<Table>) {
+            if !out.iter().any(|x| Arc::ptr_eq(x, t)) {
+                out.push(t.clone());
+            }
+        }
+        fn collect(plan: &LogicalPlan, out: &mut Vec<Arc<Table>>) {
+            match plan {
+                LogicalPlan::Scan { table, .. } => push(out, table),
+                LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Project { input, .. }
+                | LogicalPlan::Aggregate { input, .. }
+                | LogicalPlan::Sort { input, .. } => collect(input, out),
+                LogicalPlan::ExpandJoin { outer, source, .. } => {
+                    collect(outer, out);
+                    push(out, &source.0);
+                }
+                LogicalPlan::IndexScan { source, .. } => push(out, &source.0),
+            }
+        }
+        let mut out = Vec::new();
+        collect(self, &mut out);
+        out
     }
 
     /// Render the plan tree (explain output).
@@ -155,12 +197,20 @@ impl LogicalPlan {
     fn explain_into(&self, depth: usize, out: &mut String) {
         let pad = "  ".repeat(depth);
         match self {
-            LogicalPlan::Scan { table, columns, expand_dictionaries } => {
+            LogicalPlan::Scan {
+                table,
+                columns,
+                expand_dictionaries,
+            } => {
                 out.push_str(&format!(
                     "{pad}Scan {} [{}]{}\n",
                     table.name,
                     columns.join(", "),
-                    if *expand_dictionaries { " (expanded)" } else { "" }
+                    if *expand_dictionaries {
+                        " (expanded)"
+                    } else {
+                        ""
+                    }
                 ));
             }
             LogicalPlan::Filter { input, .. } => {
@@ -172,7 +222,11 @@ impl LogicalPlan {
                 out.push_str(&format!("{pad}Project [{}]\n", names.join(", ")));
                 input.explain_into(depth + 1, out);
             }
-            LogicalPlan::Aggregate { input, group_by, aggs } => {
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 out.push_str(&format!(
                     "{pad}Aggregate group_by={group_by:?} aggs={}\n",
                     aggs.len()
@@ -183,23 +237,45 @@ impl LogicalPlan {
                 out.push_str(&format!("{pad}Sort {keys:?}\n"));
                 input.explain_into(depth + 1, out);
             }
-            LogicalPlan::ExpandJoin { outer, column, inner, source } => {
+            LogicalPlan::ExpandJoin {
+                outer,
+                column,
+                inner,
+                source,
+            } => {
                 out.push_str(&format!(
                     "{pad}ExpandJoin col={column} dict={}.{}{}{}\n",
                     source.0.name,
                     source.0.columns[source.1].name,
-                    if inner.filter.is_some() { " +filter" } else { "" },
-                    if inner.compute.is_some() { " +compute" } else { "" },
+                    if inner.filter.is_some() {
+                        " +filter"
+                    } else {
+                        ""
+                    },
+                    if inner.compute.is_some() {
+                        " +compute"
+                    } else {
+                        ""
+                    },
                 ));
                 outer.explain_into(depth + 1, out);
             }
-            LogicalPlan::IndexScan { source, inner, sort_by_value, fetch } => {
+            LogicalPlan::IndexScan {
+                source,
+                inner,
+                sort_by_value,
+                fetch,
+            } => {
                 out.push_str(&format!(
                     "{pad}IndexedScan {}.{} fetch=[{}]{}{}\n",
                     source.0.name,
                     source.0.columns[source.1].name,
                     fetch.join(", "),
-                    if inner.filter.is_some() { " +filter" } else { "" },
+                    if inner.filter.is_some() {
+                        " +filter"
+                    } else {
+                        ""
+                    },
                     if *sort_by_value { " ordered" } else { "" },
                 ));
             }
@@ -217,7 +293,11 @@ impl PlanBuilder {
     pub fn scan(table: &Arc<Table>) -> PlanBuilder {
         let columns = table.columns.iter().map(|c| c.name.clone()).collect();
         PlanBuilder {
-            plan: LogicalPlan::Scan { table: table.clone(), columns, expand_dictionaries: false },
+            plan: LogicalPlan::Scan {
+                table: table.clone(),
+                columns,
+                expand_dictionaries: false,
+            },
         }
     }
 
@@ -234,24 +314,43 @@ impl PlanBuilder {
 
     /// Add a filter.
     pub fn filter(self, predicate: Expr) -> PlanBuilder {
-        PlanBuilder { plan: LogicalPlan::Filter { input: Box::new(self.plan), predicate } }
+        PlanBuilder {
+            plan: LogicalPlan::Filter {
+                input: Box::new(self.plan),
+                predicate,
+            },
+        }
     }
 
     /// Add a projection.
     pub fn project(self, exprs: Vec<(String, Expr)>) -> PlanBuilder {
-        PlanBuilder { plan: LogicalPlan::Project { input: Box::new(self.plan), exprs } }
+        PlanBuilder {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                exprs,
+            },
+        }
     }
 
     /// Add an aggregation.
     pub fn aggregate(self, group_by: Vec<usize>, aggs: Vec<AggSpec>) -> PlanBuilder {
         PlanBuilder {
-            plan: LogicalPlan::Aggregate { input: Box::new(self.plan), group_by, aggs },
+            plan: LogicalPlan::Aggregate {
+                input: Box::new(self.plan),
+                group_by,
+                aggs,
+            },
         }
     }
 
     /// Add a sort.
     pub fn sort(self, keys: Vec<(usize, SortOrder)>) -> PlanBuilder {
-        PlanBuilder { plan: LogicalPlan::Sort { input: Box::new(self.plan), keys } }
+        PlanBuilder {
+            plan: LogicalPlan::Sort {
+                input: Box::new(self.plan),
+                keys,
+            },
+        }
     }
 
     /// Finish.

@@ -7,6 +7,7 @@
 //! (ordered vs hash) chosen — from the metadata FlowTable just extracted.
 
 use crate::logical::{InnerOps, LogicalPlan};
+use std::sync::Arc;
 use tde_exec::aggregate::{AggSpec, HashAggregate, OrderedAggregate};
 use tde_exec::dictionary_table::dictionary_table;
 use tde_exec::filter::Filter;
@@ -14,47 +15,195 @@ use tde_exec::flow_table::{flow_table, FlowTableOptions};
 use tde_exec::index_table::index_table;
 use tde_exec::indexed_scan::IndexedScan;
 use tde_exec::join::{Join, JoinKind};
+use tde_exec::obs::Instrumented;
 use tde_exec::project::Project;
 use tde_exec::scan::TableScan;
 use tde_exec::sort::{Sort, SortOrder};
-use tde_exec::{BoxOp, Expr, Operator};
+use tde_exec::{BoxOp, Expr, Field, Operator};
+use tde_obs::{OpStats, Trace};
 use tde_storage::EncodingPolicy;
+
+/// Optional trace context threaded through lowering: which trace (if
+/// any) to record into and which node is the parent of whatever operator
+/// gets lowered next.
+#[derive(Clone, Copy)]
+struct Tracer<'a> {
+    trace: Option<&'a Arc<Trace>>,
+    parent: Option<usize>,
+}
+
+impl<'a> Tracer<'a> {
+    fn off() -> Tracer<'a> {
+        Tracer {
+            trace: None,
+            parent: None,
+        }
+    }
+
+    /// Register an operator node under the current parent. A no-op
+    /// handle when tracing is off.
+    fn node(&self, label: impl Into<String>) -> NodeCtx<'a> {
+        match self.trace {
+            None => NodeCtx {
+                trace: None,
+                id: None,
+                stats: None,
+            },
+            Some(t) => {
+                let (id, stats) = t.add_node(label, self.parent);
+                NodeCtx {
+                    trace: Some(t),
+                    id: Some(id),
+                    stats: Some(stats),
+                }
+            }
+        }
+    }
+}
+
+/// A registered (or absent) trace node for one operator.
+struct NodeCtx<'a> {
+    trace: Option<&'a Arc<Trace>>,
+    id: Option<usize>,
+    stats: Option<Arc<OpStats>>,
+}
+
+impl<'a> NodeCtx<'a> {
+    /// Tracer for this operator's children.
+    fn child(&self) -> Tracer<'a> {
+        Tracer {
+            trace: self.trace,
+            parent: self.id,
+        }
+    }
+
+    /// Refine the label once a run-time choice is known.
+    fn relabel(&self, label: impl Into<String>) {
+        if let (Some(t), Some(id)) = (self.trace, self.id) {
+            t.set_label(id, label);
+        }
+    }
+
+    /// Wrap the lowered operator in the instrumenting adapter (identity
+    /// when tracing is off).
+    fn wrap(self, op: BoxOp) -> BoxOp {
+        match self.stats {
+            Some(stats) => Box::new(Instrumented::new(op, stats)),
+            None => op,
+        }
+    }
+}
 
 /// Lower and instantiate a logical plan.
 pub fn execute(plan: &LogicalPlan) -> BoxOp {
+    lower(plan, Tracer::off())
+}
+
+/// Lower a plan with every operator wrapped in an instrumenting adapter
+/// recording into `trace`. Combine with [`tde_obs::install`] to also
+/// capture the decision/re-encoding events fired during lowering and
+/// execution.
+pub fn execute_traced(plan: &LogicalPlan, trace: &Arc<Trace>) -> BoxOp {
+    lower(
+        plan,
+        Tracer {
+            trace: Some(trace),
+            parent: None,
+        },
+    )
+}
+
+fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
     match plan {
-        LogicalPlan::Scan { table, columns, expand_dictionaries } => {
+        LogicalPlan::Scan {
+            table,
+            columns,
+            expand_dictionaries,
+        } => {
+            let node = tr.node(format!(
+                "Scan {} [{}]{}",
+                table.name,
+                columns.join(", "),
+                if *expand_dictionaries {
+                    " (expanded)"
+                } else {
+                    ""
+                }
+            ));
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
-            Box::new(TableScan::project(table.clone(), &names, *expand_dictionaries))
+            node.wrap(Box::new(TableScan::project(
+                table.clone(),
+                &names,
+                *expand_dictionaries,
+            )))
         }
         LogicalPlan::Filter { input, predicate } => {
-            Box::new(Filter::new(execute(input), predicate.clone()))
+            let node = tr.node("Filter");
+            let input = lower(input, node.child());
+            node.wrap(Box::new(Filter::new(input, predicate.clone())))
         }
         LogicalPlan::Project { input, exprs } => {
-            Box::new(Project::new(execute(input), exprs.clone()))
+            let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
+            let node = tr.node(format!("Project [{}]", names.join(", ")));
+            let input = lower(input, node.child());
+            node.wrap(Box::new(Project::new(input, exprs.clone())))
         }
-        LogicalPlan::Sort { input, keys } => Box::new(Sort::new(execute(input), keys.clone())),
-        LogicalPlan::Aggregate { input, group_by, aggs } => {
-            lower_aggregate(execute(input), group_by, aggs)
+        LogicalPlan::Sort { input, keys } => {
+            let node = tr.node(format!("Sort {keys:?}"));
+            let input = lower(input, node.child());
+            node.wrap(Box::new(Sort::new(input, keys.clone())))
         }
-        LogicalPlan::ExpandJoin { outer, column, source, inner } => {
-            lower_expand_join(execute(outer), *column, source, inner)
-        }
-        LogicalPlan::IndexScan { source, inner, sort_by_value, fetch } => {
-            lower_index_scan(source, inner, *sort_by_value, fetch)
-        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => lower_aggregate(input, group_by, aggs, tr),
+        LogicalPlan::ExpandJoin {
+            outer,
+            column,
+            source,
+            inner,
+        } => lower_expand_join(outer, *column, source, inner, tr),
+        LogicalPlan::IndexScan {
+            source,
+            inner,
+            sort_by_value,
+            fetch,
+        } => lower_index_scan(source, inner, *sort_by_value, fetch, tr),
     }
 }
 
 /// Tactical choice: ordered aggregation when the (single) group key is
 /// known sorted, hash aggregation otherwise (§4.2.2).
-fn lower_aggregate(input: BoxOp, group_by: &[usize], aggs: &[AggSpec]) -> BoxOp {
-    let ordered = group_by.len() == 1
-        && input.schema().fields[group_by[0]].metadata.sorted_asc.is_true();
+fn lower_aggregate(
+    input_plan: &LogicalPlan,
+    group_by: &[usize],
+    aggs: &[AggSpec],
+    tr: Tracer<'_>,
+) -> BoxOp {
+    let node = tr.node("Aggregate");
+    let input = lower(input_plan, node.child());
+    let ordered = group_by.len() == 1 && {
+        let keys: Vec<&Field> = group_by
+            .iter()
+            .map(|&c| &input.schema().fields[c])
+            .collect();
+        tde_exec::tactical::can_aggregate_ordered(&keys)
+    };
     if ordered {
-        Box::new(OrderedAggregate::new(input, group_by.to_vec(), aggs.to_vec()))
+        node.relabel(format!("OrderedAggregate group_by={group_by:?}"));
+        node.wrap(Box::new(OrderedAggregate::new(
+            input,
+            group_by.to_vec(),
+            aggs.to_vec(),
+        )))
     } else {
-        Box::new(HashAggregate::new(input, group_by.to_vec(), aggs.to_vec()))
+        let agg = HashAggregate::new(input, group_by.to_vec(), aggs.to_vec());
+        node.relabel(format!(
+            "HashAggregate [strategy={:?}] group_by={group_by:?}",
+            agg.strategy
+        ));
+        node.wrap(Box::new(agg))
     }
 }
 
@@ -76,12 +225,15 @@ fn apply_inner_ops(mut op: BoxOp, inner: &InnerOps, keep_cols: &[&str]) -> BoxOp
 }
 
 fn lower_expand_join(
-    outer: BoxOp,
+    outer_plan: &LogicalPlan,
     column: usize,
-    source: &(std::sync::Arc<tde_storage::Table>, usize),
+    source: &(Arc<tde_storage::Table>, usize),
     inner: &InnerOps,
+    tr: Tracer<'_>,
 ) -> BoxOp {
     let src_col = &source.0.columns[source.1];
+    let node = tr.node(format!("ExpandJoin {}.{}", source.0.name, src_col.name));
+    let outer = lower(outer_plan, node.child());
     let (dict, _) = dictionary_table(src_col, &format!("{}_dict", src_col.name));
     // Inner pipeline over the dictionary, then materialize with FlowTable
     // under the inner-side policy (§4.3) so metadata is extracted and the
@@ -90,11 +242,16 @@ fn lower_expand_join(
     let built = flow_table(
         inner_op,
         "expand_inner",
-        FlowTableOptions { policy: EncodingPolicy::inner_side(), parallel: true },
+        FlowTableOptions {
+            policy: EncodingPolicy::inner_side(),
+            parallel: true,
+        },
     );
     let inner_table = built.table;
     let inner_schema = TableScan::new(inner_table.clone()).schema().clone();
-    let token_idx = inner_schema.index_of("token").expect("token column preserved");
+    let token_idx = inner_schema
+        .index_of("token")
+        .expect("token column preserved");
     // Project the expanded value: the `value` column for scalar
     // dictionaries, the computed column when present, or nothing (pure
     // semi-join filter) for plain string dictionaries.
@@ -106,12 +263,28 @@ fn lower_expand_join(
     let project: Vec<usize> = value_idx.into_iter().collect();
 
     let nouter = outer.schema().len();
-    let out_names: Vec<String> =
-        outer.schema().fields.iter().map(|f| f.name.clone()).collect();
-    let join = Join::new(outer, &inner_table, &inner_schema, column, token_idx, &project, JoinKind::Inner);
+    let out_names: Vec<String> = outer
+        .schema()
+        .fields
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+    let join = Join::new(
+        outer,
+        &inner_table,
+        &inner_schema,
+        column,
+        token_idx,
+        &project,
+        JoinKind::Inner,
+    );
+    node.relabel(format!(
+        "ExpandJoin {}.{} [{:?}]",
+        source.0.name, src_col.name, join.choice
+    ));
     if value_idx.is_none() {
         // Semi-join: schema unchanged.
-        return Box::new(join);
+        return node.wrap(Box::new(join));
     }
     // Splice the expanded value into the compressed column's position.
     let exprs: Vec<(String, Expr)> = (0..nouter)
@@ -128,16 +301,24 @@ fn lower_expand_join(
             }
         })
         .collect();
-    Box::new(Project::new(Box::new(join), exprs))
+    node.wrap(Box::new(Project::new(Box::new(join), exprs)))
 }
 
 fn lower_index_scan(
-    source: &(std::sync::Arc<tde_storage::Table>, usize),
+    source: &(Arc<tde_storage::Table>, usize),
     inner: &InnerOps,
     sort_by_value: bool,
     fetch: &[String],
+    tr: Tracer<'_>,
 ) -> BoxOp {
     let src_col = &source.0.columns[source.1];
+    let node = tr.node(format!(
+        "IndexedScan {}.{} fetch=[{}]{}",
+        source.0.name,
+        src_col.name,
+        fetch.join(", "),
+        if sort_by_value { " ordered" } else { "" }
+    ));
     let (idx, _) = index_table(src_col, &format!("{}_index", src_col.name));
     let mut inner_op: BoxOp =
         apply_inner_ops(Box::new(TableScan::new(idx)), inner, &["count", "start"]);
@@ -154,13 +335,32 @@ fn lower_index_scan(
         inner_op = Box::new(Sort::new(inner_op, vec![(vcol, SortOrder::Asc)]));
     }
     let fetch_refs: Vec<&str> = fetch.iter().map(String::as_str).collect();
-    Box::new(IndexedScan::new(inner_op, source.0.clone(), &fetch_refs))
+    node.wrap(Box::new(IndexedScan::new(
+        inner_op,
+        source.0.clone(),
+        &fetch_refs,
+    )))
 }
 
 /// Run a plan to completion, returning every block (convenience for tests
 /// and examples).
 pub fn run(plan: &LogicalPlan) -> (tde_exec::Schema, Vec<tde_exec::Block>) {
     let mut op = execute(plan);
+    let schema = op.schema().clone();
+    let mut blocks = Vec::new();
+    while let Some(b) = op.next_block() {
+        blocks.push(b);
+    }
+    (schema, blocks)
+}
+
+/// Run a plan with instrumentation, recording per-operator counters into
+/// `trace` (see [`execute_traced`]).
+pub fn run_traced(
+    plan: &LogicalPlan,
+    trace: &Arc<Trace>,
+) -> (tde_exec::Schema, Vec<tde_exec::Block>) {
+    let mut op = execute_traced(plan, trace);
     let schema = op.schema().clone();
     let mut blocks = Vec::new();
     while let Some(b) = op.next_block() {
@@ -239,10 +439,7 @@ mod tests {
         let query = |t: &Arc<Table>| {
             PlanBuilder::scan(t)
                 .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(100 - 30)))
-                .aggregate(
-                    vec![0],
-                    vec![AggSpec::new(AggFunc::Max, 1, "mx")],
-                )
+                .aggregate(vec![0], vec![AggSpec::new(AggFunc::Max, 1, "mx")])
                 .build()
         };
         // Plan 1: control (no rewrites).
@@ -257,7 +454,10 @@ mod tests {
         // Plan 2: indexed scan, hash aggregation.
         let p2 = optimize(
             query(&t),
-            OptimizerOptions { ordered_retrieval: false, ..Default::default() },
+            OptimizerOptions {
+                ordered_retrieval: false,
+                ..Default::default()
+            },
         );
         // Plan 3: indexed scan, sorted, ordered aggregation.
         let p3 = optimize(query(&t), OptimizerOptions::default());
@@ -308,7 +508,7 @@ mod tests {
         let (schema, blocks) = run(&opt);
         let total: usize = blocks.iter().map(|b| b.len).sum();
         assert_eq!(total, 10_000); // 100 of 300 days qualify
-        // The expanded column is a scalar date again.
+                                   // The expanded column is a scalar date again.
         assert_eq!(schema.fields[0].dtype, DataType::Date);
         for b in &blocks {
             assert!(b.columns[0].iter().all(|&d| (9000..9100).contains(&d)));

@@ -42,7 +42,11 @@ pub struct OptimizerOptions {
 
 impl Default for OptimizerOptions {
     fn default() -> OptimizerOptions {
-        OptimizerOptions { invisible_joins: true, index_tables: true, ordered_retrieval: true }
+        OptimizerOptions {
+            invisible_joins: true,
+            index_tables: true,
+            ordered_retrieval: true,
+        }
     }
 }
 
@@ -55,18 +59,27 @@ pub fn optimize(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
 
 fn rewrite_children(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
     match plan {
-        LogicalPlan::Filter { input, predicate } => {
-            LogicalPlan::Filter { input: Box::new(optimize(*input, opts)), predicate }
-        }
-        LogicalPlan::Project { input, exprs } => {
-            LogicalPlan::Project { input: Box::new(optimize(*input, opts)), exprs }
-        }
-        LogicalPlan::Aggregate { input, group_by, aggs } => {
-            LogicalPlan::Aggregate { input: Box::new(optimize(*input, opts)), group_by, aggs }
-        }
-        LogicalPlan::Sort { input, keys } => {
-            LogicalPlan::Sort { input: Box::new(optimize(*input, opts)), keys }
-        }
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(optimize(*input, opts)),
+            predicate,
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(optimize(*input, opts)),
+            exprs,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(optimize(*input, opts)),
+            group_by,
+            aggs,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(optimize(*input, opts)),
+            keys,
+        },
         other => other,
     }
 }
@@ -79,9 +92,11 @@ fn rewrite_filter_pushdown(plan: LogicalPlan, opts: OptimizerOptions) -> Logical
         return plan;
     };
     let (table, columns, expand_dictionaries) = match input.as_ref() {
-        LogicalPlan::Scan { table, columns, expand_dictionaries } => {
-            (table.clone(), columns.clone(), *expand_dictionaries)
-        }
+        LogicalPlan::Scan {
+            table,
+            columns,
+            expand_dictionaries,
+        } => (table.clone(), columns.clone(), *expand_dictionaries),
         _ => return LogicalPlan::Filter { input, predicate },
     };
     let Some(col_idx) = predicate.single_column() else {
@@ -103,7 +118,10 @@ fn rewrite_filter_pushdown(plan: LogicalPlan, opts: OptimizerOptions) -> Logical
                 outer: input,
                 column: col_idx,
                 source: (table.clone(), table_col),
-                inner: InnerOps { filter: Some(inner_pred), compute: None },
+                inner: InnerOps {
+                    filter: Some(inner_pred),
+                    compute: None,
+                },
             };
         }
         if let Compression::Heap { .. } = &column.compression {
@@ -114,7 +132,10 @@ fn rewrite_filter_pushdown(plan: LogicalPlan, opts: OptimizerOptions) -> Logical
                     outer: input,
                     column: col_idx,
                     source: (table.clone(), table_col),
-                    inner: InnerOps { filter: Some(inner_pred), compute: None },
+                    inner: InnerOps {
+                        filter: Some(inner_pred),
+                        compute: None,
+                    },
                 };
             }
         }
@@ -127,12 +148,18 @@ fn rewrite_filter_pushdown(plan: LogicalPlan, opts: OptimizerOptions) -> Logical
     {
         // Inner schema is (value, count, start): predicate moves to value.
         let inner_pred = predicate.remap_columns(&|_| 0);
-        let fetch: Vec<String> =
-            columns.iter().filter(|n| *n != &columns[col_idx]).cloned().collect();
+        let fetch: Vec<String> = columns
+            .iter()
+            .filter(|n| *n != &columns[col_idx])
+            .cloned()
+            .collect();
         let source = (table.clone(), table_col);
         let node = LogicalPlan::IndexScan {
             source,
-            inner: InnerOps { filter: Some(inner_pred), compute: None },
+            inner: InnerOps {
+                filter: Some(inner_pred),
+                compute: None,
+            },
             sort_by_value: false,
             fetch,
         };
@@ -152,11 +179,17 @@ fn reorder_to(plan: LogicalPlan, wanted: &[String]) -> LogicalPlan {
     let exprs = wanted
         .iter()
         .map(|n| {
-            let i = have.iter().position(|h| h == n).expect("column preserved by rewrite");
+            let i = have
+                .iter()
+                .position(|h| h == n)
+                .expect("column preserved by rewrite");
             (n.clone(), Expr::col(i))
         })
         .collect();
-    LogicalPlan::Project { input: Box::new(plan), exprs }
+    LogicalPlan::Project {
+        input: Box::new(plan),
+        exprs,
+    }
 }
 
 /// Rule 3: `Aggregate(… IndexScan …)` grouped by the indexed value turns
@@ -165,24 +198,44 @@ fn rewrite_ordered_retrieval(plan: LogicalPlan, opts: OptimizerOptions) -> Logic
     if !opts.ordered_retrieval {
         return plan;
     }
-    let LogicalPlan::Aggregate { input, group_by, aggs } = plan else {
+    let LogicalPlan::Aggregate {
+        input,
+        group_by,
+        aggs,
+    } = plan
+    else {
         return plan;
     };
     let input = *input;
     let rewritten = match input {
-        LogicalPlan::IndexScan { source, inner, fetch, .. } if group_by == vec![0] => {
-            LogicalPlan::IndexScan { source, inner, sort_by_value: true, fetch }
-        }
+        LogicalPlan::IndexScan {
+            source,
+            inner,
+            fetch,
+            ..
+        } if group_by == vec![0] => LogicalPlan::IndexScan {
+            source,
+            inner,
+            sort_by_value: true,
+            fetch,
+        },
         // Look through a pure column-reorder projection.
-        LogicalPlan::Project { input: pinput, exprs }
-            if matches!(*pinput, LogicalPlan::IndexScan { .. })
-                && exprs.iter().all(|(_, e)| matches!(e, Expr::Col(_))) =>
+        LogicalPlan::Project {
+            input: pinput,
+            exprs,
+        } if matches!(*pinput, LogicalPlan::IndexScan { .. })
+            && exprs.iter().all(|(_, e)| matches!(e, Expr::Col(_))) =>
         {
             // The grouped output column must map back to the index value
             // (inner column 0).
-            let maps_to_value = group_by.len() == 1
-                && matches!(exprs[group_by[0]].1, Expr::Col(0));
-            let LogicalPlan::IndexScan { source, inner, fetch, sort_by_value } = *pinput else {
+            let maps_to_value = group_by.len() == 1 && matches!(exprs[group_by[0]].1, Expr::Col(0));
+            let LogicalPlan::IndexScan {
+                source,
+                inner,
+                fetch,
+                sort_by_value,
+            } = *pinput
+            else {
                 unreachable!()
             };
             let node = LogicalPlan::IndexScan {
@@ -191,11 +244,18 @@ fn rewrite_ordered_retrieval(plan: LogicalPlan, opts: OptimizerOptions) -> Logic
                 sort_by_value: sort_by_value || maps_to_value,
                 fetch,
             };
-            LogicalPlan::Project { input: Box::new(node), exprs }
+            LogicalPlan::Project {
+                input: Box::new(node),
+                exprs,
+            }
         }
         other => other,
     };
-    LogicalPlan::Aggregate { input: Box::new(rewritten), group_by, aggs }
+    LogicalPlan::Aggregate {
+        input: Box::new(rewritten),
+        group_by,
+        aggs,
+    }
 }
 
 #[cfg(test)]
@@ -204,8 +264,8 @@ mod tests {
     use crate::logical::PlanBuilder;
     use std::sync::Arc;
     use tde_encodings::{EncodedStream, BLOCK_SIZE};
-    use tde_exec::expr::{AggFunc, CmpOp};
     use tde_exec::aggregate::AggSpec;
+    use tde_exec::expr::{AggFunc, CmpOp};
     use tde_storage::{convert, Column, ColumnBuilder, EncodingPolicy, Table};
     use tde_types::Width;
 
@@ -289,7 +349,10 @@ mod tests {
             .build();
         let opt = optimize(
             plan,
-            OptimizerOptions { ordered_retrieval: false, ..Default::default() },
+            OptimizerOptions {
+                ordered_retrieval: false,
+                ..Default::default()
+            },
         );
         assert!(!opt.explain().contains("ordered"));
     }

@@ -77,8 +77,7 @@ impl HeapAccelerator {
     pub fn intern(&mut self, heap: &mut StringHeap, s: &str) -> u64 {
         self.inserts += 1;
         if let Some(prev) = &self.last {
-            if self.sorted_so_far
-                && self.collation.compare(prev, s) == std::cmp::Ordering::Greater
+            if self.sorted_so_far && self.collation.compare(prev, s) == std::cmp::Ordering::Greater
             {
                 self.sorted_so_far = false;
             }

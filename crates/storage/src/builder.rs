@@ -78,7 +78,10 @@ impl EncodingPolicy {
     /// Inner-join-side policy: only cheap-random-access encodings
     /// (paper §4.3).
     pub fn inner_side() -> EncodingPolicy {
-        EncodingPolicy { allow: AllowedAlgorithms::random_access(), ..EncodingPolicy::default() }
+        EncodingPolicy {
+            allow: AllowedAlgorithms::random_access(),
+            ..EncodingPolicy::default()
+        }
     }
 }
 
@@ -108,9 +111,11 @@ pub struct ColumnBuilder {
 impl ColumnBuilder {
     /// A builder for a column of `dtype` under `policy`.
     pub fn new(name: impl Into<String>, dtype: DataType, policy: EncodingPolicy) -> ColumnBuilder {
+        let name = name.into();
         // Heap tokens are unsigned offsets; everything else is signed.
         let signed = !dtype.is_string();
-        let mut enc = DynamicEncoder::new(Width::W8, signed, policy.allow, policy.encodings);
+        let mut enc = DynamicEncoder::new(Width::W8, signed, policy.allow, policy.encodings)
+            .labeled(name.as_str());
         if dtype.is_string() {
             // Heap tokens are offsets, not dense indexes: small domains
             // should land on dictionary encoding (paper §6.3), which is
@@ -126,7 +131,7 @@ impl ColumnBuilder {
             (None, None)
         };
         ColumnBuilder {
-            name: name.into(),
+            name,
             dtype,
             policy,
             enc,
@@ -198,11 +203,15 @@ impl ColumnBuilder {
             (DataType::Str, Value::Str(s)) => self.append_str(Some(s)),
             (DataType::Str, Value::Null) => self.append_str(None),
             (DataType::Real, Value::Null) => self.append_f64(null_real()),
-            (DataType::Real, _) => {
-                self.append_f64(v.as_f64().unwrap_or_else(|| panic!("type mismatch for {v}")))
-            }
+            (DataType::Real, _) => self.append_f64(
+                v.as_f64()
+                    .unwrap_or_else(|| panic!("type mismatch for {v}")),
+            ),
             (_, Value::Null) => self.append_i64(NULL_I64),
-            _ => self.append_i64(v.as_i64().unwrap_or_else(|| panic!("type mismatch for {v}"))),
+            _ => self.append_i64(
+                v.as_i64()
+                    .unwrap_or_else(|| panic!("type mismatch for {v}")),
+            ),
         }
     }
 
@@ -249,7 +258,10 @@ impl ColumnBuilder {
                 heap = convert::sort_heap_via_dictionary(&mut stream, &heap, policy.collation);
                 sorted = true;
             }
-            Compression::Heap { heap: Arc::new(heap), sorted }
+            Compression::Heap {
+                heap: Arc::new(heap),
+                sorted,
+            }
         } else {
             Compression::None
         };
@@ -268,7 +280,10 @@ impl ColumnBuilder {
         }
         // Width metadata for reals is meaningless (bit patterns).
         if self.dtype == DataType::Real {
-            metadata = ColumnMetadata { width: Width::W8, ..ColumnMetadata::unknown() };
+            metadata = ColumnMetadata {
+                width: Width::W8,
+                ..ColumnMetadata::unknown()
+            };
         }
         if let Compression::Heap { sorted, .. } = &compression {
             if *sorted {
@@ -357,7 +372,10 @@ mod tests {
 
     #[test]
     fn unaccelerated_strings_duplicate() {
-        let policy = EncodingPolicy { acceleration: false, ..EncodingPolicy::default() };
+        let policy = EncodingPolicy {
+            acceleration: false,
+            ..EncodingPolicy::default()
+        };
         let mut b = ColumnBuilder::new("s", DataType::Str, policy);
         for _ in 0..10 {
             b.append_str(Some("dup"));

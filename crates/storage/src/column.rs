@@ -202,7 +202,10 @@ mod tests {
             name: "d".into(),
             dtype: DataType::Integer,
             data: r.stream,
-            compression: Compression::Array { dictionary: vec![100, 200, 300], sorted: true },
+            compression: Compression::Array {
+                dictionary: vec![100, 200, 300],
+                sorted: true,
+            },
             metadata: ColumnMetadata::unknown(),
         };
         assert_eq!(col.value(0), Value::Int(100));
@@ -220,7 +223,10 @@ mod tests {
             name: "s".into(),
             dtype: DataType::Str,
             data: r.stream,
-            compression: Compression::Heap { heap: Arc::new(heap), sorted: true },
+            compression: Compression::Heap {
+                heap: Arc::new(heap),
+                sorted: true,
+            },
             metadata: ColumnMetadata::unknown(),
         };
         assert_eq!(col.value(0), Value::Str("alpha".into()));

@@ -34,7 +34,9 @@ pub fn sort_heap_via_dictionary(
     heap: &StringHeap,
     collation: Collation,
 ) -> StringHeap {
-    let entries = stream.dict_entries().expect("token stream must be dictionary-encoded");
+    let entries = stream
+        .dict_entries()
+        .expect("token stream must be dictionary-encoded");
     // Collect the distinct strings (NULL token stays NULL).
     let mut order: Vec<usize> = (0..entries.len()).collect();
     order.sort_by(|&a, &b| {
@@ -47,12 +49,23 @@ pub fn sort_heap_via_dictionary(
         }
     });
     // Build the new heap in sorted order and record each entry's new token.
+    tde_obs::emit(|| tde_obs::Event::Conversion {
+        column: String::new(),
+        route: "heap-sort-via-dictionary",
+        detail: format!(
+            "{} dictionary entr(ies) sorted; row data untouched",
+            entries.len()
+        ),
+    });
     let mut sorted_heap = StringHeap::new();
     let mut new_entries = vec![0i64; entries.len()];
     for &i in &order {
         let old = entries[i] as u64;
-        new_entries[i] =
-            if old == NULL_TOKEN { NULL_TOKEN as i64 } else { sorted_heap.append(heap.get_raw(old)) as i64 };
+        new_entries[i] = if old == NULL_TOKEN {
+            NULL_TOKEN as i64
+        } else {
+            sorted_heap.append(heap.get_raw(old)) as i64
+        };
     }
     manipulate::remap_dict_entries(stream, &new_entries);
     sorted_heap
@@ -69,7 +82,11 @@ pub fn dict_encoding_to_compression(col: &mut Column) {
         "column is already compressed"
     );
     let h = col.data.header();
-    assert_eq!(h.algorithm, Algorithm::Dictionary, "column data is not dictionary-encoded");
+    assert_eq!(
+        h.algorithm,
+        Algorithm::Dictionary,
+        "column data is not dictionary-encoded"
+    );
     let entries = col.data.dict_entries().expect("dictionary entries");
 
     // Sort the dictionary and remap the entry table to ranks, so the index
@@ -87,7 +104,18 @@ pub fn dict_encoding_to_compression(col: &mut Column) {
     // Its element width can narrow to the rank range.
     manipulate::narrow(&mut col.data);
 
-    col.compression = Compression::Array { dictionary, sorted: true };
+    tde_obs::emit(|| tde_obs::Event::Conversion {
+        column: col.name.clone(),
+        route: "dict-encoding->array-compression",
+        detail: format!(
+            "entry table of {} value(s) became the sorted dictionary; packed body reused",
+            dictionary.len()
+        ),
+    });
+    col.compression = Compression::Array {
+        dictionary,
+        sorted: true,
+    };
     col.metadata.cardinality = Some(entries.len() as u64);
     col.metadata.width = col.data.width();
 }
@@ -97,10 +125,20 @@ pub fn dict_encoding_to_compression(col: &mut Column) {
 /// (paper §3.4.3). The dictionary may contain values that are not actually
 /// present in the column; the packed offsets become the indexes verbatim.
 pub fn for_encoding_to_compression(col: &mut Column) {
-    assert!(matches!(col.compression, Compression::None), "column is already compressed");
+    assert!(
+        matches!(col.compression, Compression::None),
+        "column is already compressed"
+    );
     let h = col.data.header();
-    assert_eq!(h.algorithm, Algorithm::FrameOfReference, "column data is not FoR-encoded");
-    assert!(h.bits <= tde_encodings::DICT_MAX_BITS, "envelope too wide for a dictionary");
+    assert_eq!(
+        h.algorithm,
+        Algorithm::FrameOfReference,
+        "column data is not FoR-encoded"
+    );
+    assert!(
+        h.bits <= tde_encodings::DICT_MAX_BITS,
+        "envelope too wide for a dictionary"
+    );
     let base = frame::frame_value(col.data.as_bytes());
     let dictionary: Vec<i64> = (0..(1i64 << h.bits)).map(|i| base + i).collect();
 
@@ -115,8 +153,20 @@ pub fn for_encoding_to_compression(col: &mut Column) {
         manipulate::set_width(&mut stream, target);
     }
 
+    tde_obs::emit(|| tde_obs::Event::Conversion {
+        column: col.name.clone(),
+        route: "for-encoding->array-compression",
+        detail: format!(
+            "envelope [{base}, {base}+{}) generated a sorted dictionary of {} value(s)",
+            dictionary.len(),
+            dictionary.len()
+        ),
+    });
     col.data = stream;
-    col.compression = Compression::Array { dictionary, sorted: true };
+    col.compression = Compression::Array {
+        dictionary,
+        sorted: true,
+    };
     col.metadata.width = col.data.width();
 }
 
@@ -126,8 +176,15 @@ pub fn for_encoding_to_compression(col: &mut Column) {
 /// token stream with the original counts. The result is a scalar
 /// dictionary-compressed column whose token stream is run-length encoded.
 pub fn rle_to_dict_compression(col: &mut Column) {
-    assert!(matches!(col.compression, Compression::None), "column is already compressed");
-    assert_eq!(col.data.algorithm(), Algorithm::RunLength, "column data is not RLE");
+    assert!(
+        matches!(col.compression, Compression::None),
+        "column is already compressed"
+    );
+    assert_eq!(
+        col.data.algorithm(),
+        Algorithm::RunLength,
+        "column data is not RLE"
+    );
     let (values, counts) = manipulate::rle_decompose(&col.data);
 
     let mut dictionary: Vec<i64> = values.clone();
@@ -136,10 +193,22 @@ pub fn rle_to_dict_compression(col: &mut Column) {
     let index_of = |v: i64| dictionary.binary_search(&v).expect("value in dictionary") as i64;
     let tokens: Vec<i64> = values.iter().map(|&v| index_of(v)).collect();
 
+    tde_obs::emit(|| tde_obs::Event::Conversion {
+        column: col.name.clone(),
+        route: "rle->dict-compression",
+        detail: format!(
+            "{} run(s) decomposed; {} distinct value(s) dictionary-compressed",
+            values.len(),
+            dictionary.len()
+        ),
+    });
     col.data = manipulate::rle_rebuild(&tokens, &counts, false);
     col.metadata.cardinality = Some(dictionary.len() as u64);
     col.metadata.width = col.data.width();
-    col.compression = Compression::Array { dictionary, sorted: true };
+    col.compression = Compression::Array {
+        dictionary,
+        sorted: true,
+    };
 }
 
 /// Heavyweight AlterColumn-style conversion (paper §3.4.3 last
@@ -149,7 +218,10 @@ pub fn rle_to_dict_compression(col: &mut Column) {
 /// (column untouched) when the domain exceeds the dictionary limit.
 pub fn reencode_as_dictionary(col: &mut Column) -> bool {
     use std::collections::HashSet;
-    assert!(matches!(col.compression, Compression::None), "column is already compressed");
+    assert!(
+        matches!(col.compression, Compression::None),
+        "column is already compressed"
+    );
     // Cheap route for RLE columns: decompose runs instead of rows.
     if col.data.algorithm() == Algorithm::RunLength {
         let (values, _) = manipulate::rle_decompose(&col.data);
@@ -168,7 +240,9 @@ pub fn reencode_as_dictionary(col: &mut Column) -> bool {
     let bits = tde_encodings::bitpack::bits_for_max(distinct.len() as u64 - 1).max(1);
     let mut stream = EncodedStream::new_dict(Width::W8, true, bits);
     for chunk in data.chunks(tde_encodings::BLOCK_SIZE) {
-        stream.append_block(chunk).expect("sized dictionary accepts the domain");
+        stream
+            .append_block(chunk)
+            .expect("sized dictionary accepts the domain");
     }
     col.data = stream;
     dict_encoding_to_compression(col);
@@ -181,7 +255,10 @@ pub fn reencode_as_dictionary(col: &mut Column) -> bool {
 /// should use [`reencode_as_dictionary`].
 pub fn reencode_as_dictionary_full(col: &mut Column) -> bool {
     use std::collections::HashSet;
-    assert!(matches!(col.compression, Compression::None), "column is already compressed");
+    assert!(
+        matches!(col.compression, Compression::None),
+        "column is already compressed"
+    );
     let data = col.data.decode_all();
     let distinct: HashSet<i64> = data.iter().copied().collect();
     if distinct.is_empty() || distinct.len() > (1 << tde_encodings::DICT_MAX_BITS) {
@@ -190,7 +267,9 @@ pub fn reencode_as_dictionary_full(col: &mut Column) -> bool {
     let bits = tde_encodings::bitpack::bits_for_max(distinct.len() as u64 - 1).max(1);
     let mut stream = EncodedStream::new_dict(Width::W8, true, bits);
     for chunk in data.chunks(tde_encodings::BLOCK_SIZE) {
-        stream.append_block(chunk).expect("sized dictionary accepts the domain");
+        stream
+            .append_block(chunk)
+            .expect("sized dictionary accepts the domain");
     }
     col.data = stream;
     dict_encoding_to_compression(col);
@@ -322,7 +401,13 @@ mod tests {
             tokens.push(heap.append(s) as i64);
         }
         // Token stream referencing the three strings plus a NULL.
-        let rows = [tokens[0], tokens[1], tokens[2], NULL_TOKEN as i64, tokens[1]];
+        let rows = [
+            tokens[0],
+            tokens[1],
+            tokens[2],
+            NULL_TOKEN as i64,
+            tokens[1],
+        ];
         let mut stream = EncodedStream::new_dict(Width::W8, false, 3);
         stream.append_block(&rows).unwrap();
         let sorted = sort_heap_via_dictionary(&mut stream, &heap, Collation::Binary);

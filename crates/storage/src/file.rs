@@ -112,7 +112,8 @@ impl Database {
     /// Size of the serialized file in bytes.
     pub fn serialized_size(&self) -> u64 {
         let mut counter = CountingWriter::default();
-        self.write_to(&mut counter).expect("counting writer cannot fail");
+        self.write_to(&mut counter)
+            .expect("counting writer cannot fail");
         counter.bytes
     }
 }
@@ -134,7 +135,10 @@ impl Write for CountingWriter {
 }
 
 fn corrupt(msg: &str) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("corrupt database file: {msg}"))
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt database file: {msg}"),
+    )
 }
 
 fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
@@ -288,17 +292,29 @@ fn read_column(r: &mut impl Read) -> io::Result<Column> {
             }
             let mut s = [0u8; 1];
             r.read_exact(&mut s)?;
-            Compression::Array { dictionary, sorted: s[0] != 0 }
+            Compression::Array {
+                dictionary,
+                sorted: s[0] != 0,
+            }
         }
         2 => {
             let heap = StringHeap::from_bytes(read_bytes(r)?);
             let mut s = [0u8; 1];
             r.read_exact(&mut s)?;
-            Compression::Heap { heap: Arc::new(heap), sorted: s[0] != 0 }
+            Compression::Heap {
+                heap: Arc::new(heap),
+                sorted: s[0] != 0,
+            }
         }
         _ => return Err(corrupt("bad compression tag")),
     };
-    Ok(Column { name, dtype, data, compression, metadata })
+    Ok(Column {
+        name,
+        dtype,
+        data,
+        compression,
+        metadata,
+    })
 }
 
 #[cfg(test)]
@@ -318,7 +334,11 @@ mod tests {
         }
         let t = Table::new(
             "orders",
-            vec![ints.finish().column, dates.finish().column, names.finish().column],
+            vec![
+                ints.finish().column,
+                dates.finish().column,
+                names.finish().column,
+            ],
         );
         let mut db = Database::new();
         db.add_table(t);
@@ -354,7 +374,11 @@ mod tests {
         let db2 = Database::load(&path).unwrap();
         assert_eq!(db2.table("orders").unwrap().row_count(), 5000);
         assert_eq!(
-            db2.table("orders").unwrap().column("name").unwrap().value(1),
+            db2.table("orders")
+                .unwrap()
+                .column("name")
+                .unwrap()
+                .value(1),
             Value::Str("green".into())
         );
         std::fs::remove_file(&path).ok();

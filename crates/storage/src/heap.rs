@@ -26,7 +26,10 @@ pub struct StringHeap {
 impl StringHeap {
     /// An empty heap containing only the NULL entry at token 0.
     pub fn new() -> StringHeap {
-        let mut heap = StringHeap { bytes: Vec::new(), entries: 0 };
+        let mut heap = StringHeap {
+            bytes: Vec::new(),
+            entries: 0,
+        };
         let t = heap.push_entry("");
         debug_assert_eq!(t, NULL_TOKEN);
         heap
@@ -34,7 +37,8 @@ impl StringHeap {
 
     fn push_entry(&mut self, s: &str) -> u64 {
         let token = self.bytes.len() as u64;
-        self.bytes.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        self.bytes
+            .extend_from_slice(&(s.len() as u32).to_le_bytes());
         self.bytes.extend_from_slice(s.as_bytes());
         self.entries += 1;
         token
@@ -81,7 +85,10 @@ impl StringHeap {
     /// Iterate `(token, string)` over real entries in token (storage) order.
     pub fn iter(&self) -> HeapIter<'_> {
         // Skip the NULL entry.
-        HeapIter { heap: self, at: ENTRY_HEADER }
+        HeapIter {
+            heap: self,
+            at: ENTRY_HEADER,
+        }
     }
 
     /// Whether the entries are in ascending collation order — sorted heaps
@@ -168,8 +175,9 @@ mod tests {
         // The c_name phenomenon (paper §6.2): equal-length unique strings
         // produce equally spaced tokens.
         let mut h = StringHeap::new();
-        let tokens: Vec<u64> =
-            (0..100).map(|i| h.append(&format!("Customer#{i:09}"))).collect();
+        let tokens: Vec<u64> = (0..100)
+            .map(|i| h.append(&format!("Customer#{i:09}")))
+            .collect();
         let deltas: Vec<u64> = tokens.windows(2).map(|w| w[1] - w[0]).collect();
         assert!(deltas.iter().all(|&d| d == deltas[0]));
     }

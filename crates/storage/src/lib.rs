@@ -28,4 +28,4 @@ pub use builder::{BuiltColumn, ColumnBuilder, EncodingPolicy};
 pub use column::{Column, Compression};
 pub use file::Database;
 pub use heap::StringHeap;
-pub use table::Table;
+pub use table::{ColumnTelemetry, Table};

@@ -1,6 +1,8 @@
 //! Tables: named collections of equal-length columns.
 
-use crate::column::Column;
+use crate::column::{Column, Compression};
+use tde_encodings::Algorithm;
+use tde_types::DataType;
 
 /// A read-only table.
 #[derive(Debug, Clone)]
@@ -26,7 +28,10 @@ impl Table {
                 );
             }
         }
-        Table { name: name.into(), columns }
+        Table {
+            name: name.into(),
+            columns,
+        }
     }
 
     /// Number of rows.
@@ -53,6 +58,110 @@ impl Table {
     pub fn logical_size(&self) -> u64 {
         self.columns.iter().map(Column::logical_size).sum()
     }
+
+    /// Per-column compression telemetry: what each column is physically
+    /// stored as and how much the encoding + compression save.
+    pub fn compression_telemetry(&self) -> Vec<ColumnTelemetry> {
+        self.columns
+            .iter()
+            .map(|c| {
+                let h = c.data.header();
+                let compression = match &c.compression {
+                    Compression::None => "none".to_string(),
+                    Compression::Array { dictionary, sorted } => format!(
+                        "array[{} value(s){}]",
+                        dictionary.len(),
+                        if *sorted { ", sorted" } else { "" }
+                    ),
+                    Compression::Heap { heap, sorted } => format!(
+                        "heap[{} string(s){}]",
+                        heap.len(),
+                        if *sorted { ", sorted" } else { "" }
+                    ),
+                };
+                ColumnTelemetry {
+                    column: c.name.clone(),
+                    dtype: c.dtype,
+                    algorithm: c.data.algorithm(),
+                    packed_bits: h.bits,
+                    compression,
+                    cardinality: c.metadata.cardinality,
+                    physical_bytes: c.physical_size(),
+                    logical_bytes: c.logical_size(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One column's compression telemetry (see
+/// [`Table::compression_telemetry`]).
+#[derive(Debug, Clone)]
+pub struct ColumnTelemetry {
+    /// Column name.
+    pub column: String,
+    /// Logical type.
+    pub dtype: DataType,
+    /// Encoding algorithm of the stored stream.
+    pub algorithm: Algorithm,
+    /// Packing bits per value (0 when the algorithm does not bit-pack).
+    pub packed_bits: u8,
+    /// Compression layer, rendered (`none`, `array[...]`, `heap[...]`).
+    pub compression: String,
+    /// Domain cardinality, when known.
+    pub cardinality: Option<u64>,
+    /// Bytes actually stored (stream + dictionaries + heaps).
+    pub physical_bytes: u64,
+    /// Bytes an un-encoded representation would need.
+    pub logical_bytes: u64,
+}
+
+impl ColumnTelemetry {
+    /// Logical-to-physical compression ratio (1.0 when physical is zero).
+    pub fn ratio(&self) -> f64 {
+        if self.physical_bytes == 0 {
+            1.0
+        } else {
+            self.logical_bytes as f64 / self.physical_bytes as f64
+        }
+    }
+
+    /// The telemetry as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"column\":\"{}\",\"dtype\":\"{:?}\",\"algorithm\":\"{:?}\",\"packed_bits\":{},\
+             \"compression\":\"{}\",\"cardinality\":{},\"physical_bytes\":{},\
+             \"logical_bytes\":{},\"ratio\":{:.3}}}",
+            tde_obs::json_escape(&self.column),
+            self.dtype,
+            self.algorithm,
+            self.packed_bits,
+            tde_obs::json_escape(&self.compression),
+            self.cardinality
+                .map_or("null".to_string(), |c| c.to_string()),
+            self.physical_bytes,
+            self.logical_bytes,
+            self.ratio()
+        )
+    }
+}
+
+impl std::fmt::Display for ColumnTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<16} {:<9} {:?}({} bits) {:<24} card={:<8} {} / {} bytes ({:.1}x)",
+            self.column,
+            format!("{:?}", self.dtype),
+            self.algorithm,
+            self.packed_bits,
+            self.compression,
+            self.cardinality.map_or("?".to_string(), |c| c.to_string()),
+            self.physical_bytes,
+            self.logical_bytes,
+            self.ratio()
+        )
+    }
 }
 
 #[cfg(test)]
@@ -62,7 +171,11 @@ mod tests {
     use tde_types::{DataType, Width};
 
     fn col(name: &str, vals: &[i64]) -> Column {
-        Column::scalar(name, DataType::Integer, encode_all(vals, Width::W8, true).stream)
+        Column::scalar(
+            name,
+            DataType::Integer,
+            encode_all(vals, Width::W8, true).stream,
+        )
     }
 
     #[test]

@@ -86,7 +86,12 @@ pub fn infer_schema(data: &[u8]) -> InferredSchema {
     let separator = detect_separator(data);
     let lines = sample_lines(data, SAMPLE_LINES);
     if lines.is_empty() {
-        return InferredSchema { separator, has_header: false, names: vec![], types: vec![] };
+        return InferredSchema {
+            separator,
+            has_header: false,
+            names: vec![],
+            types: vec![],
+        };
     }
     let mut first_fields = Vec::new();
     split_fields(lines[0], separator, &mut first_fields);
@@ -113,14 +118,25 @@ pub fn infer_schema(data: &[u8]) -> InferredSchema {
     // Header detection: apply the winning parsers to the first row; any
     // error means the first row is column names.
     let has_header = !single_line
-        && first_fields.iter().zip(&types).any(|(f, &t)| errors_for(t, &[f]) > 0);
+        && first_fields
+            .iter()
+            .zip(&types)
+            .any(|(f, &t)| errors_for(t, &[f]) > 0);
 
     let names: Vec<String> = if has_header {
-        first_fields.iter().map(|f| String::from_utf8_lossy(f).into_owned()).collect()
+        first_fields
+            .iter()
+            .map(|f| String::from_utf8_lossy(f).into_owned())
+            .collect()
     } else {
         (0..ncols).map(|i| format!("col_{i}")).collect()
     };
-    InferredSchema { separator, has_header, names, types }
+    InferredSchema {
+        separator,
+        has_header,
+        names,
+        types,
+    }
 }
 
 #[cfg(test)]
@@ -158,10 +174,18 @@ mod tests {
                      1998-01-02,DL,-3,true\n";
         let s = infer_schema(data);
         assert!(s.has_header);
-        assert_eq!(s.names, vec!["flight_date", "carrier", "delay", "cancelled"]);
+        assert_eq!(
+            s.names,
+            vec!["flight_date", "carrier", "delay", "cancelled"]
+        );
         assert_eq!(
             s.types,
-            vec![DataType::Date, DataType::Str, DataType::Integer, DataType::Bool]
+            vec![
+                DataType::Date,
+                DataType::Str,
+                DataType::Integer,
+                DataType::Bool
+            ]
         );
     }
 

@@ -23,8 +23,11 @@ pub struct Locale {
     pub uses: u64,
 }
 
-static GLOBAL_LOCALE: Mutex<Locale> =
-    Mutex::new(Locale { decimal_point: b'.', thousands_sep: b',', uses: 0 });
+static GLOBAL_LOCALE: Mutex<Locale> = Mutex::new(Locale {
+    decimal_point: b'.',
+    thousands_sep: b',',
+    uses: 0,
+});
 
 /// Number of locale acquisitions so far (for tests).
 pub fn locale_uses() -> u64 {
@@ -89,7 +92,10 @@ mod tests {
     fn same_semantics_as_buffer_parsers() {
         assert_eq!(parse_i64_locale(b"42"), Ok(Some(42)));
         assert_eq!(parse_f64_locale(b"1.5"), Ok(Some(1.5)));
-        assert_eq!(parse_date_locale(b"1995-07-14"), crate::parsers::parse_date(b"1995-07-14"));
+        assert_eq!(
+            parse_date_locale(b"1995-07-14"),
+            crate::parsers::parse_date(b"1995-07-14")
+        );
         assert_eq!(parse_bool_locale(b"true"), Ok(Some(true)));
     }
 

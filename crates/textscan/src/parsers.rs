@@ -40,7 +40,11 @@ pub fn parse_i64(field: &[u8]) -> Result<Option<i64>, ()> {
         if !b.is_ascii_digit() {
             return Err(());
         }
-        v = v.checked_mul(10).ok_or(())?.checked_add(i64::from(b - b'0')).ok_or(())?;
+        v = v
+            .checked_mul(10)
+            .ok_or(())?
+            .checked_add(i64::from(b - b'0'))
+            .ok_or(())?;
     }
     Ok(Some(if neg { -v } else { v }))
 }
@@ -181,7 +185,9 @@ pub fn parse_timestamp(field: &[u8]) -> Result<Option<i64>, ()> {
     if h > 23 || mi > 59 || s > 59 {
         return Err(());
     }
-    Ok(Some(days * MICROS_PER_DAY + (h * 3600 + mi * 60 + s) * 1_000_000))
+    Ok(Some(
+        days * MICROS_PER_DAY + (h * 3600 + mi * 60 + s) * 1_000_000,
+    ))
 }
 
 /// Parse a boolean: `true` / `false` (any case). Bare digits deliberately

@@ -105,7 +105,9 @@ pub struct ImportResult {
 /// Fig 4 level 1: read the file and sum its bytes.
 pub fn read_bandwidth(path: impl AsRef<Path>) -> io::Result<(u64, u64)> {
     let data = std::fs::read(path)?;
-    let sum = data.iter().fold(0u64, |acc, &b| acc.wrapping_add(u64::from(b)));
+    let sum = data
+        .iter()
+        .fold(0u64, |acc, &b| acc.wrapping_add(u64::from(b)));
     Ok((data.len() as u64, sum))
 }
 
@@ -137,7 +139,10 @@ pub fn split(path: impl AsRef<Path>, out_dir: impl AsRef<Path>) -> io::Result<(u
     let mut writers: Vec<io::BufWriter<std::fs::File>> = (0..ncols)
         .map(|c| {
             let p = out_dir.as_ref().join(format!("col_{c}.txt"));
-            Ok(io::BufWriter::with_capacity(1 << 16, std::fs::File::create(p)?))
+            Ok(io::BufWriter::with_capacity(
+                1 << 16,
+                std::fs::File::create(p)?,
+            ))
         })
         .collect::<io::Result<_>>()?;
     let mut written = 0u64;
@@ -172,7 +177,11 @@ fn for_each_line<'a>(data: &'a [u8], mut f: impl FnMut(&'a [u8])) {
     let mut start = 0;
     for (i, &b) in data.iter().enumerate() {
         if b == b'\n' {
-            let end = if i > start && data[i - 1] == b'\r' { i - 1 } else { i };
+            let end = if i > start && data[i - 1] == b'\r' {
+                i - 1
+            } else {
+                i
+            };
             f(&data[start..end]);
             start = i + 1;
         }
@@ -210,7 +219,8 @@ impl ColumnTask<'_> {
             // Scalars mode string column: split into a text buffer.
             for &(a, b) in picks {
                 self.split_buf.push(b'"');
-                self.split_buf.extend_from_slice(&data[a as usize..b as usize]);
+                self.split_buf
+                    .extend_from_slice(&data[a as usize..b as usize]);
                 self.split_buf.extend_from_slice(b"\"\n");
             }
             return;
@@ -385,7 +395,11 @@ pub fn import_bytes(data: &[u8], options: &ImportOptions) -> io::Result<ImportRe
         parse_errors += task.errors;
         split_bytes += task.split_buf.len() as u64;
         if let Some(builder) = task.builder {
-            let BuiltColumn { column, reencodings: re, .. } = builder.finish();
+            let BuiltColumn {
+                column,
+                reencodings: re,
+                ..
+            } = builder.finish();
             reencodings.push((task.name.to_owned(), re));
             columns.push(column);
         }
@@ -403,7 +417,10 @@ pub fn import_bytes(data: &[u8], options: &ImportOptions) -> io::Result<ImportRe
 /// Convenience: split-column output paths for a given table path.
 pub fn split_dir_for(path: impl AsRef<Path>) -> PathBuf {
     let mut p = path.as_ref().to_path_buf();
-    let name = p.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+    let name = p
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
     p.set_file_name(format!("{name}_split"));
     p
 }
@@ -433,7 +450,10 @@ mod tests {
 
     #[test]
     fn scalars_mode_splits_strings() {
-        let opts = ImportOptions { mode: ScanMode::Scalars, ..ImportOptions::default() };
+        let opts = ImportOptions {
+            mode: ScanMode::Scalars,
+            ..ImportOptions::default()
+        };
         let r = import_bytes(SAMPLE, &opts).unwrap();
         // Only the three scalar columns are materialized.
         assert_eq!(r.table.columns.len(), 3);
@@ -445,7 +465,10 @@ mod tests {
         let data = b"id,when,ok\n1,1999-05-05,true\n2,1999-05-06,false\n";
         let r = import_bytes(data, &ImportOptions::default()).unwrap();
         assert_eq!(r.table.row_count(), 2);
-        assert_eq!(r.table.column("when").unwrap().value(0), Value::date(1999, 5, 5));
+        assert_eq!(
+            r.table.column("when").unwrap().value(0),
+            Value::date(1999, 5, 5)
+        );
         assert_eq!(r.table.column("ok").unwrap().value(1), Value::Bool(false));
     }
 
@@ -464,7 +487,10 @@ mod tests {
         };
         let r = import_bytes(SAMPLE, &opts).unwrap();
         assert_eq!(r.table.column("a").unwrap().value(0), Value::Real(1.0));
-        assert_eq!(r.table.column("d").unwrap().value(0), Value::Str("1995-01-01".into()));
+        assert_eq!(
+            r.table.column("d").unwrap().value(0),
+            Value::Str("1995-01-01".into())
+        );
     }
 
     #[test]
@@ -489,12 +515,18 @@ mod tests {
     fn parallel_and_serial_agree() {
         let serial = import_bytes(
             SAMPLE,
-            &ImportOptions { parallel: false, ..ImportOptions::default() },
+            &ImportOptions {
+                parallel: false,
+                ..ImportOptions::default()
+            },
         )
         .unwrap();
         let parallel = import_bytes(
             SAMPLE,
-            &ImportOptions { parallel: true, ..ImportOptions::default() },
+            &ImportOptions {
+                parallel: true,
+                ..ImportOptions::default()
+            },
         )
         .unwrap();
         for (a, b) in serial.table.columns.iter().zip(&parallel.table.columns) {
@@ -508,7 +540,10 @@ mod tests {
     fn locale_parsers_agree_with_buffer_parsers() {
         let with_locale = import_bytes(
             SAMPLE,
-            &ImportOptions { parser: ParserKind::LocaleLocking, ..ImportOptions::default() },
+            &ImportOptions {
+                parser: ParserKind::LocaleLocking,
+                ..ImportOptions::default()
+            },
         )
         .unwrap();
         let buffer = import_bytes(SAMPLE, &ImportOptions::default()).unwrap();

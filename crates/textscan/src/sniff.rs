@@ -18,7 +18,11 @@ pub fn sample_lines(data: &[u8], limit: usize) -> Vec<&[u8]> {
     let mut start = 0;
     for (i, &b) in data.iter().enumerate() {
         if b == b'\n' {
-            let end = if i > start && data[i - 1] == b'\r' { i - 1 } else { i };
+            let end = if i > start && data[i - 1] == b'\r' {
+                i - 1
+            } else {
+                i
+            };
             lines.push(&data[start..end]);
             start = i + 1;
             if lines.len() == limit {
@@ -44,8 +48,10 @@ pub fn detect_separator(data: &[u8]) -> u8 {
     let mut best = (false, 0u64, usize::MAX); // (consistent, count, priority)
     let mut best_sep = CANDIDATES[0];
     for (prio, &sep) in CANDIDATES.iter().enumerate() {
-        let counts: Vec<u64> =
-            lines.iter().map(|l| l.iter().filter(|&&b| b == sep).count() as u64).collect();
+        let counts: Vec<u64> = lines
+            .iter()
+            .map(|l| l.iter().filter(|&&b| b == sep).count() as u64)
+            .collect();
         let first = counts[0];
         if first == 0 {
             continue;
@@ -64,7 +70,11 @@ pub fn detect_separator(data: &[u8]) -> u8 {
 /// `|`-terminated rows) does not produce a trailing empty field.
 pub fn split_fields<'a>(line: &'a [u8], sep: u8, out: &mut Vec<&'a [u8]>) {
     out.clear();
-    let line = if line.last() == Some(&sep) { &line[..line.len() - 1] } else { line };
+    let line = if line.last() == Some(&sep) {
+        &line[..line.len() - 1]
+    } else {
+        line
+    };
     let mut start = 0;
     for (i, &b) in line.iter().enumerate() {
         if b == sep {

@@ -87,7 +87,12 @@ struct FoldChars<'a> {
 
 impl<'a> FoldChars<'a> {
     fn new(s: &'a str) -> Self {
-        FoldChars { inner: s.chars(), pending: None, emitted_any: false, space_pending: false }
+        FoldChars {
+            inner: s.chars(),
+            pending: None,
+            emitted_any: false,
+            space_pending: false,
+        }
     }
 }
 
@@ -155,7 +160,11 @@ mod tests {
 
     #[test]
     fn hash_consistent_with_equality() {
-        let pairs = [("Hello World", "hello   world"), ("FOO", "foo"), ("", "   ")];
+        let pairs = [
+            ("Hello World", "hello   world"),
+            ("FOO", "foo"),
+            ("", "   "),
+        ];
         for (a, b) in pairs {
             assert!(Collation::CaseFold.equals(a, b), "{a:?} vs {b:?}");
             assert_eq!(Collation::CaseFold.hash(a), Collation::CaseFold.hash(b));
@@ -165,7 +174,10 @@ mod tests {
     #[test]
     fn hash_differs_for_different_strings() {
         assert_ne!(Collation::Binary.hash("abc"), Collation::Binary.hash("abd"));
-        assert_ne!(Collation::CaseFold.hash("abc"), Collation::CaseFold.hash("abd"));
+        assert_ne!(
+            Collation::CaseFold.hash("abc"),
+            Collation::CaseFold.hash("abd")
+        );
     }
 
     #[test]

@@ -158,7 +158,10 @@ mod tests {
     fn timestamp_truncation() {
         let micros = 3 * MICROS_PER_DAY + 5 * 3_600_000_000 + 42;
         assert_eq!(trunc_to_day(micros), 3 * MICROS_PER_DAY);
-        assert_eq!(trunc_to_hour(micros), 3 * MICROS_PER_DAY + 5 * 3_600_000_000);
+        assert_eq!(
+            trunc_to_hour(micros),
+            3 * MICROS_PER_DAY + 5 * 3_600_000_000
+        );
         // Negative timestamps truncate toward -inf, not toward zero.
         assert_eq!(trunc_to_day(-1), -MICROS_PER_DAY);
     }

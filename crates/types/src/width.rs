@@ -115,7 +115,10 @@ mod tests {
         assert_eq!(Width::for_signed_range(-129, 0, false), Width::W2);
         assert_eq!(Width::for_signed_range(0, 128, false), Width::W2);
         assert_eq!(Width::for_signed_range(0, 1 << 20, false), Width::W4);
-        assert_eq!(Width::for_signed_range(i64::MIN, i64::MAX, false), Width::W8);
+        assert_eq!(
+            Width::for_signed_range(i64::MIN, i64::MAX, false),
+            Width::W8
+        );
     }
 
     #[test]

@@ -22,8 +22,10 @@ fn knowledge(k: Knowledge) -> &'static str {
 }
 
 fn main() -> std::io::Result<()> {
-    let sf: f64 =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.01);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.01);
     let dir = std::env::temp_dir().join("tde_flat_file_import");
     std::fs::create_dir_all(&dir)?;
 
@@ -75,11 +77,17 @@ fn main() -> std::io::Result<()> {
             col.metadata.width.to_string(),
             knowledge(col.metadata.sorted_asc),
             knowledge(col.metadata.dense),
-            col.metadata.cardinality.map_or("-".into(), |c| c.to_string()),
+            col.metadata
+                .cardinality
+                .map_or("-".into(), |c| c.to_string()),
             heap,
             col.physical_size(),
             col.logical_size(),
-            if *re > 0 { format!("  ({re} re-encodings)") } else { String::new() },
+            if *re > 0 {
+                format!("  ({re} re-encodings)")
+            } else {
+                String::new()
+            },
         );
     }
     let total_re: u32 = result.reencodings.iter().map(|(_, r)| r).sum();

@@ -18,8 +18,10 @@ use tde::textscan::{import_file, ImportOptions};
 use tde::Query;
 
 fn main() -> std::io::Result<()> {
-    let rows: u64 =
-        std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let rows: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200_000);
     let dir = std::env::temp_dir().join("tde_flights_dashboard");
     std::fs::create_dir_all(&dir)?;
     let csv = dir.join("flights.csv");
@@ -29,7 +31,10 @@ fn main() -> std::io::Result<()> {
 
     let mut result = import_file(
         &csv,
-        &ImportOptions { table_name: "flights".into(), ..Default::default() },
+        &ImportOptions {
+            table_name: "flights".into(),
+            ..Default::default()
+        },
     )?;
     // Physical design pass: dictionary-compress the date dimension so date
     // calculations can run on the domain via invisible joins (§3.4.3).
@@ -40,11 +45,17 @@ fn main() -> std::io::Result<()> {
     // Dashboard panel 1: flights and worst delay per carrier.
     println!("== flights per carrier ==");
     let mut rows1 = Query::scan_columns(&flights, &["carrier", "arr_delay"])
-        .aggregate(vec![0], vec![(AggFunc::Count, 1, "flights"), (AggFunc::Max, 1, "worst")])
+        .aggregate(
+            vec![0],
+            vec![(AggFunc::Count, 1, "flights"), (AggFunc::Max, 1, "worst")],
+        )
         .rows();
     rows1.sort_by_key(|r| std::cmp::Reverse(r[1].as_i64()));
     for r in rows1.iter().take(5) {
-        println!("  {:<3} {:>8} flights, worst arrival delay {:>4} min", r[0], r[1], r[2]);
+        println!(
+            "  {:<3} {:>8} flights, worst arrival delay {:>4} min",
+            r[0], r[1], r[2]
+        );
     }
 
     // Dashboard panel 2: a date-range filter. The strategic optimizer
@@ -89,19 +100,23 @@ fn main() -> std::io::Result<()> {
     let date_col = flights.column_index("flight_date").unwrap();
     let plan = LogicalPlan::Aggregate {
         input: Box::new(LogicalPlan::ExpandJoin {
-            outer: Box::new(
-                Query::scan_columns(&flights, &["flight_date", "dep_delay"])
-                    .plan(),
-            ),
+            outer: Box::new(Query::scan_columns(&flights, &["flight_date", "dep_delay"]).plan()),
             column: 0,
             source: (flights.clone(), date_col),
             inner: InnerOps {
                 filter: None,
-                compute: Some(("month".into(), Expr::Func(Func::Month, Box::new(Expr::col(1))))),
+                compute: Some((
+                    "month".into(),
+                    Expr::Func(Func::Month, Box::new(Expr::col(1))),
+                )),
             },
         }),
         group_by: vec![0],
-        aggs: vec![tde::exec::aggregate::AggSpec::new(AggFunc::Count, 1, "flights")],
+        aggs: vec![tde::exec::aggregate::AggSpec::new(
+            AggFunc::Count,
+            1,
+            "flights",
+        )],
     };
     println!("\n== flights per month (month computed on the date domain) ==");
     let (schema, blocks) = physical::run(&plan);

@@ -33,7 +33,10 @@ fn main() -> std::io::Result<()> {
     let mut extract = Extract::new();
     let table = extract.import(
         &csv,
-        &ImportOptions { table_name: "orders".into(), ..Default::default() },
+        &ImportOptions {
+            table_name: "orders".into(),
+            ..Default::default()
+        },
     )?;
     println!("imported {} rows", table.row_count());
     for col in &table.columns {

@@ -46,9 +46,19 @@ fn build(rows: u64) -> Arc<Table> {
     Arc::new(Table::new("rle", vec![primary, secondary]))
 }
 
-fn query(table: &Arc<Table>, key: &str, other: &str, selectivity: i64, opts: OptimizerOptions) -> (usize, f64) {
+fn query(
+    table: &Arc<Table>,
+    key: &str,
+    other: &str,
+    selectivity: i64,
+    opts: OptimizerOptions,
+) -> (usize, f64) {
     let q = Query::scan_columns(table, &[key, other])
-        .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(100 - selectivity)))
+        .filter(Expr::cmp(
+            CmpOp::Gt,
+            Expr::col(0),
+            Expr::int(100 - selectivity),
+        ))
         .aggregate(vec![0], vec![(AggFunc::Max, 1, "mx")])
         .with_optimizer(opts);
     let start = Instant::now();
@@ -57,8 +67,14 @@ fn query(table: &Arc<Table>, key: &str, other: &str, selectivity: i64, opts: Opt
 }
 
 fn main() {
-    let rows: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1_000_000);
-    let sel: i64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(30);
+    let rows: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+    let sel: i64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
     println!("building {rows}-row run-length table ...");
     let table = build(rows);
 
@@ -67,12 +83,22 @@ fn main() {
         index_tables: false,
         ordered_retrieval: false,
     };
-    let indexed = OptimizerOptions { ordered_retrieval: false, ..Default::default() };
+    let indexed = OptimizerOptions {
+        ordered_retrieval: false,
+        ..Default::default()
+    };
     let ordered = OptimizerOptions::default();
 
     for key in ["primary", "secondary"] {
-        let other = if key == "primary" { "secondary" } else { "primary" };
-        println!("\nSELECT {key}, MAX({other}) WHERE {key} > {} GROUP BY {key}", 100 - sel);
+        let other = if key == "primary" {
+            "secondary"
+        } else {
+            "primary"
+        };
+        println!(
+            "\nSELECT {key}, MAX({other}) WHERE {key} > {} GROUP BY {key}",
+            100 - sel
+        );
         let (n1, t1) = query(&table, key, other, sel, control);
         println!("  plan 1  Scan→Filter→Aggregate              {t1:>8.4}s  ({n1} groups)");
         let (n2, t2) = query(&table, key, other, sel, indexed);

@@ -24,9 +24,14 @@ use tde::storage::{ColumnBuilder, Compression, EncodingPolicy, Table};
 use tde::types::DataType;
 
 fn main() {
-    let rows: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(500_000);
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(500_000);
     println!("building a {rows}-row request log ...");
-    let exts = ["html", "css", "js", "png", "jpg", "svg", "ico", "woff2", "json", "map"];
+    let exts = [
+        "html", "css", "js", "png", "jpg", "svg", "ico", "woff2", "json", "map",
+    ];
     let mut url = ColumnBuilder::new("url", DataType::Str, EncodingPolicy::default());
     let mut bytes = ColumnBuilder::new("bytes", DataType::Integer, EncodingPolicy::default());
     for i in 0..rows {
@@ -39,11 +44,17 @@ fn main() {
         )));
         bytes.append_i64(((i * 7919) % 50_000) as i64);
     }
-    let log = Arc::new(Table::new("requests", vec![url.finish().column, bytes.finish().column]));
+    let log = Arc::new(Table::new(
+        "requests",
+        vec![url.finish().column, bytes.finish().column],
+    ));
     let url_col = &log.columns[0];
     println!(
         "  url column: {} distinct strings, heap {} KB, token width {}",
-        url_col.metadata.cardinality.map_or("many".into(), |c| c.to_string()),
+        url_col
+            .metadata
+            .cardinality
+            .map_or("many".into(), |c| c.to_string()),
         url_col.heap().map_or(0, |h| h.byte_size() / 1024),
         url_col.metadata.width,
     );
@@ -54,7 +65,10 @@ fn main() {
     let project = Project::new(
         Box::new(TableScan::project(log.clone(), &["url", "bytes"], false)),
         vec![
-            ("ext".into(), Expr::Func(Func::FileExtension, Box::new(Expr::col(0)))),
+            (
+                "ext".into(),
+                Expr::Func(Func::FileExtension, Box::new(Expr::col(0))),
+            ),
             ("bytes".into(), Expr::col(1)),
         ],
     );

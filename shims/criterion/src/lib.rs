@@ -1,0 +1,212 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the subset the workspace micro-benchmarks use —
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `iter` — with a plain warmup-then-measure protocol
+//! (median of `sample_size` samples, one call per sample) printed as a
+//! table. No statistical analysis, HTML reports, or comparison baselines;
+//! the figure harnesses in `crates/bench` carry the paper's measurement
+//! protocol themselves.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n── {name} ──");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) {
+        run_bench(&id.to_string(), 10, None, f);
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{param}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: param.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing sample size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no input.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// End the group (printing already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; its `iter` does the timing.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`: a few warmup calls, then one timed call per sample.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        for _ in 0..2 {
+            black_box(f());
+        }
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        self.samples.sort_unstable();
+    }
+}
+
+fn run_bench(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:>10.1} Melem/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!("  {:>10.1} MB/s", n as f64 / median.as_secs_f64() / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("{label:<48} {:>12.3?}{rate}", median);
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0;
+        g.bench_with_input(BenchmarkId::new("noop", 1), &7u64, |b, &x| {
+            b.iter(|| x + 1);
+            ran += 1;
+        });
+        g.finish();
+        assert_eq!(ran, 1);
+    }
+}

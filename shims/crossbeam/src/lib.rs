@@ -1,0 +1,195 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{bounded, Sender, Receiver}` — a bounded
+//! multi-producer multi-consumer channel built on `Mutex` + `Condvar` with
+//! crossbeam's disconnection semantics: `recv` fails once every sender is
+//! gone and the queue is drained; `send` fails once every receiver is gone.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is drained
+    /// and all senders are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    /// Create a bounded MPMC channel of capacity `cap` (minimum 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(shared.clone()), Receiver(shared))
+    }
+
+    impl<T> Sender<T> {
+        /// Block until there is room, then enqueue `value`. Fails when
+        /// every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if inner.queue.len() < inner.cap {
+                    inner.queue.push_back(value);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                inner = self.0.not_full.wait(inner).unwrap();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value is available. Fails when the queue is empty
+        /// and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.0.inner.lock().unwrap();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.0.not_empty.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive: `None` when the queue is currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            let mut inner = self.0.inner.lock().unwrap();
+            let v = inner.queue.pop_front();
+            if v.is_some() {
+                self.0.not_full.notify_one();
+            }
+            v
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.0.inner.lock().unwrap().senders += 1;
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.0.inner.lock().unwrap().receivers += 1;
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.0.inner.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_out_fan_in() {
+            let (tx, rx) = bounded::<u64>(4);
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    std::thread::spawn(move || {
+                        let mut sum = 0;
+                        while let Ok(v) = rx.recv() {
+                            sum += v;
+                        }
+                        sum
+                    })
+                })
+                .collect();
+            drop(rx);
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total: u64 = workers.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 999 * 1000 / 2);
+        }
+
+        #[test]
+        fn send_fails_after_receivers_gone() {
+            let (tx, rx) = bounded::<i32>(1);
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn recv_drains_then_fails() {
+            let (tx, rx) = bounded::<i32>(8);
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert!(rx.recv().is_err());
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace ships a
+//! deterministic re-implementation of the proptest API subset its tests
+//! use: the `proptest!` macro, integer-range / tuple / `vec` / regex-string
+//! strategies, `prop_map`/`boxed`, `any::<T>()`, `prop::sample::Index`,
+//! and `TestRunner::deterministic()`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message; cases are seeded per `(test name, case index)`
+//!   so every failure is reproducible by re-running the test.
+//! * **No persistence.** `*.proptest-regressions` files are not consumed;
+//!   regression inputs worth keeping are promoted to explicit `#[test]`
+//!   functions (see `tests/compression_invariants.rs`).
+//! * **Edge-value biasing** stands in for shrinking: `any::<iN>()` yields
+//!   `MIN`/`MAX`/`0`/`±1` with elevated probability so sentinel and
+//!   boundary branches are exercised every run.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod prelude;
+pub mod sample;
+pub mod string;
+pub mod test_runner;
+
+/// Alias module so `prop::sample::Index` resolves as it does in proptest.
+pub mod prop {
+    pub use crate::sample;
+}
+
+/// The deterministic generator threaded through strategies (xoshiro256**).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed via splitmix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut sm = seed;
+        let mut next = move || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrink tree; a
+/// strategy is just a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(std::rc::Rc::new(move |rng: &mut TestRng| {
+            self.generate(rng)
+        }))
+    }
+
+    /// Produce a (shrink-free) value tree — proptest compatibility for
+    /// callers that drive generation manually via a [`test_runner::TestRunner`].
+    fn new_tree(
+        &self,
+        runner: &mut test_runner::TestRunner,
+    ) -> Result<ValueTree<Self::Value>, &'static str> {
+        Ok(ValueTree(self.generate(runner.rng())))
+    }
+}
+
+/// A generated value pretending to be a shrink tree.
+#[derive(Debug)]
+pub struct ValueTree<T>(T);
+
+impl<T: Clone> ValueTree<T> {
+    /// The current (only) value of the tree.
+    pub fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::boxed`].
+#[derive(Clone)]
+pub struct BoxedStrategy<T>(std::rc::Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+/// Strategy producing arbitrary values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1-in-8 edge values replace proptest's shrinking as the
+                // mechanism that reaches boundary branches (sentinels,
+                // overflow guards) reliably.
+                if rng.below(8) == 0 {
+                    match rng.below(5) {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        2 => 0 as $t,
+                        3 => 1 as $t,
+                        _ => (0 as $t).wrapping_sub(1),
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (rng.below(span) as i128 + self.start as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (rng.below(span) as i128 + start as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_from_pattern(self, rng)
+    }
+}
+
+/// `assert!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// The test-definition macro: each contained `fn name(arg in strategy, ...)`
+/// becomes a `#[test]` that runs `cases` generated inputs. Cases are seeded
+/// from the test name and case index, so runs are deterministic and any
+/// failure reproduces by re-running the same test binary.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut runner =
+                    $crate::test_runner::TestRunner::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), runner.rng());)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = (0i64..30).generate(&mut rng);
+            assert!((0..30).contains(&v));
+            let (a, b) = ((-5i64..5), (1u64..4)).generate(&mut rng);
+            assert!((-5..5).contains(&a) && (1..4).contains(&b));
+        }
+    }
+
+    #[test]
+    fn edge_bias_reaches_min() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let saw_min = (0..2000).any(|_| i64::arbitrary(&mut rng) == i64::MIN);
+        assert!(saw_min, "edge biasing must surface i64::MIN");
+    }
+
+    #[test]
+    fn prop_map_and_boxed() {
+        let s = (0i64..10).prop_map(|v| v * 2).boxed();
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && (0..20).contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(crate::test_runner::ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_roundtrip(v in 0i64..100, data in crate::collection::vec(0i64..5, 0..20)) {
+            prop_assert!((0..100).contains(&v));
+            prop_assert!(data.len() < 20);
+            prop_assert!(data.iter().all(|d| (0..5).contains(d)));
+        }
+    }
+}

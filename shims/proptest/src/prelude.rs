@@ -1,0 +1,6 @@
+//! The glob-import surface (`use proptest::prelude::*`).
+
+pub use crate::prop;
+pub use crate::test_runner::ProptestConfig;
+pub use crate::{any, Arbitrary, BoxedStrategy, Strategy, ValueTree};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};

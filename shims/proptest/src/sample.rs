@@ -1,0 +1,22 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+use crate::{Arbitrary, TestRng};
+
+/// An index into a collection of as-yet-unknown size: holds raw entropy
+/// and maps it onto `[0, len)` when the length is known.
+#[derive(Debug, Clone, Copy)]
+pub struct Index(u64);
+
+impl Index {
+    /// Map onto a concrete collection length (which must be non-zero).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Index {
+        Index(rng.next_u64())
+    }
+}

@@ -1,0 +1,140 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest compiles full regexes; this shim supports the pattern
+//! shapes the workspace tests actually use — sequences of literal
+//! characters and character classes (`[a-z0-9_]`), each optionally
+//! quantified with `{m,n}`, `{n}`, `?`, `+`, or `*`. Anything else panics
+//! with a clear message rather than silently generating wrong data.
+
+use crate::TestRng;
+
+#[derive(Debug)]
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges, e.g. `[a-z0-9]` → [(a,z),(0,9)].
+    Class(Vec<(char, char)>),
+}
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .filter(|&h| h != ']')
+                            .unwrap_or_else(|| panic!("dangling '-' in pattern {pattern:?}"));
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                Atom::Class(ranges)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("regex construct {c:?} not supported by the proptest shim (pattern {pattern:?})")
+            }
+            other => Atom::Literal(other),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().expect("quantifier min"),
+                        n.parse().expect("quantifier max"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, min, max) in parse(pattern) {
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|&(lo, hi)| (hi as u64 - lo as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for &(lo, hi) in ranges {
+                        let span = (hi as u64 - lo as u64) + 1;
+                        if pick < span {
+                            out.push(char::from_u32(lo as u32 + pick as u32).unwrap());
+                            break;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercase_words() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let s = generate_from_pattern("[a-z]{1,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_classes_mix() {
+        let mut rng = TestRng::seed_from_u64(2);
+        let s = generate_from_pattern("x[0-9]{3}y", &mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with('x') && s.ends_with('y'));
+    }
+}

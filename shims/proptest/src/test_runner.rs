@@ -1,0 +1,55 @@
+//! Test runner and configuration.
+
+use crate::TestRng;
+
+/// How many cases each property runs (proptest calls this `Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives generation for one case.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed seed — same values every run.
+    pub fn deterministic() -> TestRunner {
+        TestRunner {
+            rng: TestRng::seed_from_u64(0x7de_c0de),
+        }
+    }
+
+    /// The runner for one case of one named property: seeded from
+    /// `(name, case)` so failures reproduce.
+    pub fn for_case(name: &str, case: u32) -> TestRunner {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRunner {
+            rng: TestRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9)),
+        }
+    }
+
+    /// The case's RNG.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}

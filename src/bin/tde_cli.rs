@@ -55,7 +55,13 @@ fn cmd_import(input: &str, output: &str, table: Option<&String>) -> std::io::Res
     });
     let mut extract = Extract::new();
     let start = std::time::Instant::now();
-    let t = extract.import(input, &ImportOptions { table_name: name, ..Default::default() })?;
+    let t = extract.import(
+        input,
+        &ImportOptions {
+            table_name: name,
+            ..Default::default()
+        },
+    )?;
     println!(
         "imported {} rows × {} columns in {:.2}s",
         t.row_count(),
@@ -84,10 +90,18 @@ fn cmd_info(path: &str) -> std::io::Result<()> {
             let comp = match &c.compression {
                 Compression::None => String::new(),
                 Compression::Array { dictionary, sorted } => {
-                    format!("  dict[{}]{}", dictionary.len(), if *sorted { " sorted" } else { "" })
+                    format!(
+                        "  dict[{}]{}",
+                        dictionary.len(),
+                        if *sorted { " sorted" } else { "" }
+                    )
                 }
                 Compression::Heap { heap, sorted } => {
-                    format!("  heap[{}]{}", heap.len(), if *sorted { " sorted" } else { "" })
+                    format!(
+                        "  heap[{}]{}",
+                        heap.len(),
+                        if *sorted { " sorted" } else { "" }
+                    )
                 }
             };
             println!(
@@ -96,7 +110,9 @@ fn cmd_info(path: &str) -> std::io::Result<()> {
                 c.dtype.to_string(),
                 c.data.algorithm().to_string(),
                 c.metadata.width.to_string(),
-                c.metadata.cardinality.map_or("-".to_owned(), |v| v.to_string()),
+                c.metadata
+                    .cardinality
+                    .map_or("-".to_owned(), |v| v.to_string()),
                 c.physical_size(),
                 c.logical_size(),
                 comp,
@@ -109,7 +125,10 @@ fn cmd_info(path: &str) -> std::io::Result<()> {
 fn cmd_head(path: &str, table: &str, n: u64) -> std::io::Result<()> {
     let extract = Extract::load(path)?;
     let t = extract.table(table).ok_or_else(|| {
-        std::io::Error::new(std::io::ErrorKind::NotFound, format!("no table named {table}"))
+        std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            format!("no table named {table}"),
+        )
     })?;
     let names: Vec<&str> = t.columns.iter().map(|c| c.name.as_str()).collect();
     println!("{}", names.join(" | "));
@@ -126,7 +145,11 @@ fn cmd_gen(kind: &str, out: &str, scale: f64) -> std::io::Result<()> {
         "tpch" => {
             let paths = tde::datagen::tpch::write_all(out, scale, 42)?;
             for p in paths {
-                println!("wrote {} ({} bytes)", p.display(), std::fs::metadata(&p)?.len());
+                println!(
+                    "wrote {} ({} bytes)",
+                    p.display(),
+                    std::fs::metadata(&p)?.len()
+                );
             }
         }
         "flights" => {

@@ -60,11 +60,12 @@
 //! assert_eq!(rows.len(), 2);
 //! ```
 
-pub use tde_core::{design, Extract, Query};
+pub use tde_core::{design, ExplainAnalyze, Extract, Query};
 
 pub use tde_core::datagen;
 pub use tde_core::encodings;
 pub use tde_core::exec;
+pub use tde_core::obs;
 pub use tde_core::plan;
 pub use tde_core::storage;
 pub use tde_core::textscan;

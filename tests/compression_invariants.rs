@@ -18,7 +18,10 @@ fn int_table(data: &[i64]) -> Arc<Table> {
     for i in 0..data.len() as i64 {
         idx.append_i64(i);
     }
-    Arc::new(Table::new("t", vec![b.finish().column, idx.finish().column]))
+    Arc::new(Table::new(
+        "t",
+        vec![b.finish().column, idx.finish().column],
+    ))
 }
 
 proptest! {
@@ -146,5 +149,21 @@ proptest! {
         for &v in &data {
             prop_assert!(i128::from(v) >= lo && i128::from(v) <= hi, "{v} outside {w}");
         }
+    }
+}
+
+/// Triage of `compression_invariants.proptest-regressions` (seed
+/// `cc 9b28…`, shrunk to `data = [-34, 287, 135]`): a mixed-sign column
+/// whose width statistics straddle a signed/unsigned boundary once
+/// tripped the round-trip property above. The offline proptest shim used
+/// in this build does not read persistence files (no shrinking, no seed
+/// replay), so the shrunk case is pinned here as an explicit test instead
+/// of relying on the regression file being consumed.
+#[test]
+fn regression_built_column_roundtrips_mixed_signs() {
+    let data = [-34i64, 287, 135];
+    let t = int_table(&data);
+    for (row, &v) in data.iter().enumerate() {
+        assert_eq!(t.columns[0].value(row as u64), Value::Int(v));
     }
 }

@@ -18,7 +18,11 @@ fn tmp(name: &str) -> std::path::PathBuf {
 
 fn import_tpch(table: TpchTable, sf: f64, dir: &std::path::Path) -> tde::textscan::ImportResult {
     let path = write_table(dir, table, sf, 42).unwrap();
-    let schema = table.schema().into_iter().map(|(n, t)| (n.to_owned(), t)).collect();
+    let schema = table
+        .schema()
+        .into_iter()
+        .map(|(n, t)| (n.to_owned(), t))
+        .collect();
     import_file(
         &path,
         &ImportOptions {
@@ -54,7 +58,11 @@ fn tpch_lineitem_import_roundtrip() {
             Value::Str(fields[14].to_owned())
         );
         assert_eq!(
-            table.column("l_shipdate").unwrap().value(row as u64).to_string(),
+            table
+                .column("l_shipdate")
+                .unwrap()
+                .value(row as u64)
+                .to_string(),
             fields[10]
         );
         let price: f64 = fields[5].parse().unwrap();
@@ -115,7 +123,10 @@ fn extract_save_load_preserves_all_tables() {
     assert_eq!(loaded.tables().len(), 3);
     let nation = loaded.table("nation").unwrap();
     assert_eq!(nation.row_count(), 25);
-    assert_eq!(nation.column("n_name").unwrap().value(0), Value::Str("ALGERIA".into()));
+    assert_eq!(
+        nation.column("n_name").unwrap().value(0),
+        Value::Str("ALGERIA".into())
+    );
     // Metadata round-trips: nation keys are dense and unique.
     let key = nation.column("n_nationkey").unwrap();
     assert!(key.metadata.dense.is_true());
@@ -148,7 +159,11 @@ fn foreign_key_join_through_engine() {
         &[c_seg],
         JoinKind::Inner,
     );
-    assert!(matches!(join.choice, JoinChoice::Fetch { .. }), "{:?}", join.choice);
+    assert!(
+        matches!(join.choice, JoinChoice::Fetch { .. }),
+        "{:?}",
+        join.choice
+    );
     let schema = join.schema().clone();
     let mut op: tde::exec::BoxOp = Box::new(join);
     let mut total = 0u64;
@@ -157,10 +172,18 @@ fn foreign_key_join_through_engine() {
         total += b.len as u64;
         // Every joined segment value is one of the five TPC-H segments.
         for r in 0..b.len {
-            let v = schema.fields[seg_col].value_of(b.columns[seg_col][r]).to_string();
+            let v = schema.fields[seg_col]
+                .value_of(b.columns[seg_col][r])
+                .to_string();
             assert!(
-                ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
-                    .contains(&v.as_str()),
+                [
+                    "AUTOMOBILE",
+                    "BUILDING",
+                    "FURNITURE",
+                    "MACHINERY",
+                    "HOUSEHOLD"
+                ]
+                .contains(&v.as_str()),
                 "{v}"
             );
         }
@@ -177,7 +200,10 @@ fn optimizer_plans_agree_on_flights() {
     tde::datagen::flights::write_file(&csv, 30_000, 11).unwrap();
     let mut result = import_file(
         &csv,
-        &ImportOptions { table_name: "flights".into(), ..Default::default() },
+        &ImportOptions {
+            table_name: "flights".into(),
+            ..Default::default()
+        },
     )
     .unwrap();
     tde::design::optimize_physical_design(&mut result.table, Default::default());
@@ -187,7 +213,10 @@ fn optimizer_plans_agree_on_flights() {
     let build = |opts: OptimizerOptions| {
         Query::scan_columns(&flights, &["flight_date", "distance"])
             .filter(Expr::cmp(CmpOp::Ge, Expr::col(0), cutoff.clone()))
-            .aggregate(vec![], vec![(AggFunc::Count, 1, "n"), (AggFunc::Sum, 1, "dist")])
+            .aggregate(
+                vec![],
+                vec![(AggFunc::Count, 1, "n"), (AggFunc::Sum, 1, "dist")],
+            )
             .with_optimizer(opts)
             .rows()
     };

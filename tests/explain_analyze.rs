@@ -1,0 +1,131 @@
+//! End-to-end EXPLAIN ANALYZE: a scan -> filter -> invisible join ->
+//! aggregate query must come back with per-operator counters, at least
+//! one tactical decision event, at least one dynamic-encoding event, and
+//! per-table compression telemetry.
+//!
+//! Assertions are "contains" style on names this test controls: other
+//! tests in this binary may run queries concurrently and their events
+//! can interleave into an installed trace.
+
+use std::sync::Arc;
+use tde::encodings::{EncodedStream, BLOCK_SIZE};
+use tde::exec::expr::{AggFunc, CmpOp, Expr};
+use tde::obs::Event;
+use tde::storage::{convert, Column, ColumnBuilder, Table};
+use tde::types::{DataType, Width};
+use tde::Query;
+
+fn sales_table() -> Arc<Table> {
+    // 2000 distinct days: a dense prefix, then gapped values so the
+    // invisible join's dictionary materialization breaks its initial
+    // affine encoding and re-encodes mid-load.
+    let day_of = |i: i64| {
+        if i < 1500 {
+            9_000 + i
+        } else {
+            9_000 + i + (i - 1500) * 7
+        }
+    };
+    let days: Vec<i64> = (0..20_000).map(|i| day_of(i % 2_000)).collect();
+    let mut stream = EncodedStream::new_dict(Width::W8, true, 11);
+    for c in days.chunks(BLOCK_SIZE) {
+        stream.append_block(c).unwrap();
+    }
+    let mut day = Column::scalar("ea_day", DataType::Date, stream);
+    convert::dict_encoding_to_compression(&mut day);
+    let mut qty = ColumnBuilder::new("ea_qty", DataType::Integer, Default::default());
+    for i in 0..20_000i64 {
+        qty.append_i64(i % 31);
+    }
+    Arc::new(Table::new("ea_sales", vec![day, qty.finish().column]))
+}
+
+#[test]
+fn report_has_operator_stats_decisions_and_telemetry() {
+    let t = sales_table();
+    let report = Query::scan(&t)
+        .filter(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(9_100)))
+        .aggregate(vec![0], vec![(AggFunc::Sum, 1, "total")])
+        .explain_analyze();
+
+    // The query itself still ran: 100 qualifying days.
+    assert_eq!(report.row_count, 100);
+    assert_eq!(report.blocks.iter().map(|b| b.len as u64).sum::<u64>(), 100);
+
+    // Operator tree: aggregate over join over scan, each with counters.
+    let tree = &report.operator_tree;
+    assert!(tree.contains("Aggregate"), "{tree}");
+    assert!(tree.contains("ExpandJoin ea_sales.ea_day"), "{tree}");
+    assert!(tree.contains("Scan ea_sales [ea_day, ea_qty]"), "{tree}");
+    let scan = report
+        .operators
+        .iter()
+        .find(|n| n.label.starts_with("Scan ea_sales"))
+        .expect("scan node present");
+    assert_eq!(scan.rows, 20_000);
+    assert!(scan.blocks > 1);
+    assert!(scan.elapsed.as_nanos() > 0);
+    let root = &report.operators[0];
+    assert!(root.parent.is_none());
+    assert_eq!(root.rows, 100);
+
+    // At least one tactical decision and one dynamic-encoding event from
+    // objects this test created.
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            Event::Decision { point, reason, .. }
+                if *point == "join" && reason.contains("token")
+        )),
+        "no join decision in {:?}",
+        report.events
+    );
+    assert!(
+        report
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Reencode { .. } | Event::ColumnBuilt { .. })),
+        "no dynamic-encoding event in {:?}",
+        report.events
+    );
+
+    // Compression telemetry for the scanned table.
+    let (name, rows, cols) = report
+        .tables
+        .iter()
+        .find(|(n, _, _)| n == "ea_sales")
+        .expect("telemetry for ea_sales");
+    assert_eq!(name, "ea_sales");
+    assert_eq!(*rows, 20_000);
+    let day = cols.iter().find(|c| c.column == "ea_day").unwrap();
+    assert_eq!(day.cardinality, Some(2_000));
+    assert!(day.compression.starts_with("array["), "{}", day.compression);
+    assert!(day.physical_bytes > 0 && day.logical_bytes > 0);
+
+    // JSON is well-formed enough for the bench harness: key sections and
+    // balanced braces.
+    let json = report.to_json();
+    for key in [
+        "\"operators\":[",
+        "\"events\":[",
+        "\"tables\":[",
+        "\"rows\":100",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced JSON braces");
+}
+
+#[test]
+fn untraced_execution_records_nothing() {
+    let t = sales_table();
+    // A plain run must not leave a recorder installed or panic in any
+    // emit path.
+    let rows = Query::scan(&t)
+        .filter(Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(9_050)))
+        .rows();
+    assert_eq!(rows.len(), 50 * 10); // 50 days x 10 rows each
+    assert!(!tde::obs::is_enabled());
+}
