@@ -86,6 +86,19 @@ impl Extract {
         })
     }
 
+    /// Write the extract in the paged v2 format: block-aligned column
+    /// segments behind a footer directory, openable lazily with
+    /// [`Extract::open_paged`].
+    pub fn save_paged(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        tde_pager::save_v2(&self.db, path)
+    }
+
+    /// Open a v2 paged file lazily: only the directory is read now;
+    /// column segments load on first touch through the buffer pool.
+    pub fn open_paged(path: impl AsRef<Path>) -> io::Result<tde_pager::PagedDatabase> {
+        tde_pager::PagedDatabase::open(path)
+    }
+
     /// Import a flat file and remember it as the table's source, so
     /// [`Extract::refresh`] can rebuild the table when the file changes
     /// (paper §8: referencing external flat files).

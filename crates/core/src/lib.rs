@@ -14,7 +14,7 @@ pub mod query;
 
 pub use design::optimize_physical_design;
 pub use extract::Extract;
-pub use query::{ExplainAnalyze, Query};
+pub use query::{CacheReport, ExplainAnalyze, Query};
 
 // Re-export the crates behind the facade so downstream users need only
 // one dependency.
@@ -22,6 +22,7 @@ pub use tde_datagen as datagen;
 pub use tde_encodings as encodings;
 pub use tde_exec as exec;
 pub use tde_obs as obs;
+pub use tde_pager as pager;
 pub use tde_plan as plan;
 pub use tde_storage as storage;
 pub use tde_textscan as textscan;

@@ -11,7 +11,8 @@ use tde_exec::aggregate::AggSpec;
 use tde_exec::expr::AggFunc;
 use tde_exec::sort::SortOrder;
 use tde_exec::{Block, Expr, Schema};
-use tde_obs::{Event, NodeSnapshot, Trace};
+use tde_obs::{CacheSnapshot, Event, NodeSnapshot, Trace};
+use tde_pager::PagedTable;
 use tde_plan::strategic::OptimizerOptions;
 use tde_plan::{LogicalPlan, PlanBuilder};
 use tde_storage::{ColumnTelemetry, Table};
@@ -21,6 +22,9 @@ use tde_types::Value;
 pub struct Query {
     builder: PlanBuilder,
     opts: OptimizerOptions,
+    /// Paged tables the query scans, for buffer-pool telemetry in
+    /// [`Query::explain_analyze`].
+    paged: Vec<PagedTable>,
 }
 
 impl Query {
@@ -29,6 +33,7 @@ impl Query {
         Query {
             builder: PlanBuilder::scan(table),
             opts: OptimizerOptions::default(),
+            paged: Vec::new(),
         }
     }
 
@@ -37,6 +42,27 @@ impl Query {
         Query {
             builder: PlanBuilder::scan_columns(table, columns),
             opts: OptimizerOptions::default(),
+            paged: Vec::new(),
+        }
+    }
+
+    /// Start from a paged-table scan (loads every column — prefer
+    /// [`Query::scan_paged_columns`] with a projection).
+    pub fn scan_paged(table: &PagedTable) -> Query {
+        Query {
+            builder: PlanBuilder::scan_paged(table),
+            opts: OptimizerOptions::default(),
+            paged: vec![table.clone()],
+        }
+    }
+
+    /// Start from a paged projection scan: only the named columns'
+    /// segments are read from disk, via the buffer pool.
+    pub fn scan_paged_columns(table: &PagedTable, columns: &[&str]) -> Query {
+        Query {
+            builder: PlanBuilder::scan_paged_columns(table, columns),
+            opts: OptimizerOptions::default(),
+            paged: vec![table.clone()],
         }
     }
 
@@ -45,6 +71,7 @@ impl Query {
         Query {
             builder: self.builder.filter(predicate),
             opts: self.opts,
+            paged: self.paged,
         }
     }
 
@@ -53,6 +80,7 @@ impl Query {
         Query {
             builder: self.builder.project(exprs),
             opts: self.opts,
+            paged: self.paged,
         }
     }
 
@@ -65,6 +93,7 @@ impl Query {
         Query {
             builder: self.builder.aggregate(group_by, aggs),
             opts: self.opts,
+            paged: self.paged,
         }
     }
 
@@ -73,6 +102,7 @@ impl Query {
         Query {
             builder: self.builder.sort(keys),
             opts: self.opts,
+            paged: self.paged,
         }
     }
 
@@ -105,15 +135,29 @@ impl Query {
     /// result carries per-table compression telemetry. The query still
     /// runs to completion and its output is available on the report.
     pub fn explain_analyze(self) -> ExplainAnalyze {
+        let paged = self.paged.clone();
         let plan = self.plan();
         let logical = plan.explain();
         let trace = Trace::new();
+        let before: Vec<CacheSnapshot> = paged.iter().map(PagedTable::cache_snapshot).collect();
         let (schema, blocks, elapsed) = {
             let _guard = tde_obs::install(&trace);
             let t0 = Instant::now();
             let (schema, blocks) = tde_plan::physical::run_traced(&plan, &trace);
             (schema, blocks, t0.elapsed())
         };
+        let caches: Vec<CacheReport> = paged
+            .iter()
+            .zip(before)
+            .map(|(t, before)| {
+                let after = t.cache_snapshot();
+                CacheReport {
+                    table: t.name().to_owned(),
+                    delta: after.since(&before),
+                    totals: after,
+                }
+            })
+            .collect();
         let tables: Vec<(String, u64, Vec<ColumnTelemetry>)> = plan
             .referenced_tables()
             .iter()
@@ -126,6 +170,7 @@ impl Query {
             operators: trace.nodes(),
             events: trace.events(),
             tables,
+            caches,
             row_count,
             elapsed,
             schema,
@@ -150,6 +195,19 @@ impl Query {
     }
 }
 
+/// Buffer-pool telemetry for one paged table scanned by a query:
+/// what this execution did to the cache (`delta`) and where the pool
+/// stands now (`totals`).
+#[derive(Debug, Clone)]
+pub struct CacheReport {
+    /// The paged table's name.
+    pub table: String,
+    /// Hits/misses/evictions attributable to this execution.
+    pub delta: CacheSnapshot,
+    /// Cumulative pool state after the execution.
+    pub totals: CacheSnapshot,
+}
+
 /// The result of [`Query::explain_analyze`]: the executed query's
 /// output plus everything the recorder captured while it ran.
 #[derive(Debug)]
@@ -164,6 +222,8 @@ pub struct ExplainAnalyze {
     pub events: Vec<Event>,
     /// Per-table compression telemetry: (table, rows, columns).
     pub tables: Vec<(String, u64, Vec<ColumnTelemetry>)>,
+    /// Buffer-pool telemetry for each paged table the query scanned.
+    pub caches: Vec<CacheReport>,
     /// Rows the query produced.
     pub row_count: u64,
     /// Wall time for the whole execution (lowering + drain).
@@ -208,14 +268,27 @@ impl ExplainAnalyze {
                 )
             })
             .collect();
+        let caches: Vec<String> = self
+            .caches
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"table\":\"{}\",\"delta\":{},\"totals\":{}}}",
+                    tde_obs::json_escape(&c.table),
+                    c.delta.to_json(),
+                    c.totals.to_json()
+                )
+            })
+            .collect();
         format!(
             "{{\"rows\":{},\"elapsed_ns\":{},\"operators\":[{}],\"events\":[{}],\
-             \"tables\":[{}]}}",
+             \"tables\":[{}],\"caches\":[{}]}}",
             self.row_count,
             self.elapsed.as_nanos(),
             ops.join(","),
             events.join(","),
-            tables.join(",")
+            tables.join(","),
+            caches.join(",")
         )
     }
 }
@@ -241,6 +314,13 @@ impl std::fmt::Display for ExplainAnalyze {
             )?;
             for c in cols {
                 writeln!(f, "  {c}")?;
+            }
+        }
+        if !self.caches.is_empty() {
+            writeln!(f, "\n== buffer pool ==")?;
+            for c in &self.caches {
+                writeln!(f, "table {}: this query {}", c.table, c.delta)?;
+                writeln!(f, "  pool totals {}", c.totals)?;
             }
         }
         writeln!(f, "\n== result ==")?;
@@ -300,5 +380,59 @@ mod tests {
             .filter(Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::int(5)))
             .explain();
         assert!(text.contains("Scan sales"));
+    }
+
+    #[test]
+    fn paged_query_reports_cache_telemetry() {
+        let t = sales();
+        let mut db = tde_storage::Database::new();
+        db.add_table((*t).clone());
+        let dir = std::env::temp_dir().join("tde_core_paged_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sales.tde2");
+        tde_pager::save_v2(&db, &path).unwrap();
+        let paged = tde_pager::PagedDatabase::open(&path).unwrap();
+        let pt = paged.table("sales").unwrap();
+
+        // Results through the paged path match the eager path.
+        let mut eager = Query::scan(&t)
+            .aggregate(vec![0], vec![(AggFunc::Count, 1, "n")])
+            .rows();
+        let report = Query::scan_paged(&pt)
+            .aggregate(vec![0], vec![(AggFunc::Count, 1, "n")])
+            .explain_analyze();
+        let mut lazy: Vec<Vec<Value>> = {
+            let mut rows = Vec::new();
+            for b in &report.blocks {
+                for r in 0..b.len {
+                    rows.push(
+                        (0..report.schema.len())
+                            .map(|c| report.schema.fields[c].value_of(b.columns[c][r]))
+                            .collect(),
+                    );
+                }
+            }
+            rows
+        };
+        eager.sort_by_key(|r| r[0].to_string());
+        lazy.sort_by_key(|r: &Vec<Value>| r[0].to_string());
+        assert_eq!(eager, lazy);
+
+        // The report carries buffer-pool telemetry for the scan: a cold
+        // pool missed, and the JSON/Display both surface a caches section.
+        assert_eq!(report.caches.len(), 1);
+        assert_eq!(report.caches[0].table, "sales");
+        assert!(report.caches[0].delta.misses > 0);
+        assert!(report.to_json().contains("\"caches\""));
+        assert!(report.to_string().contains("== buffer pool =="));
+        assert!(report.operator_tree.contains("PagedScan"));
+
+        // A repeat run is all hits.
+        let again = Query::scan_paged(&pt)
+            .aggregate(vec![0], vec![(AggFunc::Count, 1, "n")])
+            .explain_analyze();
+        assert_eq!(again.caches[0].delta.misses, 0);
+        assert!(again.caches[0].delta.hits > 0);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -52,7 +52,7 @@ impl Knowledge {
 /// Metadata describing one column, consumed by the tactical optimizer
 /// (fetch-join detection, hash algorithm choice, ordered aggregation) and
 /// reportable to the client.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ColumnMetadata {
     /// Sorted ascending.
     pub sorted_asc: Knowledge,

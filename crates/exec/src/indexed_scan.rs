@@ -10,12 +10,15 @@
 //! non-primary-sort column — at the cost of many small reads when the
 //! runs are short, the degradation the 1M-row experiment exposes.
 
-use crate::block::{Block, Field, Repr, Schema};
+use crate::block::{Block, Field, Schema};
 use crate::cursor::RangeReader;
+use crate::handle::ColumnHandle;
 use crate::{BoxOp, Operator, BLOCK_ROWS};
+use std::io;
 use std::sync::Arc;
 use tde_encodings::metadata::Knowledge;
-use tde_storage::{Compression, Table};
+use tde_pager::PagedTable;
+use tde_storage::Table;
 
 /// IndexedScan operator.
 pub struct IndexedScan {
@@ -23,8 +26,9 @@ pub struct IndexedScan {
     /// (start, count, carried columns).
     ranges: Vec<(u64, u64)>,
     carried: Vec<Vec<i64>>, // column-major, parallel to ranges
-    outer: Arc<Table>,
-    fetch_cols: Vec<usize>,
+    /// The outer-table columns the qualified ranges read from (eager
+    /// table positions or pager-resolved columns).
+    fetch: Vec<ColumnHandle>,
     schema: Schema,
     next_range: usize,
     /// Rows of the current range already emitted (ranges can span many
@@ -41,7 +45,34 @@ impl IndexedScan {
     /// `start` columns (an IndexTable pipeline); every *other* inner
     /// column is carried through repeated per row. `fetch` names the
     /// outer-table columns to read for the qualified ranges.
-    pub fn new(mut inner: BoxOp, outer: Arc<Table>, fetch: &[&str]) -> IndexedScan {
+    pub fn new(inner: BoxOp, outer: Arc<Table>, fetch: &[&str]) -> IndexedScan {
+        let handles = fetch
+            .iter()
+            .map(|n| {
+                let idx = outer
+                    .column_index(n)
+                    .unwrap_or_else(|| panic!("no outer column {n}"));
+                ColumnHandle::Shared {
+                    table: Arc::clone(&outer),
+                    idx,
+                }
+            })
+            .collect();
+        IndexedScan::from_handles(inner, handles)
+    }
+
+    /// Build against a paged outer table: the fetched columns resolve
+    /// through the buffer pool; unreferenced outer columns stay on disk.
+    pub fn new_paged(inner: BoxOp, outer: &PagedTable, fetch: &[&str]) -> io::Result<IndexedScan> {
+        let handles = fetch
+            .iter()
+            .map(|n| outer.column(n).map(ColumnHandle::Owned))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(IndexedScan::from_handles(inner, handles))
+    }
+
+    /// Build from pre-resolved fetch handles.
+    pub fn from_handles(mut inner: BoxOp, fetch: Vec<ColumnHandle>) -> IndexedScan {
         let ischema = inner.schema().clone();
         let count_col = ischema
             .index_of("count")
@@ -68,14 +99,6 @@ impl IndexedScan {
         }
         let sequential = ranges.windows(2).all(|w| w[0].0 <= w[1].0);
 
-        let fetch_cols: Vec<usize> = fetch
-            .iter()
-            .map(|n| {
-                outer
-                    .column_index(n)
-                    .unwrap_or_else(|| panic!("no outer column {n}"))
-            })
-            .collect();
         let mut fields: Vec<Field> = carried_cols
             .iter()
             .map(|&c| ischema.fields[c].clone())
@@ -88,31 +111,17 @@ impl IndexedScan {
                 fields[k].metadata.sorted_asc = Knowledge::True;
             }
         }
-        for &c in &fetch_cols {
-            let col = &outer.columns[c];
-            let repr = match &col.compression {
-                Compression::None => Repr::Scalar,
-                Compression::Heap { heap, .. } => Repr::Token(heap.clone()),
-                Compression::Array { dictionary, .. } => {
-                    Repr::DictIndex(Arc::new(dictionary.clone()))
-                }
-            };
-            fields.push(Field {
-                name: col.name.clone(),
-                dtype: col.dtype,
-                repr,
-                metadata: col.metadata.clone(),
-            });
+        for h in &fetch {
+            fields.push(h.field(false));
         }
-        let readers = fetch_cols
+        let readers = fetch
             .iter()
-            .map(|&c| RangeReader::new(&outer.columns[c].data))
+            .map(|h| RangeReader::new(&h.col().data))
             .collect();
         IndexedScan {
             ranges,
             carried,
-            outer,
-            fetch_cols,
+            fetch,
             schema: Schema::new(fields),
             next_range: 0,
             range_off: 0,
@@ -137,7 +146,7 @@ impl Operator for IndexedScan {
             return None;
         }
         let ncarried = self.carried.len();
-        let ncols = ncarried + self.fetch_cols.len();
+        let ncols = ncarried + self.fetch.len();
         let mut columns: Vec<Vec<i64>> = vec![Vec::with_capacity(BLOCK_ROWS); ncols];
         let mut filled = 0usize;
         // Fill exactly one block, consuming ranges incrementally: a long
@@ -154,7 +163,7 @@ impl Operator for IndexedScan {
                 ));
             }
             for (k, reader) in self.readers.iter_mut().enumerate() {
-                let stream = &self.outer.columns[self.fetch_cols[k]].data;
+                let stream = &self.fetch[k].col().data;
                 reader.read_range(
                     stream,
                     start + self.range_off,

@@ -31,6 +31,7 @@ pub mod exchange;
 pub mod expr;
 pub mod filter;
 pub mod flow_table;
+pub mod handle;
 pub mod hash;
 pub mod index_table;
 pub mod indexed_scan;

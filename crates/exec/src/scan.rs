@@ -1,18 +1,25 @@
 //! Table scan: decode stored columns block-at-a-time.
 
-use crate::block::{Block, Field, Repr, Schema};
+use crate::block::{Block, Schema};
 use crate::cursor::StreamCursor;
+use crate::handle::ColumnHandle;
 use crate::{Operator, BLOCK_ROWS};
+use std::io;
 use std::sync::Arc;
+use tde_pager::PagedTable;
 use tde_storage::{Compression, Table};
 
-/// Scans a stored table, emitting one execution block per decompression
+/// Scans stored columns, emitting one execution block per decompression
 /// block. Compressed columns flow through in their stored representation
 /// (tokens/indexes) unless `expand_dictionaries` is set — keeping them
 /// compressed is what enables the invisible-join plans of §4.1.
+///
+/// The scan is storage-agnostic: it reads [`ColumnHandle`]s, which may
+/// share an eager [`Table`] or own pager-resolved columns
+/// ([`TableScan::paged`]) — the latter demand-loads only the projected
+/// columns' segments through the buffer pool.
 pub struct TableScan {
-    table: Arc<Table>,
-    cols: Vec<usize>,
+    handles: Vec<ColumnHandle>,
     schema: Schema,
     cursors: Vec<StreamCursor>,
     expand: bool,
@@ -22,8 +29,8 @@ pub struct TableScan {
 impl TableScan {
     /// Scan every column of `table`.
     pub fn new(table: Arc<Table>) -> TableScan {
-        let cols = (0..table.columns.len()).collect();
-        TableScan::with_columns(table, cols, false)
+        let handles = ColumnHandle::all(&table);
+        TableScan::from_handles(handles, false)
     }
 
     /// Scan a projection of `table`. `expand_dictionaries` materializes
@@ -34,41 +41,14 @@ impl TableScan {
         cols: Vec<usize>,
         expand_dictionaries: bool,
     ) -> TableScan {
-        let fields = cols
-            .iter()
-            .map(|&i| {
-                let c = &table.columns[i];
-                let repr = match &c.compression {
-                    Compression::None => Repr::Scalar,
-                    Compression::Heap { heap, .. } => Repr::Token(heap.clone()),
-                    Compression::Array { dictionary, .. } => {
-                        if expand_dictionaries {
-                            Repr::Scalar
-                        } else {
-                            Repr::DictIndex(Arc::new(dictionary.clone()))
-                        }
-                    }
-                };
-                Field {
-                    name: c.name.clone(),
-                    dtype: c.dtype,
-                    repr,
-                    metadata: c.metadata.clone(),
-                }
+        let handles = cols
+            .into_iter()
+            .map(|idx| ColumnHandle::Shared {
+                table: Arc::clone(&table),
+                idx,
             })
             .collect();
-        let cursors = cols
-            .iter()
-            .map(|&i| StreamCursor::new(&table.columns[i].data))
-            .collect();
-        TableScan {
-            table,
-            cols,
-            schema: Schema::new(fields),
-            cursors,
-            expand: expand_dictionaries,
-            done: false,
-        }
+        TableScan::from_handles(handles, expand_dictionaries)
     }
 
     /// Scan named columns.
@@ -83,6 +63,47 @@ impl TableScan {
             .collect();
         TableScan::with_columns(table, cols, expand_dictionaries)
     }
+
+    /// Scan named columns of a paged table, resolving each through the
+    /// buffer pool. Only the named columns' segments are read; columns
+    /// outside the projection never leave the disk.
+    pub fn paged(
+        table: &PagedTable,
+        names: &[&str],
+        expand_dictionaries: bool,
+    ) -> io::Result<TableScan> {
+        let handles = names
+            .iter()
+            .map(|n| table.column(n).map(ColumnHandle::Owned))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(TableScan::from_handles(handles, expand_dictionaries))
+    }
+
+    /// Scan every column of a paged table (loads all segments — prefer
+    /// [`TableScan::paged`] with a projection).
+    pub fn paged_all(table: &PagedTable, expand_dictionaries: bool) -> io::Result<TableScan> {
+        let names = table.column_names();
+        TableScan::paged(table, &names, expand_dictionaries)
+    }
+
+    /// Scan pre-resolved column handles.
+    pub fn from_handles(handles: Vec<ColumnHandle>, expand_dictionaries: bool) -> TableScan {
+        let fields = handles
+            .iter()
+            .map(|h| h.field(expand_dictionaries))
+            .collect();
+        let cursors = handles
+            .iter()
+            .map(|h| StreamCursor::new(&h.col().data))
+            .collect();
+        TableScan {
+            handles,
+            schema: Schema::new(fields),
+            cursors,
+            expand: expand_dictionaries,
+            done: false,
+        }
+    }
 }
 
 impl Operator for TableScan {
@@ -94,10 +115,10 @@ impl Operator for TableScan {
         if self.done {
             return None;
         }
-        let mut columns = Vec::with_capacity(self.cols.len());
+        let mut columns = Vec::with_capacity(self.handles.len());
         let mut len = usize::MAX;
-        for (slot, &i) in self.cols.iter().enumerate() {
-            let col = &self.table.columns[i];
+        for (slot, h) in self.handles.iter().enumerate() {
+            let col = h.col();
             let mut out = Vec::with_capacity(BLOCK_ROWS);
             let n = self.cursors[slot].next(&col.data, BLOCK_ROWS, &mut out);
             if self.expand {
@@ -172,5 +193,36 @@ mod tests {
     fn empty_table_scan() {
         let t = Arc::new(Table::new("e", vec![]));
         assert_eq!(count_rows(Box::new(TableScan::new(t))), 0);
+    }
+
+    #[test]
+    fn paged_scan_matches_eager_scan() {
+        let t = table();
+        let mut db = tde_storage::Database::new();
+        db.add_table((*t).clone());
+        let dir = std::env::temp_dir().join("tde_exec_paged_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scan.tde2");
+        tde_pager::save_v2(&db, &path).unwrap();
+        let paged = tde_pager::PagedDatabase::open(&path).unwrap();
+        let pt = paged.table("t").unwrap();
+
+        let mut eager = TableScan::project(Arc::clone(&t), &["s", "a"], false);
+        let mut lazy = TableScan::paged(&pt, &["s", "a"], false).unwrap();
+        loop {
+            match (eager.next_block(), lazy.next_block()) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.len, b.len);
+                    assert_eq!(a.columns, b.columns);
+                }
+                (a, b) => panic!(
+                    "block count mismatch: eager={:?} lazy={:?}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            }
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -80,6 +80,18 @@ pub enum Event {
         /// Route-specific detail (dictionary size, envelope, …).
         detail: String,
     },
+    /// The buffer pool demand-loaded one column segment from a paged
+    /// database file (cache miss → disk read).
+    SegmentLoad {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Segment kind: `"stream"`, `"dictionary"` or `"heap"`.
+        segment: &'static str,
+        /// Bytes read from disk.
+        bytes: u64,
+    },
     /// A FlowTable finished building one column (§3.3).
     ColumnBuilt {
         /// Destination table name.
@@ -126,6 +138,17 @@ impl std::fmt::Display for Event {
                 detail,
             } => {
                 write!(f, "[convert] {column}: {route} ({detail})")
+            }
+            Event::SegmentLoad {
+                table,
+                column,
+                segment,
+                bytes,
+            } => {
+                write!(
+                    f,
+                    "[segment-load] {table}.{column}: {segment} ({bytes} bytes)"
+                )
             }
             Event::ColumnBuilt {
                 table,
@@ -190,6 +213,19 @@ impl Event {
                 json_escape(route),
                 json_escape(detail)
             ),
+            Event::SegmentLoad {
+                table,
+                column,
+                segment,
+                bytes,
+            } => format!(
+                "{{\"kind\":\"segment_load\",\"table\":\"{}\",\"column\":\"{}\",\
+                 \"segment\":\"{}\",\"bytes\":{}}}",
+                json_escape(table),
+                json_escape(column),
+                segment,
+                bytes
+            ),
             Event::ColumnBuilt {
                 table,
                 column,
@@ -249,6 +285,142 @@ impl OpStats {
             self.blocks.load(Ordering::Relaxed),
             self.rows.load(Ordering::Relaxed),
             Duration::from_nanos(self.nanos.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+/// Cumulative counters for one segment cache (the pager's buffer pool).
+/// Bumped with relaxed atomics on the per-segment path — never per row —
+/// so they satisfy the crate's overhead contract. Shared `Arc`s let
+/// EXPLAIN ANALYZE snapshot the pool while queries run.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    /// Lookups served from cache.
+    pub hits: AtomicU64,
+    /// Lookups that went to disk.
+    pub misses: AtomicU64,
+    /// Entries evicted to stay inside the byte budget.
+    pub evictions: AtomicU64,
+    /// Bytes demand-loaded from disk.
+    pub bytes_read: AtomicU64,
+    /// Bytes released by eviction.
+    pub bytes_evicted: AtomicU64,
+}
+
+impl CacheCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Arc<CacheCounters> {
+        Arc::new(CacheCounters::default())
+    }
+
+    /// Record a cache hit.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a miss that loaded `bytes` from disk.
+    pub fn record_miss(&self, bytes: u64) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record an eviction that released `bytes`.
+    pub fn record_eviction(&self, bytes: u64) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.bytes_evicted.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters, annotated with the pool's current residency
+    /// and configured budget (which the counters themselves do not track).
+    pub fn snapshot(&self, bytes_cached: u64, budget_bytes: u64) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_evicted: self.bytes_evicted.load(Ordering::Relaxed),
+            bytes_cached,
+            budget_bytes,
+        }
+    }
+}
+
+/// A point-in-time view of one segment cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups served from cache.
+    pub hits: u64,
+    /// Lookups that went to disk.
+    pub misses: u64,
+    /// Entries evicted to stay inside the byte budget.
+    pub evictions: u64,
+    /// Bytes demand-loaded from disk.
+    pub bytes_read: u64,
+    /// Bytes released by eviction.
+    pub bytes_evicted: u64,
+    /// Bytes currently resident.
+    pub bytes_cached: u64,
+    /// Configured byte budget.
+    pub budget_bytes: u64,
+}
+
+impl CacheSnapshot {
+    /// Fraction of lookups served from cache (1.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counters between two snapshots of the same pool (`self` after,
+    /// `earlier` before). Residency and budget are taken from `self`.
+    pub fn since(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_evicted: self.bytes_evicted - earlier.bytes_evicted,
+            bytes_cached: self.bytes_cached,
+            budget_bytes: self.budget_bytes,
+        }
+    }
+
+    /// The snapshot as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bytes_read\":{},\
+             \"bytes_evicted\":{},\"bytes_cached\":{},\"budget_bytes\":{},\
+             \"hit_rate\":{:.3}}}",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.bytes_read,
+            self.bytes_evicted,
+            self.bytes_cached,
+            self.budget_bytes,
+            self.hit_rate()
+        )
+    }
+}
+
+impl std::fmt::Display for CacheSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} evictions={} read={}B evicted={}B \
+             resident={}B budget={}B hit_rate={:.1}%",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.bytes_read,
+            self.bytes_evicted,
+            self.bytes_cached,
+            self.budget_bytes,
+            self.hit_rate() * 100.0
         )
     }
 }
@@ -499,6 +671,29 @@ mod tests {
         assert!(lines[1].starts_with("  Scan t"));
         assert!(lines[1].contains("blocks=2"));
         assert!(lines[1].contains("rows=1536"));
+    }
+
+    #[test]
+    fn cache_counters_snapshot_and_delta() {
+        let c = CacheCounters::new();
+        c.record_miss(100);
+        c.record_miss(50);
+        c.record_hit();
+        c.record_eviction(50);
+        let before = c.snapshot(100, 1000);
+        assert_eq!(before.hits, 1);
+        assert_eq!(before.misses, 2);
+        assert_eq!(before.evictions, 1);
+        assert_eq!(before.bytes_read, 150);
+        assert_eq!(before.bytes_evicted, 50);
+        c.record_hit();
+        c.record_hit();
+        let after = c.snapshot(100, 1000);
+        let delta = after.since(&before);
+        assert_eq!(delta.hits, 2);
+        assert_eq!(delta.misses, 0);
+        assert!((after.hit_rate() - 0.6).abs() < 1e-9);
+        assert!(after.to_json().contains("\"hits\":3"));
     }
 
     #[test]

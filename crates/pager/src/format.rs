@@ -1,0 +1,327 @@
+//! The v2 paged file format.
+//!
+//! The v1 format (`tde-storage::file`) is *eager*: opening a database
+//! deserializes every column of every table. v2 stores the same
+//! per-column payloads — encoded stream bytes, scalar dictionaries,
+//! string heaps — as *segments* at block-aligned offsets, described by a
+//! directory that a footer at EOF points to. A reader opens a database by
+//! reading the footer and directory only; column segments are fetched on
+//! first touch through the buffer pool (`crate::pool`).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! header (16 B):  magic "TDE2" | format version u32 | reserved u64
+//! segments:       each padded to a 4096-byte boundary
+//!                 per column: stream bytes | [dictionary] ; heaps are
+//!                 deduplicated (shared heaps written once)
+//! directory:      table count u32
+//!                 per table: name | row count u64 | column count u32
+//!                   per column: name | dtype u8 | compression tag u8
+//!                     | sorted u8 | metadata | stream extent
+//!                     | [dictionary extent] | [heap extent]
+//! footer (24 B):  dir offset u64 | dir len u64 | version u32 | magic
+//! ```
+//!
+//! An *extent* is `offset u64 | len u64`. Segment offsets are multiples
+//! of [`BLOCK_ALIGN`] so demand loads are aligned reads. The directory
+//! reuses the [`tde_storage::wire`] primitives, so the per-column
+//! metadata record is byte-identical to v1's.
+//!
+//! Like the v1 reader, everything here treats the file as untrusted:
+//! bad magic, truncation, misaligned or out-of-bounds extents and lying
+//! length prefixes surface as [`io::Error`], never a panic or an
+//! unbounded allocation.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use tde_encodings::ColumnMetadata;
+use tde_storage::wire::{
+    corrupt, read_metadata, read_str, read_u32, read_u64, write_metadata, write_str,
+};
+use tde_storage::{Compression, Database};
+use tde_types::DataType;
+
+/// Magic bytes opening (and closing) a v2 file.
+pub const MAGIC: &[u8; 4] = b"TDE2";
+/// v2 format version.
+pub const VERSION: u32 = 2;
+/// Segment alignment: every segment starts on a 4 KiB boundary.
+pub const BLOCK_ALIGN: u64 = 4096;
+/// Fixed header size.
+pub const HEADER_LEN: u64 = 16;
+/// Fixed footer size.
+pub const FOOTER_LEN: u64 = 24;
+
+/// A byte range within the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extent {
+    /// Absolute file offset (multiple of [`BLOCK_ALIGN`]).
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+/// Directory entry for one column: everything needed to rebuild the
+/// [`tde_storage::Column`] except the segment bytes themselves.
+#[derive(Debug, Clone)]
+pub struct ColumnDir {
+    /// Column name.
+    pub name: String,
+    /// Logical data type.
+    pub dtype: DataType,
+    /// Compression tag (0 none, 1 array, 2 heap) — mirrors
+    /// [`Compression::tag`].
+    pub ctag: u8,
+    /// Dictionary/heap sort flag (meaningless when `ctag == 0`).
+    pub sorted: bool,
+    /// Extracted column metadata.
+    pub metadata: ColumnMetadata,
+    /// Encoded main-data stream segment.
+    pub stream: Extent,
+    /// Scalar dictionary segment (`ctag == 1`): raw little-endian i64s.
+    pub dict: Option<Extent>,
+    /// String heap segment (`ctag == 2`): [`tde_storage::StringHeap`]
+    /// bytes. Columns sharing a heap share the extent.
+    pub heap: Option<Extent>,
+}
+
+/// Directory entry for one table.
+#[derive(Debug, Clone)]
+pub struct TableDir {
+    /// Table name.
+    pub name: String,
+    /// Row count (every column's stream must agree).
+    pub rows: u64,
+    /// Column directory, in schema order.
+    pub columns: Vec<ColumnDir>,
+}
+
+/// Pad the writer with zeros up to the next [`BLOCK_ALIGN`] boundary.
+fn pad_to_block(w: &mut impl Write, off: &mut u64) -> io::Result<()> {
+    let rem = *off % BLOCK_ALIGN;
+    if rem != 0 {
+        let pad = (BLOCK_ALIGN - rem) as usize;
+        w.write_all(&vec![0u8; pad])?;
+        *off += pad as u64;
+    }
+    Ok(())
+}
+
+fn write_segment(w: &mut impl Write, off: &mut u64, bytes: &[u8]) -> io::Result<Extent> {
+    pad_to_block(w, off)?;
+    let extent = Extent {
+        offset: *off,
+        len: bytes.len() as u64,
+    };
+    w.write_all(bytes)?;
+    *off += bytes.len() as u64;
+    Ok(extent)
+}
+
+/// Serialize a database in the v2 paged format.
+pub fn write_v2(db: &Database, w: &mut impl Write) -> io::Result<()> {
+    let mut off: u64 = 0;
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&0u64.to_le_bytes())?; // reserved
+    off += HEADER_LEN;
+
+    // Segments first; remember where each landed. Shared heaps (same
+    // `Arc`) are written once and referenced by every column using them.
+    let mut heap_extents: HashMap<usize, Extent> = HashMap::new();
+    let mut tables = Vec::with_capacity(db.tables.len());
+    for t in &db.tables {
+        let mut columns = Vec::with_capacity(t.columns.len());
+        for c in &t.columns {
+            let stream = write_segment(w, &mut off, c.data.as_bytes())?;
+            let (dict, heap, sorted) = match &c.compression {
+                Compression::None => (None, None, false),
+                Compression::Array { dictionary, sorted } => {
+                    let mut bytes = Vec::with_capacity(dictionary.len() * 8);
+                    for &v in dictionary {
+                        bytes.extend_from_slice(&v.to_le_bytes());
+                    }
+                    (Some(write_segment(w, &mut off, &bytes)?), None, *sorted)
+                }
+                Compression::Heap { heap, sorted } => {
+                    let key = std::sync::Arc::as_ptr(heap) as usize;
+                    let extent = match heap_extents.get(&key) {
+                        Some(e) => *e,
+                        None => {
+                            let e = write_segment(w, &mut off, heap.as_bytes())?;
+                            heap_extents.insert(key, e);
+                            e
+                        }
+                    };
+                    (None, Some(extent), *sorted)
+                }
+            };
+            columns.push(ColumnDir {
+                name: c.name.clone(),
+                dtype: c.dtype,
+                ctag: c.compression.tag(),
+                sorted,
+                metadata: c.metadata.clone(),
+                stream,
+                dict,
+                heap,
+            });
+        }
+        tables.push(TableDir {
+            name: t.name.clone(),
+            rows: t.row_count(),
+            columns,
+        });
+    }
+
+    // Directory, then footer.
+    let mut dir = Vec::new();
+    write_directory(&mut dir, &tables)?;
+    let dir_offset = off;
+    w.write_all(&dir)?;
+    w.write_all(&dir_offset.to_le_bytes())?;
+    w.write_all(&(dir.len() as u64).to_le_bytes())?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(MAGIC)?;
+    Ok(())
+}
+
+/// Serialize a database to a v2 file on disk.
+pub fn save_v2(db: &Database, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(file);
+    write_v2(db, &mut w)?;
+    w.flush()
+}
+
+fn write_extent(w: &mut impl Write, e: Extent) -> io::Result<()> {
+    w.write_all(&e.offset.to_le_bytes())?;
+    w.write_all(&e.len.to_le_bytes())
+}
+
+fn write_directory(w: &mut impl Write, tables: &[TableDir]) -> io::Result<()> {
+    w.write_all(&(tables.len() as u32).to_le_bytes())?;
+    for t in tables {
+        write_str(w, &t.name)?;
+        w.write_all(&t.rows.to_le_bytes())?;
+        w.write_all(&(t.columns.len() as u32).to_le_bytes())?;
+        for c in &t.columns {
+            write_str(w, &c.name)?;
+            w.write_all(&[c.dtype.tag(), c.ctag, u8::from(c.sorted)])?;
+            write_metadata(w, &c.metadata)?;
+            write_extent(w, c.stream)?;
+            if let Some(d) = c.dict {
+                write_extent(w, d)?;
+            }
+            if let Some(h) = c.heap {
+                write_extent(w, h)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_extent(r: &mut impl Read, dir_offset: u64) -> io::Result<Extent> {
+    let offset = read_u64(r)?;
+    let len = read_u64(r)?;
+    if offset % BLOCK_ALIGN != 0 {
+        return Err(corrupt("misaligned segment extent"));
+    }
+    if offset < HEADER_LEN || offset.checked_add(len).is_none_or(|end| end > dir_offset) {
+        return Err(corrupt("segment extent out of bounds"));
+    }
+    Ok(Extent { offset, len })
+}
+
+/// Parse the directory bytes. `dir_offset` bounds segment extents: every
+/// segment must lie between the header and the directory.
+pub fn read_directory(bytes: &[u8], dir_offset: u64) -> io::Result<Vec<TableDir>> {
+    let r = &mut &bytes[..];
+    let ntables = read_u32(r)? as usize;
+    let mut tables = Vec::with_capacity(ntables.min(1024));
+    for _ in 0..ntables {
+        let name = read_str(r)?;
+        let rows = read_u64(r)?;
+        let ncols = read_u32(r)? as usize;
+        let mut columns = Vec::with_capacity(ncols.min(4096));
+        for _ in 0..ncols {
+            let cname = read_str(r)?;
+            let mut tags = [0u8; 3];
+            r.read_exact(&mut tags)?;
+            let dtype = DataType::from_tag(tags[0]).ok_or_else(|| corrupt("bad dtype"))?;
+            let ctag = tags[1];
+            if ctag > 2 {
+                return Err(corrupt("bad compression tag"));
+            }
+            let sorted = tags[2] != 0;
+            let metadata = read_metadata(r)?;
+            let stream = read_extent(r, dir_offset)?;
+            let dict = if ctag == 1 {
+                let e = read_extent(r, dir_offset)?;
+                if e.len % 8 != 0 {
+                    return Err(corrupt("dictionary extent not a multiple of 8"));
+                }
+                Some(e)
+            } else {
+                None
+            };
+            let heap = if ctag == 2 {
+                Some(read_extent(r, dir_offset)?)
+            } else {
+                None
+            };
+            columns.push(ColumnDir {
+                name: cname,
+                dtype,
+                ctag,
+                sorted,
+                metadata,
+                stream,
+                dict,
+                heap,
+            });
+        }
+        tables.push(TableDir {
+            name,
+            rows,
+            columns,
+        });
+    }
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes after directory"));
+    }
+    Ok(tables)
+}
+
+/// Footer contents: where the directory lives.
+#[derive(Debug, Clone, Copy)]
+pub struct Footer {
+    /// Absolute offset of the directory.
+    pub dir_offset: u64,
+    /// Directory length in bytes.
+    pub dir_len: u64,
+}
+
+/// Parse and validate the 24-byte footer given the total file length.
+pub fn read_footer(bytes: &[u8; 24], file_len: u64) -> io::Result<Footer> {
+    if &bytes[20..24] != MAGIC {
+        return Err(corrupt("bad footer magic (not a v2 paged file)"));
+    }
+    let version = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    if version != VERSION {
+        return Err(corrupt("unsupported v2 format version"));
+    }
+    let dir_offset = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+    let dir_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let dir_end = dir_offset
+        .checked_add(dir_len)
+        .ok_or_else(|| corrupt("directory extent overflows"))?;
+    if dir_offset < HEADER_LEN || dir_end > file_len.saturating_sub(FOOTER_LEN) {
+        return Err(corrupt("directory extent out of bounds"));
+    }
+    Ok(Footer {
+        dir_offset,
+        dir_len,
+    })
+}

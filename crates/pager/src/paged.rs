@@ -1,0 +1,343 @@
+//! Opening and reading a v2 paged database.
+//!
+//! [`PagedDatabase::open`] reads only the footer and directory — column
+//! segments stay on disk until a [`PagedTable::column`] call pulls them
+//! through the buffer pool. A query projecting 2 of 50 columns therefore
+//! reads 2 columns' segments, not 50; the pool serves repeated scans
+//! from memory and its counters prove both properties.
+
+use crate::format::{self, ColumnDir, Extent, TableDir, FOOTER_LEN};
+use crate::pool::{BufferPool, CachedSegment, PoolConfig, SegmentKey};
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use tde_encodings::EncodedStream;
+use tde_obs::{CacheCounters, CacheSnapshot, Event};
+use tde_storage::wire::{corrupt, validate_stream};
+use tde_storage::{Column, Compression, StringHeap, Table};
+
+/// Positioned reads over the database file. On unix this uses `pread`
+/// (no shared cursor, no locking); elsewhere a mutex serializes
+/// seek-then-read.
+#[derive(Debug)]
+struct PagedFile {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: parking_lot::Mutex<File>,
+}
+
+impl PagedFile {
+    fn new(file: File) -> PagedFile {
+        #[cfg(unix)]
+        {
+            PagedFile { file }
+        }
+        #[cfg(not(unix))]
+        {
+            PagedFile {
+                file: parking_lot::Mutex::new(file),
+            }
+        }
+    }
+
+    fn read_extent(&self, e: Extent) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; e.len as usize];
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(&mut buf, e.offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            let mut f = self.file.lock();
+            f.seek(SeekFrom::Start(e.offset))?;
+            f.read_exact(&mut buf)?;
+        }
+        Ok(buf)
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    file: PagedFile,
+    tables: Vec<TableDir>,
+    pool: BufferPool,
+    path: PathBuf,
+}
+
+/// A database opened lazily from a v2 paged file.
+#[derive(Debug, Clone)]
+pub struct PagedDatabase {
+    inner: Arc<Inner>,
+}
+
+/// Is the file at `path` a v2 paged database (by footer magic)?
+pub fn is_v2(path: impl AsRef<Path>) -> io::Result<bool> {
+    let mut f = File::open(path)?;
+    let len = f.metadata()?.len();
+    if len < format::HEADER_LEN + FOOTER_LEN {
+        return Ok(false);
+    }
+    let mut magic = [0u8; 4];
+    f.seek(SeekFrom::End(-4))?;
+    f.read_exact(&mut magic)?;
+    Ok(&magic == format::MAGIC)
+}
+
+impl PagedDatabase {
+    /// Open with the default pool configuration.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<PagedDatabase> {
+        PagedDatabase::open_with(path, PoolConfig::default())
+    }
+
+    /// Open with an explicit buffer-pool configuration. Reads the footer
+    /// and directory only.
+    pub fn open_with(path: impl AsRef<Path>, cfg: PoolConfig) -> io::Result<PagedDatabase> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = File::open(&path)?;
+        let len = f.metadata()?.len();
+        if len < format::HEADER_LEN + FOOTER_LEN {
+            return Err(corrupt("file too small for a v2 paged database"));
+        }
+        let mut head = [0u8; 4];
+        f.read_exact(&mut head)?;
+        if &head == b"TDE1" {
+            return Err(corrupt(
+                "v1 eager file — open it with tde_storage::Database::load",
+            ));
+        }
+        if &head != format::MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let mut footer = [0u8; FOOTER_LEN as usize];
+        f.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
+        f.read_exact(&mut footer)?;
+        let footer = format::read_footer(&footer, len)?;
+        let mut dir = vec![0u8; footer.dir_len as usize];
+        f.seek(SeekFrom::Start(footer.dir_offset))?;
+        f.read_exact(&mut dir)?;
+        let tables = format::read_directory(&dir, footer.dir_offset)?;
+        Ok(PagedDatabase {
+            inner: Arc::new(Inner {
+                file: PagedFile::new(f),
+                tables,
+                pool: BufferPool::new(cfg),
+                path,
+            }),
+        })
+    }
+
+    /// The file this database was opened from.
+    pub fn path(&self) -> &Path {
+        &self.inner.path
+    }
+
+    /// Names of the tables in directory order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.inner.tables.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// A lazy handle to a table.
+    pub fn table(&self, name: &str) -> Option<PagedTable> {
+        let idx = self.inner.tables.iter().position(|t| t.name == name)?;
+        Some(PagedTable {
+            inner: Arc::clone(&self.inner),
+            idx,
+        })
+    }
+
+    /// Shared cache counters (hits, misses, evictions, bytes).
+    pub fn counters(&self) -> Arc<CacheCounters> {
+        Arc::clone(self.inner.pool.counters())
+    }
+
+    /// Counters plus current occupancy and budget.
+    pub fn cache_snapshot(&self) -> CacheSnapshot {
+        self.inner.pool.snapshot()
+    }
+}
+
+/// A lazy handle to one table of a [`PagedDatabase`]. Cloning is cheap;
+/// clones share the file, directory and buffer pool.
+#[derive(Debug, Clone)]
+pub struct PagedTable {
+    inner: Arc<Inner>,
+    idx: usize,
+}
+
+impl PagedTable {
+    fn dir(&self) -> &TableDir {
+        &self.inner.tables[self.idx]
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.dir().name
+    }
+
+    /// Row count (from the directory; no segment I/O).
+    pub fn row_count(&self) -> u64 {
+        self.dir().rows
+    }
+
+    /// Column names in schema order (no segment I/O).
+    pub fn column_names(&self) -> Vec<&str> {
+        self.dir().columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Directory entry for a column, if present (no segment I/O).
+    pub fn column_dir(&self, name: &str) -> Option<&ColumnDir> {
+        self.dir().columns.iter().find(|c| c.name == name)
+    }
+
+    /// The buffer pool's shared counters (same pool as the database).
+    pub fn counters(&self) -> Arc<CacheCounters> {
+        Arc::clone(self.inner.pool.counters())
+    }
+
+    /// Counters plus current occupancy and budget.
+    pub fn cache_snapshot(&self) -> CacheSnapshot {
+        self.inner.pool.snapshot()
+    }
+
+    /// Resolve a column by name, demand-loading its segments through the
+    /// buffer pool on first touch.
+    pub fn column(&self, name: &str) -> io::Result<Arc<Column>> {
+        let pos = self
+            .dir()
+            .columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::NotFound,
+                    format!("no column {name:?} in table {:?}", self.dir().name),
+                )
+            })?;
+        self.column_at(pos)
+    }
+
+    /// Resolve a column by schema position.
+    pub fn column_at(&self, pos: usize) -> io::Result<Arc<Column>> {
+        let table = self.dir();
+        let cdir = table.columns.get(pos).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("column index {pos} out of range in table {:?}", table.name),
+            )
+        })?;
+        let key = SegmentKey::Column {
+            table: self.idx as u32,
+            col: pos as u32,
+        };
+        // Fast path: cached.
+        if let Some(CachedSegment::Column(c)) = self.inner.pool.try_get(key) {
+            return Ok(c);
+        }
+        // Miss path. A heap column's heap segment is resolved FIRST, as
+        // its own pool entry: the column loader below runs under its
+        // shard lock, and the shim mutex is not reentrant — touching the
+        // pool from inside it could self-deadlock on the same shard.
+        let heap = match cdir.heap {
+            Some(extent) => Some(self.load_heap(&table.name, &cdir.name, extent)?),
+            None => None,
+        };
+        let seg = self.inner.pool.get_or_load(key, || {
+            self.load_column(&table.name, table.rows, cdir, heap)
+        })?;
+        match seg {
+            CachedSegment::Column(c) => Ok(c),
+            CachedSegment::Heap(_) => Err(corrupt("segment kind mismatch in pool")),
+        }
+    }
+
+    /// Materialize the whole table eagerly (back-compat convenience).
+    pub fn load_all(&self) -> io::Result<Table> {
+        let columns = (0..self.dir().columns.len())
+            .map(|i| self.column_at(i).map(|c| (*c).clone()))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Table::new(self.dir().name.clone(), columns))
+    }
+
+    fn load_heap(&self, table: &str, column: &str, extent: Extent) -> io::Result<Arc<StringHeap>> {
+        let key = SegmentKey::Heap {
+            offset: extent.offset,
+        };
+        if let Some(CachedSegment::Heap(h)) = self.inner.pool.try_get(key) {
+            return Ok(h);
+        }
+        let seg = self.inner.pool.get_or_load(key, || {
+            let bytes = self.inner.file.read_extent(extent)?;
+            tde_obs::emit(|| Event::SegmentLoad {
+                table: table.to_string(),
+                column: column.to_string(),
+                segment: "heap",
+                bytes: extent.len,
+            });
+            Ok((
+                CachedSegment::Heap(Arc::new(StringHeap::from_bytes(bytes))),
+                extent.len,
+            ))
+        })?;
+        match seg {
+            CachedSegment::Heap(h) => Ok(h),
+            CachedSegment::Column(_) => Err(corrupt("segment kind mismatch in pool")),
+        }
+    }
+
+    /// Load and assemble one column (stream + dictionary). Runs under the
+    /// column entry's shard lock — must not touch the pool.
+    fn load_column(
+        &self,
+        table: &str,
+        rows: u64,
+        cdir: &ColumnDir,
+        heap: Option<Arc<StringHeap>>,
+    ) -> io::Result<(CachedSegment, u64)> {
+        let stream_bytes = self.inner.file.read_extent(cdir.stream)?;
+        validate_stream(&stream_bytes, rows)?;
+        tde_obs::emit(|| Event::SegmentLoad {
+            table: table.to_string(),
+            column: cdir.name.clone(),
+            segment: "stream",
+            bytes: cdir.stream.len,
+        });
+        let mut cost = cdir.stream.len;
+        let compression = match (cdir.ctag, cdir.dict, heap) {
+            (0, _, _) => Compression::None,
+            (1, Some(extent), _) => {
+                let bytes = self.inner.file.read_extent(extent)?;
+                tde_obs::emit(|| Event::SegmentLoad {
+                    table: table.to_string(),
+                    column: cdir.name.clone(),
+                    segment: "dictionary",
+                    bytes: extent.len,
+                });
+                cost += extent.len;
+                let dictionary = bytes
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                    .collect();
+                Compression::Array {
+                    dictionary,
+                    sorted: cdir.sorted,
+                }
+            }
+            (2, _, Some(heap)) => Compression::Heap {
+                heap,
+                sorted: cdir.sorted,
+            },
+            _ => return Err(corrupt("directory compression tag without its segment")),
+        };
+        let column = Column {
+            name: cdir.name.clone(),
+            dtype: cdir.dtype,
+            data: EncodedStream::from_buf(stream_bytes),
+            compression,
+            metadata: cdir.metadata.clone(),
+        };
+        Ok((CachedSegment::Column(Arc::new(column)), cost))
+    }
+}

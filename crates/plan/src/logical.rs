@@ -11,6 +11,7 @@ use std::sync::Arc;
 use tde_exec::aggregate::AggSpec;
 use tde_exec::sort::SortOrder;
 use tde_exec::Expr;
+use tde_pager::PagedTable;
 use tde_storage::Table;
 
 /// Operations pushed down onto a decompression join's inner side: a
@@ -41,6 +42,17 @@ pub enum LogicalPlan {
     Scan {
         /// The table.
         table: Arc<Table>,
+        /// Column names to produce, in order.
+        columns: Vec<String>,
+        /// Expand array compression inline.
+        expand_dictionaries: bool,
+    },
+    /// Scan named columns of a paged (v2) table: each column resolves
+    /// through the buffer pool at lowering time, so only the projected
+    /// columns' segments are read from disk.
+    PagedScan {
+        /// The lazy table handle.
+        table: PagedTable,
         /// Column names to produce, in order.
         columns: Vec<String>,
         /// Expand array compression inline.
@@ -113,7 +125,9 @@ impl LogicalPlan {
     /// The output column names, for rewrites and tests.
     pub fn output_columns(&self) -> Vec<String> {
         match self {
-            LogicalPlan::Scan { columns, .. } => columns.clone(),
+            LogicalPlan::Scan { columns, .. } | LogicalPlan::PagedScan { columns, .. } => {
+                columns.clone()
+            }
             LogicalPlan::Filter { input, .. } => input.output_columns(),
             LogicalPlan::Project { exprs, .. } => exprs.iter().map(|(n, _)| n.clone()).collect(),
             LogicalPlan::Aggregate {
@@ -171,6 +185,9 @@ impl LogicalPlan {
         fn collect(plan: &LogicalPlan, out: &mut Vec<Arc<Table>>) {
             match plan {
                 LogicalPlan::Scan { table, .. } => push(out, table),
+                // Paged scans load columns lazily; their cache telemetry
+                // is reported from the pool counters, not per-table.
+                LogicalPlan::PagedScan { .. } => {}
                 LogicalPlan::Filter { input, .. }
                 | LogicalPlan::Project { input, .. }
                 | LogicalPlan::Aggregate { input, .. }
@@ -205,6 +222,22 @@ impl LogicalPlan {
                 out.push_str(&format!(
                     "{pad}Scan {} [{}]{}\n",
                     table.name,
+                    columns.join(", "),
+                    if *expand_dictionaries {
+                        " (expanded)"
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            LogicalPlan::PagedScan {
+                table,
+                columns,
+                expand_dictionaries,
+            } => {
+                out.push_str(&format!(
+                    "{pad}PagedScan {} [{}]{}\n",
+                    table.name(),
                     columns.join(", "),
                     if *expand_dictionaries {
                         " (expanded)"
@@ -296,6 +329,35 @@ impl PlanBuilder {
             plan: LogicalPlan::Scan {
                 table: table.clone(),
                 columns,
+                expand_dictionaries: false,
+            },
+        }
+    }
+
+    /// Start from a full paged-table scan (loads every column — prefer
+    /// [`PlanBuilder::scan_paged_columns`] with a projection).
+    pub fn scan_paged(table: &PagedTable) -> PlanBuilder {
+        let columns = table
+            .column_names()
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        PlanBuilder {
+            plan: LogicalPlan::PagedScan {
+                table: table.clone(),
+                columns,
+                expand_dictionaries: false,
+            },
+        }
+    }
+
+    /// Start from a paged projection scan: only the named columns'
+    /// segments will be read.
+    pub fn scan_paged_columns(table: &PagedTable, columns: &[&str]) -> PlanBuilder {
+        PlanBuilder {
+            plan: LogicalPlan::PagedScan {
+                table: table.clone(),
+                columns: columns.iter().map(|s| (*s).to_owned()).collect(),
                 expand_dictionaries: false,
             },
         }

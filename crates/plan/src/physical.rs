@@ -137,6 +137,28 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
                 *expand_dictionaries,
             )))
         }
+        LogicalPlan::PagedScan {
+            table,
+            columns,
+            expand_dictionaries,
+        } => {
+            let node = tr.node(format!(
+                "PagedScan {} [{}]{}",
+                table.name(),
+                columns.join(", "),
+                if *expand_dictionaries {
+                    " (expanded)"
+                } else {
+                    ""
+                }
+            ));
+            let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+            // Lowering is infallible by signature; a demand-load failure
+            // here is an I/O or corruption fault, not a planning choice.
+            let scan = TableScan::paged(table, &names, *expand_dictionaries)
+                .unwrap_or_else(|e| panic!("paged scan of table {:?} failed: {e}", table.name()));
+            node.wrap(Box::new(scan))
+        }
         LogicalPlan::Filter { input, predicate } => {
             let node = tr.node("Filter");
             let input = lower(input, node.child());

@@ -16,16 +16,30 @@
 //! ```
 //!
 //! Strings and byte blobs are u64-length-prefixed.
+//!
+//! This v1 format is *eager*: [`Database::load`] deserializes every
+//! column of every table. The v2 paged format (crate `tde-pager`) stores
+//! the same per-column payloads at block-aligned offsets behind a footer
+//! directory so columns can be demand-loaded; both formats share the
+//! [`crate::wire`] primitives.
+//!
+//! The reader treats its input as untrusted: truncated files, bad magic,
+//! bad tags and absurd length prefixes all surface as [`io::Error`] —
+//! never a panic or an unbounded allocation (see the corruption-matrix
+//! test below).
 
 use crate::column::{Column, Compression};
 use crate::heap::StringHeap;
 use crate::table::Table;
+use crate::wire::{
+    corrupt, read_bytes, read_i64, read_metadata, read_str, read_u32, read_u64, validate_stream,
+    write_bytes, write_metadata, write_str, MAX_PREALLOC,
+};
 use std::io::{self, Read, Write};
 use std::path::Path;
 use std::sync::Arc;
-use tde_encodings::metadata::Knowledge;
-use tde_encodings::{ColumnMetadata, EncodedStream};
-use tde_types::{DataType, Width};
+use tde_encodings::EncodedStream;
+use tde_types::DataType;
 
 const MAGIC: &[u8; 4] = b"TDE1";
 const VERSION: u32 = 1;
@@ -83,7 +97,8 @@ impl Database {
         Database::read_from(&mut bytes.as_slice())
     }
 
-    /// Deserialize from any reader.
+    /// Deserialize from any reader. The input is untrusted: corruption of
+    /// any kind yields an [`io::Error`].
     pub fn read_from(r: &mut impl Read) -> io::Result<Database> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
@@ -95,15 +110,19 @@ impl Database {
             return Err(corrupt("unsupported version"));
         }
         let ntables = read_u32(r)? as usize;
-        let mut tables = Vec::with_capacity(ntables);
+        // Capacity capped: a lying count fails at EOF, not at allocation.
+        let mut tables = Vec::with_capacity(ntables.min(1024));
         for _ in 0..ntables {
             let name = read_str(r)?;
-            let _rows = read_u64(r)?;
+            let rows = read_u64(r)?;
             let ncols = read_u32(r)? as usize;
-            let mut columns = Vec::with_capacity(ncols);
+            let mut columns = Vec::with_capacity(ncols.min(4096));
             for _ in 0..ncols {
-                columns.push(read_column(r)?);
+                columns.push(read_column(r, rows)?);
             }
+            // `Table::new` asserts equal column lengths; `read_column`
+            // already validated each against the header row count, so the
+            // constructor cannot panic on corrupt input.
             tables.push(Table::new(name, columns));
         }
         Ok(Database { tables })
@@ -134,125 +153,6 @@ impl Write for CountingWriter {
     }
 }
 
-fn corrupt(msg: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("corrupt database file: {msg}"),
-    )
-}
-
-fn write_str(w: &mut impl Write, s: &str) -> io::Result<()> {
-    w.write_all(&(s.len() as u64).to_le_bytes())?;
-    w.write_all(s.as_bytes())
-}
-
-fn write_bytes(w: &mut impl Write, b: &[u8]) -> io::Result<()> {
-    w.write_all(&(b.len() as u64).to_le_bytes())?;
-    w.write_all(b)
-}
-
-fn read_u32(r: &mut impl Read) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn read_i64(r: &mut impl Read) -> io::Result<i64> {
-    Ok(read_u64(r)? as i64)
-}
-
-fn read_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
-    let len = read_u64(r)? as usize;
-    let mut b = vec![0u8; len];
-    r.read_exact(&mut b)?;
-    Ok(b)
-}
-
-fn read_str(r: &mut impl Read) -> io::Result<String> {
-    String::from_utf8(read_bytes(r)?).map_err(|_| corrupt("non-UTF-8 string"))
-}
-
-fn write_knowledge(w: &mut impl Write, k: Knowledge) -> io::Result<()> {
-    w.write_all(&[match k {
-        Knowledge::Unknown => 0,
-        Knowledge::True => 1,
-        Knowledge::False => 2,
-    }])
-}
-
-fn read_knowledge(r: &mut impl Read) -> io::Result<Knowledge> {
-    let mut b = [0u8; 1];
-    r.read_exact(&mut b)?;
-    Ok(match b[0] {
-        0 => Knowledge::Unknown,
-        1 => Knowledge::True,
-        2 => Knowledge::False,
-        _ => return Err(corrupt("bad knowledge byte")),
-    })
-}
-
-fn write_opt_i64(w: &mut impl Write, v: Option<i64>) -> io::Result<()> {
-    match v {
-        None => w.write_all(&[0]),
-        Some(x) => {
-            w.write_all(&[1])?;
-            w.write_all(&x.to_le_bytes())
-        }
-    }
-}
-
-fn read_opt_i64(r: &mut impl Read) -> io::Result<Option<i64>> {
-    let mut b = [0u8; 1];
-    r.read_exact(&mut b)?;
-    Ok(match b[0] {
-        0 => None,
-        _ => Some(read_i64(r)?),
-    })
-}
-
-fn write_metadata(w: &mut impl Write, m: &ColumnMetadata) -> io::Result<()> {
-    write_knowledge(w, m.sorted_asc)?;
-    write_knowledge(w, m.dense)?;
-    write_knowledge(w, m.unique)?;
-    write_knowledge(w, m.has_nulls)?;
-    write_knowledge(w, m.sorted_heap_tokens)?;
-    write_opt_i64(w, m.min)?;
-    write_opt_i64(w, m.max)?;
-    write_opt_i64(w, m.cardinality.map(|c| c as i64))?;
-    w.write_all(&[m.width.bytes() as u8])
-}
-
-fn read_metadata(r: &mut impl Read) -> io::Result<ColumnMetadata> {
-    let sorted_asc = read_knowledge(r)?;
-    let dense = read_knowledge(r)?;
-    let unique = read_knowledge(r)?;
-    let has_nulls = read_knowledge(r)?;
-    let sorted_heap_tokens = read_knowledge(r)?;
-    let min = read_opt_i64(r)?;
-    let max = read_opt_i64(r)?;
-    let cardinality = read_opt_i64(r)?.map(|c| c as u64);
-    let mut wb = [0u8; 1];
-    r.read_exact(&mut wb)?;
-    let width = Width::from_bytes(wb[0] as usize).ok_or_else(|| corrupt("bad width"))?;
-    Ok(ColumnMetadata {
-        sorted_asc,
-        dense,
-        unique,
-        min,
-        max,
-        cardinality,
-        has_nulls,
-        sorted_heap_tokens,
-        width,
-    })
-}
-
 fn write_column(w: &mut impl Write, c: &Column) -> io::Result<()> {
     write_str(w, &c.name)?;
     w.write_all(&[c.dtype.tag(), c.compression.tag()])?;
@@ -274,19 +174,20 @@ fn write_column(w: &mut impl Write, c: &Column) -> io::Result<()> {
     }
 }
 
-fn read_column(r: &mut impl Read) -> io::Result<Column> {
+fn read_column(r: &mut impl Read, expected_rows: u64) -> io::Result<Column> {
     let name = read_str(r)?;
     let mut tags = [0u8; 2];
     r.read_exact(&mut tags)?;
     let dtype = DataType::from_tag(tags[0]).ok_or_else(|| corrupt("bad dtype"))?;
     let metadata = read_metadata(r)?;
     let stream_bytes = read_bytes(r)?;
+    validate_stream(&stream_bytes, expected_rows)?;
     let data = EncodedStream::from_buf(stream_bytes);
     let compression = match tags[1] {
         0 => Compression::None,
         1 => {
             let n = read_u64(r)? as usize;
-            let mut dictionary = Vec::with_capacity(n);
+            let mut dictionary = Vec::with_capacity(n.min(MAX_PREALLOC / 8));
             for _ in 0..n {
                 dictionary.push(read_i64(r)?);
             }
@@ -345,6 +246,22 @@ mod tests {
         db
     }
 
+    /// A second table so multi-table directory arithmetic is exercised.
+    fn two_table_db() -> Database {
+        let mut db = sample_db();
+        let mut seq = ColumnBuilder::new("seq", DataType::Integer, EncodingPolicy::default());
+        let mut tag = ColumnBuilder::new("tag", DataType::Str, EncodingPolicy::default());
+        for i in 0..1200i64 {
+            seq.append_i64(i);
+            tag.append_str(Some(["aa", "bb", "cc", "dd"][i as usize % 4]));
+        }
+        db.add_table(Table::new(
+            "tags",
+            vec![seq.finish().column, tag.finish().column],
+        ));
+        db
+    }
+
     #[test]
     fn roundtrip_through_memory() {
         let db = sample_db();
@@ -384,18 +301,82 @@ mod tests {
         std::fs::remove_file(&path).ok();
     }
 
+    /// `serialized_size` must agree with the writer byte-for-byte across
+    /// every compression shape (plain, dictionary, heap) and multiple
+    /// tables — the v2 directory derives segment extents from the same
+    /// write path, so drift here would corrupt paged offsets.
     #[test]
     fn serialized_size_matches_write() {
-        let db = sample_db();
-        let mut buf = Vec::new();
-        db.write_to(&mut buf).unwrap();
-        assert_eq!(db.serialized_size(), buf.len() as u64);
+        for db in [Database::new(), sample_db(), two_table_db()] {
+            let mut buf = Vec::new();
+            db.write_to(&mut buf).unwrap();
+            assert_eq!(db.serialized_size(), buf.len() as u64);
+        }
     }
 
     #[test]
     fn rejects_garbage() {
         assert!(Database::read_from(&mut &b"NOPE"[..]).is_err());
         assert!(Database::read_from(&mut &b"TDE1\xFF\xFF\xFF\xFF"[..]).is_err());
+    }
+
+    /// Corruption matrix: no prefix truncation, tag flip or absurd length
+    /// prefix may panic, over-allocate or succeed — each must surface as
+    /// a clean `io::Error`.
+    #[test]
+    fn corruption_matrix() {
+        let db = two_table_db();
+        let mut buf = Vec::new();
+        db.write_to(&mut buf).unwrap();
+
+        // Every truncation point fails cleanly (dense near the start where
+        // all the structural fields live, sampled beyond).
+        for cut in (0..buf.len().min(256)).chain((256..buf.len()).step_by(211)) {
+            assert!(
+                Database::read_from(&mut &buf[..cut]).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+
+        // Bad magic / unsupported version.
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(Database::read_from(&mut bad.as_slice()).is_err());
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert!(Database::read_from(&mut bad.as_slice()).is_err());
+
+        // Absurd table count: claims 4 billion tables, carries one byte.
+        let mut bad = buf[..8].to_vec();
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        bad.push(0);
+        assert!(Database::read_from(&mut bad.as_slice()).is_err());
+
+        // Absurd name-length prefix (u64::MAX) right after the counts.
+        let mut bad = buf[..12].to_vec();
+        bad.extend_from_slice(&u64::MAX.to_le_bytes());
+        bad.extend_from_slice(b"x");
+        assert!(Database::read_from(&mut bad.as_slice()).is_err());
+
+        // Flip every byte of the structural prefix one at a time; whatever
+        // the reader makes of it, it must not panic. (Some flips only move
+        // payload bytes and still parse — that is fine; the property under
+        // test is "no panic, no OOM".)
+        for at in 0..buf.len().min(96) {
+            let mut bad = buf.clone();
+            bad[at] ^= 0xFF;
+            let _ = Database::read_from(&mut bad.as_slice());
+        }
+
+        // Mismatched column lengths: patch the table row count so columns
+        // disagree with the directory — must error, not panic in
+        // `Table::new`.
+        let mut bad = buf.clone();
+        // Row count of table "orders" sits after magic(4)+ver(4)+count(4)
+        // +name(8+6).
+        let off = 4 + 4 + 4 + 8 + "orders".len();
+        bad[off..off + 8].copy_from_slice(&1u64.to_le_bytes());
+        assert!(Database::read_from(&mut bad.as_slice()).is_err());
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod convert;
 pub mod file;
 pub mod heap;
 pub mod table;
+pub mod wire;
 
 pub use accelerator::HeapAccelerator;
 pub use builder::{BuiltColumn, ColumnBuilder, EncodingPolicy};

@@ -16,6 +16,11 @@
 //! * **Storage** ([`storage`]): string heaps with offset tokens, the heap
 //!   accelerator, array/heap dictionary compression, and the single-file
 //!   database format.
+//! * **Paged storage** ([`pager`]): the block-aligned v2 file format
+//!   whose directory records per-column segment extents, opened by
+//!   reading only the directory; a sharded second-chance buffer pool
+//!   demand-loads column segments on first touch and reports cache
+//!   telemetry through `explain_analyze`.
 //! * **Execution** ([`exec`]): a block-iterated Volcano engine —
 //!   FlowTable with parallel per-column encoding, DictionaryTable
 //!   invisible joins, IndexTable rank joins with IndexedScan, fetch
@@ -60,12 +65,13 @@
 //! assert_eq!(rows.len(), 2);
 //! ```
 
-pub use tde_core::{design, ExplainAnalyze, Extract, Query};
+pub use tde_core::{design, CacheReport, ExplainAnalyze, Extract, Query};
 
 pub use tde_core::datagen;
 pub use tde_core::encodings;
 pub use tde_core::exec;
 pub use tde_core::obs;
+pub use tde_core::pager;
 pub use tde_core::plan;
 pub use tde_core::storage;
 pub use tde_core::textscan;
