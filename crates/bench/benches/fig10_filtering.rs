@@ -54,9 +54,11 @@ fn sweep(table: &Arc<Table>, rows: u64, reps: usize, report: &mut BenchReport) {
         invisible_joins: false,
         index_tables: false,
         ordered_retrieval: false,
+        kernel_pushdown: false,
     };
     let indexed = OptimizerOptions {
         ordered_retrieval: false,
+        kernel_pushdown: false,
         ..Default::default()
     };
     let ordered = OptimizerOptions::default();

@@ -293,6 +293,18 @@ impl ExplainAnalyze {
     }
 }
 
+impl ExplainAnalyze {
+    /// The kernel telemetry events the scans emitted: one
+    /// [`Event::KernelScan`] per scan with a pushed predicate, carrying
+    /// the kernel kind and the rows it skipped without decoding.
+    pub fn kernel_scans(&self) -> Vec<&Event> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::KernelScan { .. }))
+            .collect()
+    }
+}
+
 impl std::fmt::Display for ExplainAnalyze {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "== physical plan ==")?;

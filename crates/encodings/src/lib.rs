@@ -28,6 +28,7 @@ pub mod dict;
 pub mod dynamic;
 pub mod frame;
 pub mod header;
+pub mod kernel;
 pub mod manipulate;
 pub mod metadata;
 pub mod raw;

@@ -152,7 +152,9 @@ pub fn remap_dict_entries(stream: &mut EncodedStream, new_entries: &[i64]) {
 /// Decompose a run-length stream into its value and count streams
 /// (paper §3.4.1). Cost is proportional to the number of runs.
 pub fn rle_decompose(stream: &EncodedStream) -> (Vec<i64>, Vec<u64>) {
-    let runs = stream.rle_runs().expect("rle_decompose on non-RLE stream");
+    let runs = stream
+        .rle_run_iter()
+        .expect("rle_decompose on non-RLE stream");
     let mut values = Vec::with_capacity(runs.len());
     let mut counts = Vec::with_capacity(runs.len());
     for (v, c) in runs {

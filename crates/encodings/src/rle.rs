@@ -92,9 +92,64 @@ pub fn run_at(buf: &[u8], h: &HeaderView, r: usize) -> (i64, u64) {
 }
 
 /// All runs as (value, count) pairs — the raw material for an IndexTable.
+/// Callers that only iterate should prefer [`run_iter`], which reads one
+/// fixed-size pair per step without materializing the `Vec`.
 pub fn runs(buf: &[u8], h: &HeaderView) -> Vec<(i64, u64)> {
-    (0..run_count(buf, h)).map(|r| run_at(buf, h, r)).collect()
+    run_iter(buf, h).collect()
 }
+
+/// Lazy iterator over the (value, count) run pairs.
+///
+/// One fixed-size pair is read per step, so iterate-only consumers (the
+/// run-skipping predicate kernel, `manipulate`'s RLE decomposition, run
+/// aggregation) stay O(1) in space where [`runs`] is O(runs).
+#[derive(Debug, Clone)]
+pub struct RunIter<'a> {
+    buf: &'a [u8],
+    signed: bool,
+    cw: Width,
+    vw: Width,
+    off: usize,
+}
+
+/// Iterate all runs of the stream from the first.
+pub fn run_iter<'a>(buf: &'a [u8], h: &HeaderView) -> RunIter<'a> {
+    run_iter_from(buf, h, 0)
+}
+
+/// Iterate runs starting at run index `first` (pairs are fixed size, so
+/// positioning is O(1)). `first` past the end yields an empty iterator.
+pub fn run_iter_from<'a>(buf: &'a [u8], h: &HeaderView, first: usize) -> RunIter<'a> {
+    let (cw, vw) = field_widths(buf);
+    RunIter {
+        buf,
+        signed: h.signed,
+        cw,
+        vw,
+        off: h.data_offset + first * pair_bytes(cw, vw),
+    }
+}
+
+impl Iterator for RunIter<'_> {
+    type Item = (i64, u64);
+
+    fn next(&mut self) -> Option<(i64, u64)> {
+        if self.off + pair_bytes(self.cw, self.vw) > self.buf.len() {
+            return None;
+        }
+        let count = header::get_fixed(self.buf, self.off, self.cw, false) as u64;
+        let value = header::get_fixed(self.buf, self.off + self.cw.bytes(), self.vw, self.signed);
+        self.off += pair_bytes(self.cw, self.vw);
+        Some((value, count))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.buf.len().saturating_sub(self.off) / pair_bytes(self.cw, self.vw);
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for RunIter<'_> {}
 
 /// Append one block. The last stored run is extended in place when the
 /// first new values continue it; count-field overflow starts a new pair.
@@ -284,6 +339,30 @@ mod tests {
             Err(EncodingFull::ValueOutOfRange)
         );
         assert_eq!(s.as_bytes(), &snap[..]);
+    }
+
+    #[test]
+    fn run_iter_matches_runs_and_resumes_mid_stream() {
+        let mut data = Vec::new();
+        for v in 0..40i64 {
+            data.extend(std::iter::repeat_n(v - 20, 13 + (v as usize % 5)));
+        }
+        let s = build(&data);
+        let h = s.header();
+        let eager = (0..run_count(s.as_bytes(), &h))
+            .map(|r| run_at(s.as_bytes(), &h, r))
+            .collect::<Vec<_>>();
+        assert_eq!(run_iter(s.as_bytes(), &h).collect::<Vec<_>>(), eager);
+        assert_eq!(run_iter(s.as_bytes(), &h).len(), eager.len());
+        assert_eq!(
+            run_iter_from(s.as_bytes(), &h, 7).collect::<Vec<_>>(),
+            eager[7..].to_vec()
+        );
+        assert_eq!(
+            run_iter_from(s.as_bytes(), &h, eager.len()).next(),
+            None,
+            "positioning past the end yields nothing"
+        );
     }
 
     #[test]

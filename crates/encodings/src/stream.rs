@@ -244,6 +244,16 @@ impl EncodedStream {
         }
         Some(rle::runs(&self.buf, &h))
     }
+
+    /// Lazily iterate the (value, count) runs of a run-length stream —
+    /// the allocation-free counterpart of [`EncodedStream::rle_runs`].
+    pub fn rle_run_iter(&self) -> Option<rle::RunIter<'_>> {
+        let h = self.header();
+        if h.algorithm != Algorithm::RunLength {
+            return None;
+        }
+        Some(rle::run_iter(&self.buf, &h))
+    }
 }
 
 #[cfg(test)]

@@ -53,6 +53,27 @@ impl StreamCursor {
         self.remaining -= take as u64;
         take
     }
+
+    /// Advance past up to `n` values without decoding them — a kernel
+    /// decided the whole block cannot match. Returns the count skipped
+    /// (0 at end of stream). Like [`StreamCursor::next`], `n` must equal
+    /// the stream block size except possibly at the end of the stream.
+    pub fn skip(&mut self, stream: &EncodedStream, n: usize) -> usize {
+        if self.remaining == 0 {
+            return 0;
+        }
+        let take = (self.remaining as usize).min(n);
+        match &mut self.rle {
+            Some(cursor) => {
+                let h = stream.header();
+                let target = cursor.position() + take as u64;
+                cursor.skip_to(stream.as_bytes(), &h, target);
+            }
+            None => self.next_block += 1,
+        }
+        self.remaining -= take as u64;
+        take
+    }
 }
 
 /// Random-range reader state over one stream, used by IndexedScan. Like
@@ -72,7 +93,7 @@ impl RangeReader {
     /// Build a reader (O(runs) setup for RLE streams, O(1) otherwise).
     pub fn new(stream: &EncodedStream) -> RangeReader {
         let rle_index = (stream.algorithm() == Algorithm::RunLength).then(|| {
-            let runs = stream.rle_runs().expect("RLE stream");
+            let runs = stream.rle_run_iter().expect("RLE stream");
             let mut starts = Vec::with_capacity(runs.len());
             let mut values = Vec::with_capacity(runs.len());
             let mut at = 0u64;

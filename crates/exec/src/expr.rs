@@ -33,6 +33,17 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
+    /// The operator with its operands swapped: `a op b == b op.flip() a`.
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+
     fn apply(self, o: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
         matches!(

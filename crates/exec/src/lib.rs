@@ -39,6 +39,8 @@ pub mod join;
 pub mod obs;
 pub mod parallel;
 pub mod project;
+pub mod pushdown;
+pub mod rle_agg;
 pub mod scan;
 pub mod sort;
 pub mod tactical;

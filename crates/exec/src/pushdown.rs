@@ -1,0 +1,161 @@
+//! Compiling pushed-down predicates into compressed-domain value sets.
+//!
+//! The strategic optimizer moves an eligible single-column Filter
+//! predicate into the scan (§4.1.1 generalized to all encodings); the
+//! scan then compiles it here into a [`ValueSet`] whose membership test
+//! on a *raw stored value* is exactly the predicate's truth value under
+//! block-wise evaluation — including the three-valued-logic corners:
+//! comparisons never match the NULL sentinel, `NOT` of a comparison
+//! *does* match it, and comparisons against a NULL literal match
+//! nothing.
+//!
+//! Compilation is shape-only and conservative: `None` means "no exact
+//! integer-domain reading exists" (real arithmetic, string literals,
+//! functions, multi-column comparisons) and the scan keeps the
+//! decode-then-eval path.
+
+use crate::expr::{CmpOp, Expr};
+use tde_encodings::kernel::ValueSet;
+use tde_types::Value;
+
+/// Compile a predicate over one column into the exact set of raw stored
+/// values it accepts, or `None` when the predicate has no integer-domain
+/// value-set reading.
+pub fn compile_value_set(expr: &Expr) -> Option<ValueSet> {
+    match expr {
+        Expr::Cmp(op, a, b) => {
+            let (op, lit) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(_), Expr::Lit(v)) => (*op, v),
+                (Expr::Lit(v), Expr::Col(_)) => (op.flip(), v),
+                _ => return None,
+            };
+            let raw = match lit {
+                // A NULL literal compares false against everything.
+                Value::Null => return Some(ValueSet::empty()),
+                Value::Int(i) => *i,
+                Value::Bool(b) => *b as i64,
+                Value::Date(d) => *d,
+                Value::Timestamp(t) => *t,
+                // Real comparisons promote to f64; string literals
+                // compare through the heap. Neither is an i64 set.
+                Value::Real(_) | Value::Str(_) => return None,
+            };
+            Some(match op {
+                CmpOp::Eq => ValueSet::eq(raw),
+                CmpOp::Ne => ValueSet::ne(raw),
+                CmpOp::Lt => ValueSet::lt(raw),
+                CmpOp::Le => ValueSet::le(raw),
+                CmpOp::Gt => ValueSet::gt(raw),
+                CmpOp::Ge => ValueSet::ge(raw),
+            })
+        }
+        Expr::And(a, b) => Some(compile_value_set(a)?.intersect(&compile_value_set(b)?)),
+        Expr::Or(a, b) => Some(compile_value_set(a)?.union(&compile_value_set(b)?)),
+        Expr::Not(a) => Some(compile_value_set(a)?.complement()),
+        Expr::IsNull(a) => match a.as_ref() {
+            Expr::Col(_) => Some(ValueSet::is_null()),
+            _ => None,
+        },
+        // A bare column is truthy when its raw value is nonzero (the
+        // NULL sentinel is nonzero, so NULL rows are kept).
+        Expr::Col(_) => Some(ValueSet::truthy()),
+        Expr::Lit(v) => {
+            let raw = match v {
+                Value::Null => return Some(ValueSet::full()),
+                Value::Real(r) => r.to_bits() as i64,
+                Value::Str(_) => return None,
+                other => other.as_i64()?,
+            };
+            Some(if raw != 0 {
+                ValueSet::full()
+            } else {
+                ValueSet::empty()
+            })
+        }
+        Expr::Arith(..) | Expr::Func(..) => None,
+    }
+}
+
+/// Whether the predicate's *shape* admits a value-set compilation — the
+/// strategic optimizer's eligibility test. (Whether the target column's
+/// encoding then has a kernel is the scan's tactical decision.)
+pub fn compilable(expr: &Expr) -> bool {
+    compile_value_set(expr).is_some()
+}
+
+/// Compact `v` in place to the rows in the given sorted, disjoint,
+/// half-open local ranges.
+pub fn gather_ranges(v: &mut Vec<i64>, ranges: &[(usize, usize)]) {
+    let mut write = 0usize;
+    for &(lo, hi) in ranges {
+        v.copy_within(lo..hi, write);
+        write += hi - lo;
+    }
+    v.truncate(write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tde_types::sentinel::NULL_I64;
+
+    #[test]
+    fn compiles_cmp_shapes_and_flips_literal_side() {
+        let set = compile_value_set(&Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(10))).unwrap();
+        assert!(set.contains(9) && !set.contains(10) && !set.contains(NULL_I64));
+        // 10 < col  ==  col > 10
+        let set = compile_value_set(&Expr::cmp(CmpOp::Lt, Expr::int(10), Expr::col(0))).unwrap();
+        assert!(set.contains(11) && !set.contains(10));
+    }
+
+    #[test]
+    fn logic_and_null_shapes() {
+        let between = Expr::And(
+            Box::new(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(5))),
+            Box::new(Expr::cmp(CmpOp::Le, Expr::col(0), Expr::int(8))),
+        );
+        assert_eq!(compile_value_set(&between).unwrap().intervals(), &[(5, 8)]);
+        let not_eq = Expr::Not(Box::new(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(5))));
+        assert!(compile_value_set(&not_eq).unwrap().contains(NULL_I64));
+        let is_null = Expr::IsNull(Box::new(Expr::col(0)));
+        assert_eq!(
+            compile_value_set(&is_null).unwrap().intervals(),
+            &[(NULL_I64, NULL_I64)]
+        );
+        // NULL literal comparisons are empty, not errors.
+        let vs_null = Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::Lit(Value::Null));
+        assert!(compile_value_set(&vs_null).unwrap().is_empty());
+    }
+
+    #[test]
+    fn uncompilable_shapes_decline() {
+        use crate::expr::ArithOp;
+        assert!(!compilable(&Expr::cmp(
+            CmpOp::Eq,
+            Expr::col(0),
+            Expr::col(1)
+        )));
+        assert!(!compilable(&Expr::cmp(
+            CmpOp::Gt,
+            Expr::col(0),
+            Expr::Lit(Value::Real(1.5))
+        )));
+        assert!(!compilable(&Expr::cmp(
+            CmpOp::Eq,
+            Expr::col(0),
+            Expr::Lit(Value::Str("x".into()))
+        )));
+        let arith = Expr::Arith(ArithOp::Add, Box::new(Expr::col(0)), Box::new(Expr::int(1)));
+        assert!(!compilable(&Expr::cmp(CmpOp::Gt, arith, Expr::int(5))));
+    }
+
+    #[test]
+    fn gather_compacts_ranges_in_place() {
+        let mut v = vec![10, 11, 12, 13, 14, 15, 16, 17];
+        gather_ranges(&mut v, &[(1, 3), (6, 8)]);
+        assert_eq!(v, vec![11, 12, 16, 17]);
+        let mut v = vec![1, 2, 3];
+        gather_ranges(&mut v, &[]);
+        assert!(v.is_empty());
+    }
+}

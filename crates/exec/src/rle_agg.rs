@@ -1,0 +1,266 @@
+//! Global aggregation over run-length runs without expansion.
+//!
+//! A grand total (no group keys) over a single run-length column never
+//! needs the rows: `COUNT` sums run counts, `SUM` folds `value × count`
+//! per run, `MIN`/`MAX` test one value per run. An optional pushed
+//! predicate is compiled to a [`ValueSet`] and tested once per run too —
+//! the §3.3 compressed-domain evaluation applied to the aggregation
+//! pipeline. Results are bit-for-bit identical to folding the expanded
+//! rows (integer `SUM` wraps, so `value × count` is the same fold mod
+//! 2^64).
+
+use crate::aggregate::AggSpec;
+use crate::block::{Block, Field, Schema};
+use crate::expr::{AggFunc, Expr};
+use crate::handle::ColumnHandle;
+use crate::pushdown::compile_value_set;
+use crate::Operator;
+use tde_encodings::kernel::ValueSet;
+use tde_encodings::{Algorithm, ColumnMetadata};
+use tde_storage::Compression;
+use tde_types::sentinel::NULL_I64;
+use tde_types::DataType;
+
+/// Grand-total aggregation over an RLE column, folding per run.
+pub struct RunAggregate {
+    handle: ColumnHandle,
+    set: Option<ValueSet>,
+    aggs: Vec<AggSpec>,
+    schema: Schema,
+    done: bool,
+}
+
+impl RunAggregate {
+    /// Build when the shape qualifies: a plain (uncompressed,
+    /// non-string, non-real) run-length column, every aggregate over it
+    /// (or `COUNT`), and any pushed predicate compilable to a value
+    /// set. Returns `None` otherwise — the tactical optimizer then
+    /// lowers the ordinary aggregate.
+    pub fn try_new(
+        handle: ColumnHandle,
+        predicate: Option<&Expr>,
+        aggs: &[AggSpec],
+    ) -> Option<RunAggregate> {
+        {
+            let col = handle.col();
+            if col.data.algorithm() != Algorithm::RunLength
+                || !matches!(col.compression, Compression::None)
+                || matches!(col.dtype, DataType::Real | DataType::Str)
+            {
+                return None;
+            }
+        }
+        if !aggs.iter().all(|a| a.func == AggFunc::Count || a.col == 0) {
+            return None;
+        }
+        let set = match predicate {
+            Some(p) => Some(compile_value_set(p)?),
+            None => None,
+        };
+        let input_field = handle.field(false);
+        let fields = aggs
+            .iter()
+            .map(|a| match a.func {
+                AggFunc::Count => Field::scalar(a.name.clone(), DataType::Integer),
+                _ => {
+                    let mut f = input_field.clone();
+                    f.metadata = ColumnMetadata::unknown();
+                    f.name = a.name.clone();
+                    f
+                }
+            })
+            .collect();
+        Some(RunAggregate {
+            handle,
+            set,
+            aggs: aggs.to_vec(),
+            schema: Schema::new(fields),
+            done: false,
+        })
+    }
+}
+
+/// Accumulator mirroring the aggregate operator's integer-domain fold,
+/// applied `count` rows at a time.
+#[derive(Clone, Copy)]
+struct RunAcc {
+    value: i64,
+    count: u64,
+}
+
+fn fold_run(acc: &mut RunAcc, func: AggFunc, value: i64, count: u64) {
+    if func == AggFunc::Count {
+        acc.count += count;
+        return;
+    }
+    if value == NULL_I64 {
+        return;
+    }
+    match func {
+        AggFunc::Sum => {
+            // Folding `value` row-by-row with wrapping adds equals one
+            // wrapping multiply mod 2^64.
+            acc.value = acc.value.wrapping_add(value.wrapping_mul(count as i64));
+        }
+        AggFunc::Min => {
+            acc.value = if acc.count == 0 {
+                value
+            } else {
+                acc.value.min(value)
+            }
+        }
+        AggFunc::Max => {
+            acc.value = if acc.count == 0 {
+                value
+            } else {
+                acc.value.max(value)
+            }
+        }
+        AggFunc::Count => unreachable!(),
+    }
+    acc.count += count;
+}
+
+impl Operator for RunAggregate {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn next_block(&mut self) -> Option<Block> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        let col = self.handle.col();
+        let mut accs = vec![RunAcc { value: 0, count: 0 }; self.aggs.len()];
+        let runs = col.data.rle_run_iter().expect("RunAggregate on non-RLE");
+        for (value, count) in runs {
+            if let Some(set) = &self.set {
+                if !set.contains(value) {
+                    continue;
+                }
+            }
+            for (acc, spec) in accs.iter_mut().zip(&self.aggs) {
+                fold_run(acc, spec.func, value, count);
+            }
+        }
+        // Like the ordinary global aggregate, empty input still yields
+        // one row of empty aggregates (COUNT 0, NULL otherwise).
+        let columns = accs
+            .iter()
+            .zip(&self.aggs)
+            .map(|(acc, spec)| {
+                vec![match spec.func {
+                    AggFunc::Count => acc.count as i64,
+                    _ if acc.count == 0 => NULL_I64,
+                    _ => acc.value,
+                }]
+            })
+            .collect();
+        Some(Block { columns, len: 1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::HashAggregate;
+    use crate::expr::CmpOp;
+    use crate::scan::TableScan;
+    use crate::BoxOp;
+    use std::sync::Arc;
+    use tde_encodings::EncodedStream;
+    use tde_storage::{Column, Table};
+    use tde_types::Width;
+
+    fn rle_table(data: &[i64]) -> Arc<Table> {
+        let mut s = EncodedStream::new_rle(Width::W8, true, Width::W4, Width::W8);
+        for chunk in data.chunks(tde_encodings::BLOCK_SIZE) {
+            s.append_block(chunk).unwrap();
+        }
+        Arc::new(Table::new(
+            "t",
+            vec![Column::scalar("v", DataType::Integer, s)],
+        ))
+    }
+
+    fn specs() -> Vec<AggSpec> {
+        vec![
+            AggSpec::new(AggFunc::Count, 0, "n"),
+            AggSpec::new(AggFunc::Sum, 0, "s"),
+            AggSpec::new(AggFunc::Min, 0, "lo"),
+            AggSpec::new(AggFunc::Max, 0, "hi"),
+        ]
+    }
+
+    fn rows_of(mut op: BoxOp) -> Vec<Vec<i64>> {
+        let mut out = Vec::new();
+        while let Some(b) = op.next_block() {
+            for r in 0..b.len {
+                out.push(b.columns.iter().map(|c| c[r]).collect());
+            }
+        }
+        out
+    }
+
+    fn via_hash(t: &Arc<Table>, predicate: Option<&Expr>) -> Vec<Vec<i64>> {
+        let mut op: BoxOp = Box::new(TableScan::new(Arc::clone(t)));
+        if let Some(p) = predicate {
+            op = Box::new(crate::filter::Filter::new(op, p.clone()));
+        }
+        rows_of(Box::new(HashAggregate::new(op, vec![], specs())))
+    }
+
+    fn via_runs(t: &Arc<Table>, predicate: Option<&Expr>) -> Vec<Vec<i64>> {
+        let handle = ColumnHandle::Shared {
+            table: Arc::clone(t),
+            idx: 0,
+        };
+        let agg = RunAggregate::try_new(handle, predicate, &specs()).expect("eligible");
+        rows_of(Box::new(agg))
+    }
+
+    #[test]
+    fn matches_row_at_a_time_aggregation() {
+        let mut data = Vec::new();
+        for v in 0..200i64 {
+            data.extend(std::iter::repeat_n((v % 9) - 4, 17 + (v as usize % 29)));
+        }
+        data.push(NULL_I64);
+        data.push(NULL_I64);
+        let t = rle_table(&data);
+        assert_eq!(via_runs(&t, None), via_hash(&t, None));
+        let pred = Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(0));
+        assert_eq!(via_runs(&t, Some(&pred)), via_hash(&t, Some(&pred)));
+        // A predicate keeping nothing: COUNT 0, NULL for the rest.
+        let none = Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(1000));
+        assert_eq!(via_runs(&t, Some(&none)), via_hash(&t, Some(&none)));
+    }
+
+    #[test]
+    fn empty_input_still_emits_one_row() {
+        let t = rle_table(&[]);
+        assert_eq!(via_runs(&t, None), via_hash(&t, None));
+    }
+
+    #[test]
+    fn ineligible_shapes_decline() {
+        let t = rle_table(&[1, 1, 2]);
+        let handle = ColumnHandle::Shared {
+            table: Arc::clone(&t),
+            idx: 0,
+        };
+        // Uncompilable predicate.
+        let p = Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::col(0));
+        assert!(RunAggregate::try_new(handle.clone(), Some(&p), &specs()).is_none());
+        // Non-RLE column.
+        let mut raw = EncodedStream::new_raw(Width::W8, true);
+        raw.append_block(&[1, 2, 3]).unwrap();
+        let t2 = Arc::new(Table::new(
+            "r",
+            vec![Column::scalar("v", DataType::Integer, raw)],
+        ));
+        let h2 = ColumnHandle::Shared { table: t2, idx: 0 };
+        assert!(RunAggregate::try_new(h2, None, &specs()).is_none());
+    }
+}

@@ -1,13 +1,20 @@
-//! Table scan: decode stored columns block-at-a-time.
+//! Table scan: decode stored columns block-at-a-time, optionally
+//! answering a pushed-down predicate in the compressed domain first.
 
-use crate::block::{Block, Schema};
+use crate::block::{Block, Repr, Schema};
 use crate::cursor::StreamCursor;
+use crate::expr::{eval, ComputeHeap, Expr};
 use crate::handle::ColumnHandle;
+use crate::pushdown::{compile_value_set, gather_ranges};
 use crate::{Operator, BLOCK_ROWS};
 use std::io;
 use std::sync::Arc;
+use tde_encodings::kernel::{
+    metadata_selection, selection_from_ranges, BlockSelection, PredicateKernel,
+};
 use tde_pager::PagedTable;
 use tde_storage::{Compression, Table};
+use tde_types::DataType;
 
 /// Scans stored columns, emitting one execution block per decompression
 /// block. Compressed columns flow through in their stored representation
@@ -24,6 +31,40 @@ pub struct TableScan {
     cursors: Vec<StreamCursor>,
     expand: bool,
     done: bool,
+    total_rows: u64,
+    rows_done: u64,
+    block_idx: usize,
+    pushed: Option<PushedState>,
+}
+
+/// How a pushed predicate is answered, chosen once at scan build
+/// (the tactical decision the optimizer's strategic rewrite defers).
+enum PushKind {
+    /// A per-encoding compressed-domain kernel over the stored stream.
+    Stream(PredicateKernel),
+    /// Array compression: the predicate evaluated once over the
+    /// dictionary values; packed codes are tested against the result.
+    Codes { keep: Vec<bool> },
+    /// Metadata or the dictionary proves every row matches.
+    AllRows,
+    /// Metadata or the dictionary proves no row matches.
+    NoRows,
+    /// Decode-then-eval per block — semantically the Filter operator
+    /// fused into the scan.
+    Fallback,
+}
+
+struct PushedState {
+    col: usize,
+    expr: Expr,
+    kind: PushKind,
+    kind_name: &'static str,
+    column_name: String,
+    heap: Option<ComputeHeap>,
+    rows_in: u64,
+    rows_out: u64,
+    rows_skipped: u64,
+    reported: bool,
 }
 
 impl TableScan {
@@ -96,12 +137,137 @@ impl TableScan {
             .iter()
             .map(|h| StreamCursor::new(&h.col().data))
             .collect();
+        let total_rows = handles.iter().map(|h| h.col().len()).min().unwrap_or(0);
         TableScan {
             handles,
             schema: Schema::new(fields),
             cursors,
             expand: expand_dictionaries,
             done: false,
+            total_rows,
+            rows_done: 0,
+            block_idx: 0,
+            pushed: None,
+        }
+    }
+
+    /// Apply `predicate` (over the scan's output schema) inside the
+    /// scan. Where the predicate compiles to a value set and the
+    /// column's encoding has a kernel, rows are selected in the
+    /// compressed domain; otherwise the scan decodes and evaluates per
+    /// block, exactly like a Filter above it. `force_fallback` pins the
+    /// decode-then-eval path — the differential oracle's control arm.
+    pub fn with_pushed(mut self, predicate: Expr, force_fallback: bool) -> TableScan {
+        let col = predicate.single_column();
+        let column_name = col
+            .and_then(|c| self.schema.fields.get(c).map(|f| f.name.clone()))
+            .unwrap_or_default();
+        let (kind, kind_name) = if force_fallback {
+            (PushKind::Fallback, "forced-fallback")
+        } else {
+            match col {
+                Some(c) if c < self.handles.len() => self.choose_kind(c, &predicate),
+                _ => (PushKind::Fallback, "fallback"),
+            }
+        };
+        let detail = col.map_or_else(
+            || "multi-column predicate".to_string(),
+            |c| {
+                let stored = self.handles[c].col();
+                format!(
+                    "column '{}' ({}, {})",
+                    column_name,
+                    stored.data.algorithm().name(),
+                    match &stored.compression {
+                        Compression::None => "plain",
+                        Compression::Heap { .. } => "heap",
+                        Compression::Array { .. } => "array",
+                    }
+                )
+            },
+        );
+        tde_obs::emit(|| tde_obs::Event::Decision {
+            point: "kernel-pushdown",
+            choice: kind_name.to_string(),
+            reason: detail,
+        });
+        self.pushed = Some(PushedState {
+            col: col.unwrap_or(0),
+            expr: predicate,
+            kind,
+            kind_name,
+            column_name,
+            heap: Some(ComputeHeap::new()),
+            rows_in: 0,
+            rows_out: 0,
+            rows_skipped: 0,
+            reported: false,
+        });
+        self
+    }
+
+    /// The kernel kind a pushed predicate resolved to, if any — used by
+    /// the physical plan to label the scan node.
+    pub fn pushed_kernel(&self) -> Option<&'static str> {
+        self.pushed.as_ref().map(|p| p.kind_name)
+    }
+
+    /// Tactical kernel choice for predicate column `c`.
+    fn choose_kind(&self, c: usize, predicate: &Expr) -> (PushKind, &'static str) {
+        let field = &self.schema.fields[c];
+        // Token and real comparisons have heap / f64 semantics that the
+        // integer value set cannot express.
+        if matches!(field.repr, Repr::Token(_) | Repr::TokenCell(_))
+            || field.dtype == DataType::Real
+        {
+            return (PushKind::Fallback, "fallback");
+        }
+        let Some(set) = compile_value_set(predicate) else {
+            return (PushKind::Fallback, "fallback");
+        };
+        let stored = self.handles[c].col();
+        match &stored.compression {
+            Compression::Heap { .. } => (PushKind::Fallback, "fallback"),
+            Compression::Array { dictionary, .. } => {
+                let keep: Vec<bool> = dictionary.iter().map(|&v| set.contains(v)).collect();
+                if keep.iter().all(|&k| !k) {
+                    (PushKind::NoRows, "dict-domain")
+                } else if keep.iter().all(|&k| k) {
+                    (PushKind::AllRows, "dict-domain")
+                } else {
+                    (PushKind::Codes { keep }, "dict-domain")
+                }
+            }
+            Compression::None => match metadata_selection(&stored.metadata, &set) {
+                Some(false) => (PushKind::NoRows, "metadata-minmax"),
+                Some(true) => (PushKind::AllRows, "metadata-minmax"),
+                None => match PredicateKernel::build(&stored.data, &set) {
+                    Some(k) => {
+                        let kind = k.kind();
+                        (PushKind::Stream(k), kind)
+                    }
+                    None => (PushKind::Fallback, "fallback"),
+                },
+            },
+        }
+    }
+
+    /// Emit the once-per-scan kernel telemetry (end of stream).
+    fn report_kernel(&mut self) {
+        if let Some(p) = &mut self.pushed {
+            if p.reported {
+                return;
+            }
+            p.reported = true;
+            let (column, kernel) = (p.column_name.clone(), p.kind_name.to_string());
+            let (rows_in, rows_out, rows_skipped) = (p.rows_in, p.rows_out, p.rows_skipped);
+            tde_obs::emit(|| tde_obs::Event::KernelScan {
+                column,
+                kernel,
+                rows_in,
+                rows_out,
+                rows_skipped,
+            });
         }
     }
 }
@@ -115,27 +281,123 @@ impl Operator for TableScan {
         if self.done {
             return None;
         }
-        let mut columns = Vec::with_capacity(self.handles.len());
-        let mut len = usize::MAX;
-        for (slot, h) in self.handles.iter().enumerate() {
-            let col = h.col();
-            let mut out = Vec::with_capacity(BLOCK_ROWS);
-            let n = self.cursors[slot].next(&col.data, BLOCK_ROWS, &mut out);
-            if self.expand {
-                if let Compression::Array { dictionary, .. } = &col.compression {
-                    for v in &mut out {
-                        *v = dictionary[*v as usize];
+        loop {
+            if self.handles.is_empty() || self.rows_done >= self.total_rows {
+                self.done = true;
+                self.report_kernel();
+                return None;
+            }
+            let blen = ((self.total_rows - self.rows_done) as usize).min(BLOCK_ROWS);
+            let block_idx = self.block_idx;
+            self.block_idx += 1;
+            self.rows_done += blen as u64;
+            let pcol = self.pushed.as_ref().map(|p| p.col);
+
+            // Resolve the kernel's selection before decoding anything.
+            // The dict-codes path decodes the predicate column's packed
+            // codes (and only those) to test them; the decoded codes are
+            // reused below so the column is not read twice.
+            let mut pred_data: Option<Vec<i64>> = None;
+            let sel = match &mut self.pushed {
+                None => BlockSelection::All,
+                Some(p) => {
+                    p.rows_in += blen as u64;
+                    match &mut p.kind {
+                        PushKind::Fallback | PushKind::AllRows => BlockSelection::All,
+                        PushKind::NoRows => BlockSelection::Skip,
+                        PushKind::Stream(k) => {
+                            k.eval_block(&self.handles[p.col].col().data, block_idx, blen)
+                        }
+                        PushKind::Codes { keep } => {
+                            let mut codes = Vec::with_capacity(BLOCK_ROWS);
+                            self.cursors[p.col].next(
+                                &self.handles[p.col].col().data,
+                                BLOCK_ROWS,
+                                &mut codes,
+                            );
+                            codes.truncate(blen);
+                            let mut ranges: Vec<(usize, usize)> = Vec::new();
+                            for (i, &code) in codes.iter().enumerate() {
+                                if keep[code as usize] {
+                                    match ranges.last_mut() {
+                                        Some(last) if last.1 == i => last.1 = i + 1,
+                                        _ => ranges.push((i, i + 1)),
+                                    }
+                                }
+                            }
+                            pred_data = Some(codes);
+                            selection_from_ranges(ranges, blen)
+                        }
                     }
                 }
+            };
+
+            if matches!(sel, BlockSelection::Skip) {
+                // Nothing in this block can match: advance every cursor
+                // without decoding (the predicate column's cursor has
+                // already moved if its codes were read).
+                for (slot, h) in self.handles.iter().enumerate() {
+                    if pred_data.is_some() && Some(slot) == pcol {
+                        continue;
+                    }
+                    self.cursors[slot].skip(&h.col().data, BLOCK_ROWS);
+                }
+                if let Some(p) = &mut self.pushed {
+                    p.rows_skipped += blen as u64;
+                }
+                continue;
             }
-            len = len.min(n);
-            columns.push(out);
+
+            let ranges = match &sel {
+                BlockSelection::Ranges(rs) => Some(rs.as_slice()),
+                _ => None,
+            };
+            let mut columns = Vec::with_capacity(self.handles.len());
+            for (slot, h) in self.handles.iter().enumerate() {
+                let col = h.col();
+                let mut out = if Some(slot) == pcol && pred_data.is_some() {
+                    pred_data.take().unwrap()
+                } else {
+                    let mut v = Vec::with_capacity(BLOCK_ROWS);
+                    self.cursors[slot].next(&col.data, BLOCK_ROWS, &mut v);
+                    v.truncate(blen);
+                    v
+                };
+                // Select first, expand after: dictionary expansion runs
+                // only over the surviving rows.
+                if let Some(rs) = ranges {
+                    gather_ranges(&mut out, rs);
+                }
+                if self.expand {
+                    if let Compression::Array { dictionary, .. } = &col.compression {
+                        for v in &mut out {
+                            *v = dictionary[*v as usize];
+                        }
+                    }
+                }
+                columns.push(out);
+            }
+            let len = columns.first().map_or(0, Vec::len);
+            let mut block = Block { columns, len };
+
+            if let Some(p) = &mut self.pushed {
+                if matches!(p.kind, PushKind::Fallback) {
+                    // Decode-then-eval, block-for-block identical to the
+                    // Filter operator.
+                    let mut heap = p.heap.as_mut();
+                    let mask = eval(&p.expr, &self.schema, &block, &mut heap);
+                    let keep: Vec<bool> = mask.data.iter().map(|&b| b != 0).collect();
+                    block.filter(&keep);
+                } else {
+                    p.rows_skipped += (blen - block.len) as u64;
+                }
+                p.rows_out += block.len as u64;
+            }
+            if block.len == 0 {
+                continue;
+            }
+            return Some(block);
         }
-        if len == 0 || len == usize::MAX {
-            self.done = true;
-            return None;
-        }
-        Some(Block { columns, len })
     }
 }
 

@@ -92,6 +92,23 @@ pub enum Event {
         /// Bytes read from disk.
         bytes: u64,
     },
+    /// A scan finished running a pushed-down predicate through a
+    /// compressed-domain kernel (or its decode-then-eval fallback).
+    /// Emitted once per scan at end of stream — never per row.
+    KernelScan {
+        /// Predicate column name.
+        column: String,
+        /// Kernel kind (`"rle-run-skip"`, `"dict-domain"`,
+        /// `"affine-closed-form"`, … or `"fallback"`).
+        kernel: String,
+        /// Rows the scan considered.
+        rows_in: u64,
+        /// Rows that matched the predicate.
+        rows_out: u64,
+        /// Rows eliminated in the compressed domain, without
+        /// per-row decode-then-eval work.
+        rows_skipped: u64,
+    },
     /// A FlowTable finished building one column (§3.3).
     ColumnBuilt {
         /// Destination table name.
@@ -148,6 +165,19 @@ impl std::fmt::Display for Event {
                 write!(
                     f,
                     "[segment-load] {table}.{column}: {segment} ({bytes} bytes)"
+                )
+            }
+            Event::KernelScan {
+                column,
+                kernel,
+                rows_in,
+                rows_out,
+                rows_skipped,
+            } => {
+                write!(
+                    f,
+                    "[kernel-scan] {column}: {kernel}, {rows_in} in, {rows_out} out, \
+                     {rows_skipped} skipped"
                 )
             }
             Event::ColumnBuilt {
@@ -225,6 +255,21 @@ impl Event {
                 json_escape(column),
                 segment,
                 bytes
+            ),
+            Event::KernelScan {
+                column,
+                kernel,
+                rows_in,
+                rows_out,
+                rows_skipped,
+            } => format!(
+                "{{\"kind\":\"kernel_scan\",\"column\":\"{}\",\"kernel\":\"{}\",\
+                 \"rows_in\":{},\"rows_out\":{},\"rows_skipped\":{}}}",
+                json_escape(column),
+                json_escape(kernel),
+                rows_in,
+                rows_out,
+                rows_skipped
             ),
             Event::ColumnBuilt {
                 table,

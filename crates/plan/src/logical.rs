@@ -46,6 +46,10 @@ pub enum LogicalPlan {
         columns: Vec<String>,
         /// Expand array compression inline.
         expand_dictionaries: bool,
+        /// A predicate (over the scan's output schema) pushed into the
+        /// scan by the strategic optimizer; the scan answers it in the
+        /// compressed domain where the column's encoding has a kernel.
+        predicate: Option<Expr>,
     },
     /// Scan named columns of a paged (v2) table: each column resolves
     /// through the buffer pool at lowering time, so only the projected
@@ -57,6 +61,8 @@ pub enum LogicalPlan {
         columns: Vec<String>,
         /// Expand array compression inline.
         expand_dictionaries: bool,
+        /// A pushed-down predicate, as on [`LogicalPlan::Scan`].
+        predicate: Option<Expr>,
     },
     /// Row filter.
     Filter {
@@ -218,32 +224,36 @@ impl LogicalPlan {
                 table,
                 columns,
                 expand_dictionaries,
+                predicate,
             } => {
                 out.push_str(&format!(
-                    "{pad}Scan {} [{}]{}\n",
+                    "{pad}Scan {} [{}]{}{}\n",
                     table.name,
                     columns.join(", "),
                     if *expand_dictionaries {
                         " (expanded)"
                     } else {
                         ""
-                    }
+                    },
+                    if predicate.is_some() { " +pred" } else { "" }
                 ));
             }
             LogicalPlan::PagedScan {
                 table,
                 columns,
                 expand_dictionaries,
+                predicate,
             } => {
                 out.push_str(&format!(
-                    "{pad}PagedScan {} [{}]{}\n",
+                    "{pad}PagedScan {} [{}]{}{}\n",
                     table.name(),
                     columns.join(", "),
                     if *expand_dictionaries {
                         " (expanded)"
                     } else {
                         ""
-                    }
+                    },
+                    if predicate.is_some() { " +pred" } else { "" }
                 ));
             }
             LogicalPlan::Filter { input, .. } => {
@@ -330,6 +340,7 @@ impl PlanBuilder {
                 table: table.clone(),
                 columns,
                 expand_dictionaries: false,
+                predicate: None,
             },
         }
     }
@@ -347,6 +358,7 @@ impl PlanBuilder {
                 table: table.clone(),
                 columns,
                 expand_dictionaries: false,
+                predicate: None,
             },
         }
     }
@@ -359,6 +371,7 @@ impl PlanBuilder {
                 table: table.clone(),
                 columns: columns.iter().map(|s| (*s).to_owned()).collect(),
                 expand_dictionaries: false,
+                predicate: None,
             },
         }
     }
@@ -370,6 +383,7 @@ impl PlanBuilder {
                 table: table.clone(),
                 columns: columns.iter().map(|s| (*s).to_owned()).collect(),
                 expand_dictionaries: false,
+                predicate: None,
             },
         }
     }

@@ -12,11 +12,13 @@ use tde_exec::aggregate::{AggSpec, HashAggregate, OrderedAggregate};
 use tde_exec::dictionary_table::dictionary_table;
 use tde_exec::filter::Filter;
 use tde_exec::flow_table::{flow_table, FlowTableOptions};
+use tde_exec::handle::ColumnHandle;
 use tde_exec::index_table::index_table;
 use tde_exec::indexed_scan::IndexedScan;
 use tde_exec::join::{Join, JoinKind};
 use tde_exec::obs::Instrumented;
 use tde_exec::project::Project;
+use tde_exec::rle_agg::RunAggregate;
 use tde_exec::scan::TableScan;
 use tde_exec::sort::{Sort, SortOrder};
 use tde_exec::{BoxOp, Expr, Field, Operator};
@@ -119,8 +121,9 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
             table,
             columns,
             expand_dictionaries,
+            predicate,
         } => {
-            let node = tr.node(format!(
+            let label = format!(
                 "Scan {} [{}]{}",
                 table.name,
                 columns.join(", "),
@@ -129,20 +132,25 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
                 } else {
                     ""
                 }
-            ));
+            );
+            let node = tr.node(label.clone());
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
-            node.wrap(Box::new(TableScan::project(
-                table.clone(),
-                &names,
-                *expand_dictionaries,
-            )))
+            let mut scan = TableScan::project(table.clone(), &names, *expand_dictionaries);
+            if let Some(pred) = predicate {
+                scan = scan.with_pushed(pred.clone(), false);
+                if let Some(kernel) = scan.pushed_kernel() {
+                    node.relabel(format!("{label} where [kernel={kernel}]"));
+                }
+            }
+            node.wrap(Box::new(scan))
         }
         LogicalPlan::PagedScan {
             table,
             columns,
             expand_dictionaries,
+            predicate,
         } => {
-            let node = tr.node(format!(
+            let label = format!(
                 "PagedScan {} [{}]{}",
                 table.name(),
                 columns.join(", "),
@@ -151,12 +159,19 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
                 } else {
                     ""
                 }
-            ));
+            );
+            let node = tr.node(label.clone());
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
             // Lowering is infallible by signature; a demand-load failure
             // here is an I/O or corruption fault, not a planning choice.
-            let scan = TableScan::paged(table, &names, *expand_dictionaries)
+            let mut scan = TableScan::paged(table, &names, *expand_dictionaries)
                 .unwrap_or_else(|e| panic!("paged scan of table {:?} failed: {e}", table.name()));
+            if let Some(pred) = predicate {
+                scan = scan.with_pushed(pred.clone(), false);
+                if let Some(kernel) = scan.pushed_kernel() {
+                    node.relabel(format!("{label} where [kernel={kernel}]"));
+                }
+            }
             node.wrap(Box::new(scan))
         }
         LogicalPlan::Filter { input, predicate } => {
@@ -203,6 +218,11 @@ fn lower_aggregate(
     aggs: &[AggSpec],
     tr: Tracer<'_>,
 ) -> BoxOp {
+    if group_by.is_empty() {
+        if let Some(op) = lower_run_aggregate(input_plan, aggs, tr) {
+            return op;
+        }
+    }
     let node = tr.node("Aggregate");
     let input = lower(input_plan, node.child());
     let ordered = group_by.len() == 1 && {
@@ -227,6 +247,52 @@ fn lower_aggregate(
         ));
         node.wrap(Box::new(agg))
     }
+}
+
+/// Tactical choice for a grand total over a single run-length column:
+/// fold per run instead of expanding rows (§3.3 applied to aggregation).
+/// Declines (returning `None`) unless the scan shape and the column's
+/// encoding qualify — see [`RunAggregate::try_new`].
+fn lower_run_aggregate(
+    input_plan: &LogicalPlan,
+    aggs: &[AggSpec],
+    tr: Tracer<'_>,
+) -> Option<BoxOp> {
+    let (handle, predicate) = match input_plan {
+        LogicalPlan::Scan {
+            table,
+            columns,
+            expand_dictionaries: false,
+            predicate,
+        } if columns.len() == 1 => {
+            let idx = table.column_index(&columns[0])?;
+            (
+                ColumnHandle::Shared {
+                    table: table.clone(),
+                    idx,
+                },
+                predicate.as_ref(),
+            )
+        }
+        LogicalPlan::PagedScan {
+            table,
+            columns,
+            expand_dictionaries: false,
+            predicate,
+        } if columns.len() == 1 => {
+            let col = table.column(&columns[0]).ok()?;
+            (ColumnHandle::Owned(col), predicate.as_ref())
+        }
+        _ => return None,
+    };
+    let agg = RunAggregate::try_new(handle, predicate, aggs)?;
+    tde_obs::emit(|| tde_obs::Event::Decision {
+        point: "aggregate",
+        choice: "rle-run-aggregate".to_string(),
+        reason: "grand total over a run-length column folds per run".to_string(),
+    });
+    let node = tr.node("RunAggregate");
+    Some(node.wrap(Box::new(agg)))
 }
 
 fn apply_inner_ops(mut op: BoxOp, inner: &InnerOps, keep_cols: &[&str]) -> BoxOp {
@@ -471,6 +537,7 @@ mod tests {
                 invisible_joins: false,
                 index_tables: false,
                 ordered_retrieval: false,
+                kernel_pushdown: false,
             },
         );
         // Plan 2: indexed scan, hash aggregation.
@@ -478,6 +545,7 @@ mod tests {
             query(&t),
             OptimizerOptions {
                 ordered_retrieval: false,
+                kernel_pushdown: false,
                 ..Default::default()
             },
         );

@@ -38,6 +38,12 @@ pub struct OptimizerOptions {
     /// Sort qualified index rows by value when the query groups by that
     /// value (ordered retrieval).
     pub ordered_retrieval: bool,
+    /// Fold compilable single-column filter predicates into the scan so
+    /// the per-encoding kernels (§3.1) can answer them in the compressed
+    /// domain — run skipping, dictionary-domain evaluation, closed-form
+    /// affine ranges, min/max block elision. Applies after the invisible
+    /// join and index-table rules decline.
+    pub kernel_pushdown: bool,
 }
 
 impl Default for OptimizerOptions {
@@ -46,6 +52,7 @@ impl Default for OptimizerOptions {
             invisible_joins: true,
             index_tables: true,
             ordered_retrieval: true,
+            kernel_pushdown: true,
         }
     }
 }
@@ -96,15 +103,16 @@ fn rewrite_filter_pushdown(plan: LogicalPlan, opts: OptimizerOptions) -> Logical
             table,
             columns,
             expand_dictionaries,
+            ..
         } => (table.clone(), columns.clone(), *expand_dictionaries),
-        _ => return LogicalPlan::Filter { input, predicate },
+        _ => return rewrite_kernel_pushdown(input, predicate, opts),
     };
     let Some(col_idx) = predicate.single_column() else {
-        return LogicalPlan::Filter { input, predicate };
+        return rewrite_kernel_pushdown(input, predicate, opts);
     };
     let table_col = match table.column_index(&columns[col_idx]) {
         Some(i) => i,
-        None => return LogicalPlan::Filter { input, predicate },
+        None => return rewrite_kernel_pushdown(input, predicate, opts),
     };
     let column = &table.columns[table_col];
 
@@ -167,7 +175,57 @@ fn rewrite_filter_pushdown(plan: LogicalPlan, opts: OptimizerOptions) -> Logical
         return reorder_to(node, &columns.clone());
     }
 
-    LogicalPlan::Filter { input, predicate }
+    rewrite_kernel_pushdown(input, predicate, opts)
+}
+
+/// Kernel pushdown (§3.1): when the dictionary and index-table rules
+/// decline, a single-column predicate that compiles to a value set is
+/// folded into the scan itself, so the per-encoding kernels can answer
+/// it without decompression. Works for both eager and paged scans; a
+/// predicate already pushed (by a stacked filter) composes with `AND`.
+fn rewrite_kernel_pushdown(
+    input: Box<LogicalPlan>,
+    predicate: Expr,
+    opts: OptimizerOptions,
+) -> LogicalPlan {
+    if !opts.kernel_pushdown
+        || predicate.single_column().is_none()
+        || !tde_exec::pushdown::compilable(&predicate)
+    {
+        return LogicalPlan::Filter { input, predicate };
+    }
+    let compose = |prior: Option<Expr>| match prior {
+        Some(p) => Expr::And(Box::new(p), Box::new(predicate.clone())),
+        None => predicate.clone(),
+    };
+    match *input {
+        LogicalPlan::Scan {
+            table,
+            columns,
+            expand_dictionaries,
+            predicate: prior,
+        } => LogicalPlan::Scan {
+            table,
+            columns,
+            expand_dictionaries,
+            predicate: Some(compose(prior)),
+        },
+        LogicalPlan::PagedScan {
+            table,
+            columns,
+            expand_dictionaries,
+            predicate: prior,
+        } => LogicalPlan::PagedScan {
+            table,
+            columns,
+            expand_dictionaries,
+            predicate: Some(compose(prior)),
+        },
+        other => LogicalPlan::Filter {
+            input: Box::new(other),
+            predicate,
+        },
+    }
 }
 
 /// Wrap `plan` with a projection producing `wanted` column order.
@@ -351,6 +409,7 @@ mod tests {
             plan,
             OptimizerOptions {
                 ordered_retrieval: false,
+                kernel_pushdown: false,
                 ..Default::default()
             },
         );
@@ -369,6 +428,7 @@ mod tests {
                 invisible_joins: false,
                 index_tables: false,
                 ordered_retrieval: false,
+                kernel_pushdown: false,
             },
         );
         assert!(matches!(opt, LogicalPlan::Filter { .. }));

@@ -82,9 +82,11 @@ fn main() {
         invisible_joins: false,
         index_tables: false,
         ordered_retrieval: false,
+        kernel_pushdown: false,
     };
     let indexed = OptimizerOptions {
         ordered_retrieval: false,
+        kernel_pushdown: false,
         ..Default::default()
     };
     let ordered = OptimizerOptions::default();

@@ -97,6 +97,7 @@ proptest! {
             invisible_joins: false,
             index_tables: false,
             ordered_retrieval: false,
+            kernel_pushdown: false,
         });
         prop_assert_eq!(clever, naive);
     }

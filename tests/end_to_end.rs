@@ -225,6 +225,7 @@ fn optimizer_plans_agree_on_flights() {
         invisible_joins: false,
         index_tables: false,
         ordered_retrieval: false,
+        kernel_pushdown: false,
     });
     assert_eq!(clever, naive);
     assert!(matches!(clever[0][0], Value::Int(n) if n > 0));
@@ -254,6 +255,7 @@ fn string_predicate_pushdown_agrees() {
         invisible_joins: false,
         index_tables: false,
         ordered_retrieval: false,
+        kernel_pushdown: false,
     });
     assert_eq!(clever, naive);
     assert!(clever > 0);

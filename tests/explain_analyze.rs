@@ -129,3 +129,151 @@ fn untraced_execution_records_nothing() {
     assert_eq!(rows.len(), 50 * 10); // 50 days x 10 rows each
     assert!(!tde::obs::is_enabled());
 }
+
+/// A dictionary-encoded integer column (no array compression, so the
+/// invisible-join rule declines) with a selective predicate: the
+/// kernel pushdown must pick the dictionary-domain kernel, skip rows
+/// without decoding them, and say so in the telemetry.
+#[test]
+fn kernel_scan_telemetry_on_dict_eligible_predicate() {
+    let vals: Vec<i64> = (0..20_000).map(|i| (i * 7) % 16).collect();
+    let mut s = EncodedStream::new_dict(Width::W8, true, 4);
+    for c in vals.chunks(BLOCK_SIZE) {
+        s.append_block(c).unwrap();
+    }
+    let mut rid = ColumnBuilder::new("kd_rid", DataType::Integer, Default::default());
+    for i in 0..20_000i64 {
+        rid.append_i64(i);
+    }
+    let t = Arc::new(Table::new(
+        "kd_t",
+        vec![
+            Column::scalar("kd_v", DataType::Integer, s),
+            rid.finish().column,
+        ],
+    ));
+    let report = Query::scan(&t)
+        .filter(Expr::cmp(CmpOp::Eq, Expr::col(0), Expr::int(3)))
+        .explain_analyze();
+    assert_eq!(
+        report.row_count,
+        vals.iter().filter(|&&v| v == 3).count() as u64
+    );
+    // The scan decided for the dictionary-domain kernel…
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            Event::Decision { point, choice, reason }
+                if *point == "kernel-pushdown"
+                    && choice == "dict-domain"
+                    && reason.contains("kd_v")
+        )),
+        "no dict-domain decision in {:?}",
+        report.events
+    );
+    // …and the end-of-scan telemetry shows rows skipped in the
+    // compressed domain.
+    let hit = report.kernel_scans().into_iter().any(|e| {
+        matches!(
+            e,
+            Event::KernelScan { column, kernel, rows_in, rows_skipped, .. }
+                if column == "kd_v"
+                    && kernel == "dict-domain"
+                    && *rows_in == 20_000
+                    && *rows_skipped > 0
+        )
+    });
+    assert!(hit, "no kernel-scan telemetry in {:?}", report.events);
+    // The physical plan labels the scan with the kernel it used.
+    assert!(
+        report.operator_tree.contains("where [kernel=dict-domain]"),
+        "{}",
+        report.operator_tree
+    );
+}
+
+/// A frame-of-reference column whose envelope only partially overlaps
+/// the predicate: no kernel can decide it, so the scan must record the
+/// fallback decision and report zero skipped rows.
+#[test]
+fn kernel_scan_telemetry_on_ineligible_predicate_falls_back() {
+    let vals: Vec<i64> = (0..8_000).map(|i| i % 64).collect();
+    let mut s = EncodedStream::new_frame(Width::W8, true, 0, 6);
+    for c in vals.chunks(BLOCK_SIZE) {
+        s.append_block(c).unwrap();
+    }
+    let t = Arc::new(Table::new(
+        "kf_t",
+        vec![Column::scalar("kf_v", DataType::Integer, s)],
+    ));
+    let report = Query::scan(&t)
+        .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(30)))
+        .explain_analyze();
+    assert_eq!(
+        report.row_count,
+        vals.iter().filter(|&&v| v > 30).count() as u64
+    );
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            Event::Decision { point, choice, reason }
+                if *point == "kernel-pushdown"
+                    && choice == "fallback"
+                    && reason.contains("kf_v")
+        )),
+        "no fallback decision in {:?}",
+        report.events
+    );
+    let fell_back = report.kernel_scans().into_iter().any(|e| {
+        matches!(
+            e,
+            Event::KernelScan { column, kernel, rows_skipped, .. }
+                if column == "kf_v" && kernel == "fallback" && *rows_skipped == 0
+        )
+    });
+    assert!(fell_back, "no fallback kernel-scan in {:?}", report.events);
+}
+
+/// A grand total over a run-length column routes through RunAggregate
+/// (per-run folding) and records the tactical decision.
+#[test]
+fn run_aggregate_decision_is_recorded() {
+    let mut s = EncodedStream::new_rle(Width::W8, true, Width::W4, Width::W8);
+    let data: Vec<i64> = (0..30_000).map(|i| i / 3_000).collect();
+    for c in data.chunks(BLOCK_SIZE) {
+        s.append_block(c).unwrap();
+    }
+    let t = Arc::new(Table::new(
+        "kr_t",
+        vec![Column::scalar("kr_v", DataType::Integer, s)],
+    ));
+    let report = Query::scan_columns(&t, &["kr_v"])
+        .filter(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(5)))
+        .aggregate(
+            vec![],
+            vec![(AggFunc::Count, 0, "n"), (AggFunc::Sum, 0, "s")],
+        )
+        .with_optimizer(tde::plan::strategic::OptimizerOptions {
+            invisible_joins: false,
+            index_tables: false,
+            ordered_retrieval: false,
+            kernel_pushdown: true,
+        })
+        .explain_analyze();
+    assert_eq!(report.row_count, 1);
+    assert_eq!(report.blocks[0].columns[0][0], 15_000); // COUNT(v >= 5)
+    assert!(
+        report.events.iter().any(|e| matches!(
+            e,
+            Event::Decision { point, choice, .. }
+                if *point == "aggregate" && choice == "rle-run-aggregate"
+        )),
+        "no run-aggregate decision in {:?}",
+        report.events
+    );
+    assert!(
+        report.operator_tree.contains("RunAggregate"),
+        "{}",
+        report.operator_tree
+    );
+}
