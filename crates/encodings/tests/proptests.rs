@@ -3,6 +3,11 @@
 //! round-trip *any* data, and the header manipulations must never change
 //! decoded values.
 
+include!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/common/proptest_env.rs"
+));
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 use tde_encodings::dynamic::encode_all;
@@ -12,7 +17,7 @@ use tde_encodings::{bitpack, Algorithm, EncodedStream, BLOCK_SIZE};
 use tde_types::Width;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(64)))]
 
     #[test]
     fn bitpack_roundtrip(bits in 0u8..=64, seed in any::<u64>(), count in 1usize..300) {

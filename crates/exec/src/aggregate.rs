@@ -36,16 +36,22 @@ impl AggSpec {
     }
 }
 
-#[derive(Clone, Copy, PartialEq)]
+#[derive(Clone, PartialEq)]
 enum Domain {
     Int,
     Real,
     Token,
+    /// Dictionary-coded input: stored values are positions into the
+    /// dictionary, not scalars — they must be translated before folding
+    /// (a sum of codes is meaningless, and extrema of codes follow
+    /// dictionary order, not value order).
+    Dict(std::sync::Arc<Vec<i64>>),
 }
 
 fn domain_of(f: &Field) -> Domain {
     match (&f.repr, f.dtype) {
         (Repr::Token(_) | Repr::TokenCell(_), _) => Domain::Token,
+        (Repr::DictIndex(dict), _) => Domain::Dict(dict.clone()),
         (_, DataType::Real) => Domain::Real,
         _ => Domain::Int,
     }
@@ -63,14 +69,20 @@ fn init_acc() -> Acc {
 }
 
 #[inline]
-fn fold(acc: &mut Acc, func: AggFunc, domain: Domain, raw: i64) {
+fn fold(acc: &mut Acc, func: AggFunc, domain: &Domain, raw: i64) {
     // NULL inputs are skipped (except COUNT counts rows).
     if func == AggFunc::Count {
         acc.count += 1;
         return;
     }
+    // Translate dictionary codes to the scalars they stand for; joins can
+    // inject the scalar sentinel directly, so it passes through.
+    let raw = match domain {
+        Domain::Dict(dict) if raw != NULL_I64 => dict[raw as usize],
+        _ => raw,
+    };
     let is_null = match domain {
-        Domain::Int => raw == NULL_I64,
+        Domain::Int | Domain::Dict(_) => raw == NULL_I64,
         Domain::Real => is_null_real(f64::from_bits(raw as u64)),
         Domain::Token => raw as u64 == NULL_TOKEN,
     };
@@ -80,9 +92,6 @@ fn fold(acc: &mut Acc, func: AggFunc, domain: Domain, raw: i64) {
     if acc.count == 0 {
         acc.value = raw;
         acc.count = 1;
-        if func == AggFunc::Sum && domain == Domain::Real {
-            acc.value = raw; // already bits
-        }
         return;
     }
     acc.count += 1;
@@ -110,13 +119,13 @@ fn fold(acc: &mut Acc, func: AggFunc, domain: Domain, raw: i64) {
     }
 }
 
-fn final_value(acc: &Acc, func: AggFunc, domain: Domain) -> i64 {
+fn final_value(acc: &Acc, func: AggFunc, domain: &Domain) -> i64 {
     match func {
         AggFunc::Count => acc.count as i64,
         _ if acc.count == 0 => match domain {
             Domain::Real => null_real().to_bits() as i64,
             Domain::Token => NULL_TOKEN as i64,
-            Domain::Int => NULL_I64,
+            Domain::Int | Domain::Dict(_) => NULL_I64,
         },
         _ => acc.value,
     }
@@ -132,6 +141,11 @@ fn output_schema(input: &Schema, group_cols: &[usize], aggs: &[AggSpec]) -> Sche
             AggFunc::Count => Field::scalar(a.name.clone(), DataType::Integer),
             _ => {
                 let mut f = input.fields[a.col].clone();
+                // Folding translated dictionary codes to scalars, so the
+                // aggregate value is no longer a dictionary position.
+                if matches!(f.repr, Repr::DictIndex(_)) {
+                    f.repr = Repr::Scalar;
+                }
                 f.metadata = tde_encodings::ColumnMetadata::unknown();
                 f
             }
@@ -214,7 +228,7 @@ impl HashAggregate {
                     fold(
                         &mut accs[g][a],
                         spec.func,
-                        self.domains[a],
+                        &self.domains[a],
                         block.columns[spec.col][r],
                     );
                 }
@@ -238,7 +252,7 @@ impl HashAggregate {
                 cols[self.group_cols.len() + a].push(final_value(
                     &accs[g][a],
                     spec.func,
-                    self.domains[a],
+                    &self.domains[a],
                 ));
             }
         }
@@ -309,7 +323,7 @@ impl OrderedAggregate {
                 self.pending[self.group_cols.len() + a].push(final_value(
                     &self.current[a],
                     spec.func,
-                    self.domains[a],
+                    &self.domains[a],
                 ));
             }
         }
@@ -358,7 +372,7 @@ impl Operator for OrderedAggregate {
                     fold(
                         &mut self.current[a],
                         spec.func,
-                        self.domains[a],
+                        &self.domains[a],
                         block.columns[spec.col][r],
                     );
                 }

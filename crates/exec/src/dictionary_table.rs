@@ -29,7 +29,19 @@ pub fn dictionary_table(column: &Column, name: &str) -> (Arc<Table>, Schema) {
     match &column.compression {
         Compression::Heap { heap, sorted } => {
             let mut b = ColumnBuilder::new("token", DataType::Str, EncodingPolicy::default());
-            let tokens: Vec<i64> = heap.iter().map(|(t, _)| t as i64).collect();
+            // The column's token domain includes the reserved NULL token
+            // whenever NULLs may occur. The inner side must see it: a
+            // pushed-down predicate evaluates NULL-accepting shapes (NOT
+            // of a comparison, IS NULL) to true on it, and dropping the
+            // token here would silently drop every NULL row from the
+            // expansion join regardless of the predicate.
+            let has_nulls = column.metadata.has_nulls != Knowledge::False;
+            let mut tokens: Vec<i64> =
+                Vec::with_capacity(heap.len() as usize + usize::from(has_nulls));
+            if has_nulls {
+                tokens.push(tde_types::sentinel::NULL_TOKEN as i64);
+            }
+            tokens.extend(heap.iter().map(|(t, _)| t as i64));
             b.append_raw(&tokens);
             let mut built = b.finish();
             built.column.dtype = DataType::Str;
@@ -176,6 +188,21 @@ mod tests {
             .filter(|i| (100..200).contains(&(i % 365)))
             .count();
         assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn string_dictionary_includes_null_token_when_nulls_present() {
+        // A NULL-accepting predicate pushed to the inner side must be able
+        // to keep NULL rows: the token domain therefore includes the
+        // reserved NULL token exactly when the column may hold NULLs.
+        // Found by tde-fuzz seed 8 (NOT(s >= lit) dropped all NULL rows).
+        let mut s = ColumnBuilder::new("s", DataType::Str, EncodingPolicy::default());
+        s.append_str(Some("x"));
+        s.append_str(None);
+        let col = s.finish().column;
+        let (dt, _) = dictionary_table(&col, "s_dict");
+        assert_eq!(dt.row_count(), 2);
+        assert_eq!(dt.columns[0].data.decode_all()[0], 0);
     }
 
     #[test]

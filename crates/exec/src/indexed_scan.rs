@@ -105,8 +105,12 @@ impl IndexedScan {
             .collect();
         // Values arrive grouped by index row; if the index was sorted by
         // value the carried value column is sorted — assert it so the
-        // downstream aggregate can go ordered (§4.2.2).
+        // downstream aggregate can go ordered (§4.2.2). Expansion repeats
+        // each index row `count` times, so per-row claims (unique, dense)
+        // do not survive even though ordering does.
         for (k, &c) in carried_cols.iter().enumerate() {
+            fields[k].metadata.unique = Knowledge::Unknown;
+            fields[k].metadata.dense = Knowledge::Unknown;
             if ischema.fields[c].metadata.sorted_asc.is_true() {
                 fields[k].metadata.sorted_asc = Knowledge::True;
             }

@@ -31,6 +31,13 @@ impl Sort {
     /// first.
     pub fn new(input: BoxOp, keys: Vec<(usize, SortOrder)>) -> Sort {
         let mut schema = input.schema().clone();
+        // Sorting permutes rows, so order-dependent claims inherited from
+        // the input (sorted_asc, dense) no longer describe the output —
+        // value-set claims (unique, min/max, nulls) survive untouched.
+        for f in &mut schema.fields {
+            f.metadata.sorted_asc = tde_encodings::metadata::Knowledge::Unknown;
+            f.metadata.dense = tde_encodings::metadata::Knowledge::Unknown;
+        }
         // Sorting by the leading key makes the output sorted on it — the
         // downstream ordered aggregate relies on this metadata.
         if let Some(&(first, SortOrder::Asc)) = keys.first() {
@@ -178,5 +185,19 @@ mod tests {
     fn sort_asserts_sorted_metadata() {
         let s = Sort::new(Box::new(TableScan::new(table())), vec![(0, SortOrder::Asc)]);
         assert!(s.schema().fields[0].metadata.sorted_asc.is_true());
+    }
+
+    #[test]
+    fn sort_invalidates_other_columns_order_claims() {
+        // Column b scans sorted ascending (0..5000) and carries the claim;
+        // sorting by a permutes it, so the stale claim must not survive —
+        // found by tde-fuzz seed 1 (ordered retrieval over a stale claim).
+        let scan = TableScan::new(table());
+        assert!(scan.schema().fields[1].metadata.sorted_asc.is_true());
+        let s = Sort::new(Box::new(scan), vec![(0, SortOrder::Asc)]);
+        assert!(!s.schema().fields[1].metadata.sorted_asc.is_true());
+        let blocks = crate::drain(Box::new(s));
+        let b: Vec<i64> = blocks.iter().flat_map(|b| b.columns[1].clone()).collect();
+        assert!(b.windows(2).any(|w| w[1] < w[0]));
     }
 }

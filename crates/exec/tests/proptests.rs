@@ -3,6 +3,11 @@
 //! decompression-join operators must be exact row-level equivalents of
 //! their scan-based counterparts.
 
+include!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/common/proptest_env.rs"
+));
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -65,7 +70,7 @@ fn rows_of(op: BoxOp) -> Vec<Vec<i64>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(24)))]
 
     #[test]
     fn scan_emits_exact_values(data in vec(any::<i64>(), 1..3000)) {

@@ -1,0 +1,323 @@
+//! Failure minimization.
+//!
+//! A raw failing case has hundreds of rows, several columns and a stack
+//! of plan operators; the bug usually needs a handful of rows and one
+//! operator. The reducer runs a fixpoint of structural passes — delta
+//! debugging over row chunks, plan-operator removal, column removal with
+//! index remapping, predicate simplification — accepting a candidate
+//! only when it still validates *and* still trips the same oracle as the
+//! original failure (so the repro never silently drifts onto a different
+//! bug).
+
+use crate::oracle::{run_case_catching, CaseReport};
+use crate::spec::{CaseSpec, PlanOpSpec, PredSpec};
+
+/// What the shrinker did.
+#[derive(Debug)]
+pub struct ShrinkOutcome {
+    /// The minimized case (== the input if nothing could be removed).
+    pub spec: CaseSpec,
+    /// The report of the minimized case.
+    pub report: CaseReport,
+    /// Oracle evaluations spent.
+    pub evals: usize,
+}
+
+/// Minimize `spec`, which must already fail. `budget` caps the number of
+/// oracle evaluations (each evaluation runs every oracle family).
+pub fn shrink(spec: &CaseSpec, budget: usize) -> ShrinkOutcome {
+    let original = run_case_catching(spec);
+    let target = match original.discrepancies.first() {
+        Some(d) => d.oracle,
+        None => {
+            return ShrinkOutcome {
+                spec: spec.clone(),
+                report: original,
+                evals: 1,
+            }
+        }
+    };
+    let mut ctx = Ctx {
+        target,
+        evals: 1,
+        budget,
+    };
+    let mut best = spec.clone();
+    loop {
+        let before = ctx.evals;
+        let mut changed = false;
+        changed |= shrink_rows(&mut best, &mut ctx);
+        changed |= shrink_plan(&mut best, &mut ctx);
+        changed |= shrink_columns(&mut best, &mut ctx);
+        changed |= shrink_preds(&mut best, &mut ctx);
+        changed |= shrink_tlp(&mut best, &mut ctx);
+        if !changed || ctx.evals >= ctx.budget || ctx.evals == before {
+            break;
+        }
+    }
+    let report = run_case_catching(&best);
+    ctx.evals += 1;
+    ShrinkOutcome {
+        spec: best,
+        report,
+        evals: ctx.evals,
+    }
+}
+
+struct Ctx {
+    target: &'static str,
+    evals: usize,
+    budget: usize,
+}
+
+impl Ctx {
+    /// Whether `candidate` still fails with the target oracle.
+    fn still_fails(&mut self, candidate: &CaseSpec) -> bool {
+        if self.evals >= self.budget || candidate.validate().is_err() {
+            return false;
+        }
+        self.evals += 1;
+        run_case_catching(candidate)
+            .discrepancies
+            .iter()
+            .any(|d| d.oracle == self.target || d.oracle == "panic")
+    }
+}
+
+/// ddmin over row chunks: try dropping halves, then quarters, … of the
+/// row range, across all columns in lockstep.
+fn shrink_rows(best: &mut CaseSpec, ctx: &mut Ctx) -> bool {
+    let mut changed = false;
+    let mut granularity = 2usize;
+    loop {
+        let rows = best.rows();
+        if rows < 2 || ctx.evals >= ctx.budget {
+            return changed;
+        }
+        let chunk = rows.div_ceil(granularity);
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < best.rows() {
+            let end = (start + chunk).min(best.rows());
+            let candidate = without_rows(best, start, end);
+            if ctx.still_fails(&candidate) {
+                *best = candidate;
+                changed = true;
+                removed_any = true;
+                // Same start now addresses the next chunk.
+            } else {
+                start = end;
+            }
+            if ctx.evals >= ctx.budget {
+                return changed;
+            }
+        }
+        if removed_any {
+            granularity = 2; // Restart coarse after progress.
+        } else if chunk <= 1 {
+            return changed;
+        } else {
+            granularity = (granularity * 2).min(best.rows().max(2));
+        }
+    }
+}
+
+fn without_rows(spec: &CaseSpec, start: usize, end: usize) -> CaseSpec {
+    let mut s = spec.clone();
+    for col in &mut s.columns {
+        col.data.retain_rows(&|i| i < start || i >= end);
+    }
+    s
+}
+
+/// Try removing each plan operator (topmost first: later ops depend on
+/// earlier schemas, not the reverse).
+fn shrink_plan(best: &mut CaseSpec, ctx: &mut Ctx) -> bool {
+    let mut changed = false;
+    let mut i = best.plan.len();
+    while i > 0 {
+        i -= 1;
+        let mut candidate = best.clone();
+        candidate.plan.remove(i);
+        if ctx.still_fails(&candidate) {
+            *best = candidate;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Try removing each column, remapping every base-schema index.
+fn shrink_columns(best: &mut CaseSpec, ctx: &mut Ctx) -> bool {
+    let mut changed = false;
+    let mut c = best.columns.len();
+    while c > 0 {
+        c -= 1;
+        if best.columns.len() <= 1 {
+            return changed;
+        }
+        if let Some(candidate) = without_column(best, c) {
+            if ctx.still_fails(&candidate) {
+                *best = candidate;
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Remove base column `c` and renumber the references. Indexes are in
+/// the base domain up to (and inside) the first `Project`; after it they
+/// address the projection's output and need no change. Returns `None` if
+/// anything still references the dropped column.
+fn without_column(spec: &CaseSpec, c: usize) -> Option<CaseSpec> {
+    let remap = |i: &mut usize| -> Option<()> {
+        match (*i).cmp(&c) {
+            std::cmp::Ordering::Less => Some(()),
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Greater => {
+                *i -= 1;
+                Some(())
+            }
+        }
+    };
+    let mut s = spec.clone();
+    let mut base_domain = true;
+    for op in &mut s.plan {
+        if !base_domain {
+            continue;
+        }
+        match op {
+            PlanOpSpec::Filter(p) => remap_pred(p, &remap)?,
+            PlanOpSpec::Project(cols) => {
+                for i in cols.iter_mut() {
+                    remap(i)?;
+                }
+                base_domain = false;
+            }
+            PlanOpSpec::Aggregate { group_by, aggs } => {
+                for i in group_by.iter_mut() {
+                    remap(i)?;
+                }
+                for (_, i, _) in aggs.iter_mut() {
+                    remap(i)?;
+                }
+            }
+            PlanOpSpec::Sort(keys) => {
+                for (i, _) in keys.iter_mut() {
+                    remap(i)?;
+                }
+            }
+        }
+    }
+    if let Some(p) = &mut s.tlp {
+        remap_pred(p, &remap)?;
+    }
+    if let Some(inj) = &mut s.inject {
+        remap(&mut inj.column)?;
+    }
+    s.columns.remove(c);
+    Some(s)
+}
+
+fn remap_pred(p: &mut PredSpec, remap: &dyn Fn(&mut usize) -> Option<()>) -> Option<()> {
+    match p {
+        PredSpec::Cmp(_, i, _) | PredSpec::IsNull(i) => remap(i),
+        PredSpec::And(a, b) | PredSpec::Or(a, b) => {
+            remap_pred(a, remap)?;
+            remap_pred(b, remap)
+        }
+        PredSpec::Not(a) => remap_pred(a, remap),
+    }
+}
+
+/// One-step simplifications of a predicate tree: a combinator collapses
+/// to either child, a negation to its operand.
+fn pred_simplifications(p: &PredSpec) -> Vec<PredSpec> {
+    let mut out = Vec::new();
+    match p {
+        PredSpec::And(a, b) | PredSpec::Or(a, b) => {
+            out.push((**a).clone());
+            out.push((**b).clone());
+        }
+        PredSpec::Not(a) => out.push((**a).clone()),
+        PredSpec::Cmp(..) | PredSpec::IsNull(_) => {}
+    }
+    // Recurse: rebuild with a simplified subtree.
+    match p {
+        PredSpec::And(a, b) => {
+            for sa in pred_simplifications(a) {
+                out.push(PredSpec::And(Box::new(sa), b.clone()));
+            }
+            for sb in pred_simplifications(b) {
+                out.push(PredSpec::And(a.clone(), Box::new(sb)));
+            }
+        }
+        PredSpec::Or(a, b) => {
+            for sa in pred_simplifications(a) {
+                out.push(PredSpec::Or(Box::new(sa), b.clone()));
+            }
+            for sb in pred_simplifications(b) {
+                out.push(PredSpec::Or(a.clone(), Box::new(sb)));
+            }
+        }
+        PredSpec::Not(a) => {
+            for sa in pred_simplifications(a) {
+                out.push(PredSpec::Not(Box::new(sa)));
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+fn shrink_preds(best: &mut CaseSpec, ctx: &mut Ctx) -> bool {
+    let mut changed = false;
+    let mut progress = true;
+    while progress && ctx.evals < ctx.budget {
+        progress = false;
+        // Plan filters.
+        for i in 0..best.plan.len() {
+            let PlanOpSpec::Filter(p) = &best.plan[i] else {
+                continue;
+            };
+            for simpler in pred_simplifications(p) {
+                let mut candidate = best.clone();
+                candidate.plan[i] = PlanOpSpec::Filter(simpler);
+                if ctx.still_fails(&candidate) {
+                    *best = candidate;
+                    changed = true;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+        // The TLP predicate.
+        if let Some(p) = best.tlp.clone() {
+            for simpler in pred_simplifications(&p) {
+                let mut candidate = best.clone();
+                candidate.tlp = Some(simpler);
+                if ctx.still_fails(&candidate) {
+                    *best = candidate;
+                    changed = true;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+    changed
+}
+
+fn shrink_tlp(best: &mut CaseSpec, ctx: &mut Ctx) -> bool {
+    if best.tlp.is_none() {
+        return false;
+    }
+    let mut candidate = best.clone();
+    candidate.tlp = None;
+    if ctx.still_fails(&candidate) {
+        *best = candidate;
+        return true;
+    }
+    false
+}

@@ -10,6 +10,11 @@
 //! raw); compression levels are exercised via scalar, array-converted
 //! and heap (string) columns.
 
+include!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/common/proptest_env.rs"
+));
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 use tde_pager::{save_v2, PagedDatabase};
@@ -139,7 +144,7 @@ fn assert_roundtrips(db: &Database) {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(24)))]
 
     #[test]
     fn scalar_columns_roundtrip(data in shaped_data()) {

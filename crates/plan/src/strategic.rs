@@ -98,13 +98,18 @@ fn rewrite_filter_pushdown(plan: LogicalPlan, opts: OptimizerOptions) -> Logical
     let LogicalPlan::Filter { input, predicate } = plan else {
         return plan;
     };
-    let (table, columns, expand_dictionaries) = match input.as_ref() {
+    let (table, columns, expand_dictionaries, scan_pred) = match input.as_ref() {
         LogicalPlan::Scan {
             table,
             columns,
             expand_dictionaries,
-            ..
-        } => (table.clone(), columns.clone(), *expand_dictionaries),
+            predicate,
+        } => (
+            table.clone(),
+            columns.clone(),
+            *expand_dictionaries,
+            predicate.clone(),
+        ),
         _ => return rewrite_kernel_pushdown(input, predicate, opts),
     };
     let Some(col_idx) = predicate.single_column() else {
@@ -172,7 +177,18 @@ fn rewrite_filter_pushdown(plan: LogicalPlan, opts: OptimizerOptions) -> Logical
             fetch,
         };
         // Restore the scan's column order (IndexScan puts value first).
-        return reorder_to(node, &columns.clone());
+        let node = reorder_to(node, &columns.clone());
+        // The IndexScan reads the table directly, bypassing the scan it
+        // replaces — a predicate an earlier stacked filter pushed into
+        // that scan must be re-applied, not silently dropped. After the
+        // reorder the column indexes match the scan's output again.
+        return match scan_pred {
+            Some(p) => LogicalPlan::Filter {
+                input: Box::new(node),
+                predicate: p,
+            },
+            None => node,
+        };
     }
 
     rewrite_kernel_pushdown(input, predicate, opts)
@@ -388,6 +404,23 @@ mod tests {
         // Reordered to the scan's column order by a projection.
         assert_eq!(opt.output_columns(), vec!["k", "o"]);
         assert!(opt.explain().contains("IndexedScan"));
+    }
+
+    #[test]
+    fn index_scan_rewrite_keeps_pushed_scan_predicate() {
+        // A stacked filter on `o` is first folded into the scan by kernel
+        // pushdown; the later filter on RLE column `k` then replaces that
+        // scan with an IndexScan, which must re-apply the folded
+        // predicate instead of dropping it (found by tde-fuzz seed 193).
+        let t = rle_table();
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::int(7)))
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(80)))
+            .build();
+        let opt = optimize(plan, OptimizerOptions::default());
+        let text = opt.explain();
+        assert!(text.contains("IndexedScan"), "{text}");
+        assert!(text.contains("Filter"), "{text}");
     }
 
     #[test]

@@ -230,6 +230,15 @@ impl ColumnBuilder {
         } else {
             ColumnMetadata::unknown()
         };
+        if self.dtype.is_string() && policy.encodings {
+            // String NULLs are stored as NULL_TOKEN (0), not NULL_I64, so
+            // the sentinel count in the statistics never sees them. Real
+            // tokens are heap offsets past the reserved null slot, so a
+            // zero minimum is exactly "a NULL is present".
+            metadata.has_nulls = Knowledge::from_bool(
+                result.stats.count > 0 && result.stats.min == NULL_TOKEN as i64,
+            );
+        }
 
         let compression = if let Some(heap) = self.heap.take() {
             let mut sorted = heap.is_empty();
@@ -257,6 +266,16 @@ impl ColumnBuilder {
                 // time proportional to the domain, not the rows.
                 heap = convert::sort_heap_via_dictionary(&mut stream, &heap, policy.collation);
                 sorted = true;
+                // The remap invalidates every token-domain claim derived
+                // from the append-order statistics: order-dependent
+                // properties are lost, the envelope is recomputed from the
+                // remapped dictionary entries. Uniqueness survives (the
+                // remap is a bijection on tokens).
+                let entries = stream.dict_entries().expect("dictionary stream");
+                metadata.sorted_asc = Knowledge::Unknown;
+                metadata.dense = Knowledge::Unknown;
+                metadata.min = entries.iter().min().copied();
+                metadata.max = entries.iter().max().copied();
             }
             Compression::Heap {
                 heap: Arc::new(heap),
@@ -358,6 +377,40 @@ mod tests {
         let tc = col.data.get(2); // charlie
         let td = col.data.get(0); // delta
         assert!(ta < tb && tb < tc && tc < td);
+    }
+
+    #[test]
+    fn string_null_detection_uses_token_sentinel() {
+        let mut b = ColumnBuilder::new("s", DataType::Str, EncodingPolicy::default());
+        b.append_str(Some("x"));
+        b.append_str(None);
+        assert!(b.finish().column.metadata.has_nulls.is_true());
+        let mut b = ColumnBuilder::new("s", DataType::Str, EncodingPolicy::default());
+        b.append_str(Some("x"));
+        b.append_str(Some("y"));
+        assert_eq!(b.finish().column.metadata.has_nulls, Knowledge::False);
+    }
+
+    #[test]
+    fn heap_sort_invalidates_append_order_token_claims() {
+        // Strings arrive in reverse lexical order: append-order tokens
+        // ascend, but the §3.4.3 heap sort remaps them to descending
+        // ranks. Order-dependent claims must not survive the remap — a
+        // stale sorted_asc would let the tactical optimizer run ordered
+        // aggregation over unsorted tokens.
+        let mut b = ColumnBuilder::new("s", DataType::Str, EncodingPolicy::default());
+        for w in ["ccc", "bbb", "aaa"] {
+            for _ in 0..10 {
+                b.append_str(Some(w));
+            }
+        }
+        let col = b.finish().column;
+        assert!(col.metadata.sorted_heap_tokens.is_true());
+        let raws = col.data.decode_all();
+        assert!(raws.windows(2).any(|w| w[1] < w[0]));
+        assert!(!col.metadata.sorted_asc.is_true());
+        let (min, max) = (col.metadata.min.unwrap(), col.metadata.max.unwrap());
+        assert!(raws.iter().all(|&t| min <= t && t <= max));
     }
 
     #[test]

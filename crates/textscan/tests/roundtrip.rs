@@ -1,6 +1,11 @@
 //! Property tests for the import pipeline: any typed data we serialize to
 //! text must come back identical through sniffing, inference and parsing.
 
+include!(concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../tests/common/proptest_env.rs"
+));
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 use tde_textscan::{import_bytes, ImportOptions};
@@ -46,7 +51,7 @@ fn expected(cell: &Cell) -> Value {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(24)))]
 
     #[test]
     fn typed_columns_roundtrip(

@@ -1,0 +1,3 @@
+//! Utilities shared by the workspace-level integration suites.
+
+include!("proptest_env.rs");

@@ -1,0 +1,15 @@
+// Shared proptest case budget, one definition for every suite: the
+// root-level integration tests pull it in through `mod common`, the
+// per-crate suites `include!` this file directly (they are separate
+// crates and cannot see a root `tests/` module).
+
+/// Proptest case budget: `TDE_PROPTEST_CASES` overrides (CI pins it so
+/// per-PR runs are fast and nightly runs are thorough); each suite
+/// passes its own default.
+#[allow(dead_code)]
+pub fn proptest_cases(default: u32) -> u32 {
+    std::env::var("TDE_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

@@ -15,6 +15,8 @@
 //! the query level (optimizer pushdown on vs off) and against paged v2
 //! storage.
 
+mod common;
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -147,7 +149,7 @@ fn check_all_shapes(t: &Arc<Table>, expand: bool, a: i64, b: i64) {
 // ---------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(proptest_cases()))]
+    #![proptest_config(ProptestConfig::with_cases(common::proptest_cases(32)))]
 
     #[test]
     fn raw_stream_agrees(
@@ -394,14 +396,6 @@ proptest! {
         }
         std::fs::remove_file(&path).ok();
     }
-}
-
-/// Case budget: `TDE_PROPTEST_CASES` (CI pins it), default 32.
-fn proptest_cases() -> u32 {
-    std::env::var("TDE_PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(32)
 }
 
 // ---------------------------------------------------------------------

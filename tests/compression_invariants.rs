@@ -2,6 +2,8 @@
 //! storage layers do to a column, the values it yields must never change,
 //! and the paper's structural invariants must hold.
 
+mod common;
+
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::sync::Arc;
@@ -25,7 +27,7 @@ fn int_table(data: &[i64]) -> Arc<Table> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(ProptestConfig::with_cases(common::proptest_cases(32)))]
 
     #[test]
     fn built_column_roundtrips(data in vec(any::<i64>(), 1..3000)) {
