@@ -89,6 +89,20 @@ fn sweep(table: &Arc<Table>, rows: u64, reps: usize, report: &mut BenchReport) {
             assert_eq!(groups[0], groups[2], "plans disagree");
             for (plan, t) in [("scan", t1), ("index", t2), ("sorted", t3)] {
                 report.timing(&format!("{rows}r {key} sel={sel}% {plan}"), t);
+                // Track the mid-sweep point: coarse enough to be stable,
+                // selective enough that the indexed plans still matter.
+                if sel == 10 {
+                    report.metric_timing(&format!("{rows}r_{key}_sel10_{plan}_ns"), t, 2.0);
+                }
+            }
+            if sel == 10 {
+                report.metric(
+                    &format!("{rows}r_{key}_sel10_sorted_speedup"),
+                    t1.as_secs_f64() / t3.as_secs_f64().max(1e-12),
+                    "x",
+                    Direction::Higher,
+                    2.5,
+                );
             }
             println!(
                 "{:>10}% {:>11.4}s {:>11.4}s {:>11.4}s {:>7.2}x {:>7.2}x",
@@ -145,6 +159,7 @@ fn main() {
             traced.to_json(),
         );
     }
+    report.registry_snapshot();
     report.write();
 
     println!("\nPaper check: primary-key index plans ≈2× over the control;");

@@ -117,6 +117,9 @@ fn bench_shape(
         });
         report.timing(&format!("{label} {which}"), times[i]);
     }
+    // Tracked metric name: first two label tokens, e.g. "rle_eq_kernel_ns".
+    let slug: Vec<&str> = label.split_whitespace().take(2).collect();
+    report.metric_timing(&format!("{}_kernel_ns", slug.join("_")), times[2], 2.0);
     assert_eq!(counts[0], counts[1], "{label}: fallback disagrees");
     assert_eq!(counts[0], counts[2], "{label}: kernel disagrees");
     let speedup = times[0].as_secs_f64() / times[2].as_secs_f64();
@@ -163,6 +166,24 @@ fn main() {
              \"dict_selective_speedup\":{dict_selective:.3}}}"
         ),
     );
+    // Speedups are ratios of two timings taken seconds apart, so they are
+    // steadier than the raw timings; still leave headroom for CI noise.
+    report.metric(
+        "rle_selective_speedup",
+        rle_selective,
+        "x",
+        Direction::Higher,
+        2.5,
+    );
+    report.metric("rle_range_speedup", rle_range, "x", Direction::Higher, 2.5);
+    report.metric(
+        "dict_selective_speedup",
+        dict_selective,
+        "x",
+        Direction::Higher,
+        2.5,
+    );
+    report.registry_snapshot();
     let path = report.write();
     println!("\nwrote {}", path.display());
     assert!(

@@ -15,7 +15,7 @@
 //!
 //! Writes `bench_results/BENCH_paged_scan.json`.
 
-use tde_bench::{banner, file_size, mb, measure, BenchReport, Scale};
+use tde_bench::{banner, file_size, mb, measure, BenchReport, Direction, Scale};
 use tde_core::Query;
 use tde_exec::expr::AggFunc;
 use tde_pager::{save_v2, PagedDatabase, PagedTable};
@@ -153,5 +153,24 @@ fn main() {
     report.timing("paged_warm_scan", warm);
     report.json("warm_pool", after_warm.to_json());
     report.json("warm_delta", after_warm.since(&before_warm).to_json());
+    report.metric_timing("eager_v1_ns", eager, 2.0);
+    report.metric_timing("paged_cold_ns", cold, 2.0);
+    report.metric_timing("paged_warm_ns", warm, 2.0);
+    report.metric(
+        "cold_speedup_over_eager",
+        eager.as_secs_f64() / cold.as_secs_f64().max(1e-9),
+        "x",
+        Direction::Higher,
+        2.5,
+    );
+    // File size is deterministic for a fixed row count: flag any growth.
+    report.metric(
+        "v2_file_bytes",
+        file_size(&v2_path) as f64,
+        "bytes",
+        Direction::Lower,
+        1.05,
+    );
+    report.registry_snapshot();
     report.write();
 }

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use tde_bench::{banner, BenchReport, Scale};
+use tde_bench::{banner, BenchReport, Direction, Scale};
 use tde_core::exec::aggregate::AggSpec;
 use tde_core::exec::expr::AggFunc;
 use tde_core::exec::index_table::{index_table, rollup_index};
@@ -94,8 +94,23 @@ fn main() {
                 baseline / best
             ),
         );
+        report.metric_timing(
+            &format!("workers{workers}_ns"),
+            std::time::Duration::from_secs_f64(best),
+            2.0,
+        );
+        if workers > 1 {
+            report.metric(
+                &format!("speedup_{workers}w"),
+                baseline / best,
+                "x",
+                Direction::Higher,
+                2.5,
+            );
+        }
     }
     report.table(&t);
+    report.registry_snapshot();
     report.write();
     println!("\nPartition boundaries fall between months, so the concatenated");
     println!("partials are the exact ordered result — no merge, no hash table.");

@@ -1,0 +1,423 @@
+//! The perf-regression gate: compare `BENCH_*.json` reports against
+//! committed baselines.
+//!
+//! Each schema-v2 report carries *tracked metrics* with a direction
+//! (lower/higher is better) and a per-metric multiplicative noise
+//! allowance. A metric regresses when it moves the wrong way past its
+//! allowance:
+//!
+//! * lower-is-better: `current > baseline * noise`
+//! * higher-is-better: `current < baseline / noise`
+//!
+//! The comparator is deliberately tolerant of drift in report *shape*:
+//! metrics present only in the baseline are reported as missing (a
+//! warning, not a failure — figures get re-scoped), metrics present only
+//! in the current run are reported as new, and figures without a
+//! baseline are skipped. Only a genuine wrong-way move fails the gate.
+//!
+//! `--self-test` support: [`inject_regression`] synthesizes a wrong-
+//! way move on every tracked metric of a report, which the `bench-gate`
+//! binary runs against the same report as its own baseline — proving the
+//! comparator actually fires before CI trusts a clean pass.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use tde_stats::minijson::{self, Value};
+
+use crate::Direction;
+
+/// One tracked metric as read back from a report file.
+#[derive(Debug, Clone)]
+pub struct ReportMetric {
+    /// Metric name, unique within the figure.
+    pub name: String,
+    /// Recorded value.
+    pub value: f64,
+    /// Which way is better.
+    pub direction: Direction,
+    /// Multiplicative noise allowance.
+    pub noise: f64,
+}
+
+/// A parsed `BENCH_*.json` report (the subset the gate needs).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Figure name.
+    pub figure: String,
+    /// Schema version (`0` for pre-v2 reports without meta).
+    pub schema_version: u64,
+    /// Git SHA the report was produced at, if recorded.
+    pub git_sha: Option<String>,
+    /// Thread count the report was produced with, if recorded.
+    pub threads: Option<u64>,
+    /// Tracked metrics, in report order.
+    pub metrics: Vec<ReportMetric>,
+}
+
+/// Parse one report file.
+pub fn load_report(path: &Path) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_report(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Parse a report document.
+pub fn parse_report(text: &str) -> Result<Report, String> {
+    let doc = minijson::parse(text)?;
+    let figure = doc
+        .get("figure")
+        .and_then(Value::as_str)
+        .ok_or("report without \"figure\"")?
+        .to_owned();
+    let meta = doc.get("meta");
+    let schema_version = meta
+        .and_then(|m| m.get("schema_version"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0);
+    let git_sha = meta
+        .and_then(|m| m.get("git_sha"))
+        .and_then(Value::as_str)
+        .map(str::to_owned);
+    let threads = meta.and_then(|m| m.get("threads")).and_then(Value::as_u64);
+    let mut metrics = Vec::new();
+    if let Some(list) = doc.get("metrics").and_then(Value::as_array) {
+        for m in list {
+            let name = m
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("metric without \"name\"")?
+                .to_owned();
+            let value = m
+                .get("value")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("metric {name:?} without numeric \"value\""))?;
+            let direction = match m.get("direction").and_then(Value::as_str) {
+                Some("lower") | None => Direction::Lower,
+                Some("higher") => Direction::Higher,
+                Some(other) => return Err(format!("metric {name:?}: bad direction {other:?}")),
+            };
+            let noise = m
+                .get("noise")
+                .and_then(Value::as_f64)
+                .filter(|n| n.is_finite() && *n >= 1.0)
+                .unwrap_or(1.3);
+            metrics.push(ReportMetric {
+                name,
+                value,
+                direction,
+                noise,
+            });
+        }
+    }
+    Ok(Report {
+        figure,
+        schema_version,
+        git_sha,
+        threads,
+        metrics,
+    })
+}
+
+/// Every `BENCH_*.json` in a directory, keyed by file name.
+pub fn load_dir(dir: &Path) -> Result<BTreeMap<String, Report>, String> {
+    let mut out = BTreeMap::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            out.insert(name.to_owned(), load_report(&path)?);
+        }
+    }
+    Ok(out)
+}
+
+/// The verdict on one metric.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Figure the metric belongs to.
+    pub figure: String,
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Direction compared under.
+    pub direction: Direction,
+    /// Noise allowance applied.
+    pub noise: f64,
+    /// Whether the move exceeds the allowance the wrong way.
+    pub regressed: bool,
+}
+
+impl Comparison {
+    /// Human-readable one-liner.
+    pub fn describe(&self) -> String {
+        let ratio = if self.baseline != 0.0 {
+            self.current / self.baseline
+        } else {
+            f64::NAN
+        };
+        format!(
+            "{}/{}: baseline {:.4e} -> current {:.4e} ({}x, {} is better, allow {}x)",
+            self.figure,
+            self.metric,
+            self.baseline,
+            self.current,
+            if ratio.is_nan() {
+                "?".to_owned()
+            } else {
+                format!("{ratio:.3}")
+            },
+            self.direction.as_str(),
+            self.noise
+        )
+    }
+}
+
+/// The gate's aggregate result.
+#[derive(Debug, Default)]
+pub struct GateOutcome {
+    /// Every metric compared.
+    pub comparisons: Vec<Comparison>,
+    /// Baseline metrics absent from the current run (`figure/metric`).
+    pub missing: Vec<String>,
+    /// Current metrics with no baseline (`figure/metric`).
+    pub new_metrics: Vec<String>,
+    /// Baseline figures with no current report.
+    pub missing_figures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// The regressed subset of [`GateOutcome::comparisons`].
+    pub fn regressions(&self) -> Vec<&Comparison> {
+        self.comparisons.iter().filter(|c| c.regressed).collect()
+    }
+}
+
+/// Compare one metric pair under the baseline's direction and allowance.
+pub fn compare_metric(figure: &str, baseline: &ReportMetric, current: f64) -> Comparison {
+    // A zero baseline can't anchor a multiplicative test; never flag it.
+    let regressed = baseline.value != 0.0
+        && match baseline.direction {
+            Direction::Lower => current > baseline.value * baseline.noise,
+            Direction::Higher => current < baseline.value / baseline.noise,
+        };
+    Comparison {
+        figure: figure.to_owned(),
+        metric: baseline.name.clone(),
+        baseline: baseline.value,
+        current,
+        direction: baseline.direction,
+        noise: baseline.noise,
+        regressed,
+    }
+}
+
+/// Compare a current results directory against a baseline directory.
+pub fn compare_dirs(baseline_dir: &Path, current_dir: &Path) -> Result<GateOutcome, String> {
+    let baselines = load_dir(baseline_dir)?;
+    let currents = load_dir(current_dir)?;
+    let mut outcome = GateOutcome::default();
+    for (file, base) in &baselines {
+        let Some(cur) = currents.get(file) else {
+            outcome.missing_figures.push(base.figure.clone());
+            continue;
+        };
+        let cur_by_name: BTreeMap<&str, f64> = cur
+            .metrics
+            .iter()
+            .map(|m| (m.name.as_str(), m.value))
+            .collect();
+        for bm in &base.metrics {
+            match cur_by_name.get(bm.name.as_str()) {
+                Some(&v) => outcome
+                    .comparisons
+                    .push(compare_metric(&base.figure, bm, v)),
+                None => outcome.missing.push(format!("{}/{}", base.figure, bm.name)),
+            }
+        }
+        let base_names: Vec<&str> = base.metrics.iter().map(|m| m.name.as_str()).collect();
+        for cm in &cur.metrics {
+            if !base_names.contains(&cm.name.as_str()) {
+                outcome
+                    .new_metrics
+                    .push(format!("{}/{}", cur.figure, cm.name));
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+/// Synthesize a wrong-way move on every tracked metric — the gate's
+/// self-test input. The move is twice the metric's own noise allowance,
+/// so it lands beyond the threshold no matter how generous the
+/// allowance is. A comparator that passes this is broken.
+pub fn inject_regression(report: &Report) -> Report {
+    let mut r = report.clone();
+    for m in &mut r.metrics {
+        let factor = 2.0 * m.noise.max(1.0);
+        match m.direction {
+            Direction::Lower => m.value *= factor,
+            Direction::Higher => m.value /= factor,
+        }
+    }
+    r
+}
+
+/// Write a report's gate-relevant subset back to disk (the self-test
+/// materializes its injected run this way).
+pub fn write_report(report: &Report, path: &Path) -> Result<(), String> {
+    let metrics: Vec<String> = report
+        .metrics
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"name\":\"{}\",\"value\":{},\"unit\":\"\",\"direction\":\"{}\",\"noise\":{}}}",
+                tde_obs::json_escape(&m.name),
+                if m.value.is_finite() { m.value } else { 0.0 },
+                m.direction.as_str(),
+                m.noise
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\"figure\":\"{}\",\"meta\":{{\"schema_version\":{},\"git_sha\":\"{}\",\"timestamp_utc\":\"\",\"threads\":{}}},\"metrics\":[{}],\"sections\":[]}}\n",
+        tde_obs::json_escape(&report.figure),
+        report.schema_version.max(crate::REPORT_SCHEMA_VERSION as u64),
+        tde_obs::json_escape(report.git_sha.as_deref().unwrap_or("self-test")),
+        report.threads.unwrap_or(1),
+        metrics.join(",")
+    );
+    std::fs::write(path, doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Run the gate's self-test against a baseline directory: every report
+/// gets a synthetic past-the-allowance wrong-way move injected, and the comparator must
+/// flag at least one regression per tracked metric. Returns the number
+/// of injected regressions detected; `Err` if any injection escaped or
+/// the baseline has no tracked metrics to inject into.
+pub fn self_test(baseline_dir: &Path, scratch_dir: &Path) -> Result<usize, String> {
+    let baselines = load_dir(baseline_dir)?;
+    std::fs::create_dir_all(scratch_dir).map_err(|e| e.to_string())?;
+    let mut injected = 0usize;
+    for (file, base) in &baselines {
+        let bad = inject_regression(base);
+        injected += bad.metrics.iter().filter(|m| m.value != 0.0).count();
+        write_report(&bad, &scratch_dir.join(file))?;
+    }
+    if injected == 0 {
+        return Err(format!(
+            "self-test: no tracked metrics under {} to inject into",
+            baseline_dir.display()
+        ));
+    }
+    let outcome = compare_dirs(baseline_dir, scratch_dir)?;
+    let caught = outcome.regressions().len();
+    if caught < injected {
+        return Err(format!(
+            "self-test: injected {injected} regressions but the gate caught only {caught}"
+        ));
+    }
+    Ok(caught)
+}
+
+/// A scratch directory for the self-test's injected reports.
+pub fn self_test_scratch() -> PathBuf {
+    std::env::temp_dir().join(format!("tde_bench_gate_selftest_{}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(name: &str, value: f64, direction: Direction, noise: f64) -> ReportMetric {
+        ReportMetric {
+            name: name.to_owned(),
+            value,
+            direction,
+            noise,
+        }
+    }
+
+    #[test]
+    fn regression_rules_respect_direction_and_noise() {
+        let lat = metric("lat_ns", 1000.0, Direction::Lower, 1.3);
+        assert!(!compare_metric("f", &lat, 1200.0).regressed); // inside noise
+        assert!(compare_metric("f", &lat, 1400.0).regressed); // 1.4x slower
+        assert!(!compare_metric("f", &lat, 500.0).regressed); // improvement
+        let spd = metric("speedup", 4.0, Direction::Higher, 1.25);
+        assert!(!compare_metric("f", &spd, 3.5).regressed); // inside noise
+        assert!(compare_metric("f", &spd, 3.0).regressed); // lost 25%+
+        assert!(!compare_metric("f", &spd, 8.0).regressed); // improvement
+                                                            // Zero baseline never anchors a ratio.
+        let zero = metric("z", 0.0, Direction::Lower, 1.3);
+        assert!(!compare_metric("f", &zero, 100.0).regressed);
+    }
+
+    #[test]
+    fn report_round_trip_and_injection() {
+        let text = "{\"figure\":\"fig\",\"meta\":{\"schema_version\":2,\"git_sha\":\"abc\",\"timestamp_utc\":\"t\",\"threads\":8},\"metrics\":[{\"name\":\"a_ns\",\"value\":100,\"unit\":\"ns\",\"direction\":\"lower\",\"noise\":1.3},{\"name\":\"b_x\",\"value\":4,\"unit\":\"x\",\"direction\":\"higher\",\"noise\":1.2}],\"sections\":[]}";
+        let r = parse_report(text).unwrap();
+        assert_eq!(r.figure, "fig");
+        assert_eq!(r.schema_version, 2);
+        assert_eq!(r.threads, Some(8));
+        assert_eq!(r.metrics.len(), 2);
+        let bad = inject_regression(&r);
+        assert_eq!(bad.metrics[0].value, 260.0); // lower: ×(2 × noise 1.3)
+        assert_eq!(bad.metrics[1].value, 4.0 / 2.4); // higher: ÷(2 × noise 1.2)
+                                                     // Injected run must regress on every metric.
+        for (bm, im) in r.metrics.iter().zip(&bad.metrics) {
+            assert!(compare_metric("fig", bm, im.value).regressed, "{}", bm.name);
+        }
+    }
+
+    #[test]
+    fn pre_v2_reports_parse_with_no_metrics() {
+        let r = parse_report("{\"figure\":\"old\",\"sections\":[]}").unwrap();
+        assert_eq!(r.schema_version, 0);
+        assert!(r.metrics.is_empty());
+        assert_eq!(r.git_sha, None);
+    }
+
+    #[test]
+    fn directory_compare_and_self_test() {
+        let base = std::env::temp_dir().join(format!("tde_gate_base_{}", std::process::id()));
+        let cur = std::env::temp_dir().join(format!("tde_gate_cur_{}", std::process::id()));
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::create_dir_all(&cur).unwrap();
+        let report = Report {
+            figure: "fig".into(),
+            schema_version: 2,
+            git_sha: Some("abc".into()),
+            threads: Some(4),
+            metrics: vec![
+                metric("lat_ns", 1000.0, Direction::Lower, 1.3),
+                metric("gone", 5.0, Direction::Higher, 1.3),
+            ],
+        };
+        write_report(&report, &base.join("BENCH_fig.json")).unwrap();
+        // Current: lat within noise, "gone" dropped, "fresh" added.
+        let current = Report {
+            metrics: vec![
+                metric("lat_ns", 1100.0, Direction::Lower, 1.3),
+                metric("fresh", 1.0, Direction::Lower, 1.3),
+            ],
+            ..report.clone()
+        };
+        write_report(&current, &cur.join("BENCH_fig.json")).unwrap();
+        let outcome = compare_dirs(&base, &cur).unwrap();
+        assert_eq!(outcome.comparisons.len(), 1);
+        assert!(outcome.regressions().is_empty());
+        assert_eq!(outcome.missing, vec!["fig/gone"]);
+        assert_eq!(outcome.new_metrics, vec!["fig/fresh"]);
+        // Self-test catches every injected move.
+        let scratch = std::env::temp_dir().join(format!("tde_gate_st_{}", std::process::id()));
+        let caught = self_test(&base, &scratch).unwrap();
+        assert_eq!(caught, 2);
+        for d in [&base, &cur, &scratch] {
+            std::fs::remove_dir_all(d).ok();
+        }
+    }
+}

@@ -124,9 +124,54 @@ impl Query {
     }
 
     /// Execute, returning the output schema and raw blocks.
+    ///
+    /// Always-on observability: when the process-wide metrics registry
+    /// is enabled this records `tde_queries_total`,
+    /// `tde_query_rows_total` and the `tde_query_latency_ns` histogram;
+    /// when a span sink is installed (see [`tde_obs::span`]) it also
+    /// emits one [`tde_obs::span::QuerySpan`] with the plan digest,
+    /// phase timings and the registry counter deltas this execution
+    /// caused. With neither active the only cost is two relaxed atomic
+    /// loads.
     pub fn run(self) -> (Schema, Vec<Block>) {
+        use tde_obs::{metrics, span};
+        let metrics_on = metrics::enabled();
+        let span_on = span::span_sink_installed();
+        if !metrics_on && !span_on {
+            let plan = self.plan();
+            return tde_plan::physical::run(&plan);
+        }
+        // Counter deltas are process-wide: concurrent queries fold into
+        // each other's spans (exact attribution needs explain_analyze).
+        let before = span_on.then(|| metrics::global().snapshot());
+        let t0 = Instant::now();
         let plan = self.plan();
-        tde_plan::physical::run(&plan)
+        let plan_ns = t0.elapsed().as_nanos() as u64;
+        let (schema, blocks) = tde_plan::physical::run(&plan);
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        let rows: u64 = blocks.iter().map(|b| b.len as u64).sum();
+        if metrics_on {
+            metrics::queries_total().inc();
+            metrics::query_rows_total().add(rows);
+            metrics::query_latency_ns().observe(elapsed_ns);
+        }
+        if span_on {
+            // Snapshot after the query counters above so a span's delta
+            // set includes them.
+            let counters = before
+                .map(|b| metrics::global().snapshot().counter_deltas(&b))
+                .unwrap_or_default();
+            let plan_digest = format!("{:016x}", span::fnv1a64(&plan.explain()));
+            span::emit_span(|| span::QuerySpan {
+                query_id: span::next_query_id(),
+                plan_digest,
+                rows_out: rows,
+                elapsed_ns,
+                phases: vec![("plan", plan_ns), ("execute", elapsed_ns - plan_ns)],
+                counters,
+            });
+        }
+        (schema, blocks)
     }
 
     /// Execute with full instrumentation: every physical operator is
@@ -146,6 +191,11 @@ impl Query {
             let (schema, blocks) = tde_plan::physical::run_traced(&plan, &trace);
             (schema, blocks, t0.elapsed())
         };
+        if tde_obs::metrics::enabled() {
+            tde_obs::metrics::queries_total().inc();
+            tde_obs::metrics::query_rows_total().add(blocks.iter().map(|b| b.len as u64).sum());
+            tde_obs::metrics::query_latency_ns().observe(elapsed.as_nanos() as u64);
+        }
         let caches: Vec<CacheReport> = paged
             .iter()
             .zip(before)

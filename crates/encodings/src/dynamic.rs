@@ -166,6 +166,7 @@ impl DynamicEncoder {
             false,
             self.prefer_dictionary,
         );
+        tde_obs::metrics::reencode("mid-load");
         tde_obs::emit(|| tde_obs::Event::Reencode {
             column: self.label.clone(),
             from: format!("{from:?}"),
@@ -207,6 +208,7 @@ impl DynamicEncoder {
                         .expect("optimal encoding must accept all values");
                 }
                 if fresh.physical_size() < stream.physical_size() {
+                    tde_obs::metrics::reencode("final-convert");
                     tde_obs::emit(|| tde_obs::Event::Reencode {
                         column: self.label.clone(),
                         from: format!("{:?}", self.spec),

@@ -52,6 +52,13 @@ impl Exchange {
         out_schema: Schema,
     ) -> Exchange {
         let workers = workers.max(1);
+        tde_obs::metrics::decision(
+            "exchange",
+            match routing {
+                Routing::AsCompleted => "AsCompleted",
+                Routing::OrderPreserving => "OrderPreserving",
+            },
+        );
         tde_obs::emit(|| tde_obs::Event::Decision {
             point: "exchange",
             choice: format!("{routing:?}"),

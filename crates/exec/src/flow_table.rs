@@ -79,6 +79,7 @@ pub fn build_from_blocks(
     let mut reencodings = Vec::with_capacity(ncols);
     let mut columns = Vec::with_capacity(ncols);
     for b in built {
+        tde_obs::metrics::column_built(b.column.data.len());
         tde_obs::emit(|| tde_obs::Event::ColumnBuilt {
             table: name.to_owned(),
             column: b.column.name.clone(),

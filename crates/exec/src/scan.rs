@@ -186,6 +186,8 @@ impl TableScan {
                 )
             },
         );
+        let encoding = col.map_or("none", |c| self.handles[c].col().data.algorithm().name());
+        tde_obs::metrics::kernel_pushdown(encoding, kind_name);
         tde_obs::emit(|| tde_obs::Event::Decision {
             point: "kernel-pushdown",
             choice: kind_name.to_string(),
@@ -261,6 +263,7 @@ impl TableScan {
             p.reported = true;
             let (column, kernel) = (p.column_name.clone(), p.kind_name.to_string());
             let (rows_in, rows_out, rows_skipped) = (p.rows_in, p.rows_out, p.rows_skipped);
+            tde_obs::metrics::kernel_scan_rows(rows_in, rows_out, rows_skipped);
             tde_obs::emit(|| tde_obs::Event::KernelScan {
                 column,
                 kernel,

@@ -26,6 +26,14 @@ pub fn choose_hash_strategy(keys: &[&Field]) -> (HashStrategy, Option<KeyPacking
         Some(p) => (HashStrategy::Perfect, Some(p)),
         None => (HashStrategy::Collision, None),
     };
+    tde_obs::metrics::decision(
+        "hash-strategy",
+        match chosen.0 {
+            HashStrategy::Direct64K => "Direct64K",
+            HashStrategy::Perfect => "Perfect",
+            HashStrategy::Collision => "Collision",
+        },
+    );
     tde_obs::emit(|| {
         let names: Vec<&str> = keys.iter().map(|f| f.name.as_str()).collect();
         let reason = match &chosen.1 {
@@ -76,6 +84,15 @@ pub fn choose_join(inner_key: &Field) -> JoinChoice {
         None
     }
     .unwrap_or(JoinChoice::Hash);
+    // The metric label is the strategy name alone — `Fetch { base }`
+    // would be one label value per table.
+    tde_obs::metrics::decision(
+        "join",
+        match choice {
+            JoinChoice::Fetch { .. } => "Fetch",
+            JoinChoice::Hash => "Hash",
+        },
+    );
     tde_obs::emit(|| {
         let (choice_str, reason) = match choice {
             JoinChoice::Fetch { base } => (
@@ -107,6 +124,7 @@ pub fn choose_join(inner_key: &Field) -> JoinChoice {
 /// be known sorted.
 pub fn can_aggregate_ordered(keys: &[&Field]) -> bool {
     let ordered = !keys.is_empty() && keys.iter().all(|f| f.metadata.sorted_asc.is_true());
+    tde_obs::metrics::decision("aggregation", if ordered { "Ordered" } else { "Hash" });
     tde_obs::emit(|| {
         let names: Vec<&str> = keys.iter().map(|f| f.name.as_str()).collect();
         tde_obs::Event::Decision {

@@ -20,6 +20,19 @@
 //! relaxed atomic load and [`is_enabled`] likewise — instrumentation
 //! points may sit on per-column or per-operator paths (never per-row) and
 //! stay well under the 5 % budget the benches enforce.
+//!
+//! Two always-on layers sit alongside the per-query trace:
+//!
+//! * [`metrics`] — a process-wide registry of named counters, gauges and
+//!   log-linear-bucket histograms accumulating over the whole process
+//!   lifetime (exported by `tde-stats` as Prometheus text and JSON),
+//!   under the same relaxed-atomic-when-disabled contract;
+//! * [`span`] — one compact structured record per query (id, plan
+//!   digest, phase timings, counter deltas), emitted as JSON lines
+//!   through a pluggable sink.
+
+pub mod metrics;
+pub mod span;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -338,6 +351,11 @@ impl OpStats {
 /// Bumped with relaxed atomics on the per-segment path — never per row —
 /// so they satisfy the crate's overhead contract. Shared `Arc`s let
 /// EXPLAIN ANALYZE snapshot the pool while queries run.
+///
+/// Each record also folds into the process-wide registry's
+/// `tde_pool_*` instruments (see [`metrics::pool_metrics`]) when
+/// metrics are enabled, so per-pool telemetry and the process-lifetime
+/// view stay in lockstep.
 #[derive(Debug, Default)]
 pub struct CacheCounters {
     /// Lookups served from cache.
@@ -361,18 +379,31 @@ impl CacheCounters {
     /// Record a cache hit.
     pub fn record_hit(&self) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        if metrics::enabled() {
+            metrics::pool_metrics().hits.inc();
+        }
     }
 
     /// Record a miss that loaded `bytes` from disk.
     pub fn record_miss(&self, bytes: u64) {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        if metrics::enabled() {
+            let m = metrics::pool_metrics();
+            m.misses.inc();
+            m.read_bytes.add(bytes);
+        }
     }
 
     /// Record an eviction that released `bytes`.
     pub fn record_eviction(&self, bytes: u64) {
         self.evictions.fetch_add(1, Ordering::Relaxed);
         self.bytes_evicted.fetch_add(bytes, Ordering::Relaxed);
+        if metrics::enabled() {
+            let m = metrics::pool_metrics();
+            m.evictions.inc();
+            m.evicted_bytes.add(bytes);
+        }
     }
 
     /// Snapshot the counters, annotated with the pool's current residency
@@ -422,13 +453,15 @@ impl CacheSnapshot {
 
     /// The counters between two snapshots of the same pool (`self` after,
     /// `earlier` before). Residency and budget are taken from `self`.
+    /// Saturating: if the counters were reset between the snapshots (a
+    /// reopened pool), the delta clamps to zero instead of panicking.
     pub fn since(&self, earlier: &CacheSnapshot) -> CacheSnapshot {
         CacheSnapshot {
-            hits: self.hits - earlier.hits,
-            misses: self.misses - earlier.misses,
-            evictions: self.evictions - earlier.evictions,
-            bytes_read: self.bytes_read - earlier.bytes_read,
-            bytes_evicted: self.bytes_evicted - earlier.bytes_evicted,
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_evicted: self.bytes_evicted.saturating_sub(earlier.bytes_evicted),
             bytes_cached: self.bytes_cached,
             budget_bytes: self.budget_bytes,
         }
@@ -739,6 +772,133 @@ mod tests {
         assert_eq!(delta.misses, 0);
         assert!((after.hit_rate() - 0.6).abs() < 1e-9);
         assert!(after.to_json().contains("\"hits\":3"));
+    }
+
+    #[test]
+    fn cache_snapshot_delta_saturates_on_counter_reset() {
+        // A reopened pool starts its counters from zero; a consumer
+        // holding a pre-reset snapshot must get a clamped delta, not an
+        // underflow panic.
+        let warm = CacheCounters::new();
+        warm.record_miss(500);
+        warm.record_hit();
+        warm.record_hit();
+        let before_reset = warm.snapshot(500, 1000);
+        let fresh = CacheCounters::new();
+        fresh.record_hit();
+        let after_reset = fresh.snapshot(0, 1000);
+        let delta = after_reset.since(&before_reset);
+        assert_eq!(delta.hits, 0, "2 hits before reset, 1 after: clamps to 0");
+        assert_eq!(delta.misses, 0);
+        assert_eq!(delta.bytes_read, 0);
+        // Residency/budget always come from the later snapshot.
+        assert_eq!(delta.bytes_cached, 0);
+        assert_eq!(delta.budget_bytes, 1000);
+    }
+
+    #[test]
+    fn cache_snapshot_warm_scan_zero_delta() {
+        // A fully warm re-scan: counters move only on the hit side, and
+        // the delta of an untouched pool is exactly zero everywhere.
+        let c = CacheCounters::new();
+        c.record_miss(100);
+        let cold = c.snapshot(100, 1000);
+        let idle = c.snapshot(100, 1000).since(&cold);
+        assert_eq!((idle.hits, idle.misses, idle.evictions), (0, 0, 0));
+        assert_eq!((idle.bytes_read, idle.bytes_evicted), (0, 0));
+        assert_eq!(idle.hit_rate(), 1.0, "idle delta reads as all-hits");
+        c.record_hit();
+        c.record_hit();
+        let warm = c.snapshot(100, 1000).since(&cold);
+        assert_eq!(warm.hits, 2);
+        assert_eq!(warm.misses, 0);
+        assert_eq!(warm.hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn cache_counters_fold_into_global_pool_metrics() {
+        if !metrics::enabled() {
+            return; // TDE_METRICS=0 in the environment
+        }
+        let g = metrics::pool_metrics();
+        let (h0, m0, b0) = (g.hits.get(), g.misses.get(), g.read_bytes.get());
+        let c = CacheCounters::new();
+        c.record_miss(640);
+        c.record_hit();
+        c.record_eviction(64);
+        assert!(g.hits.get() > h0);
+        assert!(g.misses.get() > m0);
+        assert!(g.read_bytes.get() >= b0 + 640);
+    }
+
+    /// Satellite: a traced operator that panics mid-query poisons the
+    /// trace's std mutexes; `emit`, `push_event` and the snapshot paths
+    /// must recover via `PoisonError::into_inner` and keep recording.
+    #[test]
+    fn poisoned_trace_recovers_and_reemits() {
+        let trace = Trace::new();
+        let (_, stats) = trace.add_node("Scan t", None);
+        stats.record_block(10, 100);
+        // Poison both internal mutexes: a panic while holding the raw
+        // guards, exactly what an unwinding operator does.
+        for poison in [true, false] {
+            let t = trace.clone();
+            let handle = std::thread::spawn(move || {
+                let _events = t.events.lock().unwrap();
+                let _nodes = if poison {
+                    Some(t.nodes.lock().unwrap())
+                } else {
+                    None
+                };
+                panic!("traced operator panicked mid-query");
+            });
+            assert!(handle.join().is_err());
+        }
+        // Every path still works: emit into the poisoned trace…
+        {
+            let _g = install(&trace);
+            emit(|| Event::Decision {
+                point: "after-poison",
+                choice: "recovered".into(),
+                reason: "PoisonError::into_inner".into(),
+            });
+        }
+        trace.push_event(Event::Conversion {
+            column: "c".into(),
+            route: "r",
+            detail: String::new(),
+        });
+        // …and snapshot/render it.
+        assert_eq!(trace.events().len(), 2);
+        let nodes = trace.nodes();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].rows, 10);
+        assert!(trace.render_tree().contains("Scan t"));
+        let (id, _) = trace.add_node("Filter", Some(0));
+        trace.set_label(id, "Filter [recovered]");
+        assert!(trace.render_tree().contains("Filter [recovered]"));
+    }
+
+    /// A panic while a recorder guard is held poisons the installer
+    /// serialization mutex; the next `install` must recover, not abort.
+    #[test]
+    fn poisoned_installer_recovers() {
+        let poisoner = std::thread::spawn(|| {
+            let trace = Trace::new();
+            let _g = install(&trace);
+            panic!("query panicked while traced");
+        });
+        assert!(poisoner.join().is_err());
+        let trace = Trace::new();
+        let _g = install(&trace);
+        assert!(is_enabled());
+        emit(|| Event::Decision {
+            point: "post-poison-install",
+            choice: "ok".into(),
+            reason: String::new(),
+        });
+        drop(_g);
+        assert_eq!(trace.events().len(), 1);
     }
 
     #[test]

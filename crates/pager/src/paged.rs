@@ -269,7 +269,11 @@ impl PagedTable {
             return Ok(h);
         }
         let seg = self.inner.pool.get_or_load(key, || {
+            let t0 = tde_obs::metrics::enabled().then(std::time::Instant::now);
             let bytes = self.inner.file.read_extent(extent)?;
+            if let Some(t0) = t0 {
+                tde_obs::metrics::segment_load("heap", extent.len, t0.elapsed().as_nanos() as u64);
+            }
             tde_obs::emit(|| Event::SegmentLoad {
                 table: table.to_string(),
                 column: column.to_string(),
@@ -296,7 +300,15 @@ impl PagedTable {
         cdir: &ColumnDir,
         heap: Option<Arc<StringHeap>>,
     ) -> io::Result<(CachedSegment, u64)> {
+        let t0 = tde_obs::metrics::enabled().then(std::time::Instant::now);
         let stream_bytes = self.inner.file.read_extent(cdir.stream)?;
+        if let Some(t0) = t0 {
+            tde_obs::metrics::segment_load(
+                "stream",
+                cdir.stream.len,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
         validate_stream(&stream_bytes, rows)?;
         tde_obs::emit(|| Event::SegmentLoad {
             table: table.to_string(),
@@ -308,7 +320,15 @@ impl PagedTable {
         let compression = match (cdir.ctag, cdir.dict, heap) {
             (0, _, _) => Compression::None,
             (1, Some(extent), _) => {
+                let t0 = tde_obs::metrics::enabled().then(std::time::Instant::now);
                 let bytes = self.inner.file.read_extent(extent)?;
+                if let Some(t0) = t0 {
+                    tde_obs::metrics::segment_load(
+                        "dictionary",
+                        extent.len,
+                        t0.elapsed().as_nanos() as u64,
+                    );
+                }
                 tde_obs::emit(|| Event::SegmentLoad {
                     table: table.to_string(),
                     column: cdir.name.clone(),

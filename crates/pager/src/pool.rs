@@ -187,6 +187,11 @@ impl BufferPool {
         );
         shard.order.push_back(key);
         shard.bytes += bytes;
+        if tde_obs::metrics::enabled() {
+            tde_obs::metrics::pool_metrics()
+                .resident_bytes
+                .add(bytes as i64);
+        }
         self.evict_over_budget(&mut shard);
         Ok(seg)
     }
@@ -216,6 +221,11 @@ impl BufferPool {
             }
             let evicted = shard.map.remove(&key).expect("entry just seen");
             shard.bytes -= evicted.bytes;
+            if tde_obs::metrics::enabled() {
+                tde_obs::metrics::pool_metrics()
+                    .resident_bytes
+                    .sub(evicted.bytes as i64);
+            }
             self.counters.record_eviction(evicted.bytes);
         }
     }

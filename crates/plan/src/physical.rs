@@ -16,7 +16,7 @@ use tde_exec::handle::ColumnHandle;
 use tde_exec::index_table::index_table;
 use tde_exec::indexed_scan::IndexedScan;
 use tde_exec::join::{Join, JoinKind};
-use tde_exec::obs::Instrumented;
+use tde_exec::obs::{Instrumented, Metered};
 use tde_exec::project::Project;
 use tde_exec::rle_agg::RunAggregate;
 use tde_exec::scan::TableScan;
@@ -43,13 +43,17 @@ impl<'a> Tracer<'a> {
     }
 
     /// Register an operator node under the current parent. A no-op
-    /// handle when tracing is off.
+    /// trace handle when tracing is off; the operator kind (the label's
+    /// first token) always feeds the per-operator metrics.
     fn node(&self, label: impl Into<String>) -> NodeCtx<'a> {
+        let label = label.into();
+        let kind = kind_of(&label);
         match self.trace {
             None => NodeCtx {
                 trace: None,
                 id: None,
                 stats: None,
+                kind,
             },
             Some(t) => {
                 let (id, stats) = t.add_node(label, self.parent);
@@ -57,10 +61,18 @@ impl<'a> Tracer<'a> {
                     trace: Some(t),
                     id: Some(id),
                     stats: Some(stats),
+                    kind,
                 }
             }
         }
     }
+}
+
+/// The operator-kind metric label: the first whitespace-delimited token
+/// of the node label (`"HashAggregate [strategy=…]"` → `"HashAggregate"`)
+/// — stable and low-cardinality, unlike the full label.
+fn kind_of(label: &str) -> String {
+    label.split_whitespace().next().unwrap_or("op").to_owned()
 }
 
 /// A registered (or absent) trace node for one operator.
@@ -68,6 +80,7 @@ struct NodeCtx<'a> {
     trace: Option<&'a Arc<Trace>>,
     id: Option<usize>,
     stats: Option<Arc<OpStats>>,
+    kind: String,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -80,15 +93,23 @@ impl<'a> NodeCtx<'a> {
     }
 
     /// Refine the label once a run-time choice is known.
-    fn relabel(&self, label: impl Into<String>) {
+    fn relabel(&mut self, label: impl Into<String>) {
+        let label = label.into();
+        self.kind = kind_of(&label);
         if let (Some(t), Some(id)) = (self.trace, self.id) {
             t.set_label(id, label);
         }
     }
 
-    /// Wrap the lowered operator in the instrumenting adapter (identity
-    /// when tracing is off).
+    /// Wrap the lowered operator in the instrumenting adapters: the
+    /// always-on per-operator-kind metrics (skipped entirely when the
+    /// registry is disabled) and, under tracing, the per-query
+    /// [`Instrumented`] stats.
     fn wrap(self, op: BoxOp) -> BoxOp {
+        let op = match tde_obs::metrics::operator_counters(&self.kind) {
+            Some(counters) => Box::new(Metered::new(op, counters)) as BoxOp,
+            None => op,
+        };
         match self.stats {
             Some(stats) => Box::new(Instrumented::new(op, stats)),
             None => op,
@@ -133,7 +154,7 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
                     ""
                 }
             );
-            let node = tr.node(label.clone());
+            let mut node = tr.node(label.clone());
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
             let mut scan = TableScan::project(table.clone(), &names, *expand_dictionaries);
             if let Some(pred) = predicate {
@@ -160,7 +181,7 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
                     ""
                 }
             );
-            let node = tr.node(label.clone());
+            let mut node = tr.node(label.clone());
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
             // Lowering is infallible by signature; a demand-load failure
             // here is an I/O or corruption fault, not a planning choice.
@@ -223,7 +244,7 @@ fn lower_aggregate(
             return op;
         }
     }
-    let node = tr.node("Aggregate");
+    let mut node = tr.node("Aggregate");
     let input = lower(input_plan, node.child());
     let ordered = group_by.len() == 1 && {
         let keys: Vec<&Field> = group_by
@@ -286,6 +307,7 @@ fn lower_run_aggregate(
         _ => return None,
     };
     let agg = RunAggregate::try_new(handle, predicate, aggs)?;
+    tde_obs::metrics::decision("aggregate", "rle-run-aggregate");
     tde_obs::emit(|| tde_obs::Event::Decision {
         point: "aggregate",
         choice: "rle-run-aggregate".to_string(),
@@ -320,7 +342,7 @@ fn lower_expand_join(
     tr: Tracer<'_>,
 ) -> BoxOp {
     let src_col = &source.0.columns[source.1];
-    let node = tr.node(format!("ExpandJoin {}.{}", source.0.name, src_col.name));
+    let mut node = tr.node(format!("ExpandJoin {}.{}", source.0.name, src_col.name));
     let outer = lower(outer_plan, node.child());
     let (dict, _) = dictionary_table(src_col, &format!("{}_dict", src_col.name));
     // Inner pipeline over the dictionary, then materialize with FlowTable

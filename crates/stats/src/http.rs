@@ -1,0 +1,131 @@
+//! A minimal blocking scrape endpoint: `GET /metrics` (Prometheus text
+//! exposition) and `GET /metrics.json` (JSON), no dependencies.
+//!
+//! This is deliberately tiny — one thread, one connection at a time,
+//! request line only — because a scrape target needs nothing more. The
+//! `tde-stats serve` subcommand wraps [`StatsServer::serve_forever`];
+//! tests drive [`StatsServer::serve_one`] against an ephemeral port.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// A bound scrape listener.
+pub struct StatsServer {
+    listener: TcpListener,
+}
+
+impl StatsServer {
+    /// Bind to `addr` (e.g. `"127.0.0.1:9187"`, or port 0 for an
+    /// ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<StatsServer> {
+        Ok(StatsServer {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept and answer exactly one request.
+    pub fn serve_one(&self) -> std::io::Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        handle(stream)
+    }
+
+    /// Accept and answer requests until the process exits. Per-request
+    /// errors (a scraper hanging up mid-request) are swallowed.
+    pub fn serve_forever(&self) -> std::io::Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            let _ = handle(stream);
+        }
+    }
+}
+
+fn handle(stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain headers so well-behaved clients see a clean close.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_owned(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::prometheus_text(),
+            ),
+            "/metrics.json" => ("200 OK", "application/json", crate::json_text()),
+            "/" => (
+                "200 OK",
+                "text/plain",
+                "tde-stats: /metrics (Prometheus), /metrics.json\n".to_owned(),
+            ),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+        }
+    };
+    let mut stream = reader.into_inner();
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Fetch `path` from a [`StatsServer`] (test helper): returns
+/// `(status_line, body)`.
+pub fn fetch(addr: std::net::SocketAddr, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: tde\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response.lines().next().unwrap_or("").to_owned();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_both_formats_and_404s() {
+        let server = StatsServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            for _ in 0..3 {
+                server.serve_one().unwrap();
+            }
+        });
+        let (status, body) = fetch(addr, "/metrics").unwrap();
+        assert!(status.contains("200"), "{status}");
+        crate::prometheus::validate(&body).unwrap();
+        let (status, body) = fetch(addr, "/metrics.json").unwrap();
+        assert!(status.contains("200"), "{status}");
+        crate::minijson::parse(&body).unwrap();
+        let (status, _) = fetch(addr, "/nope").unwrap();
+        assert!(status.contains("404"), "{status}");
+        handle.join().unwrap();
+    }
+}

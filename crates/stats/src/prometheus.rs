@@ -1,0 +1,479 @@
+//! Prometheus text exposition format: renderer and strict validator.
+//!
+//! The renderer follows the text format v0.0.4: `# HELP` and `# TYPE`
+//! metadata once per metric family, one sample per line, histograms
+//! expanded into cumulative `_bucket{le="…"}` series plus `_sum` and
+//! `_count`. The validator re-parses a scrape and checks structure the
+//! format requires — it is what the acceptance test and the `tde-stats`
+//! binary's self-check run against.
+
+use std::collections::BTreeMap;
+
+use tde_obs::metrics::{MetricsSnapshot, SampleValue};
+
+/// Escape a label value per the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape HELP text: `\` → `\\`, newline → `\n`.
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Render a snapshot in text exposition format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(snapshot.samples.len() * 64 + 64);
+    let mut seen_meta: Option<&str> = None;
+    for s in &snapshot.samples {
+        // Samples arrive sorted by name, so metadata is emitted exactly
+        // once, immediately before the family's first sample.
+        if seen_meta != Some(s.name.as_str()) {
+            seen_meta = Some(s.name.as_str());
+            let kind = match s.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) => "histogram",
+            };
+            out.push_str(&format!("# HELP {} {}\n", s.name, escape_help(s.help)));
+            out.push_str(&format!("# TYPE {} {kind}\n", s.name));
+        }
+        match &s.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    s.name,
+                    render_labels(&s.labels, None)
+                ));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    s.name,
+                    render_labels(&s.labels, None)
+                ));
+            }
+            SampleValue::Histogram(h) => {
+                for (bound, cum) in &h.buckets {
+                    out.push_str(&format!(
+                        "{}_bucket{} {cum}\n",
+                        s.name,
+                        render_labels(&s.labels, Some(("le", &bound.to_string())))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, Some(("le", "+Inf"))),
+                    h.count
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, None),
+                    h.sum
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    s.name,
+                    render_labels(&s.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone)]
+pub struct ParsedSample {
+    /// Metric name as written (including `_bucket`/`_sum` suffixes).
+    pub name: String,
+    /// Label pairs in written order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parse the label block `name="value",…` (without braces).
+fn parse_labels(mut s: &str, line_no: usize) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    loop {
+        s = s.trim_start();
+        if s.is_empty() {
+            return Ok(labels);
+        }
+        let eq = s
+            .find('=')
+            .ok_or_else(|| format!("line {line_no}: label without '='"))?;
+        let name = s[..eq].trim();
+        if !valid_label_name(name) {
+            return Err(format!("line {line_no}: bad label name {name:?}"));
+        }
+        s = s[eq + 1..].trim_start();
+        if !s.starts_with('"') {
+            return Err(format!("line {line_no}: label value must be quoted"));
+        }
+        s = &s[1..];
+        let mut value = String::new();
+        let mut chars = s.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => {
+                        return Err(format!("line {line_no}: bad escape {other:?}"));
+                    }
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("line {line_no}: unterminated label value"))?;
+        labels.push((name.to_owned(), value));
+        s = s[end + 1..].trim_start();
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+        } else if !s.is_empty() {
+            return Err(format!("line {line_no}: junk after label value: {s:?}"));
+        }
+    }
+}
+
+fn parse_sample(line: &str, line_no: usize) -> Result<ParsedSample, String> {
+    let (name_labels, value_str) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("line {line_no}: unbalanced '{{'"))?;
+            if close < open {
+                return Err(format!("line {line_no}: '}}' before '{{'"));
+            }
+            let name = line[..open].trim();
+            let labels = parse_labels(&line[open + 1..close], line_no)?;
+            ((name.to_owned(), labels), line[close + 1..].trim())
+        }
+        None => {
+            let mut parts = line.splitn(2, char::is_whitespace);
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {line_no}: empty sample"))?;
+            (
+                (name.to_owned(), Vec::new()),
+                parts.next().unwrap_or("").trim(),
+            )
+        }
+    };
+    let (name, labels) = name_labels;
+    if !valid_metric_name(&name) {
+        return Err(format!("line {line_no}: bad metric name {name:?}"));
+    }
+    // Value, optionally followed by a timestamp (which we accept and drop).
+    let mut fields = value_str.split_whitespace();
+    let raw = fields
+        .next()
+        .ok_or_else(|| format!("line {line_no}: sample without value"))?;
+    let value = match raw {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        raw => raw
+            .parse::<f64>()
+            .map_err(|_| format!("line {line_no}: bad value {raw:?}"))?,
+    };
+    if let Some(ts) = fields.next() {
+        ts.parse::<i64>()
+            .map_err(|_| format!("line {line_no}: bad timestamp {ts:?}"))?;
+    }
+    if fields.next().is_some() {
+        return Err(format!("line {line_no}: junk after timestamp"));
+    }
+    Ok(ParsedSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// A parsed scrape: metadata plus samples, as the validator saw them.
+#[derive(Debug, Default)]
+pub struct Scrape {
+    /// `# TYPE` declarations, name → type.
+    pub types: BTreeMap<String, String>,
+    /// `# HELP` declarations, name → help text.
+    pub helps: BTreeMap<String, String>,
+    /// Every sample line in order.
+    pub samples: Vec<ParsedSample>,
+}
+
+impl Scrape {
+    /// The value of the first sample matching `name` exactly (including
+    /// any `_bucket`/`_sum` suffix) and containing every given label.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+            })
+            .map(|s| s.value)
+    }
+}
+
+/// Parse and validate a text-exposition scrape. Checks, beyond line
+/// syntax: `# TYPE` precedes the family's first sample; declared
+/// histogram families carry a `+Inf` bucket whose cumulative count
+/// equals `_count`, with bucket counts monotone in `le` order.
+pub fn validate(text: &str) -> Result<Scrape, String> {
+    let mut scrape = Scrape::default();
+    let mut sampled: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(meta) = rest.strip_prefix("HELP ") {
+                let mut parts = meta.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {line_no}: bad HELP name {name:?}"));
+                }
+                scrape
+                    .helps
+                    .insert(name.to_owned(), parts.next().unwrap_or("").to_owned());
+            } else if let Some(meta) = rest.strip_prefix("TYPE ") {
+                let mut parts = meta.split_whitespace();
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {line_no}: bad TYPE name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {line_no}: bad TYPE kind {kind:?}"));
+                }
+                if sampled.iter().any(|s| family_of(s) == name) {
+                    return Err(format!(
+                        "line {line_no}: TYPE {name} after its first sample"
+                    ));
+                }
+                if scrape
+                    .types
+                    .insert(name.to_owned(), kind.to_owned())
+                    .is_some()
+                {
+                    return Err(format!("line {line_no}: duplicate TYPE {name}"));
+                }
+            }
+            // Other comments are allowed and ignored.
+            continue;
+        }
+        let sample = parse_sample(line, line_no)?;
+        sampled.push(sample.name.clone());
+        scrape.samples.push(sample);
+    }
+    validate_histograms(&scrape)?;
+    Ok(scrape)
+}
+
+/// Strip histogram series suffixes to get the declaring family name.
+fn family_of(sample_name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    sample_name
+}
+
+fn validate_histograms(scrape: &Scrape) -> Result<(), String> {
+    for (name, kind) in &scrape.types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{name}_bucket");
+        let count_name = format!("{name}_count");
+        // Group buckets by their non-`le` labels (one histogram per
+        // label set).
+        type Series = BTreeMap<Vec<(String, String)>, Vec<(f64, f64)>>;
+        let mut series: Series = BTreeMap::new();
+        for s in scrape.samples.iter().filter(|s| s.name == bucket_name) {
+            let mut rest: Vec<(String, String)> = s
+                .labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .cloned()
+                .collect();
+            rest.sort();
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .ok_or_else(|| format!("{bucket_name}: bucket without le label"))?;
+            let bound = match le.1.as_str() {
+                "+Inf" => f64::INFINITY,
+                b => b
+                    .parse::<f64>()
+                    .map_err(|_| format!("{bucket_name}: bad le {b:?}"))?,
+            };
+            series.entry(rest).or_default().push((bound, s.value));
+        }
+        for (labels, buckets) in &series {
+            let inf = buckets
+                .iter()
+                .find(|(b, _)| b.is_infinite())
+                .ok_or_else(|| format!("{name}{labels:?}: histogram without +Inf bucket"))?;
+            let mut prev = -1.0f64;
+            let mut prev_cum = 0.0f64;
+            let mut sorted = buckets.clone();
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for (bound, cum) in sorted {
+                if bound == prev {
+                    return Err(format!("{name}: duplicate le bound {bound}"));
+                }
+                if cum < prev_cum {
+                    return Err(format!(
+                        "{name}: bucket counts not cumulative at le={bound}"
+                    ));
+                }
+                prev = bound;
+                prev_cum = cum;
+            }
+            let label_pairs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            if let Some(count) = scrape.value(&count_name, &label_pairs) {
+                if (count - inf.1).abs() > f64::EPSILON {
+                    return Err(format!("{name}: +Inf bucket {} != _count {count}", inf.1));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_well_formed_scrape() {
+        let text = "\
+# HELP q_total Queries.
+# TYPE q_total counter
+q_total 4
+# HELP lat_ns Latency.
+# TYPE lat_ns histogram
+lat_ns_bucket{le=\"255\"} 1
+lat_ns_bucket{le=\"1023\"} 3
+lat_ns_bucket{le=\"+Inf\"} 4
+lat_ns_sum 5000
+lat_ns_count 4
+";
+        let scrape = validate(text).unwrap();
+        assert_eq!(scrape.value("q_total", &[]), Some(4.0));
+        assert_eq!(scrape.value("lat_ns_bucket", &[("le", "1023")]), Some(3.0));
+        assert_eq!(scrape.types["lat_ns"], "histogram");
+    }
+
+    #[test]
+    fn rejects_malformed_scrapes() {
+        // TYPE after first sample of the family.
+        assert!(validate("x_total 1\n# TYPE x_total counter\n").is_err());
+        // Bad metric name.
+        assert!(validate("9bad 1\n").is_err());
+        // Unquoted label value.
+        assert!(validate("x{a=b} 1\n").is_err());
+        // Unparsable value.
+        assert!(validate("x abc\n").is_err());
+        // Histogram without +Inf.
+        assert!(validate("# TYPE h histogram\nh_bucket{le=\"10\"} 1\nh_count 1\n").is_err());
+        // Non-cumulative buckets.
+        assert!(validate(
+            "# TYPE h histogram\nh_bucket{le=\"10\"} 5\nh_bucket{le=\"20\"} 3\nh_bucket{le=\"+Inf\"} 5\n"
+        )
+        .is_err());
+        // +Inf disagrees with _count.
+        assert!(validate("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 4\n").is_err());
+    }
+
+    #[test]
+    fn parses_escaped_labels_and_timestamps() {
+        let scrape =
+            validate("m{path=\"a\\\\b\",msg=\"say \\\"hi\\\"\\n\"} 2.5 1712345678\n").unwrap();
+        assert_eq!(scrape.samples.len(), 1);
+        assert_eq!(scrape.samples[0].labels[0].1, "a\\b");
+        assert_eq!(scrape.samples[0].labels[1].1, "say \"hi\"\n");
+        assert_eq!(scrape.samples[0].value, 2.5);
+        // Special float values parse.
+        let s = validate("m NaN\nn +Inf\n").unwrap();
+        assert!(s.samples[0].value.is_nan());
+        assert!(s.samples[1].value.is_infinite());
+    }
+}

@@ -1,0 +1,111 @@
+//! bench-gate — compare `BENCH_*.json` bench reports against committed
+//! baselines and fail on tracked-metric regressions.
+//!
+//! ```text
+//! bench-gate [--baseline DIR] [--current DIR] [--warn-only]
+//! bench-gate --self-test [--baseline DIR]
+//! ```
+//!
+//! Defaults: `--baseline bench_results/baselines`, `--current
+//! bench_results`. Exit codes: 0 clean, 1 regression detected (or a
+//! self-test failure), 2 usage or I/O error.
+//!
+//! `--self-test` injects a synthetic past-the-allowance wrong-way move on every tracked
+//! metric of every baseline report and verifies the comparator flags all
+//! of them — run with `!` in CI so a silently-broken gate fails the
+//! build.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tde_bench::gate;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench-gate [--baseline DIR] [--current DIR] [--warn-only]\n\
+         \x20      bench-gate --self-test [--baseline DIR]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut baseline = PathBuf::from("bench_results/baselines");
+    let mut current = PathBuf::from("bench_results");
+    let mut warn_only = false;
+    let mut self_test = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(d) => baseline = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--current" => match args.next() {
+                Some(d) => current = PathBuf::from(d),
+                None => return usage(),
+            },
+            "--warn-only" => warn_only = true,
+            "--self-test" => self_test = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    if self_test {
+        let scratch = gate::self_test_scratch();
+        let result = gate::self_test(&baseline, &scratch);
+        std::fs::remove_dir_all(&scratch).ok();
+        return match result {
+            Ok(caught) => {
+                // The self-test *passing* means regressions were caught —
+                // report it and exit non-zero, proving the gate can fail.
+                println!("self-test: gate detected all {caught} injected regression(s)");
+                ExitCode::from(1)
+            }
+            Err(e) => {
+                eprintln!("self-test FAILED: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let outcome = match gate::compare_dirs(&baseline, &current) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("bench-gate: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for fig in &outcome.missing_figures {
+        println!("note: no current report for baseline figure {fig:?}");
+    }
+    for m in &outcome.missing {
+        println!("note: baseline metric {m} absent from current run");
+    }
+    for m in &outcome.new_metrics {
+        println!("note: new metric {m} has no baseline yet");
+    }
+    let mut regressions = 0usize;
+    for c in &outcome.comparisons {
+        if c.regressed {
+            regressions += 1;
+            println!("REGRESSION {}", c.describe());
+        } else {
+            println!("ok         {}", c.describe());
+        }
+    }
+    println!(
+        "bench-gate: {} metric(s) compared, {regressions} regression(s)",
+        outcome.comparisons.len()
+    );
+    if regressions > 0 && !warn_only {
+        return ExitCode::from(1);
+    }
+    if regressions > 0 {
+        println!("bench-gate: --warn-only set, not failing");
+    }
+    ExitCode::SUCCESS
+}

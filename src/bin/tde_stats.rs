@@ -1,0 +1,146 @@
+//! tde-stats — run a demo workload against the always-on metrics
+//! registry and dump or serve the scrape.
+//!
+//! ```text
+//! tde-stats dump [--format prometheus|json] [--no-workload]
+//! tde-stats serve [--addr HOST:PORT] [--no-workload]
+//! ```
+//!
+//! `dump` prints the registry once; `serve` answers `GET /metrics`
+//! (Prometheus text exposition) and `GET /metrics.json` until killed.
+//! By default a small in-memory workload (scans, filtered scans with
+//! kernel pushdown, aggregations) runs first so the scrape has signal;
+//! `--no-workload` skips it, which is what an embedding process that
+//! already ran queries wants. Span records for the workload's queries
+//! are written as JSON lines to stderr when `--spans` is given.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use tde::exec::expr::{AggFunc, CmpOp, Expr};
+use tde::Query;
+use tde_stats::http::StatsServer;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tde-stats dump [--format prometheus|json] [--no-workload] [--spans]\n\
+         \x20      tde-stats serve [--addr HOST:PORT] [--no-workload] [--spans]"
+    );
+    ExitCode::from(2)
+}
+
+/// A small synthetic workload exercising scans, kernel pushdown and both
+/// aggregation flavours, so every major instrument has samples.
+fn run_workload() {
+    use tde_storage::{ColumnBuilder, EncodingPolicy, Table};
+    use tde_types::DataType;
+
+    let mut k = ColumnBuilder::new("k", DataType::Integer, EncodingPolicy::default());
+    let mut v = ColumnBuilder::new("v", DataType::Integer, EncodingPolicy::default());
+    for i in 0..200_000i64 {
+        k.append_i64(i / 2_000); // 100-value sorted key: RLE territory
+        v.append_i64((i * 37) % 1_000);
+    }
+    let t = Arc::new(Table::new(
+        "demo",
+        vec![k.finish().column, v.finish().column],
+    ));
+
+    // Plain scan.
+    let _ = Query::scan(&t).rows();
+    // Filtered scan: the predicate lands on the compressed key column.
+    let _ = Query::scan(&t)
+        .filter(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(90)))
+        .rows();
+    // Grouped aggregation.
+    let _ = Query::scan(&t)
+        .aggregate(vec![0], vec![(AggFunc::Sum, 1, "total")])
+        .rows();
+    // Grand total (run-aggregate candidate).
+    let _ = Query::scan(&t)
+        .aggregate(vec![], vec![(AggFunc::Sum, 0, "total")])
+        .rows();
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        return usage();
+    };
+    let mut format = "prometheus".to_owned();
+    let mut addr = "127.0.0.1:9187".to_owned();
+    let mut workload = true;
+    let mut spans = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next() {
+                Some(f) if f == "prometheus" || f == "json" => format = f,
+                _ => return usage(),
+            },
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => return usage(),
+            },
+            "--no-workload" => workload = false,
+            "--spans" => spans = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    if !tde::obs::metrics::enabled() {
+        eprintln!("warning: metrics registry disabled (TDE_METRICS=0); the scrape will be empty");
+    }
+    if spans {
+        tde::obs::span::set_span_sink(Some(tde::obs::span::JsonLinesSink::new(Box::new(
+            std::io::stderr(),
+        ))));
+    }
+    if workload {
+        run_workload();
+    }
+
+    match cmd.as_str() {
+        "dump" => {
+            let text = if format == "json" {
+                tde_stats::json_text()
+            } else {
+                tde_stats::prometheus_text()
+            };
+            // Self-check: what we print must parse.
+            let ok = if format == "json" {
+                tde_stats::minijson::parse(&text).map(|_| ())
+            } else {
+                tde_stats::prometheus::validate(&text).map(|_| ())
+            };
+            if let Err(e) = ok {
+                eprintln!("tde-stats: internal error, invalid output: {e}");
+                return ExitCode::from(2);
+            }
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        "serve" => {
+            let server = match StatsServer::bind(&addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("tde-stats: bind {addr}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match server.local_addr() {
+                Ok(a) => eprintln!("tde-stats: serving http://{a}/metrics and /metrics.json"),
+                Err(_) => eprintln!("tde-stats: serving on {addr}"),
+            }
+            if let Err(e) = server.serve_forever() {
+                eprintln!("tde-stats: {e}");
+                return ExitCode::from(2);
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
