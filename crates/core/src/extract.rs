@@ -88,9 +88,11 @@ impl Extract {
 
     /// Write the extract in the paged v2 format: block-aligned column
     /// segments behind a footer directory, openable lazily with
-    /// [`Extract::open_paged`].
+    /// [`Extract::open_paged`]. Crash-safe: the file is written to a
+    /// temporary sibling and atomically renamed into place, so a reader
+    /// (or a crash mid-save) never observes a half-written extract.
     pub fn save_paged(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        tde_pager::save_v2(&self.db, path)
+        tde_pager::save_v2_atomic(&self.db, path)
     }
 
     /// Open a v2 paged file lazily: only the directory is read now;

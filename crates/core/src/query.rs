@@ -9,6 +9,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tde_exec::aggregate::AggSpec;
 use tde_exec::expr::AggFunc;
+use tde_exec::merged_scan::MergedSource;
 use tde_exec::sort::SortOrder;
 use tde_exec::{Block, Expr, Schema};
 use tde_obs::{CacheSnapshot, Event, NodeSnapshot, Trace};
@@ -63,6 +64,27 @@ impl Query {
             builder: PlanBuilder::scan_paged_columns(table, columns),
             opts: OptimizerOptions::default(),
             paged: vec![table.clone()],
+        }
+    }
+
+    /// Start from a merge-on-read scan: base table ∪ delta −
+    /// tombstones, presented as one consistent table. The snapshot
+    /// comes from a delta store (crate `tde-delta`,
+    /// `DeltaTable::snapshot`).
+    pub fn scan_delta(source: &Arc<MergedSource>) -> Query {
+        Query {
+            builder: PlanBuilder::scan_merged(source),
+            opts: OptimizerOptions::default(),
+            paged: Vec::new(),
+        }
+    }
+
+    /// Start from a merge-on-read projection scan.
+    pub fn scan_delta_columns(source: &Arc<MergedSource>, columns: &[&str]) -> Query {
+        Query {
+            builder: PlanBuilder::scan_merged_columns(source, columns),
+            opts: OptimizerOptions::default(),
+            paged: Vec::new(),
         }
     }
 

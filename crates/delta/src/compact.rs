@@ -1,0 +1,472 @@
+//! Compaction: drain the delta back into read-optimized storage.
+//!
+//! A merge-on-read snapshot answers queries correctly but at a cost —
+//! widened metadata claims suspend the tactical optimizations, a live
+//! delta forces full-width base materialization on the paged path, and
+//! the buffer itself holds uncompressed rows. [`DeltaTable::compact`]
+//! pays that debt: it streams the merged table through
+//! [`tde_exec::flow_table`]'s dynamic per-column encoder (MorphStore
+//! would call this re-morphing), producing a fresh table whose every
+//! column was re-encoded against the *post-mutation* value
+//! distribution. Shared heaps survive by reference: the merged snapshot
+//! extends the base heap append-only and FlowTable's frozen-token path
+//! re-uses that same `Arc`, so no string bytes are copied per
+//! compaction.
+//!
+//! [`DeltaExtract`] ties the store to the v2 paged file: deltas persist
+//! as opaque aux payloads in the footer directory, every save goes
+//! through `tde-pager`'s temp-file + atomic-rename writer, and
+//! [`DeltaExtract::source`] hands queries either a lazy clean table or
+//! a merge snapshot. [`Compactor`] drives compaction from a background
+//! thread once a threshold trips.
+
+use crate::store::{BaseTable, DeltaConfig, DeltaTable};
+use crate::wire;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tde_exec::flow_table::{flow_table, FlowTableOptions};
+use tde_exec::merged_scan::{MergedScan, MergedSource};
+use tde_pager::{save_v2_with_aux_atomic, PagedDatabase, PagedTable, TableAux};
+use tde_storage::{Database, EncodingPolicy, Table};
+
+impl DeltaTable {
+    /// Compact with the default encoding policy.
+    pub fn compact(&mut self) -> io::Result<Arc<Table>> {
+        self.compact_with(EncodingPolicy::default())
+    }
+
+    /// Drain the buffer through the dynamic encoder: the merged stream
+    /// (base − tombstones ∪ delta) is rebuilt into a fresh table that
+    /// becomes the new (eager) base, and the buffer empties. Returns
+    /// the rebuilt table.
+    pub fn compact_with(&mut self, policy: EncodingPolicy) -> io::Result<Arc<Table>> {
+        let t0 = Instant::now();
+        let delta_rows = self.delta_rows();
+        let tombstones = self.tombstone_count();
+        let name = self.name().to_owned();
+        let src = self.snapshot()?;
+        let scan = MergedScan::all(src, false);
+        let built = flow_table(
+            Box::new(scan),
+            &name,
+            FlowTableOptions {
+                policy,
+                parallel: true,
+            },
+        );
+        let table = built.table;
+        for c in &table.columns {
+            tde_obs::metrics::compaction_rows_reencoded(
+                &format!("{:?}", c.data.algorithm()),
+                c.len(),
+            );
+        }
+        let nanos = t0.elapsed().as_nanos() as u64;
+        tde_obs::metrics::compaction(nanos);
+        tde_obs::emit(|| tde_obs::Event::Compaction {
+            table: name.clone(),
+            delta_rows,
+            tombstones,
+            rows_out: table.row_count(),
+            nanos,
+        });
+        self.reset_onto(BaseTable::Eager(Arc::clone(&table)));
+        Ok(table)
+    }
+}
+
+/// What a query should scan for a table of a [`DeltaExtract`].
+#[derive(Debug, Clone)]
+pub enum ScanSource {
+    /// No live mutations: scan the paged table directly — projections
+    /// stay lazy, kernels stay pushed.
+    Clean(PagedTable),
+    /// Live mutations: scan this merge snapshot.
+    Merged(Arc<MergedSource>),
+}
+
+/// A v2 paged extract plus the delta buffers of its mutated tables.
+#[derive(Debug)]
+pub struct DeltaExtract {
+    path: PathBuf,
+    db: PagedDatabase,
+    deltas: HashMap<String, DeltaTable>,
+    config: DeltaConfig,
+}
+
+impl DeltaExtract {
+    /// Open a v2 file, restoring any persisted delta/tombstone aux
+    /// payloads into live buffers.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<DeltaExtract> {
+        DeltaExtract::open_with(path, DeltaConfig::default())
+    }
+
+    /// As [`DeltaExtract::open`] with an explicit buffer budget.
+    pub fn open_with(path: impl AsRef<Path>, config: DeltaConfig) -> io::Result<DeltaExtract> {
+        let path = path.as_ref().to_path_buf();
+        let db = PagedDatabase::open(&path)?;
+        let mut deltas = HashMap::new();
+        let names: Vec<String> = db.table_names().iter().map(|s| s.to_string()).collect();
+        for name in names {
+            let pt = db.table(&name).expect("listed table resolves");
+            if !pt.has_delta() && !pt.has_tombstone() {
+                continue;
+            }
+            let mut dt = DeltaTable::with_config(BaseTable::Paged(pt.clone()), config.clone());
+            if let Some(bytes) = pt.tombstone_bytes()? {
+                dt.restore_tombstones(wire::decode_tombstones(&bytes, dt.base_rows())?);
+            }
+            if let Some(bytes) = pt.delta_bytes()? {
+                let cols = wire::decode_delta(&bytes, dt.schema())?;
+                dt.restore_delta(cols);
+            }
+            deltas.insert(name, dt);
+        }
+        Ok(DeltaExtract {
+            path,
+            db,
+            deltas,
+            config,
+        })
+    }
+
+    /// The file backing this extract.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The underlying paged database.
+    pub fn database(&self) -> &PagedDatabase {
+        &self.db
+    }
+
+    /// Table names in directory order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.db
+            .table_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// The delta buffer of a table, if one is live.
+    pub fn delta(&self, name: &str) -> Option<&DeltaTable> {
+        self.deltas.get(name)
+    }
+
+    /// The delta buffer of a table, created on first mutation.
+    pub fn delta_mut(&mut self, name: &str) -> io::Result<&mut DeltaTable> {
+        if !self.deltas.contains_key(name) {
+            let pt = self.db.table(name).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::NotFound, format!("no table {name:?}"))
+            })?;
+            self.deltas.insert(
+                name.to_owned(),
+                DeltaTable::with_config(BaseTable::Paged(pt), self.config.clone()),
+            );
+        }
+        Ok(self.deltas.get_mut(name).expect("just inserted"))
+    }
+
+    /// What a query over `name` should scan: the lazy paged table when
+    /// the delta is clean, a merge snapshot otherwise.
+    pub fn source(&self, name: &str) -> io::Result<ScanSource> {
+        let pt = self
+            .db
+            .table(name)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, format!("no table {name:?}")))?;
+        match self.deltas.get(name) {
+            Some(dt) if !dt.is_clean() => Ok(ScanSource::Merged(dt.snapshot()?)),
+            _ => Ok(ScanSource::Clean(pt)),
+        }
+    }
+
+    /// Persist: rewrite the file atomically (temp file + rename) with
+    /// every table's current base and the live buffers as aux payloads,
+    /// then reopen and rebind the buffers onto the fresh handles.
+    pub fn save(&mut self) -> io::Result<()> {
+        let mut out = Database::new();
+        for name in self.table_names() {
+            let table = match self.deltas.get(&name) {
+                Some(dt) => dt.materialize_base()?,
+                None => self
+                    .db
+                    .table(&name)
+                    .expect("listed table resolves")
+                    .load_all()?,
+            };
+            out.add_table(table);
+        }
+        let mut aux = HashMap::new();
+        for (name, dt) in &self.deltas {
+            if dt.is_clean() {
+                continue;
+            }
+            aux.insert(
+                name.clone(),
+                TableAux {
+                    delta: (dt.delta_rows() > 0)
+                        .then(|| wire::encode_delta(dt.schema(), &dt.cols, &dt.live)),
+                    tombstone: (dt.tombstone_count() > 0)
+                        .then(|| wire::encode_tombstones(&dt.tombstones)),
+                },
+            );
+        }
+        save_v2_with_aux_atomic(&out, &aux, &self.path)?;
+        self.db = PagedDatabase::open(&self.path)?;
+        self.deltas.retain(|_, dt| !dt.is_clean());
+        for (name, dt) in &mut self.deltas {
+            let pt = self.db.table(name).expect("saved table resolves");
+            dt.rebind(BaseTable::Paged(pt));
+        }
+        Ok(())
+    }
+
+    /// Compact one table and persist the result.
+    pub fn compact(&mut self, name: &str) -> io::Result<()> {
+        if let Some(dt) = self.deltas.get_mut(name) {
+            dt.compact()?;
+        }
+        self.save()
+    }
+}
+
+/// When the background [`Compactor`] fires.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactorConfig {
+    /// Compact once the live delta reaches this many rows.
+    pub max_delta_rows: u64,
+    /// ... or this many tombstones.
+    pub max_tombstones: u64,
+    /// ... or this many buffered bytes.
+    pub max_delta_bytes: usize,
+    /// How often the thread re-checks the thresholds.
+    pub poll: Duration,
+}
+
+impl Default for CompactorConfig {
+    fn default() -> CompactorConfig {
+        CompactorConfig {
+            max_delta_rows: 100_000,
+            max_tombstones: 100_000,
+            max_delta_bytes: 16 << 20,
+            poll: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A background thread that compacts a shared [`DeltaTable`] whenever
+/// a [`CompactorConfig`] threshold trips. Dropping (or
+/// [`Compactor::stop`]ping) joins the thread.
+#[derive(Debug)]
+pub struct Compactor {
+    handle: Option<JoinHandle<()>>,
+    shutdown: mpsc::Sender<()>,
+}
+
+impl Compactor {
+    /// Spawn the driver over `store`.
+    pub fn spawn(store: Arc<parking_lot::Mutex<DeltaTable>>, cfg: CompactorConfig) -> Compactor {
+        let (shutdown, rx) = mpsc::channel();
+        let handle = std::thread::Builder::new()
+            .name("tde-compactor".into())
+            .spawn(move || loop {
+                match rx.recv_timeout(cfg.poll) {
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+                let mut dt = store.lock();
+                if dt.delta_rows() >= cfg.max_delta_rows
+                    || dt.tombstone_count() >= cfg.max_tombstones
+                    || dt.buffered_bytes() >= cfg.max_delta_bytes
+                {
+                    // A failed background compaction (e.g. paged I/O
+                    // error) leaves the buffer intact; the next poll
+                    // retries.
+                    let _ = dt.compact();
+                }
+            })
+            .expect("spawn compactor thread");
+        Compactor {
+            handle: Some(handle),
+            shutdown,
+        }
+    }
+
+    /// Stop and join the driver.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        let _ = self.shutdown.send(());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Compactor {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::tests::people;
+    use std::sync::Arc;
+    use tde_exec::{drain, Operator};
+    use tde_types::Value;
+
+    fn row(id: i64, name: &str, score: f64) -> Vec<Value> {
+        vec![Value::Int(id), Value::Str(name.into()), Value::Real(score)]
+    }
+
+    /// Materialize every row of a source as display strings — the
+    /// comparison key for differential checks.
+    fn rows_of(src: &Arc<MergedSource>) -> Vec<Vec<String>> {
+        let scan = MergedScan::all(Arc::clone(src), false);
+        let schema = scan.schema().clone();
+        let blocks = drain(Box::new(scan));
+        let mut out = Vec::new();
+        for b in blocks {
+            for r in 0..b.len {
+                out.push(
+                    (0..b.columns.len())
+                        .map(|c| schema.fields[c].value_of(b.columns[c][r]).to_string())
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn compaction_drains_and_preserves_rows() {
+        let mut dt = DeltaTable::from_eager(people(1000));
+        dt.append_rows(&[row(1000, "zed", 7.5), row(1001, "ann", -1.0)])
+            .unwrap();
+        dt.delete(&[0, 500, 999]).unwrap();
+        let before = rows_of(&dt.snapshot().unwrap());
+        let table = dt.compact().unwrap();
+        assert!(dt.is_clean());
+        assert_eq!(table.row_count(), 1000 - 3 + 2);
+        let after = rows_of(&dt.snapshot().unwrap());
+        assert_eq!(before, after, "compaction changed query results");
+    }
+
+    #[test]
+    fn compaction_shares_the_heap() {
+        let base = people(300);
+        let base_heap = Arc::clone(base.column("name").unwrap().heap().unwrap());
+        let mut dt = DeltaTable::from_eager(base);
+        // No new strings: the rebuilt column must reference the very
+        // same heap allocation.
+        dt.append_rows(&[row(300, "ann", 0.0)]).unwrap();
+        let table = dt.compact().unwrap();
+        let new_heap = table.column("name").unwrap().heap().unwrap();
+        assert!(Arc::ptr_eq(&base_heap, new_heap), "heap was copied");
+    }
+
+    #[test]
+    fn extract_saves_restores_and_compacts() {
+        let dir = std::env::temp_dir().join(format!("tde-delta-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("extract.tde2");
+        let mut db = Database::new();
+        db.add_table((*people(200)).clone());
+        tde_pager::save_v2_atomic(&db, &path).unwrap();
+
+        // Mutate and persist.
+        let mut ex = DeltaExtract::open(&path).unwrap();
+        {
+            let dt = ex.delta_mut("people").unwrap();
+            dt.append_rows(&[row(200, "new-name", 3.25)]).unwrap();
+            dt.delete(&[7]).unwrap();
+        }
+        let live = rows_of(&ex.delta("people").unwrap().snapshot().unwrap());
+        ex.save().unwrap();
+        drop(ex);
+
+        // Reopen: the buffer is restored from the aux payloads.
+        let ex2 = DeltaExtract::open(&path).unwrap();
+        let dt = ex2.delta("people").expect("delta restored");
+        assert_eq!(dt.delta_rows(), 1);
+        assert_eq!(dt.tombstone_count(), 1);
+        let restored = rows_of(&dt.snapshot().unwrap());
+        assert_eq!(live, restored, "persistence changed query results");
+        assert!(matches!(
+            ex2.source("people").unwrap(),
+            ScanSource::Merged(_)
+        ));
+        drop(ex2);
+
+        // Compact: the aux sections disappear and the source is clean.
+        let mut ex3 = DeltaExtract::open(&path).unwrap();
+        ex3.compact("people").unwrap();
+        assert!(matches!(
+            ex3.source("people").unwrap(),
+            ScanSource::Clean(_)
+        ));
+        let pt = ex3.database().table("people").unwrap();
+        assert!(!pt.has_delta() && !pt.has_tombstone());
+        assert_eq!(pt.row_count(), 200);
+        drop(ex3);
+
+        let ex4 = DeltaExtract::open(&path).unwrap();
+        assert!(ex4.delta("people").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_compactor_fires_on_threshold() {
+        let store = Arc::new(parking_lot::Mutex::new(DeltaTable::from_eager(people(50))));
+        let compactor = Compactor::spawn(
+            Arc::clone(&store),
+            CompactorConfig {
+                max_delta_rows: 10,
+                poll: Duration::from_millis(5),
+                ..CompactorConfig::default()
+            },
+        );
+        {
+            let mut dt = store.lock();
+            let rows: Vec<Vec<Value>> = (0..25).map(|i| row(50 + i, "bulk", i as f64)).collect();
+            dt.append_rows(&rows).unwrap();
+        }
+        // Wait for the driver to notice.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let dt = store.lock();
+                if dt.is_clean() {
+                    assert_eq!(dt.base_rows(), 75);
+                    break;
+                }
+            }
+            assert!(Instant::now() < deadline, "compactor never fired");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        compactor.stop();
+        // Below-threshold mutations stay buffered.
+        let compactor = Compactor::spawn(
+            Arc::clone(&store),
+            CompactorConfig {
+                max_delta_rows: 1000,
+                poll: Duration::from_millis(5),
+                ..CompactorConfig::default()
+            },
+        );
+        store.lock().append_rows(&[row(999, "x", 0.0)]).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(store.lock().delta_rows(), 1);
+        drop(compactor);
+    }
+}

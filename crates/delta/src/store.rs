@@ -1,0 +1,793 @@
+//! The write-optimized delta buffer and its merge-on-read snapshots.
+
+use std::collections::{BTreeSet, HashMap};
+use std::io;
+use std::sync::Arc;
+use tde_encodings::metadata::Knowledge;
+use tde_exec::block::Block;
+use tde_exec::handle::ColumnHandle;
+use tde_exec::merged_scan::MergedSource;
+use tde_exec::{Field, Repr, BLOCK_ROWS};
+use tde_pager::PagedTable;
+use tde_storage::{StringHeap, Table};
+use tde_types::sentinel::{null_real, NULL_I64, NULL_TOKEN};
+use tde_types::{DataType, Value, Width};
+
+/// Delta-store configuration.
+#[derive(Debug, Clone)]
+pub struct DeltaConfig {
+    /// Upper bound on bytes the delta buffer may hold; appends that
+    /// would exceed it fail with [`io::ErrorKind::OutOfMemory`] — the
+    /// caller's cue to compact.
+    pub max_bytes: usize,
+}
+
+impl Default for DeltaConfig {
+    fn default() -> DeltaConfig {
+        DeltaConfig {
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+/// The immutable base a [`DeltaTable`] buffers mutations against.
+#[derive(Debug, Clone)]
+pub enum BaseTable {
+    /// An in-memory table.
+    Eager(Arc<Table>),
+    /// A lazy handle into a v2 paged file.
+    Paged(PagedTable),
+}
+
+impl BaseTable {
+    /// Table name.
+    pub fn name(&self) -> &str {
+        match self {
+            BaseTable::Eager(t) => &t.name,
+            BaseTable::Paged(t) => t.name(),
+        }
+    }
+
+    /// Base row count (no segment I/O on the paged path).
+    pub fn row_count(&self) -> u64 {
+        match self {
+            BaseTable::Eager(t) => t.row_count(),
+            BaseTable::Paged(t) => t.row_count(),
+        }
+    }
+
+    /// `(name, dtype)` pairs in schema order (directory-only on the
+    /// paged path).
+    pub fn schema(&self) -> Vec<(String, DataType)> {
+        match self {
+            BaseTable::Eager(t) => t
+                .columns
+                .iter()
+                .map(|c| (c.name.clone(), c.dtype))
+                .collect(),
+            BaseTable::Paged(t) => t
+                .column_names()
+                .iter()
+                .map(|n| {
+                    let d = t.column_dir(n).expect("directory lists the column");
+                    (d.name.clone(), d.dtype)
+                })
+                .collect(),
+        }
+    }
+
+    /// Full-width column handles for a merge snapshot. The paged path
+    /// materializes every column through the buffer pool — the price of
+    /// a live delta; compaction (which rebuilds and re-saves the base)
+    /// restores projection laziness.
+    fn handles(&self) -> io::Result<Vec<ColumnHandle>> {
+        match self {
+            BaseTable::Eager(t) => Ok(ColumnHandle::all(t)),
+            BaseTable::Paged(t) => (0..t.column_names().len())
+                .map(|i| t.column_at(i).map(ColumnHandle::Owned))
+                .collect(),
+        }
+    }
+}
+
+/// One delta column's buffered values.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum DeltaVals {
+    /// Raw widened integers (`Real` travels as `f64` bit patterns),
+    /// NULLs as the engine-wide in-band sentinels.
+    Ints(Vec<i64>),
+    /// Owned strings; `None` is NULL.
+    Strs(Vec<Option<String>>),
+}
+
+impl DeltaVals {
+    pub(crate) fn empty_for(dtype: DataType) -> DeltaVals {
+        match dtype {
+            DataType::Str => DeltaVals::Strs(Vec::new()),
+            _ => DeltaVals::Ints(Vec::new()),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            DeltaVals::Ints(v) => v.len(),
+            DeltaVals::Strs(v) => v.len(),
+        }
+    }
+}
+
+/// A validated raw value ready to enter the buffer.
+enum Raw {
+    Int(i64),
+    Str(Option<String>),
+}
+
+impl Raw {
+    fn byte_cost(&self) -> usize {
+        match self {
+            Raw::Int(_) => 8,
+            Raw::Str(None) => 8,
+            Raw::Str(Some(s)) => 24 + s.len(),
+        }
+    }
+}
+
+fn type_err(col: &str, dtype: DataType, v: &Value) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("column {col:?} holds {dtype}, got incompatible value {v}"),
+    )
+}
+
+/// Widen `v` to the column's raw storage form, validating its type.
+/// NULL binds to any column as that column's sentinel; integers widen
+/// into `Real` columns (the only implicit coercion the engine allows).
+fn raw_for(col: &str, dtype: DataType, v: &Value) -> io::Result<Raw> {
+    if matches!(v, Value::Null) {
+        return Ok(match dtype {
+            DataType::Str => Raw::Str(None),
+            DataType::Real => Raw::Int(null_real().to_bits() as i64),
+            _ => Raw::Int(NULL_I64),
+        });
+    }
+    Ok(match (dtype, v) {
+        (DataType::Str, Value::Str(s)) => Raw::Str(Some(s.clone())),
+        (DataType::Real, Value::Real(f)) => Raw::Int(f.to_bits() as i64),
+        (DataType::Real, Value::Int(i)) => Raw::Int((*i as f64).to_bits() as i64),
+        (DataType::Bool, Value::Bool(b)) => Raw::Int(i64::from(*b)),
+        (DataType::Integer, Value::Int(i)) => Raw::Int(*i),
+        (DataType::Date, Value::Date(d)) => Raw::Int(*d),
+        (DataType::Timestamp, Value::Timestamp(t)) => Raw::Int(*t),
+        _ => return Err(type_err(col, dtype, v)),
+    })
+}
+
+/// An append-friendly row/column hybrid buffer over one base table.
+///
+/// Row-id space: ids `0..base_rows` address base rows; id
+/// `base_rows + i` addresses the `i`-th appended delta row (ids stay
+/// stable across deletions — a deleted delta row keeps its slot until
+/// compaction renumbers everything).
+#[derive(Debug)]
+pub struct DeltaTable {
+    pub(crate) base: BaseTable,
+    pub(crate) schema: Vec<(String, DataType)>,
+    pub(crate) base_rows: u64,
+    pub(crate) cols: Vec<DeltaVals>,
+    /// Liveness per delta row; `false` marks a deleted append.
+    pub(crate) live: Vec<bool>,
+    dead_rows: usize,
+    pub(crate) tombstones: BTreeSet<u64>,
+    bytes: usize,
+    config: DeltaConfig,
+}
+
+impl DeltaTable {
+    /// A fresh, empty delta over `base`.
+    pub fn new(base: BaseTable) -> DeltaTable {
+        DeltaTable::with_config(base, DeltaConfig::default())
+    }
+
+    /// As [`DeltaTable::new`] with an explicit memory budget.
+    pub fn with_config(base: BaseTable, config: DeltaConfig) -> DeltaTable {
+        let schema = base.schema();
+        let base_rows = base.row_count();
+        let cols = schema
+            .iter()
+            .map(|&(_, dtype)| DeltaVals::empty_for(dtype))
+            .collect();
+        DeltaTable {
+            base,
+            schema,
+            base_rows,
+            cols,
+            live: Vec::new(),
+            dead_rows: 0,
+            tombstones: BTreeSet::new(),
+            bytes: 0,
+            config,
+        }
+    }
+
+    /// Convenience: a delta over an in-memory table.
+    pub fn from_eager(table: Arc<Table>) -> DeltaTable {
+        DeltaTable::new(BaseTable::Eager(table))
+    }
+
+    /// Convenience: a delta over a paged table.
+    pub fn from_paged(table: PagedTable) -> DeltaTable {
+        DeltaTable::new(BaseTable::Paged(table))
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        self.base.name()
+    }
+
+    /// The base this delta buffers against.
+    pub fn base(&self) -> &BaseTable {
+        &self.base
+    }
+
+    /// `(name, dtype)` pairs in schema order.
+    pub fn schema(&self) -> &[(String, DataType)] {
+        &self.schema
+    }
+
+    /// Base row count.
+    pub fn base_rows(&self) -> u64 {
+        self.base_rows
+    }
+
+    /// Live (not-deleted) appended rows.
+    pub fn delta_rows(&self) -> u64 {
+        (self.live.len() - self.dead_rows) as u64
+    }
+
+    /// Tombstoned base rows.
+    pub fn tombstone_count(&self) -> u64 {
+        self.tombstones.len() as u64
+    }
+
+    /// Logical row count a merged scan produces.
+    pub fn merged_rows(&self) -> u64 {
+        self.base_rows - self.tombstone_count() + self.delta_rows()
+    }
+
+    /// Approximate bytes the buffer holds.
+    pub fn buffered_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Whether a merged scan would be identical to a base scan.
+    pub fn is_clean(&self) -> bool {
+        self.delta_rows() == 0 && self.tombstones.is_empty()
+    }
+
+    /// Shift the process-wide delta gauges by the given amounts.
+    fn meter(&self, rows: i64, bytes: i64, tombstones: i64) {
+        let m = tde_obs::metrics::delta_metrics();
+        m.rows.add(rows);
+        m.bytes.add(bytes);
+        m.tombstones.add(tombstones);
+    }
+
+    /// Append `rows` (one `Vec<Value>` per row, schema order). The whole
+    /// batch is validated — width, per-column type, NULL widening — and
+    /// checked against the memory budget before anything mutates, so a
+    /// failed append leaves the buffer untouched.
+    pub fn append_rows(&mut self, rows: &[Vec<Value>]) -> io::Result<()> {
+        let ncols = self.schema.len();
+        let mut staged: Vec<Vec<Raw>> = Vec::with_capacity(rows.len());
+        let mut add_bytes = 0usize;
+        for row in rows {
+            if row.len() != ncols {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "row has {} value(s), table {:?} has {ncols} column(s)",
+                        row.len(),
+                        self.name()
+                    ),
+                ));
+            }
+            let raws = row
+                .iter()
+                .zip(&self.schema)
+                .map(|(v, (name, dtype))| raw_for(name, *dtype, v))
+                .collect::<io::Result<Vec<Raw>>>()?;
+            add_bytes += raws.iter().map(Raw::byte_cost).sum::<usize>() + 1;
+            staged.push(raws);
+        }
+        if self.bytes + add_bytes > self.config.max_bytes {
+            return Err(io::Error::new(
+                io::ErrorKind::OutOfMemory,
+                format!(
+                    "delta buffer for {:?} would exceed its {} byte budget \
+                     ({} held, {add_bytes} incoming) — compact first",
+                    self.name(),
+                    self.config.max_bytes,
+                    self.bytes
+                ),
+            ));
+        }
+        for raws in staged {
+            for (col, raw) in self.cols.iter_mut().zip(raws) {
+                match (col, raw) {
+                    (DeltaVals::Ints(v), Raw::Int(x)) => v.push(x),
+                    (DeltaVals::Strs(v), Raw::Str(s)) => v.push(s),
+                    _ => unreachable!("raw_for matched the column type"),
+                }
+            }
+            self.live.push(true);
+        }
+        self.bytes += add_bytes;
+        let n = rows.len() as i64;
+        self.meter(n, add_bytes as i64, 0);
+        tde_obs::metrics::delta_metrics().appends.add(n as u64);
+        Ok(())
+    }
+
+    /// Delete rows by id (base or delta row-id space). Deleting an
+    /// already-deleted row is a no-op; an out-of-range id fails the
+    /// whole call before anything mutates. Returns the number of rows
+    /// newly deleted.
+    pub fn delete(&mut self, row_ids: &[u64]) -> io::Result<u64> {
+        let upper = self.base_rows + self.live.len() as u64;
+        if let Some(&bad) = row_ids.iter().find(|&&id| id >= upper) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "row id {bad} out of range for {:?} ({upper} addressable row(s))",
+                    self.name()
+                ),
+            ));
+        }
+        let mut new_tombstones = 0i64;
+        let mut dead_delta = 0i64;
+        for &id in row_ids {
+            if id < self.base_rows {
+                if self.tombstones.insert(id) {
+                    new_tombstones += 1;
+                }
+            } else {
+                let slot = (id - self.base_rows) as usize;
+                if std::mem::replace(&mut self.live[slot], false) {
+                    self.dead_rows += 1;
+                    dead_delta += 1;
+                }
+            }
+        }
+        self.meter(-dead_delta, 0, new_tombstones);
+        let deleted = (new_tombstones + dead_delta) as u64;
+        tde_obs::metrics::delta_metrics().deletes.add(deleted);
+        Ok(deleted)
+    }
+
+    /// Update = delete the old rows, append the new images. `row_ids`
+    /// and `rows` must pair up.
+    pub fn update(&mut self, row_ids: &[u64], rows: &[Vec<Value>]) -> io::Result<()> {
+        if row_ids.len() != rows.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "update pairs {} row id(s) with {} replacement row(s)",
+                    row_ids.len(),
+                    rows.len()
+                ),
+            ));
+        }
+        // Validate the appends first so a bad replacement image does
+        // not leave the old rows half-deleted.
+        let ncols = self.schema.len();
+        for row in rows {
+            if row.len() != ncols {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("row has {} value(s), expected {ncols}", row.len()),
+                ));
+            }
+            for (v, (name, dtype)) in row.iter().zip(&self.schema) {
+                raw_for(name, *dtype, v)?;
+            }
+        }
+        self.delete(row_ids)?;
+        self.append_rows(rows)
+    }
+
+    /// Restore persisted tombstones (wire decode already validated
+    /// range and order).
+    pub(crate) fn restore_tombstones(&mut self, ts: BTreeSet<u64>) {
+        let n = ts.len() as i64;
+        self.tombstones = ts;
+        self.meter(0, 0, n);
+    }
+
+    /// Restore persisted delta columns (all rows live — the wire format
+    /// only persists live rows).
+    pub(crate) fn restore_delta(&mut self, cols: Vec<DeltaVals>) {
+        let rows = cols.first().map_or(0, DeltaVals::len);
+        let bytes: usize = cols
+            .iter()
+            .map(|c| match c {
+                DeltaVals::Ints(v) => v.len() * 8,
+                DeltaVals::Strs(v) => v
+                    .iter()
+                    .map(|s| s.as_ref().map_or(8, |s| 24 + s.len()))
+                    .sum(),
+            })
+            .sum::<usize>()
+            + rows;
+        self.cols = cols;
+        self.live = vec![true; rows];
+        self.dead_rows = 0;
+        self.bytes = bytes;
+        self.meter(rows as i64, bytes as i64, 0);
+    }
+
+    /// Swap in a new base (after an atomic re-save). The replacement
+    /// must describe the same logical table.
+    pub(crate) fn rebind(&mut self, base: BaseTable) {
+        assert_eq!(base.row_count(), self.base_rows, "rebind changed rows");
+        assert_eq!(base.schema(), self.schema, "rebind changed schema");
+        self.base = base;
+    }
+
+    /// Materialize the *base* table eagerly (save path — the delta is
+    /// persisted separately, as aux payloads).
+    pub(crate) fn materialize_base(&self) -> io::Result<Table> {
+        match &self.base {
+            BaseTable::Eager(t) => Ok((**t).clone()),
+            BaseTable::Paged(t) => t.load_all(),
+        }
+    }
+
+    /// Reset the buffer after a compaction drained it into `base`.
+    pub(crate) fn reset_onto(&mut self, base: BaseTable) {
+        self.meter(
+            -(self.delta_rows() as i64),
+            -(self.bytes as i64),
+            -(self.tombstones.len() as i64),
+        );
+        self.schema = base.schema();
+        self.base_rows = base.row_count();
+        self.base = base;
+        self.cols = self
+            .schema
+            .iter()
+            .map(|&(_, dtype)| DeltaVals::empty_for(dtype))
+            .collect();
+        self.live.clear();
+        self.dead_rows = 0;
+        self.tombstones.clear();
+        self.bytes = 0;
+    }
+
+    /// Freeze the buffer into an immutable merge snapshot for
+    /// [`tde_exec::merged_scan::MergedScan`].
+    ///
+    /// Per column this (a) translates buffered values into the base's
+    /// stored representation — heap tokens or dictionary codes —
+    /// extending a *clone* of the heap/dictionary only when the delta
+    /// introduces values the base never saw (base tokens/codes stay
+    /// valid: both structures are append-only), and (b) widens every
+    /// metadata claim the delta may have falsified, so the optimizer
+    /// never fetch-joins or run-folds through a lie.
+    pub fn snapshot(&self) -> io::Result<Arc<MergedSource>> {
+        let handles = self.base.handles()?;
+        let mut fields: Vec<Field> = handles.iter().map(|h| h.field(false)).collect();
+        let live_rows = self.delta_rows() as usize;
+        let mut delta_cols: Vec<Vec<i64>> = Vec::with_capacity(fields.len());
+        for (col, field) in self.cols.iter().zip(fields.iter_mut()) {
+            let raws = self.project_column(col, field)?;
+            self.widen_metadata(field, &raws);
+            delta_cols.push(raws);
+        }
+        let mut blocks = Vec::new();
+        let mut at = 0usize;
+        while at < live_rows {
+            let end = (at + BLOCK_ROWS).min(live_rows);
+            blocks.push(Block::new(
+                delta_cols.iter().map(|c| c[at..end].to_vec()).collect(),
+            ));
+            at = end;
+        }
+        Ok(Arc::new(MergedSource::new(
+            self.name().to_owned(),
+            handles,
+            fields,
+            self.base_rows,
+            Arc::new(self.tombstones.iter().copied().collect()),
+            blocks,
+        )))
+    }
+
+    /// Translate one buffered column's live rows into the merged
+    /// representation, extending `field.repr`'s heap/dictionary if the
+    /// delta holds values the base domain lacks.
+    fn project_column(&self, col: &DeltaVals, field: &mut Field) -> io::Result<Vec<i64>> {
+        let live = |i: usize| self.live[i];
+        match (col, &field.repr) {
+            (DeltaVals::Ints(vals), Repr::Scalar) => Ok(vals
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| live(i))
+                .map(|(_, &v)| v)
+                .collect()),
+            (DeltaVals::Ints(vals), Repr::DictIndex(dict)) => {
+                let mut code_of: HashMap<i64, i64> = dict
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &v)| (v, c as i64))
+                    .collect();
+                let mut merged: Option<Vec<i64>> = None;
+                let raws = vals
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| live(i))
+                    .map(|(_, &v)| {
+                        *code_of.entry(v).or_insert_with(|| {
+                            let m = merged.get_or_insert_with(|| dict.as_ref().clone());
+                            m.push(v);
+                            (m.len() - 1) as i64
+                        })
+                    })
+                    .collect();
+                if let Some(m) = merged {
+                    field.repr = Repr::DictIndex(Arc::new(m));
+                }
+                Ok(raws)
+            }
+            (DeltaVals::Strs(vals), Repr::Token(heap)) => {
+                let heap = Arc::clone(heap);
+                // Heaps do not deduplicate, so several tokens may map to
+                // one string; any of them is a valid representative.
+                let token_of: HashMap<&str, i64> =
+                    heap.iter().map(|(t, s)| (s, t as i64)).collect();
+                let mut overlay: Option<StringHeap> = None;
+                let mut fresh: Vec<(String, i64)> = Vec::new();
+                let mut raws = Vec::new();
+                for (i, s) in vals.iter().enumerate() {
+                    if !live(i) {
+                        continue;
+                    }
+                    let Some(s) = s else {
+                        raws.push(NULL_TOKEN as i64);
+                        continue;
+                    };
+                    if let Some(&t) = token_of.get(s.as_str()) {
+                        raws.push(t);
+                    } else if let Some((_, t)) = fresh.iter().find(|(f, _)| f == s) {
+                        raws.push(*t);
+                    } else {
+                        let h = overlay.get_or_insert_with(|| {
+                            StringHeap::from_bytes(heap.as_bytes().to_vec())
+                        });
+                        let t = h.append(s) as i64;
+                        fresh.push((s.clone(), t));
+                        raws.push(t);
+                    }
+                }
+                drop(token_of);
+                if let Some(h) = overlay {
+                    field.repr = Repr::Token(Arc::new(h));
+                    // The appended entries land at the end in insertion
+                    // order — a sorted heap is almost certainly sorted
+                    // no longer.
+                    field.metadata.sorted_heap_tokens = Knowledge::Unknown;
+                }
+                Ok(raws)
+            }
+            _ => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "column {:?}: buffered kind does not match base representation",
+                    field.name
+                ),
+            )),
+        }
+    }
+
+    /// Widen `field.metadata` for the live delta rows `raws` (already
+    /// in the stored domain) and the tombstone set. Claims are only ever
+    /// *weakened* to `Unknown` — never flipped to `False`, which would
+    /// itself be a new claim the fuzzer's claim-verification oracle
+    /// could catch lying.
+    fn widen_metadata(&self, field: &mut Field, raws: &[i64]) {
+        let md = &mut field.metadata;
+        if !raws.is_empty() {
+            md.sorted_asc = Knowledge::Unknown;
+            md.dense = Knowledge::Unknown;
+            md.unique = Knowledge::Unknown;
+            md.cardinality = None;
+            md.width = Width::W8;
+            // min/max claims bound every stored raw, NULL sentinels
+            // included — the builder's load statistics do the same, and
+            // the hash-strategy key packing banks on the envelope being
+            // total (an out-of-envelope sentinel would index a direct
+            // table out of bounds). Dictionary claims live in the
+            // *value* domain: resolve codes through the (possibly
+            // merged) dictionary before widening.
+            let null_raw = match (&field.repr, field.dtype) {
+                (Repr::Token(_), _) => NULL_TOKEN as i64,
+                (_, DataType::Real) => null_real().to_bits() as i64,
+                _ => NULL_I64,
+            };
+            let dict = match &field.repr {
+                Repr::DictIndex(d) => Some(Arc::clone(d)),
+                _ => None,
+            };
+            for &r in raws {
+                let v = match &dict {
+                    Some(d) => d[r as usize],
+                    None => r,
+                };
+                if v == null_raw {
+                    md.has_nulls = Knowledge::True;
+                }
+                md.min = md.min.map(|m| m.min(v));
+                md.max = md.max.map(|m| m.max(v));
+            }
+        }
+        if !self.tombstones.is_empty() {
+            // Deletion preserves sortedness and uniqueness and can only
+            // shrink the value envelope (min/max stay valid bounds) —
+            // but a dense range with holes is dense no more.
+            md.dense = Knowledge::Unknown;
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use tde_exec::merged_scan::MergedScan;
+    use tde_exec::{count_rows, drain, Operator};
+    use tde_storage::{ColumnBuilder, EncodingPolicy};
+
+    pub(crate) fn people(rows: i64) -> Arc<Table> {
+        let mut id = ColumnBuilder::new("id", DataType::Integer, EncodingPolicy::default());
+        let mut name = ColumnBuilder::new("name", DataType::Str, EncodingPolicy::default());
+        let mut score = ColumnBuilder::new("score", DataType::Real, EncodingPolicy::default());
+        for i in 0..rows {
+            id.append_i64(i);
+            name.append_str(Some(["ann", "bob", "cat"][i as usize % 3]));
+            score.append_f64(i as f64 / 2.0);
+        }
+        Arc::new(Table::new(
+            "people",
+            vec![
+                id.finish().column,
+                name.finish().column,
+                score.finish().column,
+            ],
+        ))
+    }
+
+    fn row(id: i64, name: Option<&str>, score: Option<f64>) -> Vec<Value> {
+        vec![
+            Value::Int(id),
+            name.map_or(Value::Null, |s| Value::Str(s.into())),
+            score.map_or(Value::Null, Value::Real),
+        ]
+    }
+
+    #[test]
+    fn append_delete_update_roundtrip() {
+        let mut dt = DeltaTable::from_eager(people(100));
+        assert!(dt.is_clean());
+        dt.append_rows(&[row(100, Some("dee"), Some(1.5)), row(101, None, None)])
+            .unwrap();
+        assert_eq!(dt.delta_rows(), 2);
+        assert_eq!(dt.delete(&[0, 5, 100]).unwrap(), 3); // 2 base + delta row 100
+        assert_eq!(dt.tombstone_count(), 2);
+        assert_eq!(dt.delta_rows(), 1);
+        assert_eq!(dt.delete(&[5]).unwrap(), 0); // idempotent
+        assert_eq!(dt.merged_rows(), 100 - 2 + 1);
+        dt.update(&[3], &[row(300, Some("eve"), Some(9.0))])
+            .unwrap();
+        assert_eq!(dt.tombstone_count(), 3);
+        assert_eq!(dt.delta_rows(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rows() {
+        let mut dt = DeltaTable::from_eager(people(10));
+        // Wrong width.
+        assert!(dt.append_rows(&[vec![Value::Int(1)]]).is_err());
+        // Wrong type.
+        let bad = vec![Value::Str("x".into()), Value::Int(2), Value::Real(0.0)];
+        assert!(dt.append_rows(&[bad]).is_err());
+        // A failed batch leaves nothing behind.
+        assert_eq!(dt.delta_rows(), 0);
+        assert_eq!(dt.buffered_bytes(), 0);
+        // Out-of-range delete fails whole.
+        assert!(dt.delete(&[3, 10_000]).is_err());
+        assert_eq!(dt.tombstone_count(), 0);
+    }
+
+    #[test]
+    fn memory_budget_bounds_appends() {
+        let mut dt =
+            DeltaTable::with_config(BaseTable::Eager(people(10)), DeltaConfig { max_bytes: 200 });
+        let r = row(1, Some("a-long-enough-string"), Some(2.0));
+        dt.append_rows(std::slice::from_ref(&r)).unwrap();
+        let err = loop {
+            match dt.append_rows(std::slice::from_ref(&r)) {
+                Ok(()) => {}
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), io::ErrorKind::OutOfMemory);
+        assert!(dt.buffered_bytes() <= 200);
+    }
+
+    #[test]
+    fn snapshot_merges_and_extends_domains() {
+        let mut dt = DeltaTable::from_eager(people(50));
+        dt.append_rows(&[
+            row(50, Some("zed"), Some(4.5)), // "zed" is new to the heap
+            row(51, Some("ann"), None),      // "ann" reuses a base token
+        ])
+        .unwrap();
+        dt.delete(&[0, 49]).unwrap();
+        let src = dt.snapshot().unwrap();
+        assert_eq!(src.merged_rows(), 50 - 2 + 2);
+        // The merged heap must resolve both old and new strings.
+        let scan = MergedScan::all(Arc::clone(&src), false);
+        let schema = scan.schema().clone();
+        let blocks = drain(Box::new(scan));
+        let names: Vec<Value> = blocks
+            .iter()
+            .flat_map(|b| b.columns[1].iter().map(|&t| schema.fields[1].value_of(t)))
+            .collect();
+        assert_eq!(names.len(), 50);
+        assert_eq!(names[0], Value::Str("bob".into())); // row 0 tombstoned
+        assert_eq!(names[48], Value::Str("zed".into()));
+        assert_eq!(names[49], Value::Str("ann".into()));
+        // Claims the delta falsified are widened, never asserted.
+        for f in &schema.fields {
+            assert_ne!(f.metadata.dense, Knowledge::True);
+        }
+    }
+
+    #[test]
+    fn snapshot_of_clean_delta_is_base_scan() {
+        let t = people(500);
+        let dt = DeltaTable::from_eager(Arc::clone(&t));
+        let src = dt.snapshot().unwrap();
+        assert_eq!(
+            count_rows(Box::new(MergedScan::all(src, false))),
+            t.row_count()
+        );
+    }
+
+    #[test]
+    fn dictionary_column_extends_on_new_value() {
+        let codes: Vec<i64> = (0..400i64).map(|i| i % 2).collect();
+        let r = tde_encodings::dynamic::encode_all(&codes, Width::W8, false);
+        let col = tde_storage::Column {
+            name: "d".into(),
+            dtype: DataType::Integer,
+            data: r.stream,
+            compression: tde_storage::Compression::Array {
+                dictionary: vec![10, 20],
+                sorted: true,
+            },
+            metadata: tde_encodings::ColumnMetadata::unknown(),
+        };
+        let mut dt = DeltaTable::from_eager(Arc::new(Table::new("t", vec![col])));
+        dt.append_rows(&[
+            vec![Value::Int(20)],
+            vec![Value::Int(77)],
+            vec![Value::Null],
+        ])
+        .unwrap();
+        let src = dt.snapshot().unwrap();
+        let scan = MergedScan::all(src, true); // expand to scalars
+        let blocks = drain(Box::new(scan));
+        let all: Vec<i64> = blocks.iter().flat_map(|b| b.columns[0].clone()).collect();
+        assert_eq!(all.len(), 403);
+        assert_eq!(&all[400..], &[20, 77, NULL_I64]);
+    }
+}

@@ -36,6 +36,7 @@ pub mod hash;
 pub mod index_table;
 pub mod indexed_scan;
 pub mod join;
+pub mod merged_scan;
 pub mod obs;
 pub mod parallel;
 pub mod project;

@@ -1,0 +1,254 @@
+//! Differential oracle for the `tde-delta` merge-on-read path.
+//!
+//! A case's `(delta …)` ops replay against two worlds at once: a
+//! [`DeltaTable`] over the built base table (merged snapshots, tombstone
+//! masking, mid-sequence compaction through the dynamic encoder) and a
+//! plain vector-of-rows model that applies the same mutations by hand.
+//! After the interleaving, the engine's merged view must agree with a
+//! table rebuilt *from scratch* from the model's surviving rows:
+//!
+//! * the case's full plan over `Query::scan_delta` vs the rebuild, under
+//!   every build-policy variant the re-encoding oracle already uses (the
+//!   encoding axis of the matrix), and
+//! * every base-schema predicate through the merged scan's pushed-kernel,
+//!   forced-fallback and plain-Filter paths, compared exactly — merged
+//!   scans guarantee base-order-then-append-order, which is precisely the
+//!   model's slot order (the predicate axis).
+//!
+//! Appended rows derive deterministically from the op's salt, so a pinned
+//! `.case` file replays the exact mutation history with no generator.
+
+use crate::gen::WORDS;
+use crate::oracle::{base_preds, canon, diff, rows_of, Discrepancy};
+use crate::spec::{CaseSpec, ColDtype, ColumnData, DeltaOpSpec, Policy};
+use std::sync::Arc;
+use tde_core::Query;
+use tde_delta::DeltaTable;
+use tde_exec::filter::Filter;
+use tde_exec::merged_scan::MergedScan;
+use tde_storage::Table;
+use tde_types::Value;
+
+/// Words the base generator never emits — appends drawing these force
+/// the snapshot's heap overlay (new tokens past the base heap's end).
+const FRESH_WORDS: &[&str] = &["umbra", "vertex", "willow", "xenon", "yonder", "zephyr"];
+
+fn mix(salt: u64, k: u64) -> u64 {
+    let mut h = salt ^ k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    h ^= h >> 29;
+    h
+}
+
+/// The `i`-th appended row for `salt`, in the spec's base schema.
+/// Deterministic and generator-free so a replayed case appends the very
+/// rows the sweep did. Values mostly land inside the base's likely
+/// domain (so predicates and dictionaries hit), with NULLs and
+/// heap-extending fresh strings mixed in.
+fn appended_row(spec: &CaseSpec, salt: u64, i: u64) -> Vec<Value> {
+    spec.columns
+        .iter()
+        .enumerate()
+        .map(|(c, col)| {
+            let h = mix(salt, i.wrapping_mul(31).wrapping_add(c as u64));
+            if h.is_multiple_of(11) {
+                return Value::Null;
+            }
+            match col.dtype() {
+                ColDtype::Int => Value::Int((h % 201) as i64 - 100),
+                ColDtype::Str => {
+                    if h.is_multiple_of(5) {
+                        let w = FRESH_WORDS[(h / 7) as usize % FRESH_WORDS.len()];
+                        Value::Str(format!("{w}{}", h % 3))
+                    } else {
+                        Value::Str(WORDS[(h / 11) as usize % WORDS.len()].to_string())
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// The base table's logical rows, straight from the spec's data (one
+/// model slot per addressable row id).
+fn base_rows_of(spec: &CaseSpec) -> Vec<Vec<Value>> {
+    (0..spec.rows())
+        .map(|r| {
+            spec.columns
+                .iter()
+                .map(|c| match &c.data {
+                    ColumnData::Ints(v) => v[r].map_or(Value::Null, Value::Int),
+                    ColumnData::Strs(v) => v[r].clone().map_or(Value::Null, Value::Str),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// A spec describing the *final* logical table: the original columns
+/// (names, policies, array conversions, plan, TLP) with their data
+/// replaced by the model's surviving rows and the delta ops cleared.
+/// Building it runs the full import path from scratch — the rebuild leg
+/// of the differential.
+fn respec(spec: &CaseSpec, slots: &[Option<Vec<Value>>]) -> CaseSpec {
+    let mut s = spec.clone();
+    s.delta.clear();
+    for (c, col) in s.columns.iter_mut().enumerate() {
+        match &mut col.data {
+            ColumnData::Ints(v) => {
+                *v = slots
+                    .iter()
+                    .flatten()
+                    .map(|row| match &row[c] {
+                        Value::Int(x) => Some(*x),
+                        Value::Null => None,
+                        other => unreachable!("int column holds {other:?}"),
+                    })
+                    .collect();
+            }
+            ColumnData::Strs(v) => {
+                *v = slots
+                    .iter()
+                    .flatten()
+                    .map(|row| match &row[c] {
+                        Value::Str(x) => Some(x.clone()),
+                        Value::Null => None,
+                        other => unreachable!("str column holds {other:?}"),
+                    })
+                    .collect();
+            }
+        }
+    }
+    s
+}
+
+/// Replay the interleaving against the delta store and the model, then
+/// check every agreement the merge-on-read contract promises.
+pub fn delta_diff(spec: &CaseSpec, table: &Arc<Table>, ds: &mut Vec<Discrepancy>) {
+    if spec.delta.is_empty() {
+        return;
+    }
+    let fail = |detail: String| Discrepancy {
+        oracle: "delta-diff",
+        detail,
+    };
+
+    let mut dt = DeltaTable::from_eager(Arc::clone(table));
+    // One slot per addressable row id (base ids, then append slots —
+    // deleted appends keep their slot, exactly like the store). `None`
+    // marks a deleted row; compaction keeps survivors and renumbers.
+    let mut slots: Vec<Option<Vec<Value>>> = base_rows_of(spec).into_iter().map(Some).collect();
+    for (opno, op) in spec.delta.iter().enumerate() {
+        match op {
+            DeltaOpSpec::Append { count, salt } => {
+                let rows: Vec<Vec<Value>> = (0..*count as u64)
+                    .map(|i| appended_row(spec, *salt, i))
+                    .collect();
+                if let Err(e) = dt.append_rows(&rows) {
+                    ds.push(fail(format!("op #{opno} append: {e}")));
+                    return;
+                }
+                slots.extend(rows.into_iter().map(Some));
+            }
+            DeltaOpSpec::Delete { start, step, count } => {
+                let total = slots.len() as u64;
+                if total == 0 {
+                    continue;
+                }
+                let ids: Vec<u64> = (0..*count as u64)
+                    .map(|k| start.wrapping_add(k.wrapping_mul(*step)) % total)
+                    .collect();
+                if let Err(e) = dt.delete(&ids) {
+                    ds.push(fail(format!("op #{opno} delete: {e}")));
+                    return;
+                }
+                for &id in &ids {
+                    slots[id as usize] = None;
+                }
+            }
+            DeltaOpSpec::Compact => {
+                if let Err(e) = dt.compact() {
+                    ds.push(fail(format!("op #{opno} compact: {e}")));
+                    return;
+                }
+                slots.retain(Option::is_some);
+            }
+        }
+    }
+
+    let live = slots.iter().flatten().count() as u64;
+    if dt.merged_rows() != live {
+        ds.push(fail(format!(
+            "store sees {} merged row(s), model has {live}",
+            dt.merged_rows()
+        )));
+        return;
+    }
+    let src = match dt.snapshot() {
+        Ok(s) => s,
+        Err(e) => {
+            ds.push(fail(format!("snapshot: {e}")));
+            return;
+        }
+    };
+
+    // Encoding axis: the full plan over the merged view vs a from-scratch
+    // rebuild of the final table, under every policy variant.
+    let merged_full = canon(spec.apply_plan(Query::scan_delta(&src)).rows());
+    let rebuilt_spec = respec(spec, &slots);
+    if let Err(e) = rebuilt_spec.validate() {
+        ds.push(fail(format!("rebuilt spec invalid: {e}")));
+        return;
+    }
+    let mut variants: Vec<(&'static str, Option<Policy>)> = vec![
+        ("spec-policies", None),
+        ("nosort", Some(Policy::NoSortHeaps)),
+        ("noconvert", Some(Policy::NoConvert)),
+        ("inner", Some(Policy::InnerSide)),
+    ];
+    if spec.columns.iter().all(|c| c.dtype() == ColDtype::Int) {
+        variants.push(("baseline", Some(Policy::Baseline)));
+    }
+    for (name, policy) in variants {
+        let rebuilt = rebuilt_spec.build_table_with(policy);
+        let got = canon(rebuilt_spec.apply_plan(Query::scan(&rebuilt)).rows());
+        if let Some(d) = diff(&format!("rebuild-{name}"), &got, "merged", &merged_full) {
+            ds.push(fail(d));
+        }
+    }
+
+    // Predicate axis: every base predicate through the merged scan's
+    // pushed-kernel, forced-fallback and plain-Filter paths. Merged
+    // scans emit base order then append order — the model's slot order —
+    // so the comparison is exact, including against the rebuild.
+    let rebuilt = rebuilt_spec.build_table_with(None);
+    for (i, pred) in base_preds(spec).iter().enumerate() {
+        let expr = pred.expr();
+        let reference = rows_of(Box::new(Filter::new(
+            Box::new(MergedScan::all(Arc::clone(&src), false)),
+            expr.clone(),
+        )));
+        let pushed = rows_of(Box::new(
+            MergedScan::all(Arc::clone(&src), false).with_pushed(expr.clone(), false),
+        ));
+        let fallback = rows_of(Box::new(
+            MergedScan::all(Arc::clone(&src), false).with_pushed(expr.clone(), true),
+        ));
+        if let Some(d) = diff("merged-pushed", &pushed, "merged-filter", &reference) {
+            ds.push(fail(format!("pred #{i}: {d}")));
+        }
+        if let Some(d) = diff("merged-fallback", &fallback, "merged-filter", &reference) {
+            ds.push(fail(format!("pred #{i}: {d}")));
+        }
+        let on_rebuild = Query::scan(&rebuilt).filter(expr.clone()).rows();
+        if let Some(d) = diff(
+            "rebuild-filter",
+            &canon(on_rebuild),
+            "merged-filter",
+            &canon(reference),
+        ) {
+            ds.push(fail(format!("pred #{i}: {d}")));
+        }
+    }
+}

@@ -12,12 +12,13 @@
 //! oracles do their work.
 
 use crate::spec::{
-    AggKind, CaseSpec, ColDtype, ColumnData, ColumnSpec, LitSpec, PlanOpSpec, Policy, PredSpec,
+    AggKind, CaseSpec, ColDtype, ColumnData, ColumnSpec, DeltaOpSpec, LitSpec, PlanOpSpec, Policy,
+    PredSpec,
 };
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use tde_exec::expr::CmpOp;
 
-const WORDS: &[&str] = &[
+pub(crate) const WORDS: &[&str] = &[
     "alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliet",
     "kilo", "lima", "mike", "november", "oscar", "papa", "quebec", "romeo", "sierra", "tango",
 ];
@@ -86,16 +87,48 @@ pub fn generate(seed: u64) -> CaseSpec {
 
     let base_schema: Vec<ColDtype> = columns.iter().map(ColumnSpec::dtype).collect();
     let tlp = Some(gen_pred(&mut rng, &columns, &base_schema, 0));
+    let delta = gen_delta(&mut rng);
 
     let spec = CaseSpec {
         seed,
         columns,
         plan,
+        delta,
         tlp,
         inject: None,
     };
     debug_assert!(spec.validate().is_ok(), "{:?}", spec.validate());
     spec
+}
+
+/// ~45% of cases get a 1–4 op buffered-mutation interleaving for the
+/// delta oracle. Appends are mostly small but occasionally large enough
+/// to straddle the execution block boundary inside the delta itself;
+/// deletes hit both sides of the base/delta id split (ids wrap modulo
+/// the live id space at replay time); a compaction mid-sequence
+/// exercises re-encoding and row-id renumbering under later ops.
+fn gen_delta(rng: &mut StdRng) -> Vec<DeltaOpSpec> {
+    if !rng.gen_bool(0.45) {
+        return Vec::new();
+    }
+    (0..rng.gen_range(1..=4usize))
+        .map(|_| match rng.gen_range(0..10u32) {
+            0..=4 => DeltaOpSpec::Append {
+                count: if rng.gen_bool(0.85) {
+                    rng.gen_range(1..=30)
+                } else {
+                    rng.gen_range(900..=1300)
+                },
+                salt: rng.gen_range(0..1_000_000u64),
+            },
+            5..=7 => DeltaOpSpec::Delete {
+                start: rng.gen_range(0..2000u64),
+                step: rng.gen_range(1..=7u64),
+                count: rng.gen_range(1..=40usize),
+            },
+            _ => DeltaOpSpec::Compact,
+        })
+        .collect()
 }
 
 fn pick_rows(rng: &mut StdRng) -> usize {
@@ -363,8 +396,12 @@ mod tests {
         let mut with_agg = 0;
         let mut with_nulls = 0;
         let mut empty = 0;
+        let mut with_delta = 0;
+        let mut with_compact = 0;
         for seed in 0..200 {
             let s = generate(seed);
+            with_delta += (!s.delta.is_empty()) as usize;
+            with_compact += s.delta.iter().any(|op| matches!(op, DeltaOpSpec::Compact)) as usize;
             str_cols += s
                 .columns
                 .iter()
@@ -384,5 +421,7 @@ mod tests {
         assert!(with_agg > 50, "plans with aggregate: {with_agg}");
         assert!(with_nulls > 40, "cases with NULLs: {with_nulls}");
         assert!(empty >= 1, "empty tables: {empty}");
+        assert!(with_delta > 50, "cases with delta ops: {with_delta}");
+        assert!(with_compact > 5, "cases with a compaction: {with_compact}");
     }
 }

@@ -13,12 +13,17 @@
 //!   scan/filter/project/aggregate/sort.
 //! * [`oracle`] — the oracle families (differential, metamorphic,
 //!   invariant); see that module's docs.
+//! * [`delta_oracle`] — the merge-on-read differential: a case's
+//!   `(delta …)` append/delete/compact interleaving replayed against a
+//!   `tde-delta` store must match a from-scratch rebuild of the final
+//!   logical table across the encoding×predicate matrix.
 //! * [`shrink`] — the fixpoint reducer minimizing rows, columns, plan
 //!   operators and predicates while preserving the original failure.
 //!
 //! Everything is deterministic in the seed: `run_seed(n)` always builds
 //! the same case, so a seed number alone reproduces a sweep failure.
 
+pub mod delta_oracle;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;

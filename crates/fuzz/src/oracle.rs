@@ -9,7 +9,9 @@
 //!   a time), `kernel_diff` (compressed-domain kernel vs forced fallback
 //!   vs a plain Filter), `paged_diff` (paged v2 re-open vs the eager
 //!   in-memory table), `parallel_diff` (exchange routing modes and the §8
-//!   parallel indexed rollup vs serial execution).
+//!   parallel indexed rollup vs serial execution), and
+//!   [`crate::delta_oracle::delta_diff`] (merge-on-read over a mutated
+//!   delta store vs a from-scratch rebuild of the final logical table).
 //! * **Metamorphic** — `tlp_partition` (SQLancer-style predicate
 //!   partitioning: the engine's two-valued predicates make `σ[p] ⊎ σ[¬p]`
 //!   an exact partition, and the NULL leg splits `¬p` further), plus
@@ -102,6 +104,7 @@ pub fn run_case(spec: &CaseSpec) -> CaseReport {
         parallel_diff(spec, &table, &mut ds);
         tlp_partition(spec, &table, &mut ds);
         reencode_invariance(spec, &table, &mut ds);
+        crate::delta_oracle::delta_diff(spec, &table, &mut ds);
     }
     let trace = if ds.is_empty() {
         None
@@ -227,7 +230,7 @@ fn preview(rows: &[Vec<Value>]) -> String {
 }
 
 /// `None` when equal, else a two-sided description.
-fn diff(lhs: &str, a: &[Vec<Value>], rhs: &str, b: &[Vec<Value>]) -> Option<String> {
+pub(crate) fn diff(lhs: &str, a: &[Vec<Value>], rhs: &str, b: &[Vec<Value>]) -> Option<String> {
     if a == b {
         return None;
     }
@@ -250,7 +253,7 @@ fn opts(
 
 /// The base-schema predicates of the case: leading plan filters (before
 /// any projection changes the column indexes) plus the TLP predicate.
-fn base_preds(spec: &CaseSpec) -> Vec<&PredSpec> {
+pub(crate) fn base_preds(spec: &CaseSpec) -> Vec<&PredSpec> {
     let mut preds: Vec<&PredSpec> = spec
         .plan
         .iter()

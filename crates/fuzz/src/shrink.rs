@@ -10,7 +10,7 @@
 //! bug).
 
 use crate::oracle::{run_case_catching, CaseReport};
-use crate::spec::{CaseSpec, PlanOpSpec, PredSpec};
+use crate::spec::{CaseSpec, DeltaOpSpec, PlanOpSpec, PredSpec};
 
 /// What the shrinker did.
 #[derive(Debug)]
@@ -51,6 +51,7 @@ pub fn shrink(spec: &CaseSpec, budget: usize) -> ShrinkOutcome {
         changed |= shrink_columns(&mut best, &mut ctx);
         changed |= shrink_preds(&mut best, &mut ctx);
         changed |= shrink_tlp(&mut best, &mut ctx);
+        changed |= shrink_delta(&mut best, &mut ctx);
         if !changed || ctx.evals >= ctx.budget || ctx.evals == before {
             break;
         }
@@ -302,6 +303,52 @@ fn shrink_preds(best: &mut CaseSpec, ctx: &mut Ctx) -> bool {
                     changed = true;
                     progress = true;
                     break;
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Drop delta ops (last first — earlier ops shape the id space later
+/// ones address), then halve append/delete counts to a fixpoint.
+fn shrink_delta(best: &mut CaseSpec, ctx: &mut Ctx) -> bool {
+    let mut changed = false;
+    let mut i = best.delta.len();
+    while i > 0 {
+        i -= 1;
+        let mut candidate = best.clone();
+        candidate.delta.remove(i);
+        if ctx.still_fails(&candidate) {
+            *best = candidate;
+            changed = true;
+        }
+    }
+    let mut progress = true;
+    while progress && ctx.evals < ctx.budget {
+        progress = false;
+        for i in 0..best.delta.len() {
+            let smaller = match best.delta[i] {
+                DeltaOpSpec::Append { count, salt } if count > 1 => Some(DeltaOpSpec::Append {
+                    count: count / 2,
+                    salt,
+                }),
+                DeltaOpSpec::Delete { start, step, count } if count > 1 => {
+                    Some(DeltaOpSpec::Delete {
+                        start,
+                        step,
+                        count: count / 2,
+                    })
+                }
+                _ => None,
+            };
+            if let Some(op) = smaller {
+                let mut candidate = best.clone();
+                candidate.delta[i] = op;
+                if ctx.still_fails(&candidate) {
+                    *best = candidate;
+                    changed = true;
+                    progress = true;
                 }
             }
         }

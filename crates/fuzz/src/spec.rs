@@ -190,6 +190,35 @@ impl ColumnSpec {
     }
 }
 
+/// One step of a buffered-mutation interleaving replayed against a
+/// `tde-delta` [`DeltaTable`](tde_delta::DeltaTable) over the case's
+/// base table. Appends derive their rows deterministically from the
+/// salt, so the op list alone reproduces the exact mutation history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOpSpec {
+    /// Append `count` rows derived from `salt`.
+    Append {
+        /// Rows to append.
+        count: usize,
+        /// Seed for the deterministic row derivation.
+        salt: u64,
+    },
+    /// Delete the `count` row ids `start + k·step`, each wrapped modulo
+    /// the addressable id space at execution time (so the op is valid
+    /// whatever the interleaving did before it).
+    Delete {
+        /// First id in the arithmetic progression.
+        start: u64,
+        /// Progression stride (≥ 1).
+        step: u64,
+        /// Ids to delete.
+        count: usize,
+    },
+    /// Drain the buffer through the dynamic encoder into a fresh base,
+    /// renumbering the row-id space.
+    Compact,
+}
+
 /// A predicate literal.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LitSpec {
@@ -362,6 +391,9 @@ pub struct CaseSpec {
     pub columns: Vec<ColumnSpec>,
     /// Plan operators above the scan, bottom-up.
     pub plan: Vec<PlanOpSpec>,
+    /// Buffered-mutation interleaving for the delta oracle (empty =
+    /// the case never touches `tde-delta`).
+    pub delta: Vec<DeltaOpSpec>,
     /// Predicate for the ternary-partitioning metamorphic oracle, over
     /// the *base* columns.
     pub tlp: Option<PredSpec>,
@@ -400,6 +432,17 @@ impl CaseSpec {
         if let Some(inj) = &self.inject {
             if inj.column >= self.columns.len() {
                 return Err("injection column out of range".into());
+            }
+        }
+        for op in &self.delta {
+            match op {
+                DeltaOpSpec::Append { count: 0, .. } => {
+                    return Err("delta append of zero rows".into())
+                }
+                DeltaOpSpec::Delete { step, count, .. } if *step == 0 || *count == 0 => {
+                    return Err("delta delete wants a nonzero step and count".into())
+                }
+                _ => {}
             }
         }
         for op in &self.plan {
@@ -617,6 +660,12 @@ impl Sexp {
         self.atom()?
             .parse()
             .map_err(|_| format!("expected index, got {self:?}"))
+    }
+
+    fn uint(&self) -> Result<u64, String> {
+        self.atom()?
+            .parse()
+            .map_err(|_| format!("expected unsigned integer, got {self:?}"))
     }
 }
 
@@ -914,6 +963,22 @@ impl CaseSpec {
             }
         }
         out.push_str(")\n");
+        if !self.delta.is_empty() {
+            out.push_str("  (delta");
+            for op in &self.delta {
+                out.push_str("\n    ");
+                match op {
+                    DeltaOpSpec::Append { count, salt } => {
+                        let _ = write!(out, "(append {count} {salt})");
+                    }
+                    DeltaOpSpec::Delete { start, step, count } => {
+                        let _ = write!(out, "(delete {start} {step} {count})");
+                    }
+                    DeltaOpSpec::Compact => out.push_str("(compact)"),
+                }
+            }
+            out.push_str(")\n");
+        }
         if let Some(p) = &self.tlp {
             out.push_str("  (tlp ");
             write_pred(&mut out, p);
@@ -940,6 +1005,7 @@ impl CaseSpec {
             seed: 0,
             columns: Vec::new(),
             plan: Vec::new(),
+            delta: Vec::new(),
             tlp: None,
             inject: None,
         };
@@ -1074,6 +1140,44 @@ impl CaseSpec {
                         spec.plan.push(op);
                     }
                 }
+                "delta" => {
+                    for op in &parts[1..] {
+                        let op_parts = op.list()?;
+                        let op_head = op_parts
+                            .first()
+                            .ok_or_else(|| "empty delta op".to_string())?
+                            .atom()?;
+                        let op = match op_head {
+                            "append" => {
+                                if op_parts.len() != 3 {
+                                    return Err("append wants count and salt".into());
+                                }
+                                DeltaOpSpec::Append {
+                                    count: op_parts[1].index()?,
+                                    salt: op_parts[2].uint()?,
+                                }
+                            }
+                            "delete" => {
+                                if op_parts.len() != 4 {
+                                    return Err("delete wants start, step and count".into());
+                                }
+                                DeltaOpSpec::Delete {
+                                    start: op_parts[1].uint()?,
+                                    step: op_parts[2].uint()?,
+                                    count: op_parts[3].index()?,
+                                }
+                            }
+                            "compact" => {
+                                if op_parts.len() != 1 {
+                                    return Err("compact takes no operands".into());
+                                }
+                                DeltaOpSpec::Compact
+                            }
+                            other => return Err(format!("unknown delta op {other}")),
+                        };
+                        spec.delta.push(op);
+                    }
+                }
                 "tlp" => {
                     if parts.len() != 2 {
                         return Err("tlp wants a predicate".into());
@@ -1140,6 +1244,18 @@ mod tests {
                 },
                 PlanOpSpec::Sort(vec![(1, false), (0, true)]),
             ],
+            delta: vec![
+                DeltaOpSpec::Append {
+                    count: 3,
+                    salt: u64::MAX,
+                },
+                DeltaOpSpec::Delete {
+                    start: 1,
+                    step: 2,
+                    count: 2,
+                },
+                DeltaOpSpec::Compact,
+            ],
             tlp: Some(PredSpec::Cmp(CmpOp::Eq, 1, LitSpec::Str("alpha".into()))),
             inject: Some(Injection {
                 column: 0,
@@ -1163,6 +1279,13 @@ mod tests {
     fn validation_rejects_bad_specs() {
         let mut spec = sample();
         spec.plan.push(PlanOpSpec::Sort(vec![(9, true)]));
+        assert!(spec.validate().is_err());
+        let mut spec = sample();
+        spec.delta.push(DeltaOpSpec::Delete {
+            start: 0,
+            step: 0,
+            count: 1,
+        });
         assert!(spec.validate().is_err());
         let mut spec = sample();
         spec.columns[1].data = ColumnData::Strs(vec![None]);

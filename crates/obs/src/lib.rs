@@ -122,6 +122,20 @@ pub enum Event {
         /// per-row decode-then-eval work.
         rows_skipped: u64,
     },
+    /// A delta compaction drained one table's write-optimized buffer
+    /// through the dynamic encoder into fresh compressed segments.
+    Compaction {
+        /// Table name.
+        table: String,
+        /// Delta rows drained into the rebuilt table.
+        delta_rows: u64,
+        /// Tombstoned base rows dropped by the rebuild.
+        tombstones: u64,
+        /// Rows in the rebuilt (compacted) table.
+        rows_out: u64,
+        /// Wall time of the compaction, in nanoseconds.
+        nanos: u64,
+    },
     /// A FlowTable finished building one column (§3.3).
     ColumnBuilt {
         /// Destination table name.
@@ -191,6 +205,19 @@ impl std::fmt::Display for Event {
                     f,
                     "[kernel-scan] {column}: {kernel}, {rows_in} in, {rows_out} out, \
                      {rows_skipped} skipped"
+                )
+            }
+            Event::Compaction {
+                table,
+                delta_rows,
+                tombstones,
+                rows_out,
+                nanos,
+            } => {
+                write!(
+                    f,
+                    "[compaction] {table}: {delta_rows} delta row(s) drained, \
+                     {tombstones} tombstone(s) dropped, {rows_out} rows out, {nanos} ns"
                 )
             }
             Event::ColumnBuilt {
@@ -283,6 +310,21 @@ impl Event {
                 rows_in,
                 rows_out,
                 rows_skipped
+            ),
+            Event::Compaction {
+                table,
+                delta_rows,
+                tombstones,
+                rows_out,
+                nanos,
+            } => format!(
+                "{{\"kind\":\"compaction\",\"table\":\"{}\",\"delta_rows\":{},\
+                 \"tombstones\":{},\"rows_out\":{},\"nanos\":{}}}",
+                json_escape(table),
+                delta_rows,
+                tombstones,
+                rows_out,
+                nanos
             ),
             Event::ColumnBuilt {
                 table,

@@ -724,6 +724,70 @@ pub fn segment_load(segment: &'static str, bytes: u64, nanos: u64) {
     segment_load_ns().observe(nanos);
 }
 
+/// Pre-resolved delta-store instruments (tde-delta). Gauges track the
+/// *live* write-optimized state across every open store; counters
+/// accumulate mutation traffic over the process lifetime.
+#[derive(Debug, Clone)]
+pub struct DeltaMetrics {
+    /// `tde_delta_rows` (gauge) — live uncompacted delta rows.
+    pub rows: Arc<Gauge>,
+    /// `tde_delta_bytes` (gauge) — approximate bytes held by delta buffers.
+    pub bytes: Arc<Gauge>,
+    /// `tde_delta_tombstones` (gauge) — live tombstoned base rows.
+    pub tombstones: Arc<Gauge>,
+    /// `tde_delta_appends_total` — rows appended to delta stores.
+    pub appends: Arc<Counter>,
+    /// `tde_delta_deletes_total` — rows deleted through delta stores.
+    pub deletes: Arc<Counter>,
+}
+
+/// The process-wide delta-store instruments.
+pub fn delta_metrics() -> &'static DeltaMetrics {
+    static D: OnceLock<DeltaMetrics> = OnceLock::new();
+    D.get_or_init(|| DeltaMetrics {
+        rows: GLOBAL.gauge("tde_delta_rows", "Live uncompacted delta rows"),
+        bytes: GLOBAL.gauge(
+            "tde_delta_bytes",
+            "Approximate bytes held by delta-store buffers",
+        ),
+        tombstones: GLOBAL.gauge("tde_delta_tombstones", "Live tombstoned base rows"),
+        appends: GLOBAL.counter("tde_delta_appends_total", "Rows appended to delta stores"),
+        deletes: GLOBAL.counter(
+            "tde_delta_deletes_total",
+            "Rows deleted through delta stores",
+        ),
+    })
+}
+
+/// Record one delta compaction: count plus duration histogram.
+#[inline]
+pub fn compaction(nanos: u64) {
+    if !enabled() {
+        return;
+    }
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+    cached_counter(&C, "tde_compactions_total", "Delta compactions run").inc();
+    cached_histogram(
+        &H,
+        "tde_compaction_duration_ns",
+        "Delta compaction duration in nanoseconds",
+    )
+    .observe(nanos);
+}
+
+/// Tally rows a compaction re-encoded, by the encoding they landed in:
+/// `tde_compaction_rows_reencoded_total{encoding}`.
+#[inline]
+pub fn compaction_rows_reencoded(encoding: &str, rows: u64) {
+    GLOBAL.bump(
+        "tde_compaction_rows_reencoded_total",
+        "Rows re-encoded by delta compaction, by final encoding",
+        &[("encoding", encoding)],
+        rows,
+    );
+}
+
 /// Pre-resolved buffer-pool instruments, folded into by
 /// [`crate::CacheCounters`] so per-pool counters and the process-wide
 /// registry stay in lockstep.

@@ -20,8 +20,17 @@
 //!                   per column: name | dtype u8 | compression tag u8
 //!                     | sorted u8 | metadata | stream extent
 //!                     | [dictionary extent] | [heap extent]
+//!                   aux presence u8 (bit0 delta, bit1 tombstone)
+//!                     | [delta extent] | [tombstone extent]
 //! footer (24 B):  dir offset u64 | dir len u64 | version u32 | magic
 //! ```
+//!
+//! The per-table *aux* sections carry the mutable write path (tde-delta):
+//! an opaque delta-segment payload and a tombstone payload, stored as
+//! ordinary block-aligned segments and located by extents after the
+//! column entries. The pager treats both as opaque bytes — their wire
+//! format belongs to `tde-delta` — but validates their extents exactly
+//! like column segments, plus a disjointness check between the pair.
 //!
 //! An *extent* is `offset u64 | len u64`. Segment offsets are multiples
 //! of [`BLOCK_ALIGN`] so demand loads are aligned reads. The directory
@@ -95,6 +104,21 @@ pub struct TableDir {
     pub rows: u64,
     /// Column directory, in schema order.
     pub columns: Vec<ColumnDir>,
+    /// Delta-store payload segment (opaque to the pager; `tde-delta`
+    /// owns its wire format). `None` when the table has no live delta.
+    pub delta: Option<Extent>,
+    /// Tombstone payload segment (opaque; see [`TableDir::delta`]).
+    pub tombstone: Option<Extent>,
+}
+
+/// Per-table auxiliary payloads attached at save time: the delta-store
+/// and tombstone sections. Both are opaque to the pager.
+#[derive(Debug, Clone, Default)]
+pub struct TableAux {
+    /// Serialized delta-store payload.
+    pub delta: Option<Vec<u8>>,
+    /// Serialized tombstone payload.
+    pub tombstone: Option<Vec<u8>>,
 }
 
 /// Pad the writer with zeros up to the next [`BLOCK_ALIGN`] boundary.
@@ -121,6 +145,16 @@ fn write_segment(w: &mut impl Write, off: &mut u64, bytes: &[u8]) -> io::Result<
 
 /// Serialize a database in the v2 paged format.
 pub fn write_v2(db: &Database, w: &mut impl Write) -> io::Result<()> {
+    write_v2_with_aux(db, &HashMap::new(), w)
+}
+
+/// Serialize a database in the v2 paged format, attaching the given
+/// per-table auxiliary (delta/tombstone) payloads, keyed by table name.
+pub fn write_v2_with_aux(
+    db: &Database,
+    aux: &HashMap<String, TableAux>,
+    w: &mut impl Write,
+) -> io::Result<()> {
     let mut off: u64 = 0;
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
@@ -168,10 +202,21 @@ pub fn write_v2(db: &Database, w: &mut impl Write) -> io::Result<()> {
                 heap,
             });
         }
+        let t_aux = aux.get(&t.name);
+        let delta = match t_aux.and_then(|a| a.delta.as_deref()) {
+            Some(bytes) => Some(write_segment(w, &mut off, bytes)?),
+            None => None,
+        };
+        let tombstone = match t_aux.and_then(|a| a.tombstone.as_deref()) {
+            Some(bytes) => Some(write_segment(w, &mut off, bytes)?),
+            None => None,
+        };
         tables.push(TableDir {
             name: t.name.clone(),
             rows: t.row_count(),
             columns,
+            delta,
+            tombstone,
         });
     }
 
@@ -193,6 +238,55 @@ pub fn save_v2(db: &Database, path: impl AsRef<std::path::Path>) -> io::Result<(
     let mut w = io::BufWriter::new(file);
     write_v2(db, &mut w)?;
     w.flush()
+}
+
+/// Serialize a database to a v2 file on disk **crash-safely**: the bytes
+/// go to a temporary file in the target's directory, are fsynced, and
+/// replace the target with an atomic rename. A crash mid-write leaves
+/// any existing file at `path` untouched.
+pub fn save_v2_atomic(db: &Database, path: impl AsRef<std::path::Path>) -> io::Result<()> {
+    save_v2_with_aux_atomic(db, &HashMap::new(), path)
+}
+
+/// As [`save_v2_atomic`], attaching per-table aux (delta/tombstone)
+/// payloads — the compactor's footer-rewrite path.
+pub fn save_v2_with_aux_atomic(
+    db: &Database,
+    aux: &HashMap<String, TableAux>,
+    path: impl AsRef<std::path::Path>,
+) -> io::Result<()> {
+    let path = path.as_ref();
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let stem = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    // A per-process, per-call unique temp name in the *same directory*
+    // (rename is only atomic within one filesystem).
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let tmp_name = format!(
+        ".{}.tmp.{}.{}",
+        stem.to_string_lossy(),
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    );
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = io::BufWriter::new(file);
+        write_v2_with_aux(db, aux, &mut w)?;
+        w.flush()?;
+        w.into_inner()
+            .map_err(|e| io::Error::other(e.to_string()))?
+            .sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    result
 }
 
 fn write_extent(w: &mut impl Write, e: Extent) -> io::Result<()> {
@@ -217,6 +311,14 @@ fn write_directory(w: &mut impl Write, tables: &[TableDir]) -> io::Result<()> {
             if let Some(h) = c.heap {
                 write_extent(w, h)?;
             }
+        }
+        let presence = u8::from(t.delta.is_some()) | (u8::from(t.tombstone.is_some()) << 1);
+        w.write_all(&[presence])?;
+        if let Some(d) = t.delta {
+            write_extent(w, d)?;
+        }
+        if let Some(ts) = t.tombstone {
+            write_extent(w, ts)?;
         }
     }
     Ok(())
@@ -282,10 +384,36 @@ pub fn read_directory(bytes: &[u8], dir_offset: u64) -> io::Result<Vec<TableDir>
                 heap,
             });
         }
+        let mut presence = [0u8; 1];
+        r.read_exact(&mut presence)?;
+        if presence[0] > 3 {
+            return Err(corrupt("bad aux presence byte"));
+        }
+        let delta = if presence[0] & 1 != 0 {
+            Some(read_extent(r, dir_offset)?)
+        } else {
+            None
+        };
+        let tombstone = if presence[0] & 2 != 0 {
+            Some(read_extent(r, dir_offset)?)
+        } else {
+            None
+        };
+        if let (Some(d), Some(ts)) = (delta, tombstone) {
+            // Column extents may legitimately alias (shared heaps); the
+            // aux pair is always written as two distinct segments, so
+            // overlap can only mean a corrupted directory.
+            let disjoint = d.offset + d.len <= ts.offset || ts.offset + ts.len <= d.offset;
+            if !disjoint {
+                return Err(corrupt("overlapping aux extents"));
+            }
+        }
         tables.push(TableDir {
             name,
             rows,
             columns,
+            delta,
+            tombstone,
         });
     }
     if !r.is_empty() {

@@ -31,7 +31,10 @@ pub mod format;
 pub mod paged;
 pub mod pool;
 
-pub use format::{save_v2, write_v2, BLOCK_ALIGN};
+pub use format::{
+    save_v2, save_v2_atomic, save_v2_with_aux_atomic, write_v2, write_v2_with_aux, TableAux,
+    BLOCK_ALIGN,
+};
 pub use paged::{is_v2, PagedDatabase, PagedTable};
 pub use pool::{BufferPool, PoolConfig, SegmentKey};
 
@@ -199,6 +202,111 @@ mod tests {
             if let Some(h) = cd.heap {
                 assert_eq!(h.offset % BLOCK_ALIGN, 0);
             }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn aux_sections_roundtrip_and_atomic_save() {
+        let db = wide_db(3, 150);
+        let mut aux = std::collections::HashMap::new();
+        aux.insert(
+            "wide".to_string(),
+            TableAux {
+                delta: Some(b"delta-payload-bytes".to_vec()),
+                tombstone: Some(b"tombstone-payload".to_vec()),
+            },
+        );
+        let path = tmp("aux.tde2");
+        save_v2_with_aux_atomic(&db, &aux, &path).unwrap();
+        let paged = PagedDatabase::open(&path).unwrap();
+        let t = paged.table("wide").unwrap();
+        assert!(t.has_delta() && t.has_tombstone());
+        assert_eq!(t.delta_bytes().unwrap().unwrap(), b"delta-payload-bytes");
+        assert_eq!(t.tombstone_bytes().unwrap().unwrap(), b"tombstone-payload");
+        // Columns still resolve beside the aux segments.
+        t.column("c0").unwrap();
+
+        // Atomic re-save without aux replaces the file in place; no temp
+        // files are left behind.
+        save_v2_atomic(&db, &path).unwrap();
+        let paged = PagedDatabase::open(&path).unwrap();
+        let t = paged.table("wide").unwrap();
+        assert!(!t.has_delta() && !t.has_tombstone());
+        assert_eq!(t.delta_bytes().unwrap(), None);
+        let dir = path.parent().unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_aux_sections_error_cleanly() {
+        let db = wide_db(2, 100);
+        let mut aux = std::collections::HashMap::new();
+        aux.insert(
+            "wide".to_string(),
+            TableAux {
+                delta: Some(vec![0xAB; 64]),
+                tombstone: Some(vec![0xCD; 64]),
+            },
+        );
+        let path = tmp("auxcorrupt.tde2");
+        save_v2_with_aux_atomic(&db, &aux, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let foot = bytes.len() - 24;
+        let dir_off = u64::from_le_bytes(bytes[foot..foot + 8].try_into().unwrap()) as usize;
+
+        // Locate the aux record in the directory: presence byte followed
+        // by two extents, at the very end of the single table's entry.
+        let aux_at = bytes.len() - 24 - 1 - 32;
+        assert_eq!(bytes[aux_at], 3, "presence byte (delta|tombstone)");
+
+        let write_and_open = |mutated: Vec<u8>| {
+            let p = tmp("auxmut.tde2");
+            std::fs::write(&p, &mutated).unwrap();
+            PagedDatabase::open(&p)
+        };
+
+        // Presence byte with undefined bits set.
+        let mut bad = bytes.clone();
+        bad[aux_at] = 0x7;
+        assert!(write_and_open(bad).is_err(), "bad presence bits must fail");
+
+        // Absurd delta extent length (lying length prefix).
+        let mut bad = bytes.clone();
+        bad[aux_at + 9..aux_at + 17].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(write_and_open(bad).is_err(), "absurd length must fail");
+
+        // Misaligned delta offset.
+        let mut bad = bytes.clone();
+        let off = u64::from_le_bytes(bytes[aux_at + 1..aux_at + 9].try_into().unwrap());
+        bad[aux_at + 1..aux_at + 9].copy_from_slice(&(off + 1).to_le_bytes());
+        assert!(write_and_open(bad).is_err(), "misaligned extent must fail");
+
+        // Out-of-bounds delta offset (past the directory).
+        let mut bad = bytes.clone();
+        let past = (dir_off as u64).div_ceil(BLOCK_ALIGN) * BLOCK_ALIGN + BLOCK_ALIGN;
+        bad[aux_at + 1..aux_at + 9].copy_from_slice(&past.to_le_bytes());
+        assert!(write_and_open(bad).is_err(), "oob extent must fail");
+
+        // Overlapping delta/tombstone extents: point the tombstone at the
+        // delta's offset.
+        let mut bad = bytes.clone();
+        let delta_extent = bytes[aux_at + 1..aux_at + 17].to_vec();
+        bad[aux_at + 17..aux_at + 33].copy_from_slice(&delta_extent);
+        let err = write_and_open(bad).unwrap_err();
+        assert!(err.to_string().contains("overlap"), "got: {err}");
+
+        // Truncation inside the aux payload region still fails cleanly.
+        for cut in [dir_off - 1, dir_off - 4000] {
+            let p = tmp("auxcut.tde2");
+            std::fs::write(&p, &bytes[..cut]).unwrap();
+            assert!(PagedDatabase::open(&p).is_err());
         }
         std::fs::remove_file(&path).ok();
     }

@@ -202,6 +202,35 @@ impl PagedTable {
         self.inner.pool.snapshot()
     }
 
+    /// Does the directory carry a delta-store payload for this table?
+    pub fn has_delta(&self) -> bool {
+        self.dir().delta.is_some()
+    }
+
+    /// Does the directory carry a tombstone payload for this table?
+    pub fn has_tombstone(&self) -> bool {
+        self.dir().tombstone.is_some()
+    }
+
+    /// Raw delta-store payload bytes, if present. Read directly rather
+    /// than through the buffer pool: the payload is opaque to the pager
+    /// (its wire format belongs to `tde-delta`) and is consumed once at
+    /// open time, not re-scanned.
+    pub fn delta_bytes(&self) -> io::Result<Option<Vec<u8>>> {
+        match self.dir().delta {
+            Some(e) => self.inner.file.read_extent(e).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Raw tombstone payload bytes, if present (see [`PagedTable::delta_bytes`]).
+    pub fn tombstone_bytes(&self) -> io::Result<Option<Vec<u8>>> {
+        match self.dir().tombstone {
+            Some(e) => self.inner.file.read_extent(e).map(Some),
+            None => Ok(None),
+        }
+    }
+
     /// Resolve a column by name, demand-loading its segments through the
     /// buffer pool on first touch.
     pub fn column(&self, name: &str) -> io::Result<Arc<Column>> {

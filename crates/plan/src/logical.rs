@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 use tde_exec::aggregate::AggSpec;
+use tde_exec::merged_scan::MergedSource;
 use tde_exec::sort::SortOrder;
 use tde_exec::Expr;
 use tde_pager::PagedTable;
@@ -57,6 +58,21 @@ pub enum LogicalPlan {
     PagedScan {
         /// The lazy table handle.
         table: PagedTable,
+        /// Column names to produce, in order.
+        columns: Vec<String>,
+        /// Expand array compression inline.
+        expand_dictionaries: bool,
+        /// A pushed-down predicate, as on [`LogicalPlan::Scan`].
+        predicate: Option<Expr>,
+    },
+    /// Merge-on-read scan over a base table plus its live delta
+    /// (crate `tde-delta`): base rows minus tombstones, then delta rows,
+    /// presented as one table. The base side keeps compressed-domain
+    /// kernels when no tombstones are live; the delta side always
+    /// evaluates per block.
+    MergedScan {
+        /// The merge snapshot.
+        source: Arc<MergedSource>,
         /// Column names to produce, in order.
         columns: Vec<String>,
         /// Expand array compression inline.
@@ -131,9 +147,9 @@ impl LogicalPlan {
     /// The output column names, for rewrites and tests.
     pub fn output_columns(&self) -> Vec<String> {
         match self {
-            LogicalPlan::Scan { columns, .. } | LogicalPlan::PagedScan { columns, .. } => {
-                columns.clone()
-            }
+            LogicalPlan::Scan { columns, .. }
+            | LogicalPlan::PagedScan { columns, .. }
+            | LogicalPlan::MergedScan { columns, .. } => columns.clone(),
             LogicalPlan::Filter { input, .. } => input.output_columns(),
             LogicalPlan::Project { exprs, .. } => exprs.iter().map(|(n, _)| n.clone()).collect(),
             LogicalPlan::Aggregate {
@@ -194,6 +210,9 @@ impl LogicalPlan {
                 // Paged scans load columns lazily; their cache telemetry
                 // is reported from the pool counters, not per-table.
                 LogicalPlan::PagedScan { .. } => {}
+                // Merged scans report through delta metrics and the
+                // merged-scan decision event, not per-table telemetry.
+                LogicalPlan::MergedScan { .. } => {}
                 LogicalPlan::Filter { input, .. }
                 | LogicalPlan::Project { input, .. }
                 | LogicalPlan::Aggregate { input, .. }
@@ -248,6 +267,26 @@ impl LogicalPlan {
                     "{pad}PagedScan {} [{}]{}{}\n",
                     table.name(),
                     columns.join(", "),
+                    if *expand_dictionaries {
+                        " (expanded)"
+                    } else {
+                        ""
+                    },
+                    if predicate.is_some() { " +pred" } else { "" }
+                ));
+            }
+            LogicalPlan::MergedScan {
+                source,
+                columns,
+                expand_dictionaries,
+                predicate,
+            } => {
+                out.push_str(&format!(
+                    "{pad}MergedScan {} [{}] (+{} delta, -{} tombstone){}{}\n",
+                    source.name(),
+                    columns.join(", "),
+                    source.delta_rows(),
+                    source.tombstone_count(),
                     if *expand_dictionaries {
                         " (expanded)"
                     } else {
@@ -369,6 +408,35 @@ impl PlanBuilder {
         PlanBuilder {
             plan: LogicalPlan::PagedScan {
                 table: table.clone(),
+                columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+                expand_dictionaries: false,
+                predicate: None,
+            },
+        }
+    }
+
+    /// Start from a full merge-on-read scan over a base + delta snapshot.
+    pub fn scan_merged(source: &Arc<MergedSource>) -> PlanBuilder {
+        let columns = source
+            .column_names()
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        PlanBuilder {
+            plan: LogicalPlan::MergedScan {
+                source: Arc::clone(source),
+                columns,
+                expand_dictionaries: false,
+                predicate: None,
+            },
+        }
+    }
+
+    /// Start from a merged projection scan.
+    pub fn scan_merged_columns(source: &Arc<MergedSource>, columns: &[&str]) -> PlanBuilder {
+        PlanBuilder {
+            plan: LogicalPlan::MergedScan {
+                source: Arc::clone(source),
                 columns: columns.iter().map(|s| (*s).to_owned()).collect(),
                 expand_dictionaries: false,
                 predicate: None,

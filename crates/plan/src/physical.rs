@@ -195,6 +195,44 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
             }
             node.wrap(Box::new(scan))
         }
+        LogicalPlan::MergedScan {
+            source,
+            columns,
+            expand_dictionaries,
+            predicate,
+        } => {
+            let label = format!(
+                "MergedScan {} [{}] (+{} delta, -{} tombstone){}",
+                source.name(),
+                columns.join(", "),
+                source.delta_rows(),
+                source.tombstone_count(),
+                if *expand_dictionaries {
+                    " (expanded)"
+                } else {
+                    ""
+                }
+            );
+            let mut node = tr.node(label.clone());
+            let cols: Vec<usize> = columns
+                .iter()
+                .map(|n| {
+                    source
+                        .index_of(n)
+                        .unwrap_or_else(|| panic!("no column {n:?} in merged source"))
+                })
+                .collect();
+            let mut scan = tde_exec::merged_scan::MergedScan::new(
+                Arc::clone(source),
+                cols,
+                *expand_dictionaries,
+            );
+            if let Some(pred) = predicate {
+                scan = scan.with_pushed(pred.clone(), false);
+            }
+            node.relabel(format!("{label} [mode={}]", scan.merge_mode()));
+            node.wrap(Box::new(scan))
+        }
         LogicalPlan::Filter { input, predicate } => {
             let node = tr.node("Filter");
             let input = lower(input, node.child());

@@ -237,6 +237,22 @@ fn rewrite_kernel_pushdown(
             expand_dictionaries,
             predicate: Some(compose(prior)),
         },
+        // Merge-on-read scans accept pushed predicates too: the base
+        // side keeps its kernels (when tombstone-free), the delta side
+        // evaluates per block. The invisible-join and index-table rules
+        // never fire on merged scans — their dictionary/run structure
+        // describes the base alone, not the merged table.
+        LogicalPlan::MergedScan {
+            source,
+            columns,
+            expand_dictionaries,
+            predicate: prior,
+        } => LogicalPlan::MergedScan {
+            source,
+            columns,
+            expand_dictionaries,
+            predicate: Some(compose(prior)),
+        },
         other => LogicalPlan::Filter {
             input: Box::new(other),
             predicate,

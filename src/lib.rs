@@ -76,3 +76,4 @@ pub use tde_core::plan;
 pub use tde_core::storage;
 pub use tde_core::textscan;
 pub use tde_core::types;
+pub use tde_delta as delta;
