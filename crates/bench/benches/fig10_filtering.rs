@@ -55,6 +55,7 @@ fn sweep(table: &Arc<Table>, rows: u64, reps: usize, report: &mut BenchReport) {
         index_tables: false,
         ordered_retrieval: false,
         kernel_pushdown: false,
+        parallelism: 1,
     };
     let indexed = OptimizerOptions {
         ordered_retrieval: false,

@@ -135,6 +135,15 @@ impl Query {
         self
     }
 
+    /// Request morsel-parallel execution at `degree` workers (1 = serial,
+    /// the default). Parallel output is byte-identical to serial; the
+    /// planner falls back to the serial pipeline for shapes the morsel
+    /// executor cannot run whole or aggregates that do not merge exactly.
+    pub fn with_parallelism(mut self, degree: usize) -> Query {
+        self.opts.parallelism = degree;
+        self
+    }
+
     /// The optimized logical plan.
     pub fn plan(self) -> LogicalPlan {
         tde_plan::optimize(self.builder.build(), self.opts)
@@ -464,6 +473,58 @@ mod tests {
             .filter(Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::int(5)))
             .explain();
         assert!(text.contains("Scan sales"));
+    }
+
+    #[test]
+    fn parallel_query_is_byte_identical_and_labeled() {
+        let mut region = ColumnBuilder::new("region", DataType::Str, EncodingPolicy::default());
+        let mut amount = ColumnBuilder::new("amount", DataType::Integer, EncodingPolicy::default());
+        for i in 0..30_000i64 {
+            region.append_str(Some(["east", "west", "north"][i as usize % 3]));
+            amount.append_i64(i % 1013);
+        }
+        let t = Arc::new(Table::new(
+            "sales",
+            vec![region.finish().column, amount.finish().column],
+        ));
+        let query = |t: &Arc<Table>| {
+            Query::scan(t)
+                .filter(Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::int(100)))
+                .aggregate(
+                    vec![0],
+                    vec![(AggFunc::Count, 1, "n"), (AggFunc::Max, 1, "mx")],
+                )
+        };
+        let (ss, sb) = query(&t).run();
+        let report = query(&t).with_parallelism(4).explain_analyze();
+        assert!(
+            report.operator_tree.contains("[parallel=4]"),
+            "{}",
+            report.operator_tree
+        );
+        assert!(
+            report.logical.contains("Morsel [parallel=4]"),
+            "{}",
+            report.logical
+        );
+        assert_eq!(ss.fields.len(), report.schema.fields.len());
+        assert_eq!(sb.len(), report.blocks.len());
+        for (a, b) in sb.iter().zip(&report.blocks) {
+            assert_eq!(a.len, b.len);
+            assert_eq!(a.columns, b.columns);
+        }
+        // The lowering recorded its tactical call.
+        assert!(
+            report.events.iter().any(|e| matches!(
+                e,
+                tde_obs::Event::Decision {
+                    point: "parallelism",
+                    ..
+                }
+            )),
+            "{:?}",
+            report.events
+        );
     }
 
     #[test]

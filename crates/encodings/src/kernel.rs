@@ -380,6 +380,36 @@ impl PredicateKernel {
         self.kind
     }
 
+    /// Position the kernel at absolute stream row `row` (a block
+    /// boundary of a later decompression block), so ranged scans can
+    /// start mid-stream. Only the RLE strategy carries position state —
+    /// the others answer by `block_idx` — and it can only seek forward.
+    pub fn seek(&mut self, stream: &EncodedStream, row: u64) {
+        if let Strategy::Rle {
+            run, within, pos, ..
+        } = &mut self.strategy
+        {
+            debug_assert!(row >= *pos, "RLE kernel cannot seek backwards");
+            let h = stream.header();
+            let buf = stream.as_bytes();
+            let mut remaining = row.saturating_sub(*pos);
+            let mut runs = rle::run_iter_from(buf, &h, *run);
+            while remaining > 0 {
+                let Some((_, c)) = runs.next() else { break };
+                let avail = c - *within;
+                if remaining >= avail {
+                    remaining -= avail;
+                    *run += 1;
+                    *within = 0;
+                } else {
+                    *within += remaining;
+                    remaining = 0;
+                }
+            }
+            *pos = row;
+        }
+    }
+
     /// Resolve the selection for decompression block `block_idx`
     /// containing `rows` logical rows. The RLE strategy is stateful:
     /// blocks must be presented in stream order.
@@ -699,6 +729,55 @@ mod tests {
                 oracle_rows(&s, &set)
             );
         }
+    }
+
+    #[test]
+    fn kernel_seek_positions_mid_stream() {
+        // Run lengths chosen so runs straddle block boundaries and a
+        // seek regularly lands mid-run.
+        let mut data = Vec::new();
+        for v in 0..50i64 {
+            data.extend(std::iter::repeat_n(v % 5, 37 + (v as usize % 11)));
+        }
+        let mut s = EncodedStream::new_rle(Width::W8, true, Width::W4, Width::W8);
+        append_all(&mut s, &data);
+        let set = ValueSet::eq(2).union(&ValueSet::eq(4));
+        let h = s.header();
+        let n = s.len() as usize;
+        let nblocks = n.div_ceil(h.block_size);
+        // Reference: one kernel walked in order from row zero.
+        let mut reference = Vec::new();
+        let mut k = PredicateKernel::build(&s, &set).unwrap();
+        let mut done = 0usize;
+        for b in 0..nblocks {
+            let rows = (n - done).min(h.block_size);
+            reference.push(k.eval_block(&s, b, rows));
+            done += rows;
+        }
+        // From every start block: a fresh kernel seeked there must
+        // continue exactly like the in-order walk.
+        for start in 0..nblocks {
+            let mut k = PredicateKernel::build(&s, &set).unwrap();
+            k.seek(&s, (start * h.block_size) as u64);
+            let mut done = start * h.block_size;
+            for (b, expected) in reference.iter().enumerate().skip(start) {
+                let rows = (n - done).min(h.block_size);
+                assert_eq!(
+                    &k.eval_block(&s, b, rows),
+                    expected,
+                    "start={start} block={b}"
+                );
+                done += rows;
+            }
+        }
+        // Seek is a no-op on block-indexed strategies.
+        let affine_data: Vec<i64> = (0..3000).map(|i| i * 3).collect();
+        let mut aff = EncodedStream::new_affine(Width::W8, true, 0, 3);
+        append_all(&mut aff, &affine_data);
+        let mut k = PredicateKernel::build(&aff, &ValueSet::ge(0)).unwrap();
+        k.seek(&aff, BLOCK_SIZE as u64);
+        let rows = affine_data.len() - BLOCK_SIZE;
+        assert_eq!(k.eval_block(&aff, 1, rows), BlockSelection::All);
     }
 
     #[test]

@@ -37,7 +37,7 @@ impl AggSpec {
 }
 
 #[derive(Clone, PartialEq)]
-enum Domain {
+pub(crate) enum Domain {
     Int,
     Real,
     Token,
@@ -48,7 +48,7 @@ enum Domain {
     Dict(std::sync::Arc<Vec<i64>>),
 }
 
-fn domain_of(f: &Field) -> Domain {
+pub(crate) fn domain_of(f: &Field) -> Domain {
     match (&f.repr, f.dtype) {
         (Repr::Token(_) | Repr::TokenCell(_), _) => Domain::Token,
         (Repr::DictIndex(dict), _) => Domain::Dict(dict.clone()),
@@ -59,17 +59,17 @@ fn domain_of(f: &Field) -> Domain {
 
 /// Accumulator state for one (group, agg) cell.
 #[derive(Clone, Copy)]
-struct Acc {
-    value: i64,
-    count: u64,
+pub(crate) struct Acc {
+    pub(crate) value: i64,
+    pub(crate) count: u64,
 }
 
-fn init_acc() -> Acc {
+pub(crate) fn init_acc() -> Acc {
     Acc { value: 0, count: 0 }
 }
 
 #[inline]
-fn fold(acc: &mut Acc, func: AggFunc, domain: &Domain, raw: i64) {
+pub(crate) fn fold(acc: &mut Acc, func: AggFunc, domain: &Domain, raw: i64) {
     // NULL inputs are skipped (except COUNT counts rows).
     if func == AggFunc::Count {
         acc.count += 1;
@@ -119,7 +119,49 @@ fn fold(acc: &mut Acc, func: AggFunc, domain: &Domain, raw: i64) {
     }
 }
 
-fn final_value(acc: &Acc, func: AggFunc, domain: &Domain) -> i64 {
+/// Merge accumulator `b` (a partial computed over a later slice of the
+/// input) into `a`. Exact for every merge-safe function: counts add,
+/// wrapping integer sums add, extrema compare — the same results the
+/// serial fold produces in any split, because those folds are
+/// associative and commutative over the non-NULL inputs. Real sums are
+/// NOT merge-safe (f64 addition is order-dependent); the morsel planner
+/// declines parallelism for them rather than merge here.
+pub(crate) fn merge_acc(a: &mut Acc, b: &Acc, func: AggFunc, domain: &Domain) {
+    if func == AggFunc::Count {
+        a.count += b.count;
+        return;
+    }
+    if b.count == 0 {
+        return;
+    }
+    if a.count == 0 {
+        *a = *b;
+        return;
+    }
+    a.count += b.count;
+    match (func, domain) {
+        (AggFunc::Sum, Domain::Real) => {
+            let s = f64::from_bits(a.value as u64) + f64::from_bits(b.value as u64);
+            a.value = s.to_bits() as i64;
+        }
+        (AggFunc::Sum, _) => a.value = a.value.wrapping_add(b.value),
+        (AggFunc::Min, Domain::Real) => {
+            if f64::from_bits(b.value as u64) < f64::from_bits(a.value as u64) {
+                a.value = b.value;
+            }
+        }
+        (AggFunc::Max, Domain::Real) => {
+            if f64::from_bits(b.value as u64) > f64::from_bits(a.value as u64) {
+                a.value = b.value;
+            }
+        }
+        (AggFunc::Min, _) => a.value = a.value.min(b.value),
+        (AggFunc::Max, _) => a.value = a.value.max(b.value),
+        (AggFunc::Count, _) => unreachable!(),
+    }
+}
+
+pub(crate) fn final_value(acc: &Acc, func: AggFunc, domain: &Domain) -> i64 {
     match func {
         AggFunc::Count => acc.count as i64,
         _ if acc.count == 0 => match domain {
@@ -131,7 +173,7 @@ fn final_value(acc: &Acc, func: AggFunc, domain: &Domain) -> i64 {
     }
 }
 
-fn output_schema(input: &Schema, group_cols: &[usize], aggs: &[AggSpec]) -> Schema {
+pub(crate) fn output_schema(input: &Schema, group_cols: &[usize], aggs: &[AggSpec]) -> Schema {
     let mut fields: Vec<Field> = group_cols
         .iter()
         .map(|&c| input.fields[c].clone())
@@ -156,7 +198,7 @@ fn output_schema(input: &Schema, group_cols: &[usize], aggs: &[AggSpec]) -> Sche
     Schema::new(fields)
 }
 
-fn emit_blocks(rows: Vec<Vec<i64>>, ncols: usize) -> Vec<Block> {
+pub(crate) fn emit_blocks(rows: Vec<Vec<i64>>, ncols: usize) -> Vec<Block> {
     // rows is column-major already.
     let nrows = rows.first().map_or(0, Vec::len);
     let mut blocks = Vec::new();

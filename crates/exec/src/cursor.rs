@@ -74,6 +74,25 @@ impl StreamCursor {
         self.remaining -= take as u64;
         take
     }
+
+    /// Position the cursor `blocks` whole decompression blocks into the
+    /// stream in one step, without decoding — used by ranged (morsel)
+    /// scans to start mid-stream. Must be called before any read.
+    pub fn skip_blocks(&mut self, stream: &EncodedStream, blocks: usize) {
+        if blocks == 0 {
+            return;
+        }
+        let take = (self.remaining as usize).min(blocks * stream.header().block_size);
+        match &mut self.rle {
+            Some(cursor) => {
+                let h = stream.header();
+                let target = cursor.position() + take as u64;
+                cursor.skip_to(stream.as_bytes(), &h, target);
+            }
+            None => self.next_block += blocks,
+        }
+        self.remaining -= take as u64;
+    }
 }
 
 /// Random-range reader state over one stream, used by IndexedScan. Like
@@ -182,6 +201,26 @@ mod tests {
             let mut out = Vec::new();
             while cur.next(&stream, BLOCK_SIZE, &mut out) > 0 {}
             assert_eq!(out, data, "algorithm {}", stream.algorithm());
+        }
+    }
+
+    #[test]
+    fn skip_blocks_positions_like_a_sequential_walk() {
+        let data: Vec<i64> = (0..5000).map(|i| i / 700).collect();
+        for stream in [rle_stream(&data), encode_all(&data, Width::W8, true).stream] {
+            let nblocks = data.len().div_ceil(BLOCK_SIZE);
+            for start in 0..=nblocks {
+                let mut cur = StreamCursor::new(&stream);
+                cur.skip_blocks(&stream, start);
+                let mut out = Vec::new();
+                while cur.next(&stream, BLOCK_SIZE, &mut out) > 0 {}
+                assert_eq!(
+                    out,
+                    data[(start * BLOCK_SIZE).min(data.len())..],
+                    "algorithm {} start {start}",
+                    stream.algorithm()
+                );
+            }
         }
     }
 

@@ -13,7 +13,8 @@ use crate::block::{Block, Schema};
 use crate::{BoxOp, Operator};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// A per-block transformation applied by the workers. It must be pure
@@ -38,6 +39,11 @@ pub struct Exchange {
     next_seq: u64,
     workers: Vec<JoinHandle<()>>,
     feeder: Option<JoinHandle<()>>,
+    /// First worker-panic message. A panicking worker would otherwise
+    /// just drop its block and its channel ends — the stream would close
+    /// looking complete, silently short. The consumer re-raises this
+    /// instead of returning a truncated result.
+    poison: Arc<Mutex<Option<String>>>,
 }
 
 impl Exchange {
@@ -82,14 +88,33 @@ impl Exchange {
                 seq += 1;
             }
         });
+        let poison: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
         let handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
                 let rx: Receiver<(u64, Block)> = task_rx.clone();
                 let tx: Sender<(u64, Block)> = out_tx.clone();
                 let f = f.clone();
+                let poison = Arc::clone(&poison);
                 std::thread::spawn(move || {
                     while let Ok((seq, block)) = rx.recv() {
-                        if tx.send((seq, f(block))).is_err() {
+                        let out = match catch_unwind(AssertUnwindSafe(|| f(block))) {
+                            Ok(b) => b,
+                            Err(p) => {
+                                // Poison the stream, then hang up: the
+                                // consumer re-raises on disconnect.
+                                let msg = p
+                                    .downcast_ref::<String>()
+                                    .cloned()
+                                    .or_else(|| p.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                                    .unwrap_or_else(|| "worker panicked".to_string());
+                                poison
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .get_or_insert(msg);
+                                break;
+                            }
+                        };
+                        if tx.send((seq, out)).is_err() {
                             break;
                         }
                     }
@@ -106,6 +131,16 @@ impl Exchange {
             next_seq: 0,
             workers: handles,
             feeder: Some(feeder),
+            poison,
+        }
+    }
+
+    /// Re-raise a worker panic in the consumer thread. Called when the
+    /// output channel disconnects — never from `drop`, which may itself
+    /// run during an unwind.
+    fn check_poison(&self) {
+        if let Some(msg) = self.poison.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            panic!("exchange worker panicked: {msg}");
         }
     }
 
@@ -135,6 +170,7 @@ impl Operator for Exchange {
                         }
                     }
                     Err(_) => {
+                        self.check_poison();
                         self.join_threads();
                         return None;
                     }
@@ -153,6 +189,9 @@ impl Operator for Exchange {
                         self.reorder.insert(seq, b);
                     }
                     Err(_) => {
+                        // A worker panic means the buffered tail is
+                        // incomplete — error before draining it.
+                        self.check_poison();
                         // Drain the reorder buffer (sequence numbers of
                         // empty blocks may have gaps at end).
                         if let Some((&seq, _)) = self.reorder.iter().next() {
@@ -243,6 +282,30 @@ mod tests {
         let schema = scan.schema().clone();
         let ex = Exchange::new(scan, slow_double(), 1, Routing::OrderPreserving, schema);
         assert_eq!(crate::count_rows(Box::new(ex)), 5000);
+    }
+
+    #[test]
+    fn panicking_block_fn_poisons_the_consumer() {
+        // Regression: a panicking worker used to drop its block and hang
+        // up quietly — the consumer saw a clean, silently-short stream.
+        for routing in [Routing::AsCompleted, Routing::OrderPreserving] {
+            let scan = Box::new(TableScan::new(table(20_000)));
+            let schema = scan.schema().clone();
+            let bomb: BlockFn = Arc::new(|b: Block| {
+                if b.columns[0][0] >= 4096 {
+                    panic!("bad block at {}", b.columns[0][0]);
+                }
+                b
+            });
+            let ex = Exchange::new(scan, bomb, 4, routing, schema);
+            let r = std::panic::catch_unwind(AssertUnwindSafe(|| crate::drain(Box::new(ex))));
+            let msg = *r
+                .expect_err("consumer must observe the worker panic")
+                .downcast::<String>()
+                .unwrap();
+            assert!(msg.contains("exchange worker panicked"), "{msg}");
+            assert!(msg.contains("bad block"), "{msg}");
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod index_table;
 pub mod indexed_scan;
 pub mod join;
 pub mod merged_scan;
+pub mod morsel;
 pub mod obs;
 pub mod parallel;
 pub mod project;

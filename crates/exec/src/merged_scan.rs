@@ -153,6 +153,13 @@ pub struct MergedScan {
     delta_idx: usize,
     done: bool,
     mode: &'static str,
+    /// Base decompression-block range `[lo, hi)` this scan covers
+    /// (`None` = the whole base).
+    range: Option<(usize, usize)>,
+    /// Whether the delta leg is emitted after the base range.
+    include_delta: bool,
+    /// Suppress per-scan decision/kernel telemetry (morsel copies).
+    quiet: bool,
 }
 
 impl MergedScan {
@@ -186,6 +193,9 @@ impl MergedScan {
             delta_idx: 0,
             done: false,
             mode: "",
+            range: None,
+            include_delta: true,
+            quiet: false,
         }
     }
 
@@ -201,6 +211,26 @@ impl MergedScan {
     pub fn with_pushed(mut self, predicate: Expr, force_fallback: bool) -> MergedScan {
         self.predicate = Some(predicate);
         self.force_fallback = force_fallback;
+        self
+    }
+
+    /// Restrict the scan to base decompression blocks `[start, end)`,
+    /// emitting the delta leg after the base range only when
+    /// `include_delta` is set. Morsel workers use this to split one
+    /// merge-on-read scan into disjoint ranged scans (the delta rides
+    /// with exactly one morsel); the per-morsel copies are quiet — the
+    /// query-level decision and kernel telemetry is emitted once by the
+    /// morsel operator, not multiplied by the morsel count.
+    pub fn with_morsel_range(
+        mut self,
+        start: usize,
+        end: usize,
+        include_delta: bool,
+    ) -> MergedScan {
+        debug_assert!(!self.started, "ranged after reads began");
+        self.range = Some((start, end));
+        self.include_delta = include_delta;
+        self.quiet = true;
         self
     }
 
@@ -225,26 +255,40 @@ impl MergedScan {
         self.mode = self.merge_mode();
         let rows = self.source.base_rows;
         let tombstones = self.source.tombstone_count();
-        tde_obs::emit(|| tde_obs::Event::Decision {
-            point: "merged-scan",
-            choice: self.mode.to_string(),
-            reason: format!(
-                "table '{}': {rows} base row(s), {tombstones} tombstone(s), {} delta row(s)",
-                self.source.name, self.source.delta_rows
-            ),
-        });
+        if !self.quiet {
+            tde_obs::emit(|| tde_obs::Event::Decision {
+                point: "merged-scan",
+                choice: self.mode.to_string(),
+                reason: format!(
+                    "table '{}': {rows} base row(s), {tombstones} tombstone(s), {} delta row(s)",
+                    self.source.name, self.source.delta_rows
+                ),
+            });
+        }
         if masked {
             // Block skipping under a kernel would desync the row offsets
             // the tombstone mask is keyed by: scan plain, mask, then eval.
-            let scan = TableScan::from_handles(handles, self.expand);
+            let mut scan = TableScan::from_handles(handles, self.expand);
+            let mut offset = 0u64;
+            if let Some((lo, hi)) = self.range {
+                scan = scan.with_block_range(lo, hi);
+                offset = lo as u64 * crate::BLOCK_ROWS as u64;
+            }
             if self.predicate.is_some() {
                 self.heap = Some(ComputeHeap::new());
             }
-            self.base = Some(BaseSide::Masked { scan, offset: 0 });
+            self.base = Some(BaseSide::Masked { scan, offset });
         } else {
             let mut scan = TableScan::from_handles(handles, self.expand);
             if let Some(p) = &self.predicate {
-                scan = scan.with_pushed(p.clone(), self.force_fallback);
+                scan = if self.quiet {
+                    scan.with_pushed_quiet(p.clone(), self.force_fallback)
+                } else {
+                    scan.with_pushed(p.clone(), self.force_fallback)
+                };
+            }
+            if let Some((lo, hi)) = self.range {
+                scan = scan.with_block_range(lo, hi);
             }
             // Delta blocks still need their own evaluator.
             if self.predicate.is_some() {
@@ -283,6 +327,9 @@ impl MergedScan {
     /// Project, expand and filter the next delta block; `None` when the
     /// delta is exhausted.
     fn next_delta_block(&mut self) -> Option<Block> {
+        if !self.include_delta {
+            return None;
+        }
         while self.delta_idx < self.source.delta.len() {
             let src = &self.source.delta[self.delta_idx];
             self.delta_idx += 1;
@@ -462,6 +509,54 @@ mod tests {
             // Base rows 0..100 minus tombstoned {3, 70}, plus delta row 50.
             let expect = if tombstones.is_empty() { 101 } else { 99 };
             assert_eq!(krows.len(), expect);
+        }
+    }
+
+    #[test]
+    fn morsel_ranges_partition_the_merged_scan() {
+        // Both base modes (delegate and tombstone-mask), with a pushed
+        // predicate and a delta leg: the concatenation of disjoint
+        // morsel-ranged scans must emit the same blocks as the whole
+        // scan — the merged-source half of the morsel byte-identity
+        // guarantee.
+        let t = base_table(5200);
+        let heap = match &ColumnHandle::all(&t)[1].field(false).repr {
+            Repr::Token(h) => Arc::clone(h),
+            _ => unreachable!(),
+        };
+        let tok_y = tok(&heap, "y");
+        let delta = vec![Block::new(vec![vec![40, 7000], vec![tok_y, tok_y]])];
+        let pred = Expr::cmp(CmpOp::Lt, Expr::col(0), Expr::int(4000));
+        let nblocks = 5200usize.div_ceil(BLOCK_ROWS);
+        for tombstones in [vec![], vec![3u64, BLOCK_ROWS as u64 + 7, 5199]] {
+            let src = source_over(&t, tombstones.clone(), delta.clone());
+            let build = |range: Option<(usize, usize, bool)>| {
+                let mut s =
+                    MergedScan::all(Arc::clone(&src), false).with_pushed(pred.clone(), false);
+                if let Some((lo, hi, d)) = range {
+                    s = s.with_morsel_range(lo, hi, d);
+                }
+                s
+            };
+            let whole = drain(Box::new(build(None)));
+            for split in [2usize, 3, nblocks] {
+                let mut pieces = Vec::new();
+                let mut at = 0usize;
+                while at < nblocks {
+                    let hi = (at + split).min(nblocks);
+                    // The delta leg rides with the last base morsel.
+                    pieces.extend(drain(Box::new(build(Some((at, hi, hi == nblocks))))));
+                    at = hi;
+                }
+                assert_eq!(
+                    pieces.len(),
+                    whole.len(),
+                    "tombstones={tombstones:?} split={split}"
+                );
+                for (i, (p, w)) in pieces.iter().zip(&whole).enumerate() {
+                    assert_eq!(p.columns, w.columns, "split={split} block={i}");
+                }
+            }
         }
     }
 

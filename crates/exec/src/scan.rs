@@ -157,7 +157,19 @@ impl TableScan {
     /// compressed domain; otherwise the scan decodes and evaluates per
     /// block, exactly like a Filter above it. `force_fallback` pins the
     /// decode-then-eval path — the differential oracle's control arm.
-    pub fn with_pushed(mut self, predicate: Expr, force_fallback: bool) -> TableScan {
+    pub fn with_pushed(self, predicate: Expr, force_fallback: bool) -> TableScan {
+        self.push_predicate(predicate, force_fallback, false)
+    }
+
+    /// As [`TableScan::with_pushed`], but without the per-scan pushdown
+    /// telemetry. Morsel workers build one ranged scan per morsel; the
+    /// decision and row accounting for the query is emitted once by the
+    /// morsel operator, not multiplied by the morsel count.
+    pub fn with_pushed_quiet(self, predicate: Expr, force_fallback: bool) -> TableScan {
+        self.push_predicate(predicate, force_fallback, true)
+    }
+
+    fn push_predicate(mut self, predicate: Expr, force_fallback: bool, quiet: bool) -> TableScan {
         let col = predicate.single_column();
         let column_name = col
             .and_then(|c| self.schema.fields.get(c).map(|f| f.name.clone()))
@@ -187,12 +199,14 @@ impl TableScan {
             },
         );
         let encoding = col.map_or("none", |c| self.handles[c].col().data.algorithm().name());
-        tde_obs::metrics::kernel_pushdown(encoding, kind_name);
-        tde_obs::emit(|| tde_obs::Event::Decision {
-            point: "kernel-pushdown",
-            choice: kind_name.to_string(),
-            reason: detail,
-        });
+        if !quiet {
+            tde_obs::metrics::kernel_pushdown(encoding, kind_name);
+            tde_obs::emit(|| tde_obs::Event::Decision {
+                point: "kernel-pushdown",
+                choice: kind_name.to_string(),
+                reason: detail,
+            });
+        }
         self.pushed = Some(PushedState {
             col: col.unwrap_or(0),
             expr: predicate,
@@ -203,9 +217,39 @@ impl TableScan {
             rows_in: 0,
             rows_out: 0,
             rows_skipped: 0,
-            reported: false,
+            reported: quiet,
         });
         self
+    }
+
+    /// Restrict the scan to decompression blocks `[start, end)` of the
+    /// stream: every cursor (and the pushed kernel, if any) is positioned
+    /// at block `start` in one step and the scan ends after block
+    /// `end - 1`. Must be applied after any pushed predicate and before
+    /// the first read — this is how morsel workers turn one logical scan
+    /// into disjoint ranged scans.
+    pub fn with_block_range(mut self, start: usize, end: usize) -> TableScan {
+        debug_assert!(start <= end, "inverted block range");
+        debug_assert_eq!(self.rows_done, 0, "ranged after reads began");
+        let start_row = (start as u64 * BLOCK_ROWS as u64).min(self.total_rows);
+        let end_row = (end as u64 * BLOCK_ROWS as u64).min(self.total_rows);
+        for (slot, h) in self.handles.iter().enumerate() {
+            self.cursors[slot].skip_blocks(&h.col().data, start);
+        }
+        if let Some(p) = &mut self.pushed {
+            if let PushKind::Stream(k) = &mut p.kind {
+                k.seek(&self.handles[p.col].col().data, start_row);
+            }
+        }
+        self.block_idx = start;
+        self.rows_done = start_row;
+        self.total_rows = end_row;
+        self
+    }
+
+    /// Rows the scan covers (before any pushed predicate filters them).
+    pub fn total_rows(&self) -> u64 {
+        self.total_rows
     }
 
     /// The kernel kind a pushed predicate resolved to, if any — used by
@@ -458,6 +502,63 @@ mod tests {
     fn empty_table_scan() {
         let t = Arc::new(Table::new("e", vec![]));
         assert_eq!(count_rows(Box::new(TableScan::new(t))), 0);
+    }
+
+    #[test]
+    fn block_ranges_partition_the_scan() {
+        use crate::expr::CmpOp;
+        // An RLE-shaped column so a pushed predicate takes the stateful
+        // rle-run-skip kernel, plus a bit-packed payload.
+        let mut a = ColumnBuilder::new("a", DataType::Integer, EncodingPolicy::default());
+        let mut b = ColumnBuilder::new("b", DataType::Integer, EncodingPolicy::default());
+        for i in 0..5000i64 {
+            a.append_i64(i / 300);
+            b.append_i64(i % 977);
+        }
+        let t = Arc::new(Table::new("t", vec![a.finish().column, b.finish().column]));
+        let pred = Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(5));
+        let drain = |mut s: TableScan| {
+            let mut blocks = Vec::new();
+            while let Some(b) = s.next_block() {
+                blocks.push(b);
+            }
+            blocks
+        };
+        let nblocks = 5000usize.div_ceil(BLOCK_ROWS);
+        for pushed in [false, true] {
+            let build = |range: Option<(usize, usize)>| {
+                let mut s = TableScan::new(Arc::clone(&t));
+                if pushed {
+                    s = s.with_pushed_quiet(pred.clone(), false);
+                }
+                if let Some((lo, hi)) = range {
+                    s = s.with_block_range(lo, hi);
+                }
+                s
+            };
+            let whole = drain(build(None));
+            for split in [1usize, 2, 3, nblocks] {
+                let mut pieces = Vec::new();
+                let mut at = 0usize;
+                while at < nblocks {
+                    let hi = (at + split).min(nblocks);
+                    pieces.extend(drain(build(Some((at, hi)))));
+                    at = hi;
+                }
+                // Ranges align on decompression-block boundaries, so
+                // the concatenated ranged scans must emit the *same
+                // blocks* as the whole scan — the property the morsel
+                // executor's byte-identity guarantee rests on.
+                assert_eq!(pieces.len(), whole.len(), "pushed={pushed} split={split}");
+                for (i, (p, w)) in pieces.iter().zip(&whole).enumerate() {
+                    assert_eq!(p.len, w.len, "pushed={pushed} split={split} block={i}");
+                    assert_eq!(
+                        p.columns, w.columns,
+                        "pushed={pushed} split={split} block={i}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

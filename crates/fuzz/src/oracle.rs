@@ -9,7 +9,9 @@
 //!   a time), `kernel_diff` (compressed-domain kernel vs forced fallback
 //!   vs a plain Filter), `paged_diff` (paged v2 re-open vs the eager
 //!   in-memory table), `parallel_diff` (exchange routing modes and the §8
-//!   parallel indexed rollup vs serial execution), and
+//!   parallel indexed rollup vs serial execution), `morsel_parallel_diff`
+//!   (the whole plan at morsel degrees {2, 4, 8} vs serial — byte-for-byte,
+//!   blocks and metadata claims, not merely the same multiset), and
 //!   [`crate::delta_oracle::delta_diff`] (merge-on-read over a mutated
 //!   delta store vs a from-scratch rebuild of the final logical table).
 //! * **Metamorphic** — `tlp_partition` (SQLancer-style predicate
@@ -102,6 +104,7 @@ pub fn run_case(spec: &CaseSpec) -> CaseReport {
         kernel_diff(spec, &table, &mut ds);
         paged_diff(spec, &table, &mut ds);
         parallel_diff(spec, &table, &mut ds);
+        morsel_parallel_diff(spec, &table, &mut ds);
         tlp_partition(spec, &table, &mut ds);
         reencode_invariance(spec, &table, &mut ds);
         crate::delta_oracle::delta_diff(spec, &table, &mut ds);
@@ -248,6 +251,7 @@ fn opts(
         index_tables,
         ordered_retrieval,
         kernel_pushdown,
+        parallelism: 1,
     }
 }
 
@@ -498,6 +502,51 @@ pub fn parallel_diff(spec: &CaseSpec, table: &Arc<Table>, ds: &mut Vec<Discrepan
                 oracle: "parallel-diff",
                 detail: d,
             });
+        }
+    }
+}
+
+/// Morsel-driven parallel pipelines vs serial: the full plan at degrees
+/// {2, 4, 8} must be **byte-identical** to the serial run — the same
+/// blocks in the same order with the same values, and the same
+/// output-schema metadata claims — not merely the same multiset. The
+/// planner's serial fallbacks are part of the contract: a shape the
+/// morsel executor cannot run whole must lower to the identical serial
+/// pipeline, so this oracle applies to every generated plan.
+pub fn morsel_parallel_diff(spec: &CaseSpec, table: &Arc<Table>, ds: &mut Vec<Discrepancy>) {
+    let (serial_schema, serial_blocks) = spec.apply_plan(Query::scan(table)).run();
+    for degree in [2usize, 4, 8] {
+        let (schema, blocks) = spec
+            .apply_plan(Query::scan(table))
+            .with_parallelism(degree)
+            .run();
+        let mut push = |detail: String| {
+            ds.push(Discrepancy {
+                oracle: "morsel-parallel",
+                detail: format!("degree {degree}: {detail}"),
+            });
+        };
+        // Schema equality covers names, dtypes, reprs and every metadata
+        // claim the parallel plan makes about its output.
+        if format!("{serial_schema:?}") != format!("{schema:?}") {
+            push(format!(
+                "output schema diverged: serial {serial_schema:?} vs parallel {schema:?}"
+            ));
+            continue;
+        }
+        if blocks.len() != serial_blocks.len() {
+            push(format!(
+                "block count {} vs serial {}",
+                blocks.len(),
+                serial_blocks.len()
+            ));
+            continue;
+        }
+        for (i, (a, b)) in serial_blocks.iter().zip(&blocks).enumerate() {
+            if a.len != b.len || a.columns != b.columns {
+                push(format!("block {i} differs from serial"));
+                break;
+            }
         }
     }
 }

@@ -835,6 +835,44 @@ pub fn pool_metrics() -> &'static PoolMetrics {
     })
 }
 
+/// Pre-resolved morsel-scheduler instruments (tde-exec::morsel). One
+/// resolution per process; workers touch only relaxed atomics.
+#[derive(Debug, Clone)]
+pub struct MorselMetrics {
+    /// `tde_morsels_dispatched_total` — morsels executed by workers.
+    pub dispatched: Arc<Counter>,
+    /// `tde_morsels_stolen_total` — morsels taken from another worker's
+    /// deque (dispatch-overlap: every stolen morsel is also dispatched).
+    pub stolen: Arc<Counter>,
+    /// `tde_morsel_worker_busy_ns` — per-morsel worker busy time.
+    pub worker_busy_ns: Arc<Histogram>,
+    /// `tde_parallel_queries_total` — queries that ran a morsel pipeline.
+    pub parallel_queries: Arc<Counter>,
+}
+
+/// The process-wide morsel-scheduler instruments.
+pub fn morsel_metrics() -> &'static MorselMetrics {
+    static M: OnceLock<MorselMetrics> = OnceLock::new();
+    M.get_or_init(|| MorselMetrics {
+        dispatched: GLOBAL.counter(
+            "tde_morsels_dispatched_total",
+            "Morsels executed by parallel pipeline workers",
+        ),
+        stolen: GLOBAL.counter(
+            "tde_morsels_stolen_total",
+            "Morsels stolen from another worker's deque",
+        ),
+        worker_busy_ns: GLOBAL.histogram(
+            "tde_morsel_worker_busy_ns",
+            "Per-morsel worker busy time in nanoseconds",
+        ),
+        parallel_queries: GLOBAL.counter(
+            "tde_parallel_queries_total",
+            "Queries executed through a morsel-parallel pipeline",
+        ),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

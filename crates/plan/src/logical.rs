@@ -126,6 +126,20 @@ pub enum LogicalPlan {
         /// Pushed-down dictionary-side work.
         inner: InnerOps,
     },
+    /// Morsel-driven parallel execution (§3.3/§8 generalized): run the
+    /// input pipeline — a scan-like leaf with a pushed predicate, a
+    /// residual filter over one, or an aggregate over either — as block
+    /// ranges claimed by `degree` work-stealing workers, followed by a
+    /// deterministic merge. Inserted by the strategic optimizer when
+    /// `OptimizerOptions::parallelism >= 2`; lowering makes the final
+    /// tactical call and may still fall back to the serial pipeline
+    /// (too few morsels, non-merge-safe aggregates).
+    Morsel {
+        /// The pipeline to parallelize.
+        input: Box<LogicalPlan>,
+        /// Worker count.
+        degree: usize,
+    },
     /// Rank join over an IndexTable (§4.2): scan `source`'s run-length
     /// column as (value, count, start) rows, apply the inner ops, then
     /// IndexedScan the qualified ranges fetching `fetch` columns. Output
@@ -150,7 +164,9 @@ impl LogicalPlan {
             LogicalPlan::Scan { columns, .. }
             | LogicalPlan::PagedScan { columns, .. }
             | LogicalPlan::MergedScan { columns, .. } => columns.clone(),
-            LogicalPlan::Filter { input, .. } => input.output_columns(),
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Morsel { input, .. } => {
+                input.output_columns()
+            }
             LogicalPlan::Project { exprs, .. } => exprs.iter().map(|(n, _)| n.clone()).collect(),
             LogicalPlan::Aggregate {
                 input,
@@ -216,7 +232,8 @@ impl LogicalPlan {
                 LogicalPlan::Filter { input, .. }
                 | LogicalPlan::Project { input, .. }
                 | LogicalPlan::Aggregate { input, .. }
-                | LogicalPlan::Sort { input, .. } => collect(input, out),
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Morsel { input, .. } => collect(input, out),
                 LogicalPlan::ExpandJoin { outer, source, .. } => {
                     collect(outer, out);
                     push(out, &source.0);
@@ -297,6 +314,10 @@ impl LogicalPlan {
             }
             LogicalPlan::Filter { input, .. } => {
                 out.push_str(&format!("{pad}Filter\n"));
+                input.explain_into(depth + 1, out);
+            }
+            LogicalPlan::Morsel { input, degree } => {
+                out.push_str(&format!("{pad}Morsel [parallel={degree}]\n"));
                 input.explain_into(depth + 1, out);
             }
             LogicalPlan::Project { input, exprs } => {

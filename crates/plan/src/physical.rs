@@ -254,6 +254,7 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
             group_by,
             aggs,
         } => lower_aggregate(input, group_by, aggs, tr),
+        LogicalPlan::Morsel { input, degree } => lower_morsel(input, *degree, tr),
         LogicalPlan::ExpandJoin {
             outer,
             column,
@@ -306,6 +307,212 @@ fn lower_aggregate(
         ));
         node.wrap(Box::new(agg))
     }
+}
+
+/// Lower a morsel-parallel pipeline (§3.3/§8 generalized). The strategic
+/// optimizer wrapped an eligible shape; this makes the tactical call:
+/// decompose the pipeline into (ranged scan source, composed predicate,
+/// optional aggregate), require merge-exact aggregates and enough
+/// morsels to occupy the workers, and fall back to the serial lowering
+/// — with a decision event either way — when it declines.
+fn lower_morsel(input_plan: &LogicalPlan, degree: usize, tr: Tracer<'_>) -> BoxOp {
+    match build_morsel(input_plan, degree) {
+        Ok((exec, what)) => {
+            tde_obs::metrics::decision("parallelism", "morsel-parallel");
+            tde_obs::emit(|| tde_obs::Event::Decision {
+                point: "parallelism",
+                choice: format!("morsel-parallel(degree={})", exec.degree()),
+                reason: format!(
+                    "{} morsel(s) across {} workers, deterministic merge",
+                    exec.morsel_count(),
+                    exec.degree()
+                ),
+            });
+            let node = tr.node(format!(
+                "Morsel{what} [parallel={}] morsels={}",
+                exec.degree(),
+                exec.morsel_count()
+            ));
+            node.wrap(Box::new(exec))
+        }
+        Err(reason) => {
+            tde_obs::metrics::decision("parallelism", "serial");
+            tde_obs::emit(|| tde_obs::Event::Decision {
+                point: "parallelism",
+                choice: "serial".to_string(),
+                reason: reason.clone(),
+            });
+            lower(input_plan, tr)
+        }
+    }
+}
+
+/// Decompose a morsel-eligible pipeline and build its executor, or
+/// explain (in the `Err`) why it must stay serial.
+fn build_morsel(
+    input_plan: &LogicalPlan,
+    degree: usize,
+) -> Result<(tde_exec::morsel::MorselExec, &'static str), String> {
+    use tde_exec::morsel::{merge_safe, MorselExec, MorselPipeline, MorselSource};
+
+    fn scan_parts(plan: &LogicalPlan) -> Result<(MorselSource, Option<Expr>), String> {
+        match plan {
+            LogicalPlan::Scan {
+                table,
+                columns,
+                expand_dictionaries,
+                predicate,
+            } => {
+                let handles = columns
+                    .iter()
+                    .map(|n| {
+                        table
+                            .column_index(n)
+                            .map(|idx| ColumnHandle::Shared {
+                                table: table.clone(),
+                                idx,
+                            })
+                            .ok_or_else(|| format!("no column {n:?} in table"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((
+                    MorselSource::Table {
+                        handles,
+                        expand: *expand_dictionaries,
+                    },
+                    predicate.clone(),
+                ))
+            }
+            LogicalPlan::PagedScan {
+                table,
+                columns,
+                expand_dictionaries,
+                predicate,
+            } => {
+                let handles = columns
+                    .iter()
+                    .map(|n| {
+                        table
+                            .column(n)
+                            .map(ColumnHandle::Owned)
+                            .map_err(|e| format!("paged column {n:?}: {e}"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((
+                    MorselSource::Table {
+                        handles,
+                        expand: *expand_dictionaries,
+                    },
+                    predicate.clone(),
+                ))
+            }
+            LogicalPlan::MergedScan {
+                source,
+                columns,
+                expand_dictionaries,
+                predicate,
+            } => {
+                let cols = columns
+                    .iter()
+                    .map(|n| {
+                        source
+                            .index_of(n)
+                            .ok_or_else(|| format!("no column {n:?} in merged source"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok((
+                    MorselSource::Merged {
+                        source: Arc::clone(source),
+                        columns: cols,
+                        expand: *expand_dictionaries,
+                    },
+                    predicate.clone(),
+                ))
+            }
+            _ => Err("pipeline does not bottom out in a rangeable scan".to_string()),
+        }
+    }
+
+    // A residual filter composes with any predicate the kernel-pushdown
+    // rewrite already folded into the scan: conjunction over the same
+    // source schema, evaluated per block — row-identical to the stacked
+    // Filter operator (which also drops fully-filtered blocks).
+    let and = |prior: Option<Expr>, p: &Expr| match prior {
+        Some(q) => Expr::And(Box::new(q), Box::new(p.clone())),
+        None => p.clone(),
+    };
+    let (source, predicate, agg) = match input_plan {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let (source, predicate) = match input.as_ref() {
+                LogicalPlan::Filter {
+                    input,
+                    predicate: p,
+                } => {
+                    let (s, prior) = scan_parts(input)?;
+                    (s, Some(and(prior, p)))
+                }
+                p => scan_parts(p)?,
+            };
+            (source, predicate, Some((group_by.clone(), aggs.clone())))
+        }
+        LogicalPlan::Filter {
+            input,
+            predicate: p,
+        } => {
+            let (s, prior) = scan_parts(input)?;
+            (s, Some(and(prior, p)), None)
+        }
+        p => {
+            let (s, predicate) = scan_parts(p)?;
+            (s, predicate, None)
+        }
+    };
+    // Probe run: resolves the source schema and the morsel count without
+    // committing to a pipeline.
+    let probe = MorselExec::new(source.clone(), None, MorselPipeline::Emit, 1);
+    if probe.morsel_count() < 2 {
+        return Err(format!(
+            "{} morsel(s): nothing to spread across workers",
+            probe.morsel_count()
+        ));
+    }
+    let (pipeline, what) = match agg {
+        None => (MorselPipeline::Emit, "Scan"),
+        Some((group_cols, aggs)) => {
+            if !merge_safe(probe.source_schema(), &aggs) {
+                return Err(
+                    "Sum over a Real column is order-dependent; partials do not merge exactly"
+                        .to_string(),
+                );
+            }
+            // The same tactical test the serial lowering applies: ordered
+            // (sandwiched) aggregation when the single group key is known
+            // sorted, hash aggregation otherwise (§4.2.2).
+            let keys: Vec<&Field> = group_cols
+                .iter()
+                .map(|&c| &probe.source_schema().fields[c])
+                .collect();
+            if group_cols.len() == 1 && tde_exec::tactical::can_aggregate_ordered(&keys) {
+                (
+                    MorselPipeline::OrderedAgg { group_cols, aggs },
+                    "OrderedAggregate",
+                )
+            } else {
+                (
+                    MorselPipeline::HashAgg { group_cols, aggs },
+                    "HashAggregate",
+                )
+            }
+        }
+    };
+    Ok((
+        MorselExec::new(source, predicate.map(|p| (p, false)), pipeline, degree),
+        what,
+    ))
 }
 
 /// Tactical choice for a grand total over a single run-length column:
@@ -598,6 +805,7 @@ mod tests {
                 index_tables: false,
                 ordered_retrieval: false,
                 kernel_pushdown: false,
+                parallelism: 1,
             },
         );
         // Plan 2: indexed scan, hash aggregation.
@@ -632,6 +840,77 @@ mod tests {
             .aggregate(vec![0], vec![AggSpec::new(AggFunc::Count, 1, "n")])
             .build();
         assert_eq!(agg_results(&opt), agg_results(&control));
+    }
+
+    #[test]
+    fn morsel_plan_matches_serial_and_labels_parallelism() {
+        let t = rle_table(100_000, 100);
+        let query = |t: &Arc<Table>| {
+            PlanBuilder::scan(t)
+                .filter(Expr::cmp(CmpOp::Gt, Expr::col(1), Expr::int(500)))
+                .aggregate(vec![0], vec![AggSpec::new(AggFunc::Max, 1, "mx")])
+                .build()
+        };
+        let serial = optimize(query(&t), OptimizerOptions::default());
+        let parallel = optimize(
+            query(&t),
+            OptimizerOptions {
+                parallelism: 4,
+                ..Default::default()
+            },
+        );
+        assert!(
+            parallel.explain().contains("Morsel"),
+            "{}",
+            parallel.explain()
+        );
+        let (ss, sb) = run(&serial);
+        let (ps, pb) = run(&parallel);
+        assert_eq!(ss.fields.len(), ps.fields.len());
+        // Byte-identical: same blocks, same order.
+        assert_eq!(sb.len(), pb.len());
+        for (a, b) in sb.iter().zip(&pb) {
+            assert_eq!(a.len, b.len);
+            assert_eq!(a.columns, b.columns);
+        }
+        // The traced operator label carries the degree.
+        let trace = Arc::new(tde_obs::Trace::new());
+        let mut op = execute_traced(&parallel, &trace);
+        while op.next_block().is_some() {}
+        let labels: Vec<String> = trace.nodes().iter().map(|n| n.label.clone()).collect();
+        assert!(
+            labels.iter().any(|l| l.contains("[parallel=4]")),
+            "{labels:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_input_falls_back_to_serial() {
+        // One morsel's worth of rows: lowering declines parallelism.
+        let t = rle_table(1000, 10);
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(1), Expr::int(100)))
+            .build();
+        let opt = optimize(
+            plan,
+            OptimizerOptions {
+                parallelism: 8,
+                ..Default::default()
+            },
+        );
+        assert!(opt.explain().contains("Morsel"));
+        let trace = Arc::new(tde_obs::Trace::new());
+        let mut op = execute_traced(&opt, &trace);
+        let mut rows = 0;
+        while let Some(b) = op.next_block() {
+            rows += b.len;
+        }
+        assert!(rows > 0);
+        let labels: Vec<String> = trace.nodes().iter().map(|n| n.label.clone()).collect();
+        assert!(
+            !labels.iter().any(|l| l.contains("[parallel=")),
+            "expected serial fallback, got {labels:?}"
+        );
     }
 
     #[test]

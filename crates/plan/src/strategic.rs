@@ -44,6 +44,11 @@ pub struct OptimizerOptions {
     /// affine ranges, min/max block elision. Applies after the invisible
     /// join and index-table rules decline.
     pub kernel_pushdown: bool,
+    /// Morsel-parallel execution degree: with `parallelism >= 2` a
+    /// top-level pipeline the morsel executor can run (scan → pushed
+    /// filter → aggregate) is wrapped in a [`LogicalPlan::Morsel`] node.
+    /// `1` (the default) keeps every pipeline serial.
+    pub parallelism: usize,
 }
 
 impl Default for OptimizerOptions {
@@ -53,12 +58,20 @@ impl Default for OptimizerOptions {
             index_tables: true,
             ordered_retrieval: true,
             kernel_pushdown: true,
+            parallelism: 1,
         }
     }
 }
 
-/// Apply the strategic rewrites bottom-up.
+/// Apply the strategic rewrites bottom-up, then (root only) the
+/// morsel-parallel wrap.
 pub fn optimize(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
+    rewrite_morsel(optimize_inner(plan, opts), opts)
+}
+
+/// The recursive rewrite pass (everything except the root-only morsel
+/// wrap, which must not fire on interior nodes).
+fn optimize_inner(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
     let plan = rewrite_children(plan, opts);
     let plan = rewrite_filter_pushdown(plan, opts);
     rewrite_ordered_retrieval(plan, opts)
@@ -67,11 +80,11 @@ pub fn optimize(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
 fn rewrite_children(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
     match plan {
         LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
-            input: Box::new(optimize(*input, opts)),
+            input: Box::new(optimize_inner(*input, opts)),
             predicate,
         },
         LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
-            input: Box::new(optimize(*input, opts)),
+            input: Box::new(optimize_inner(*input, opts)),
             exprs,
         },
         LogicalPlan::Aggregate {
@@ -79,15 +92,53 @@ fn rewrite_children(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
             group_by,
             aggs,
         } => LogicalPlan::Aggregate {
-            input: Box::new(optimize(*input, opts)),
+            input: Box::new(optimize_inner(*input, opts)),
             group_by,
             aggs,
         },
         LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
-            input: Box::new(optimize(*input, opts)),
+            input: Box::new(optimize_inner(*input, opts)),
             keys,
         },
         other => other,
+    }
+}
+
+/// A scan the morsel executor can range over block-by-block.
+fn scan_like(plan: &LogicalPlan) -> bool {
+    matches!(
+        plan,
+        LogicalPlan::Scan { .. } | LogicalPlan::PagedScan { .. } | LogicalPlan::MergedScan { .. }
+    )
+}
+
+/// Morsel-parallel wrap (§3.3/§8 generalized): with `parallelism >= 2`,
+/// wrap a pipeline the morsel executor can run whole — a scan-like leaf
+/// with a pushed predicate, a residual filter over one, or an aggregate
+/// over either — in a [`LogicalPlan::Morsel`] node. Applied at the root
+/// only, after the other rewrites have settled the pipeline's shape.
+/// Lowering makes the final tactical call (merge-safety of the
+/// aggregates, morsel count) and may still fall back to serial.
+fn rewrite_morsel(plan: LogicalPlan, opts: OptimizerOptions) -> LogicalPlan {
+    let eligible = match &plan {
+        // A bare scan without a predicate gains nothing from
+        // parallelism: the work is a copy, dominated by the merge.
+        LogicalPlan::Scan { predicate, .. }
+        | LogicalPlan::PagedScan { predicate, .. }
+        | LogicalPlan::MergedScan { predicate, .. } => predicate.is_some(),
+        LogicalPlan::Filter { input, .. } => scan_like(input),
+        LogicalPlan::Aggregate { input, .. } => match input.as_ref() {
+            LogicalPlan::Filter { input, .. } => scan_like(input),
+            p => scan_like(p),
+        },
+        _ => false,
+    };
+    if opts.parallelism < 2 || !eligible {
+        return plan;
+    }
+    LogicalPlan::Morsel {
+        input: Box::new(plan),
+        degree: opts.parallelism,
     }
 }
 
@@ -478,9 +529,56 @@ mod tests {
                 index_tables: false,
                 ordered_retrieval: false,
                 kernel_pushdown: false,
+                parallelism: 1,
             },
         );
         assert!(matches!(opt, LogicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn parallelism_wraps_eligible_pipelines_in_morsel() {
+        let t = rle_table();
+        let opts = OptimizerOptions {
+            parallelism: 4,
+            ..Default::default()
+        };
+        // Aggregate over a kernel-pushed scan: wrapped.
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::int(7)))
+            .aggregate(vec![1], vec![AggSpec::new(AggFunc::Max, 0, "mx")])
+            .build();
+        let opt = optimize(plan, opts);
+        match &opt {
+            LogicalPlan::Morsel { input, degree } => {
+                assert_eq!(*degree, 4);
+                assert!(matches!(**input, LogicalPlan::Aggregate { .. }));
+            }
+            other => panic!("expected Morsel wrap, got {other:?}"),
+        }
+        assert!(
+            opt.explain().contains("Morsel [parallel=4]"),
+            "{}",
+            opt.explain()
+        );
+
+        // A bare scan without a predicate is not worth parallelizing.
+        let plan = PlanBuilder::scan(&t).build();
+        assert!(!optimize(plan, opts).explain().contains("Morsel"));
+
+        // Pipelines the morsel executor cannot run whole (here: the
+        // filter becomes an IndexedScan join) stay serial.
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Gt, Expr::col(0), Expr::int(80)))
+            .build();
+        let opt = optimize(plan, opts);
+        assert!(!opt.explain().contains("Morsel"), "{}", opt.explain());
+
+        // parallelism = 1 never wraps.
+        let plan = PlanBuilder::scan(&t)
+            .filter(Expr::cmp(CmpOp::Eq, Expr::col(1), Expr::int(7)))
+            .build();
+        let opt = optimize(plan, OptimizerOptions::default());
+        assert!(!opt.explain().contains("Morsel"));
     }
 
     #[test]

@@ -55,4 +55,19 @@ fn main() {
 
     println!("{report}");
     println!("== json ==\n{}", report.to_json());
+
+    // The same rollup shape without the dictionary rewrite, asked to
+    // run morsel-parallel: the strategic optimizer wraps the pipeline
+    // in a `Morsel` node, the tactical layer carves the scan into
+    // decompression-block morsels, and the operator labels carry the
+    // degree actually used.
+    let parallel = Query::scan(&table)
+        .filter(Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::int(48)))
+        .aggregate(
+            vec![0],
+            vec![(AggFunc::Sum, 1, "total"), (AggFunc::Count, 1, "n")],
+        )
+        .with_parallelism(4)
+        .explain_analyze();
+    println!("== morsel-parallel ==\n{parallel}");
 }

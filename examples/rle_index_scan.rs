@@ -83,6 +83,7 @@ fn main() {
         index_tables: false,
         ordered_retrieval: false,
         kernel_pushdown: false,
+        parallelism: 1,
     };
     let indexed = OptimizerOptions {
         ordered_retrieval: false,

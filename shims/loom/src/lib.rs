@@ -1,0 +1,65 @@
+//! Offline shim for the `loom` crate.
+//!
+//! Real loom exhaustively explores thread interleavings by intercepting
+//! every atomic/sync operation through its `loom::sync` types and
+//! re-running the model body under a schedule enumerator. This shim keeps
+//! the same surface — `loom::model(...)`, `loom::thread`, `loom::sync` —
+//! but backs it with **bounded-iteration stress**: the body runs many
+//! times with real OS threads on the real `std` primitives, so schedules
+//! are sampled rather than enumerated.
+//!
+//! Tests written against this shim compile unchanged against real loom
+//! (the re-exported std types are API-compatible), where they upgrade
+//! from sampled to exhaustive exploration. Keep model bodies small and
+//! assertion-dense: what loom proves, the shim only probes.
+
+/// How many times [`model`] re-runs its body. Override with
+/// `LOOM_SHIM_ITERS` (real loom ignores the variable, so CI can set it
+/// unconditionally).
+pub fn iterations() -> usize {
+    std::env::var("LOOM_SHIM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200)
+}
+
+/// Run `f` repeatedly, sampling thread interleavings. Signature matches
+/// `loom::model` so callers swap between the shim and the real crate
+/// without edits.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..iterations() {
+        f();
+    }
+}
+
+/// `loom::thread` — the std threading API, unmocked.
+pub mod thread {
+    pub use std::thread::*;
+}
+
+/// `loom::sync` — the std sync primitives, unmocked.
+pub mod sync {
+    pub use std::sync::*;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn model_runs_and_spawns() {
+        std::env::set_var("LOOM_SHIM_ITERS", "3");
+        let hits = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let h2 = hits.clone();
+        super::model(move || {
+            let h = h2.clone();
+            super::thread::spawn(move || {
+                h.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            })
+            .join()
+            .unwrap();
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 3);
+    }
+}

@@ -332,6 +332,7 @@ proptest! {
             index_tables: false,
             ordered_retrieval: false,
             kernel_pushdown: true,
+            parallelism: 1,
         };
         let none = OptimizerOptions {
             kernel_pushdown: false,

@@ -100,6 +100,7 @@ proptest! {
             index_tables: false,
             ordered_retrieval: false,
             kernel_pushdown: false,
+            parallelism: 1,
         });
         prop_assert_eq!(clever, naive);
     }

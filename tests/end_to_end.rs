@@ -226,6 +226,7 @@ fn optimizer_plans_agree_on_flights() {
         index_tables: false,
         ordered_retrieval: false,
         kernel_pushdown: false,
+        parallelism: 1,
     });
     assert_eq!(clever, naive);
     assert!(matches!(clever[0][0], Value::Int(n) if n > 0));
@@ -256,6 +257,7 @@ fn string_predicate_pushdown_agrees() {
         index_tables: false,
         ordered_retrieval: false,
         kernel_pushdown: false,
+        parallelism: 1,
     });
     assert_eq!(clever, naive);
     assert!(clever > 0);

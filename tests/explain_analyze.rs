@@ -258,6 +258,7 @@ fn run_aggregate_decision_is_recorded() {
             index_tables: false,
             ordered_retrieval: false,
             kernel_pushdown: true,
+            parallelism: 1,
         })
         .explain_analyze();
     assert_eq!(report.row_count, 1);
