@@ -95,6 +95,22 @@ impl Extract {
         tde_pager::save_v2_atomic(&self.db, path)
     }
 
+    /// As [`Extract::save_paged`], with every filesystem operation routed
+    /// through an explicit [`tde_io::StorageIo`] backend — the seam the
+    /// crash-consistency harness uses to inject faults into saves.
+    pub fn save_paged_with_io(
+        &self,
+        path: impl AsRef<Path>,
+        storage: &dyn tde_io::StorageIo,
+    ) -> io::Result<()> {
+        tde_pager::save_v2_with_aux_atomic_io(
+            &self.db,
+            &std::collections::HashMap::new(),
+            path,
+            storage,
+        )
+    }
+
     /// Open a v2 paged file lazily: only the directory is read now;
     /// column segments load on first touch through the buffer pool.
     pub fn open_paged(path: impl AsRef<Path>) -> io::Result<tde_pager::PagedDatabase> {

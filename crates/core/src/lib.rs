@@ -21,6 +21,7 @@ pub use query::{CacheReport, ExplainAnalyze, Query};
 pub use tde_datagen as datagen;
 pub use tde_encodings as encodings;
 pub use tde_exec as exec;
+pub use tde_io as io;
 pub use tde_obs as obs;
 pub use tde_pager as pager;
 pub use tde_plan as plan;

@@ -165,12 +165,22 @@ impl Query {
     /// caused. With neither active the only cost is two relaxed atomic
     /// loads.
     pub fn run(self) -> (Schema, Vec<Block>) {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("query execution failed: {e}"))
+    }
+
+    /// As [`Query::run`], but surfacing I/O and corruption faults —
+    /// failed demand loads, segment checksum mismatches — as errors
+    /// instead of panicking. The error is the underlying
+    /// [`std::io::Error`]; use [`tde_io::checksum_mismatch_details`] to
+    /// recognise corruption specifically.
+    pub fn try_run(self) -> std::io::Result<(Schema, Vec<Block>)> {
         use tde_obs::{metrics, span};
         let metrics_on = metrics::enabled();
         let span_on = span::span_sink_installed();
         if !metrics_on && !span_on {
             let plan = self.plan();
-            return tde_plan::physical::run(&plan);
+            return tde_plan::physical::try_run(&plan);
         }
         // Counter deltas are process-wide: concurrent queries fold into
         // each other's spans (exact attribution needs explain_analyze).
@@ -178,7 +188,7 @@ impl Query {
         let t0 = Instant::now();
         let plan = self.plan();
         let plan_ns = t0.elapsed().as_nanos() as u64;
-        let (schema, blocks) = tde_plan::physical::run(&plan);
+        let (schema, blocks) = tde_plan::physical::try_run(&plan)?;
         let elapsed_ns = t0.elapsed().as_nanos() as u64;
         let rows: u64 = blocks.iter().map(|b| b.len as u64).sum();
         if metrics_on {
@@ -202,7 +212,7 @@ impl Query {
                 counters,
             });
         }
-        (schema, blocks)
+        Ok((schema, blocks))
     }
 
     /// Execute with full instrumentation: every physical operator is
@@ -261,7 +271,14 @@ impl Query {
 
     /// Execute, returning typed value rows (convenient, not fast).
     pub fn rows(self) -> Vec<Vec<Value>> {
-        let (schema, blocks) = self.run();
+        self.try_rows()
+            .unwrap_or_else(|e| panic!("query execution failed: {e}"))
+    }
+
+    /// As [`Query::rows`], surfacing I/O and corruption faults as
+    /// errors; see [`Query::try_run`].
+    pub fn try_rows(self) -> std::io::Result<Vec<Vec<Value>>> {
+        let (schema, blocks) = self.try_run()?;
         let mut rows = Vec::new();
         for b in &blocks {
             for r in 0..b.len {
@@ -272,7 +289,7 @@ impl Query {
                 );
             }
         }
-        rows
+        Ok(rows)
     }
 }
 

@@ -31,7 +31,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tde_exec::flow_table::{flow_table, FlowTableOptions};
 use tde_exec::merged_scan::{MergedScan, MergedSource};
-use tde_pager::{save_v2_with_aux_atomic, PagedDatabase, PagedTable, TableAux};
+use tde_io::StorageIo;
+use tde_pager::{save_v2_with_aux_atomic_io, PagedDatabase, PagedTable, PoolConfig, TableAux};
 use tde_storage::{Database, EncodingPolicy, Table};
 
 impl DeltaTable {
@@ -97,6 +98,10 @@ pub struct DeltaExtract {
     db: PagedDatabase,
     deltas: HashMap<String, DeltaTable>,
     config: DeltaConfig,
+    /// Backend for every read and (re)save of this extract; persists
+    /// across [`DeltaExtract::save`] reopens so fault-injection tests
+    /// cover the whole lifecycle.
+    storage: Arc<dyn StorageIo>,
 }
 
 impl DeltaExtract {
@@ -108,8 +113,19 @@ impl DeltaExtract {
 
     /// As [`DeltaExtract::open`] with an explicit buffer budget.
     pub fn open_with(path: impl AsRef<Path>, config: DeltaConfig) -> io::Result<DeltaExtract> {
+        DeltaExtract::open_with_io(path, config, Arc::new(tde_io::RealIo))
+    }
+
+    /// As [`DeltaExtract::open_with`], with every filesystem operation —
+    /// the open itself, demand loads, atomic saves and their reopens —
+    /// routed through the given [`StorageIo`] backend.
+    pub fn open_with_io(
+        path: impl AsRef<Path>,
+        config: DeltaConfig,
+        storage: Arc<dyn StorageIo>,
+    ) -> io::Result<DeltaExtract> {
         let path = path.as_ref().to_path_buf();
-        let db = PagedDatabase::open(&path)?;
+        let db = PagedDatabase::open_with_io(&path, PoolConfig::default(), &*storage)?;
         let mut deltas = HashMap::new();
         let names: Vec<String> = db.table_names().iter().map(|s| s.to_string()).collect();
         for name in names {
@@ -132,6 +148,7 @@ impl DeltaExtract {
             db,
             deltas,
             config,
+            storage,
         })
     }
 
@@ -217,8 +234,8 @@ impl DeltaExtract {
                 },
             );
         }
-        save_v2_with_aux_atomic(&out, &aux, &self.path)?;
-        self.db = PagedDatabase::open(&self.path)?;
+        save_v2_with_aux_atomic_io(&out, &aux, &self.path, &*self.storage)?;
+        self.db = PagedDatabase::open_with_io(&self.path, PoolConfig::default(), &*self.storage)?;
         self.deltas.retain(|_, dt| !dt.is_clean());
         for (name, dt) in &mut self.deltas {
             let pt = self.db.table(name).expect("saved table resolves");

@@ -63,6 +63,8 @@ pub fn eligible_injection_column(spec: &CaseSpec, kind: spec::InjectKind) -> Opt
                 vals.len() >= 2 && !vals.windows(2).all(|w| w[1].wrapping_sub(w[0]) == 1)
             }
             InjectKind::MinMax => !vals.is_empty(),
+            // Any stored integer column has a stream segment to corrupt.
+            InjectKind::SegmentByte => !vals.is_empty(),
         }
     })
 }
@@ -114,5 +116,43 @@ mod tests {
             }
         }
         assert!(found, "no generated case caught the injected sorted claim");
+    }
+
+    #[test]
+    fn an_injected_segment_byte_is_always_caught() {
+        use spec::{InjectKind, Injection};
+        // Every eligible seed must be caught: the checksum's per-byte FNV
+        // step is a bijection, so a single-byte substitution can never
+        // collide — 100% detection is the contract, not a statistic.
+        let mut eligible = 0;
+        for seed in 0..24 {
+            let mut spec = gen::generate(seed);
+            let Some(col) = eligible_injection_column(&spec, InjectKind::SegmentByte) else {
+                continue;
+            };
+            spec.inject = Some(Injection {
+                column: col,
+                kind: InjectKind::SegmentByte,
+            });
+            if spec.validate().is_err() {
+                continue;
+            }
+            eligible += 1;
+            let report = run_case_catching(&spec);
+            assert!(
+                !report.clean(),
+                "seed {seed}: segment-byte corruption got past the checksum\ncase:\n{}",
+                spec.to_text()
+            );
+            assert!(
+                report
+                    .discrepancies
+                    .iter()
+                    .all(|d| d.oracle == "segment-byte"),
+                "seed {seed}: unexpected oracle fired: {:?}",
+                report.discrepancies
+            );
+        }
+        assert!(eligible >= 8, "only {eligible} eligible seeds in 0..24");
     }
 }

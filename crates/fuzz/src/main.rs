@@ -29,7 +29,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tde-fuzz [--seeds A..B] [--inject sorted-claim|dense-unique|min-max]\n\
+        "usage: tde-fuzz [--seeds A..B] [--inject sorted-claim|dense-unique|min-max|segment-byte]\n\
          \x20               [--corpus-dir DIR] [--time-box-secs N] [--shrink-budget N]\n\
          \x20               [--replay FILE]"
     );

@@ -30,7 +30,7 @@
 //! reorder rows. Where an operator *does* guarantee order (kernel scans,
 //! order-preserving exchange) the comparison is exact.
 
-use crate::spec::{CaseSpec, ColDtype, PlanOpSpec, Policy, PredSpec};
+use crate::spec::{CaseSpec, ColDtype, InjectKind, PlanOpSpec, Policy, PredSpec};
 use std::cmp::Ordering;
 use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
@@ -98,6 +98,19 @@ pub fn run_case(spec: &CaseSpec) -> CaseReport {
         };
     }
     let table = spec.build_table();
+    // A segment-byte injection corrupts nothing in memory — the in-memory
+    // oracles would report clean and wrongly count the case as missed.
+    // Only the on-disk checksum oracle can bite, so only it runs.
+    if matches!(
+        spec.inject,
+        Some(inj) if inj.kind == InjectKind::SegmentByte
+    ) {
+        segment_byte_corruption(spec, &table, &mut ds);
+        return CaseReport {
+            discrepancies: ds,
+            trace: None,
+        };
+    }
     metadata_invariant(spec, &table, &mut ds);
     optimizer_diff(spec, &table, &mut ds);
     if spec.inject.is_none() {
@@ -379,6 +392,87 @@ pub fn paged_diff(spec: &CaseSpec, table: &Arc<Table>, ds: &mut Vec<Discrepancy>
             oracle: "paged-diff",
             detail,
         });
+    }
+}
+
+/// Segment-byte checksum self-test: save the case's table as v2, flip one
+/// seed-derived byte inside the injected column's on-disk stream extent,
+/// and demand-load that column. The per-segment checksum must refuse the
+/// corrupt bytes with a `ChecksumMismatch` — that refusal is the "caught"
+/// discrepancy. A silent load, or corrupt bytes surfacing as anything
+/// other than a checksum error (a decoder saw them), leaves the report
+/// clean and the sweep counts the injection as missed.
+pub fn segment_byte_corruption(spec: &CaseSpec, table: &Arc<Table>, ds: &mut Vec<Discrepancy>) {
+    let Some(inj) = spec.inject else { return };
+    let col_name = spec.columns[inj.column].name.clone();
+    let dir = std::env::temp_dir().join("tde-fuzz");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        ds.push(Discrepancy {
+            oracle: "segment-byte",
+            detail: format!("infrastructure: temp dir: {e}"),
+        });
+        return;
+    }
+    let path = dir.join(format!(
+        "inject_{}_{}_{}.tde2",
+        std::process::id(),
+        spec.seed,
+        PAGED_SEQ.fetch_add(1, AtomicOrdering::Relaxed)
+    ));
+    let mut db = Database::new();
+    db.add_table((**table).clone());
+    let result = (|| -> Result<Option<Discrepancy>, String> {
+        tde_pager::save_v2(&db, &path).map_err(|e| format!("save_v2: {e}"))?;
+
+        // Locate the injected column's stream extent via the directory.
+        let paged = tde_pager::PagedDatabase::open(&path).map_err(|e| format!("open: {e}"))?;
+        let pt = paged
+            .table("t")
+            .ok_or_else(|| "table missing from v2 file".to_string())?;
+        let extent = pt
+            .column_dir(&col_name)
+            .ok_or_else(|| format!("column {col_name} missing from directory"))?
+            .stream;
+        drop(pt);
+        drop(paged);
+
+        // Flip one byte: position and substitution both derive from the
+        // seed, so a sweep exercises many offsets deterministically.
+        let mut bytes = std::fs::read(&path).map_err(|e| format!("read: {e}"))?;
+        let mix = (spec.seed ^ 0x9E37_79B9_7F4A_7C15)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .rotate_left(31);
+        let at = (extent.offset + mix % extent.len.max(1)) as usize;
+        let xor = ((mix >> 33) % 255) as u8 + 1; // never 0: always a real flip
+        bytes[at] ^= xor;
+        std::fs::write(&path, &bytes).map_err(|e| format!("rewrite: {e}"))?;
+
+        // Demand-load the corrupted column through a fresh pool.
+        let paged = tde_pager::PagedDatabase::open(&path)
+            .map_err(|e| format!("reopen after corruption: {e}"))?;
+        let pt = paged
+            .table("t")
+            .ok_or_else(|| "table missing after corruption".to_string())?;
+        match pt.column(&col_name) {
+            Err(e) if tde_io::is_checksum_mismatch(&e) => Ok(Some(Discrepancy {
+                oracle: "segment-byte",
+                detail: format!(
+                    "checksum refused corrupt segment (column {col_name}, byte {at} ^ {xor:#04x}): {e}"
+                ),
+            })),
+            // Silent success or a non-checksum error both mean the corrupt
+            // bytes got past the checksum — the sweep records a miss.
+            Ok(_) | Err(_) => Ok(None),
+        }
+    })();
+    std::fs::remove_file(&path).ok();
+    match result {
+        Ok(Some(d)) => ds.push(d),
+        Ok(None) => {}
+        Err(detail) => ds.push(Discrepancy {
+            oracle: "segment-byte",
+            detail: format!("infrastructure: {detail}"),
+        }),
     }
 }
 

@@ -350,6 +350,11 @@ pub enum InjectKind {
     DenseUnique,
     /// Claim a minimum above the true minimum (corrupt envelope).
     MinMax,
+    /// Flip one byte of the column's on-disk v2 stream segment. Unlike
+    /// the metadata kinds this corrupts nothing in memory: the storage
+    /// oracle saves the case, flips the byte, and the per-segment
+    /// checksum must refuse the reload.
+    SegmentByte,
 }
 
 impl InjectKind {
@@ -358,6 +363,7 @@ impl InjectKind {
             InjectKind::SortedClaim => "sorted",
             InjectKind::DenseUnique => "dense-unique",
             InjectKind::MinMax => "min-max",
+            InjectKind::SegmentByte => "segment-byte",
         }
     }
 
@@ -367,6 +373,7 @@ impl InjectKind {
             "sorted" | "sorted-claim" => InjectKind::SortedClaim,
             "dense-unique" | "dense" => InjectKind::DenseUnique,
             "min-max" | "minmax" => InjectKind::MinMax,
+            "segment-byte" | "segment" => InjectKind::SegmentByte,
             _ => return None,
         })
     }
@@ -613,6 +620,9 @@ fn apply_injection(col: &mut Column, kind: InjectKind) {
             let lo = col.data.decode_all().into_iter().min().unwrap_or(0);
             col.metadata.min = Some(lo.saturating_add(1));
         }
+        // The corruption happens on disk, applied by the segment-byte
+        // oracle after the save; the in-memory build stays pristine.
+        InjectKind::SegmentByte => {}
     }
 }
 

@@ -1,0 +1,335 @@
+//! Storage I/O abstraction for the paged engine.
+//!
+//! Every byte the pager reads or writes flows through a [`StorageIo`]
+//! backend. The production backend ([`RealIo`]) is a thin veneer over the
+//! filesystem: `pread` on unix, seek-under-mutex elsewhere, `fsync` and
+//! atomic `rename` for the save path. The testing backend
+//! ([`fault::FaultIo`]) wraps the same filesystem but injects seeded,
+//! deterministic faults — short reads, transient `EINTR`-style errors,
+//! `ENOSPC`, torn writes, dropped fsyncs, and a "crash at write boundary
+//! k" mode — so the crash-consistency harness can replay a save with a
+//! failure at every boundary and prove the reopen invariant (old state or
+//! new state, never a hybrid).
+//!
+//! The crate also owns the segment [`checksum`] (FNV-1a 64) and the
+//! [`ChecksumMismatch`] error the pager raises instead of handing
+//! corrupted bytes to the decoders. FNV-1a's per-byte step
+//! `h ← (h ⊕ b) · p` is a bijection on the 64-bit state for any fixed
+//! byte, so two equal-length inputs differing in any one byte *always*
+//! hash differently: single-byte corruption detection is deterministic,
+//! not probabilistic.
+//!
+//! Read retries are centralized in [`read_exact_at`]: short reads resume
+//! where they left off, transient errors are retried with bounded
+//! backoff, and every retry is counted in `tde_io_retries_total`.
+
+pub mod fault;
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+pub use fault::{FaultIo, FaultPlan, FaultStats};
+
+/// A read-only handle supporting positioned reads.
+///
+/// `read_at` has `pread` semantics: it may return fewer bytes than
+/// requested and must not disturb any shared cursor. Callers that need
+/// the whole range use [`read_exact_at`], which handles short reads and
+/// transient errors.
+#[allow(clippy::len_without_is_empty)] // fallible len: is_empty has no natural shape
+pub trait IoFile: Send + Sync + fmt::Debug {
+    /// One positioned read; may be short, may fail transiently with
+    /// [`io::ErrorKind::Interrupted`].
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize>;
+    /// Total file length in bytes.
+    fn len(&self) -> io::Result<u64>;
+}
+
+/// A write handle for the save path: sequential writes plus a durability
+/// barrier.
+pub trait IoWriter: io::Write + Send + fmt::Debug {
+    /// Flush file contents (and metadata) to stable storage.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// A storage backend: opens files for positioned reads, creates files
+/// for sequential writes, and performs the rename/unlink pair the atomic
+/// save protocol needs.
+pub trait StorageIo: Send + Sync + fmt::Debug {
+    /// Open an existing file for positioned reads.
+    fn open(&self, path: &Path) -> io::Result<Box<dyn IoFile>>;
+    /// Create (truncate) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn IoWriter>>;
+    /// Atomically replace `to` with `from` (same filesystem).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file (best-effort cleanup of temporaries).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem backend
+// ---------------------------------------------------------------------------
+
+/// The production backend: plain filesystem calls, no faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealIo;
+
+#[derive(Debug)]
+struct RealFile {
+    #[cfg(unix)]
+    file: std::fs::File,
+    #[cfg(not(unix))]
+    file: parking_lot::Mutex<std::fs::File>,
+}
+
+impl IoFile for RealFile {
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> io::Result<usize> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_at(buf, offset)
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::{Read, Seek, SeekFrom};
+            let mut f = self.file.lock();
+            f.seek(SeekFrom::Start(offset))?;
+            f.read(buf)
+        }
+    }
+
+    fn len(&self) -> io::Result<u64> {
+        #[cfg(unix)]
+        {
+            Ok(self.file.metadata()?.len())
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(self.file.lock().metadata()?.len())
+        }
+    }
+}
+
+#[derive(Debug)]
+struct RealWriter {
+    file: std::fs::File,
+}
+
+impl io::Write for RealWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file.write(buf)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+impl IoWriter for RealWriter {
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+impl StorageIo for RealIo {
+    fn open(&self, path: &Path) -> io::Result<Box<dyn IoFile>> {
+        let file = std::fs::File::open(path)?;
+        #[cfg(unix)]
+        {
+            Ok(Box::new(RealFile { file }))
+        }
+        #[cfg(not(unix))]
+        {
+            Ok(Box::new(RealFile {
+                file: parking_lot::Mutex::new(file),
+            }))
+        }
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn IoWriter>> {
+        Ok(Box::new(RealWriter {
+            file: std::fs::File::create(path)?,
+        }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Retrying reads
+// ---------------------------------------------------------------------------
+
+/// How many transient ([`io::ErrorKind::Interrupted`]) failures a single
+/// [`read_exact_at`] call absorbs before giving up.
+pub const MAX_READ_RETRIES: u32 = 8;
+
+/// Fill `buf` from `offset`, resuming short reads and retrying transient
+/// errors with bounded backoff. `op` labels the retry counter
+/// (`tde_io_retries_total{op=...}`) and the error message.
+pub fn read_exact_at(
+    f: &dyn IoFile,
+    buf: &mut [u8],
+    offset: u64,
+    op: &'static str,
+) -> io::Result<()> {
+    let mut pos = 0usize;
+    let mut retries = 0u32;
+    while pos < buf.len() {
+        match f.read_at(&mut buf[pos..], offset + pos as u64) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("unexpected end of file reading {op} segment"),
+                ))
+            }
+            Ok(n) => pos += n, // short reads just resume; progress resets nothing
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                retries += 1;
+                if retries > MAX_READ_RETRIES {
+                    return Err(io::Error::other(format!(
+                        "{op} read failed after {MAX_READ_RETRIES} retries: {e}"
+                    )));
+                }
+                tde_obs::metrics::io_retry(op);
+                if retries > 2 {
+                    // Bounded exponential backoff, capped at ~1 ms.
+                    std::thread::sleep(std::time::Duration::from_micros(1u64 << retries.min(10)));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Checksums
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit checksum over a byte slice.
+///
+/// Each step is a bijection on the hash state, so any single-byte
+/// substitution in equal-length inputs is detected deterministically.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Typed payload of a checksum-verification failure, carried inside an
+/// [`io::Error`] of kind [`io::ErrorKind::InvalidData`]. Recover it with
+/// [`checksum_mismatch_details`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChecksumMismatch {
+    /// Which segment kind failed ("stream", "dictionary", "heap",
+    /// "delta", "tombstone", "directory").
+    pub segment: &'static str,
+    /// Checksum recorded in the directory.
+    pub expected: u64,
+    /// Checksum of the bytes actually read.
+    pub actual: u64,
+}
+
+impl fmt::Display for ChecksumMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "checksum mismatch in {} segment: directory says {:#018x}, bytes hash to {:#018x}",
+            self.segment, self.expected, self.actual
+        )
+    }
+}
+
+impl std::error::Error for ChecksumMismatch {}
+
+/// Build the [`io::Error`] for a failed segment verification.
+pub fn checksum_mismatch(segment: &'static str, expected: u64, actual: u64) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        ChecksumMismatch {
+            segment,
+            expected,
+            actual,
+        },
+    )
+}
+
+/// Is this error a segment checksum failure?
+pub fn is_checksum_mismatch(e: &io::Error) -> bool {
+    checksum_mismatch_details(e).is_some()
+}
+
+/// The typed payload of a checksum failure, if this error carries one.
+pub fn checksum_mismatch_details(e: &io::Error) -> Option<&ChecksumMismatch> {
+    e.get_ref().and_then(|inner| inner.downcast_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_detects_every_single_byte_substitution() {
+        let base: Vec<u8> = (0..257u32).map(|i| (i % 251) as u8).collect();
+        let h = checksum(&base);
+        for at in 0..base.len() {
+            for delta in [1u8, 0x80, 0xFF] {
+                let mut mutated = base.clone();
+                mutated[at] = mutated[at].wrapping_add(delta);
+                assert_ne!(
+                    checksum(&mutated),
+                    h,
+                    "substitution at byte {at} (+{delta}) must change the checksum"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checksum_error_is_typed_and_recoverable() {
+        let e = checksum_mismatch("stream", 1, 2);
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert!(is_checksum_mismatch(&e));
+        let d = checksum_mismatch_details(&e).unwrap();
+        assert_eq!((d.segment, d.expected, d.actual), ("stream", 1, 2));
+        assert!(e.to_string().contains("checksum mismatch in stream"));
+        let other = io::Error::new(io::ErrorKind::InvalidData, "not a checksum error");
+        assert!(!is_checksum_mismatch(&other));
+    }
+
+    #[test]
+    fn real_io_roundtrip_and_positioned_reads() {
+        let dir = std::env::temp_dir().join("tde_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("real.bin");
+        let io = RealIo;
+        {
+            use std::io::Write;
+            let mut w = io.create(&path).unwrap();
+            w.write_all(b"hello, positioned world").unwrap();
+            w.sync_all().unwrap();
+        }
+        let f = io.open(&path).unwrap();
+        assert_eq!(f.len().unwrap(), 23);
+        let mut buf = [0u8; 10];
+        read_exact_at(&*f, &mut buf, 7, "test").unwrap();
+        assert_eq!(&buf, b"positioned");
+        // Reading past EOF is an UnexpectedEof, not a panic.
+        let mut buf = [0u8; 8];
+        let err = read_exact_at(&*f, &mut buf, 20, "test").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let renamed = dir.join("real2.bin");
+        io.rename(&path, &renamed).unwrap();
+        assert!(io.open(&path).is_err());
+        io.remove_file(&renamed).unwrap();
+    }
+}

@@ -724,6 +724,41 @@ pub fn segment_load(segment: &'static str, bytes: u64, nanos: u64) {
     segment_load_ns().observe(nanos);
 }
 
+/// Record one segment checksum-verification failure. Fires just before
+/// the pager surfaces a `ChecksumMismatch` instead of handing corrupt
+/// bytes to the decoders.
+#[inline]
+pub fn checksum_failure(segment: &'static str) {
+    GLOBAL.bump(
+        "tde_segment_checksum_failures_total",
+        "Segment checksum verification failures, by segment kind",
+        &[("segment", segment)],
+        1,
+    );
+}
+
+/// Record one transient-I/O retry absorbed by the storage read path.
+#[inline]
+pub fn io_retry(op: &'static str) {
+    GLOBAL.bump(
+        "tde_io_retries_total",
+        "Transient I/O errors retried by the storage read path, by operation",
+        &[("op", op)],
+        1,
+    );
+}
+
+/// Record one injected fault from the `FaultIo` testing backend.
+#[inline]
+pub fn io_fault_injected(kind: &'static str) {
+    GLOBAL.bump(
+        "tde_io_faults_injected_total",
+        "Faults injected by the FaultIo testing backend, by kind",
+        &[("kind", kind)],
+        1,
+    );
+}
+
 /// Pre-resolved delta-store instruments (tde-delta). Gauges track the
 /// *live* write-optimized state across every open store; counters
 /// accumulate mutation traffic over the process lifetime.

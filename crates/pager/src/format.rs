@@ -22,7 +22,8 @@
 //!                     | [dictionary extent] | [heap extent]
 //!                   aux presence u8 (bit0 delta, bit1 tombstone)
 //!                     | [delta extent] | [tombstone extent]
-//! footer (24 B):  dir offset u64 | dir len u64 | version u32 | magic
+//! footer (32 B):  dir offset u64 | dir len u64 | dir checksum u64
+//!                 | version u32 | magic
 //! ```
 //!
 //! The per-table *aux* sections carry the mutable write path (tde-delta):
@@ -32,10 +33,19 @@
 //! format belongs to `tde-delta` — but validates their extents exactly
 //! like column segments, plus a disjointness check between the pair.
 //!
-//! An *extent* is `offset u64 | len u64`. Segment offsets are multiples
-//! of [`BLOCK_ALIGN`] so demand loads are aligned reads. The directory
-//! reuses the [`tde_storage::wire`] primitives, so the per-column
-//! metadata record is byte-identical to v1's.
+//! An *extent* is `offset u64 | len u64 | checksum u64`. Segment offsets
+//! are multiples of [`BLOCK_ALIGN`] so demand loads are aligned reads.
+//! The directory reuses the [`tde_storage::wire`] primitives, so the
+//! per-column metadata record is byte-identical to v1's.
+//!
+//! **Integrity** (format version 3): every extent records the FNV-1a-64
+//! checksum of its segment bytes, computed at write time and verified by
+//! the pager on every demand load *before* the bytes reach a decoder;
+//! the footer likewise records the checksum of the directory bytes,
+//! verified at open. A mismatch surfaces as a typed
+//! [`tde_io::ChecksumMismatch`] error and bumps
+//! `tde_segment_checksum_failures_total` — corrupt bytes are never
+//! decoded into wrong answers.
 //!
 //! Like the v1 reader, everything here treats the file as untrusted:
 //! bad magic, truncation, misaligned or out-of-bounds extents and lying
@@ -53,22 +63,26 @@ use tde_types::DataType;
 
 /// Magic bytes opening (and closing) a v2 file.
 pub const MAGIC: &[u8; 4] = b"TDE2";
-/// v2 format version.
-pub const VERSION: u32 = 2;
+/// Paged format version. Version 3 added per-segment and directory
+/// checksums (widening extents to 24 bytes and the footer to 32); the
+/// reader rejects earlier versions rather than skip verification.
+pub const VERSION: u32 = 3;
 /// Segment alignment: every segment starts on a 4 KiB boundary.
 pub const BLOCK_ALIGN: u64 = 4096;
 /// Fixed header size.
 pub const HEADER_LEN: u64 = 16;
 /// Fixed footer size.
-pub const FOOTER_LEN: u64 = 24;
+pub const FOOTER_LEN: u64 = 32;
 
-/// A byte range within the file.
+/// A byte range within the file, plus the checksum of its contents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Extent {
     /// Absolute file offset (multiple of [`BLOCK_ALIGN`]).
     pub offset: u64,
     /// Length in bytes.
     pub len: u64,
+    /// FNV-1a-64 checksum of the segment bytes ([`tde_io::checksum`]).
+    pub checksum: u64,
 }
 
 /// Directory entry for one column: everything needed to rebuild the
@@ -137,6 +151,7 @@ fn write_segment(w: &mut impl Write, off: &mut u64, bytes: &[u8]) -> io::Result<
     let extent = Extent {
         offset: *off,
         len: bytes.len() as u64,
+        checksum: tde_io::checksum(bytes),
     };
     w.write_all(bytes)?;
     *off += bytes.len() as u64;
@@ -220,13 +235,15 @@ pub fn write_v2_with_aux(
         });
     }
 
-    // Directory, then footer.
+    // Directory, then footer. The footer carries the directory's own
+    // checksum so a corrupted directory is caught before parsing.
     let mut dir = Vec::new();
     write_directory(&mut dir, &tables)?;
     let dir_offset = off;
     w.write_all(&dir)?;
     w.write_all(&dir_offset.to_le_bytes())?;
     w.write_all(&(dir.len() as u64).to_le_bytes())?;
+    w.write_all(&tde_io::checksum(&dir).to_le_bytes())?;
     w.write_all(&VERSION.to_le_bytes())?;
     w.write_all(MAGIC)?;
     Ok(())
@@ -255,6 +272,23 @@ pub fn save_v2_with_aux_atomic(
     aux: &HashMap<String, TableAux>,
     path: impl AsRef<std::path::Path>,
 ) -> io::Result<()> {
+    save_v2_with_aux_atomic_io(db, aux, path, &tde_io::RealIo)
+}
+
+/// As [`save_v2_with_aux_atomic`], with every filesystem operation routed
+/// through the given [`StorageIo`] backend — the seam the
+/// crash-consistency harness injects faults through.
+///
+/// On *every* error path — create, write (including ENOSPC), fsync, and
+/// rename — the temporary file is removed through the same backend; only
+/// a crash-dead backend (which by design refuses the unlink too) can
+/// strand it, exactly as a real crash would.
+pub fn save_v2_with_aux_atomic_io(
+    db: &Database,
+    aux: &HashMap<String, TableAux>,
+    path: impl AsRef<std::path::Path>,
+    storage: &dyn tde_io::StorageIo,
+) -> io::Result<()> {
     let path = path.as_ref();
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     let stem = path
@@ -274,24 +308,25 @@ pub fn save_v2_with_aux_atomic(
         None => std::path::PathBuf::from(&tmp_name),
     };
     let result = (|| {
-        let file = std::fs::File::create(&tmp)?;
+        let file = storage.create(&tmp)?;
         let mut w = io::BufWriter::new(file);
         write_v2_with_aux(db, aux, &mut w)?;
         w.flush()?;
         w.into_inner()
             .map_err(|e| io::Error::other(e.to_string()))?
             .sync_all()?;
-        std::fs::rename(&tmp, path)
+        storage.rename(&tmp, path)
     })();
     if result.is_err() {
-        std::fs::remove_file(&tmp).ok();
+        storage.remove_file(&tmp).ok();
     }
     result
 }
 
 fn write_extent(w: &mut impl Write, e: Extent) -> io::Result<()> {
     w.write_all(&e.offset.to_le_bytes())?;
-    w.write_all(&e.len.to_le_bytes())
+    w.write_all(&e.len.to_le_bytes())?;
+    w.write_all(&e.checksum.to_le_bytes())
 }
 
 fn write_directory(w: &mut impl Write, tables: &[TableDir]) -> io::Result<()> {
@@ -327,13 +362,18 @@ fn write_directory(w: &mut impl Write, tables: &[TableDir]) -> io::Result<()> {
 fn read_extent(r: &mut impl Read, dir_offset: u64) -> io::Result<Extent> {
     let offset = read_u64(r)?;
     let len = read_u64(r)?;
+    let checksum = read_u64(r)?;
     if offset % BLOCK_ALIGN != 0 {
         return Err(corrupt("misaligned segment extent"));
     }
     if offset < HEADER_LEN || offset.checked_add(len).is_none_or(|end| end > dir_offset) {
         return Err(corrupt("segment extent out of bounds"));
     }
-    Ok(Extent { offset, len })
+    Ok(Extent {
+        offset,
+        len,
+        checksum,
+    })
 }
 
 /// Parse the directory bytes. `dir_offset` bounds segment extents: every
@@ -422,26 +462,29 @@ pub fn read_directory(bytes: &[u8], dir_offset: u64) -> io::Result<Vec<TableDir>
     Ok(tables)
 }
 
-/// Footer contents: where the directory lives.
+/// Footer contents: where the directory lives and what it hashes to.
 #[derive(Debug, Clone, Copy)]
 pub struct Footer {
     /// Absolute offset of the directory.
     pub dir_offset: u64,
     /// Directory length in bytes.
     pub dir_len: u64,
+    /// FNV-1a-64 checksum of the directory bytes.
+    pub dir_checksum: u64,
 }
 
-/// Parse and validate the 24-byte footer given the total file length.
-pub fn read_footer(bytes: &[u8; 24], file_len: u64) -> io::Result<Footer> {
-    if &bytes[20..24] != MAGIC {
+/// Parse and validate the 32-byte footer given the total file length.
+pub fn read_footer(bytes: &[u8; 32], file_len: u64) -> io::Result<Footer> {
+    if &bytes[28..32] != MAGIC {
         return Err(corrupt("bad footer magic (not a v2 paged file)"));
     }
-    let version = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    let version = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
     if version != VERSION {
         return Err(corrupt("unsupported v2 format version"));
     }
     let dir_offset = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
     let dir_len = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let dir_checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
     let dir_end = dir_offset
         .checked_add(dir_len)
         .ok_or_else(|| corrupt("directory extent overflows"))?;
@@ -451,5 +494,6 @@ pub fn read_footer(bytes: &[u8; 24], file_len: u64) -> io::Result<Footer> {
     Ok(Footer {
         dir_offset,
         dir_len,
+        dir_checksum,
     })
 }

@@ -32,8 +32,8 @@ pub mod paged;
 pub mod pool;
 
 pub use format::{
-    save_v2, save_v2_atomic, save_v2_with_aux_atomic, write_v2, write_v2_with_aux, TableAux,
-    BLOCK_ALIGN,
+    save_v2, save_v2_atomic, save_v2_with_aux_atomic, save_v2_with_aux_atomic_io, write_v2,
+    write_v2_with_aux, TableAux, BLOCK_ALIGN,
 };
 pub use paged::{is_v2, PagedDatabase, PagedTable};
 pub use pool::{BufferPool, PoolConfig, SegmentKey};
@@ -69,6 +69,22 @@ mod tests {
         let dir = std::env::temp_dir().join("tde_pager_test");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(name)
+    }
+
+    /// Footer offset (the footer is the last [`format::FOOTER_LEN`] bytes).
+    fn footer_at(bytes: &[u8]) -> usize {
+        bytes.len() - format::FOOTER_LEN as usize
+    }
+
+    /// Recompute the directory checksum after mutating directory bytes,
+    /// so a test can reach the structural validation *behind* the
+    /// checksum line of defense.
+    fn patch_dir_checksum(bytes: &mut [u8]) {
+        let foot = footer_at(bytes);
+        let dir_off = u64::from_le_bytes(bytes[foot..foot + 8].try_into().unwrap()) as usize;
+        let dir_len = u64::from_le_bytes(bytes[foot + 8..foot + 16].try_into().unwrap()) as usize;
+        let ck = tde_io::checksum(&bytes[dir_off..dir_off + dir_len]);
+        bytes[foot + 16..foot + 24].copy_from_slice(&ck.to_le_bytes());
     }
 
     #[test]
@@ -162,17 +178,20 @@ mod tests {
 
         // Corrupt footer directory offset.
         let mut bad = bytes.clone();
-        let foot = bad.len() - 24;
+        let foot = footer_at(&bad);
         bad[foot..foot + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         let p = tmp("badfoot.tde2");
         std::fs::write(&p, &bad).unwrap();
         assert!(PagedDatabase::open(&p).is_err());
 
-        // Flip bytes across the directory: open+scan must never panic.
+        // Flip bytes across the directory *with the checksum patched to
+        // match*: the structural validators behind the checksum must
+        // still never panic on open+scan.
         let dir_off = u64::from_le_bytes(bytes[foot..foot + 8].try_into().unwrap()) as usize;
-        for at in (dir_off..bytes.len() - 24).step_by(7) {
+        for at in (dir_off..bytes.len() - format::FOOTER_LEN as usize).step_by(7) {
             let mut bad = bytes.clone();
             bad[at] ^= 0xFF;
+            patch_dir_checksum(&mut bad);
             let p = tmp("flip.tde2");
             std::fs::write(&p, &bad).unwrap();
             if let Ok(pdb) = PagedDatabase::open(&p) {
@@ -184,6 +203,171 @@ mod tests {
             }
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite: the systematic corruption matrix. Every single-bit flip
+    /// across the directory and footer region must yield a typed
+    /// `io::Error` on open — never a panic, never a successful open that
+    /// silently misreads the directory.
+    #[test]
+    fn directory_corruption_matrix() {
+        let db = wide_db(2, 120);
+        let mut aux = std::collections::HashMap::new();
+        aux.insert(
+            "wide".to_string(),
+            TableAux {
+                delta: Some(vec![0x5A; 48]),
+                tombstone: Some(vec![0xA5; 32]),
+            },
+        );
+        let path = tmp("matrix.tde2");
+        save_v2_with_aux_atomic(&db, &aux, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let foot = footer_at(&bytes);
+        let dir_off = u64::from_le_bytes(bytes[foot..foot + 8].try_into().unwrap()) as usize;
+
+        let p = tmp("matrix_mut.tde2");
+        let mut flips = 0u32;
+        let mut checksum_catches = 0u32;
+        for at in dir_off..bytes.len() {
+            for bit in 0..8u8 {
+                let mut bad = bytes.clone();
+                bad[at] ^= 1 << bit;
+                std::fs::write(&p, &bad).unwrap();
+                let err = match PagedDatabase::open(&p) {
+                    Err(e) => e,
+                    Ok(_) => panic!("bit {bit} of byte {at} flipped but open succeeded"),
+                };
+                flips += 1;
+                if tde_io::is_checksum_mismatch(&err) {
+                    checksum_catches += 1;
+                }
+                // Typed classification for the landmark bytes.
+                if at >= foot + 28 {
+                    assert!(err.to_string().contains("magic"), "magic flip: {err}");
+                } else if (foot + 24..foot + 28).contains(&at) {
+                    assert!(err.to_string().contains("version"), "version flip: {err}");
+                } else if (foot + 16..foot + 24).contains(&at) {
+                    assert!(
+                        tde_io::is_checksum_mismatch(&err),
+                        "dir-checksum flip must be a checksum mismatch: {err}"
+                    );
+                }
+            }
+        }
+        // Every flip inside the directory proper (extent offsets,
+        // lengths, per-segment checksum bytes, names, metadata) is
+        // caught by the directory checksum before parsing.
+        assert!(flips > 1000, "matrix too small: {flips}");
+        assert!(
+            checksum_catches as usize >= (dir_off..foot).len() * 8,
+            "directory flips must all be checksum-caught: {checksum_catches}/{flips}"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&p).ok();
+    }
+
+    /// Every single-byte corruption inside any segment (stream,
+    /// dictionary, heap, delta, tombstone) is caught by its extent
+    /// checksum when the segment loads — corrupt bytes never reach a
+    /// decoder. FNV-1a's per-byte bijection makes this deterministic.
+    #[test]
+    fn segment_corruption_is_caught_by_checksums() {
+        let db = wide_db(2, 80);
+        let mut aux = std::collections::HashMap::new();
+        aux.insert(
+            "wide".to_string(),
+            TableAux {
+                delta: Some((0..64u8).collect()),
+                tombstone: Some(vec![0xEE; 40]),
+            },
+        );
+        let path = tmp("segcorrupt.tde2");
+        save_v2_with_aux_atomic(&db, &aux, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let paged = PagedDatabase::open(&path).unwrap();
+        let t = paged.table("wide").unwrap();
+
+        // (segment range, loader) for every extent in the file.
+        let mut targets: Vec<(format::Extent, String)> = Vec::new();
+        for name in t.column_names() {
+            let cd = t.column_dir(name).unwrap();
+            targets.push((cd.stream, name.to_string()));
+            if let Some(d) = cd.dict {
+                targets.push((d, name.to_string()));
+            }
+            if let Some(h) = cd.heap {
+                targets.push((h, name.to_string()));
+            }
+        }
+
+        let p = tmp("segmut.tde2");
+        let mut caught = 0u64;
+        let mut tried = 0u64;
+        for (extent, column) in &targets {
+            let start = extent.offset as usize;
+            let end = start + extent.len as usize;
+            let step = (extent.len as usize / 32).max(1);
+            for at in (start..end).step_by(step) {
+                let mut bad = bytes.clone();
+                bad[at] ^= 0x01;
+                std::fs::write(&p, &bad).unwrap();
+                let pdb = PagedDatabase::open(&p).unwrap(); // directory intact
+                let table = pdb.table("wide").unwrap();
+                let err = table
+                    .column(column)
+                    .expect_err(&format!("flip at {at} in {column} must fail the load"));
+                assert!(
+                    tde_io::is_checksum_mismatch(&err),
+                    "expected typed checksum mismatch, got: {err}"
+                );
+                tried += 1;
+                caught += 1;
+                // Untouched columns still load beside the corruption.
+                for other in table.column_names() {
+                    if other != column {
+                        let _ = table.column(other);
+                    }
+                }
+            }
+        }
+        assert_eq!(caught, tried, "checksum must catch 100% of corruptions");
+        assert!(tried >= 64, "sweep too small: {tried}");
+
+        // Aux payload corruption is caught the same way.
+        let before = tde_obs::metrics::global().snapshot();
+        let mut bad = bytes.clone();
+        // The delta payload is the unique 64-byte segment 0,1,2,..,63.
+        let needle: Vec<u8> = (0..64u8).collect();
+        let at = bytes
+            .windows(needle.len())
+            .position(|w| w == needle)
+            .expect("delta payload bytes present");
+        bad[at + 10] ^= 0x40;
+        std::fs::write(&p, &bad).unwrap();
+        let pdb = PagedDatabase::open(&p).unwrap();
+        let t = pdb.table("wide").unwrap();
+        let err = t.delta_bytes().unwrap_err();
+        assert!(tde_io::is_checksum_mismatch(&err), "got: {err}");
+        let d = tde_io::checksum_mismatch_details(&err).unwrap();
+        assert_eq!(d.segment, "delta");
+        // The failure counter moved (when metrics are enabled).
+        if tde_obs::metrics::enabled() {
+            let count = |snap: &tde_obs::metrics::MetricsSnapshot| {
+                snap.samples
+                    .iter()
+                    .filter(|s| s.name == "tde_segment_checksum_failures_total")
+                    .map(|s| match s.value {
+                        tde_obs::metrics::SampleValue::Counter(c) => c,
+                        _ => 0,
+                    })
+                    .sum::<u64>()
+            };
+            let after = tde_obs::metrics::global().snapshot();
+            assert!(count(&after) > count(&before), "checksum metric must move");
+        }
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&p).ok();
     }
 
     #[test]
@@ -258,15 +442,18 @@ mod tests {
         let path = tmp("auxcorrupt.tde2");
         save_v2_with_aux_atomic(&db, &aux, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
-        let foot = bytes.len() - 24;
+        let foot = footer_at(&bytes);
         let dir_off = u64::from_le_bytes(bytes[foot..foot + 8].try_into().unwrap()) as usize;
 
         // Locate the aux record in the directory: presence byte followed
-        // by two extents, at the very end of the single table's entry.
-        let aux_at = bytes.len() - 24 - 1 - 32;
+        // by two 24-byte extents, at the very end of the single table's
+        // entry. The directory checksum is re-patched after each
+        // mutation so these reach the structural validators.
+        let aux_at = foot - 1 - 48;
         assert_eq!(bytes[aux_at], 3, "presence byte (delta|tombstone)");
 
-        let write_and_open = |mutated: Vec<u8>| {
+        let write_and_open = |mut mutated: Vec<u8>| {
+            patch_dir_checksum(&mut mutated);
             let p = tmp("auxmut.tde2");
             std::fs::write(&p, &mutated).unwrap();
             PagedDatabase::open(&p)
@@ -297,8 +484,8 @@ mod tests {
         // Overlapping delta/tombstone extents: point the tombstone at the
         // delta's offset.
         let mut bad = bytes.clone();
-        let delta_extent = bytes[aux_at + 1..aux_at + 17].to_vec();
-        bad[aux_at + 17..aux_at + 33].copy_from_slice(&delta_extent);
+        let delta_extent = bytes[aux_at + 1..aux_at + 25].to_vec();
+        bad[aux_at + 25..aux_at + 49].copy_from_slice(&delta_extent);
         let err = write_and_open(bad).unwrap_err();
         assert!(err.to_string().contains("overlap"), "got: {err}");
 
@@ -308,6 +495,85 @@ mod tests {
             std::fs::write(&p, &bytes[..cut]).unwrap();
             assert!(PagedDatabase::open(&p).is_err());
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite: the atomic save must clean up its temp file on *every*
+    /// error path — rename failure, ENOSPC mid-write, and a fault-free
+    /// control — pinned through the FaultIo backend.
+    #[test]
+    fn atomic_save_cleans_up_tmp_on_every_error_path() {
+        use tde_io::{FaultIo, FaultPlan};
+        let db = wide_db(2, 100);
+        let dir = std::env::temp_dir().join("tde_pager_tmpclean");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.tde2");
+        let no_tmp_left = || {
+            let stray: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+                .collect();
+            assert!(stray.is_empty(), "stray temp files: {stray:?}");
+        };
+
+        // Rename failure: the save errors, the target is untouched, the
+        // temp file is gone.
+        save_v2_atomic(&db, &path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let io = FaultIo::new(FaultPlan {
+            fail_renames: 1,
+            ..Default::default()
+        });
+        let aux = std::collections::HashMap::new();
+        let err = save_v2_with_aux_atomic_io(&db, &aux, &path, &io).unwrap_err();
+        assert!(err.to_string().contains("rename"), "got: {err}");
+        assert_eq!(io.stats().renames_failed, 1);
+        no_tmp_left();
+        assert_eq!(std::fs::read(&path).unwrap(), before, "target untouched");
+
+        // ENOSPC mid-write: same contract.
+        let io = FaultIo::new(FaultPlan {
+            enospc_after_bytes: Some(4096),
+            ..Default::default()
+        });
+        let err = save_v2_with_aux_atomic_io(&db, &aux, &path, &io).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+        no_tmp_left();
+        assert_eq!(std::fs::read(&path).unwrap(), before, "target untouched");
+
+        // Fault-free pass through the same seam still works.
+        save_v2_with_aux_atomic_io(&db, &aux, &path, &tde_io::RealIo).unwrap();
+        no_tmp_left();
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Transient read faults (EINTR-style errors and short reads) are
+    /// absorbed by the bounded-retry read path: scans through a flaky
+    /// backend return the same values as the eager original.
+    #[test]
+    fn transient_read_faults_are_retried_on_scans() {
+        use tde_io::{FaultIo, FaultPlan};
+        let db = wide_db(4, 600);
+        let path = tmp("flaky.tde2");
+        save_v2(&db, &path).unwrap();
+        let io = FaultIo::new(FaultPlan {
+            transient_read_period: Some(2),
+            short_read_period: Some(3),
+            ..Default::default()
+        });
+        let paged = PagedDatabase::open_with_io(&path, PoolConfig::default(), &io).unwrap();
+        let t = paged.table("wide").unwrap();
+        let orig = db.table("wide").unwrap();
+        for name in orig.columns.iter().map(|c| c.name.clone()) {
+            let col = t.column(&name).unwrap();
+            for row in (0..600).step_by(97) {
+                assert_eq!(col.value(row), orig.column(&name).unwrap().value(row));
+            }
+        }
+        let stats = io.stats();
+        assert!(stats.transient_read_errors > 0, "{stats:?}");
+        assert!(stats.short_reads > 0, "{stats:?}");
         std::fs::remove_file(&path).ok();
     }
 

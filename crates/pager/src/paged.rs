@@ -13,58 +13,35 @@ use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tde_encodings::EncodedStream;
+use tde_io::{read_exact_at, IoFile, StorageIo};
 use tde_obs::{CacheCounters, CacheSnapshot, Event};
 use tde_storage::wire::{corrupt, validate_stream};
 use tde_storage::{Column, Compression, StringHeap, Table};
 
-/// Positioned reads over the database file. On unix this uses `pread`
-/// (no shared cursor, no locking); elsewhere a mutex serializes
-/// seek-then-read.
-#[derive(Debug)]
-struct PagedFile {
-    #[cfg(unix)]
-    file: File,
-    #[cfg(not(unix))]
-    file: parking_lot::Mutex<File>,
-}
-
-impl PagedFile {
-    fn new(file: File) -> PagedFile {
-        #[cfg(unix)]
-        {
-            PagedFile { file }
-        }
-        #[cfg(not(unix))]
-        {
-            PagedFile {
-                file: parking_lot::Mutex::new(file),
-            }
-        }
-    }
-
-    fn read_extent(&self, e: Extent) -> io::Result<Vec<u8>> {
-        let mut buf = vec![0u8; e.len as usize];
-        #[cfg(unix)]
-        {
-            use std::os::unix::fs::FileExt;
-            self.file.read_exact_at(&mut buf, e.offset)?;
-        }
-        #[cfg(not(unix))]
-        {
-            let mut f = self.file.lock();
-            f.seek(SeekFrom::Start(e.offset))?;
-            f.read_exact(&mut buf)?;
-        }
-        Ok(buf)
-    }
-}
-
 #[derive(Debug)]
 struct Inner {
-    file: PagedFile,
+    file: Box<dyn IoFile>,
     tables: Vec<TableDir>,
     pool: BufferPool,
     path: PathBuf,
+}
+
+impl Inner {
+    /// Read one segment's bytes and verify them against the directory
+    /// checksum before anything downstream decodes them. Transient read
+    /// faults are absorbed by [`tde_io::read_exact_at`]'s bounded
+    /// retries; a mismatch bumps `tde_segment_checksum_failures_total`
+    /// and surfaces as a typed [`tde_io::ChecksumMismatch`] error.
+    fn read_segment(&self, e: Extent, segment: &'static str) -> io::Result<Vec<u8>> {
+        let mut buf = vec![0u8; e.len as usize];
+        read_exact_at(&*self.file, &mut buf, e.offset, segment)?;
+        let actual = tde_io::checksum(&buf);
+        if actual != e.checksum {
+            tde_obs::metrics::checksum_failure(segment);
+            return Err(tde_io::checksum_mismatch(segment, e.checksum, actual));
+        }
+        Ok(buf)
+    }
 }
 
 /// A database opened lazily from a v2 paged file.
@@ -95,14 +72,25 @@ impl PagedDatabase {
     /// Open with an explicit buffer-pool configuration. Reads the footer
     /// and directory only.
     pub fn open_with(path: impl AsRef<Path>, cfg: PoolConfig) -> io::Result<PagedDatabase> {
+        PagedDatabase::open_with_io(path, cfg, &tde_io::RealIo)
+    }
+
+    /// Open through an explicit [`StorageIo`] backend — every read this
+    /// database ever performs (open-time footer/directory, demand-loaded
+    /// segments, aux payloads) goes through it.
+    pub fn open_with_io(
+        path: impl AsRef<Path>,
+        cfg: PoolConfig,
+        storage: &dyn StorageIo,
+    ) -> io::Result<PagedDatabase> {
         let path = path.as_ref().to_path_buf();
-        let mut f = File::open(&path)?;
-        let len = f.metadata()?.len();
+        let f = storage.open(&path)?;
+        let len = f.len()?;
         if len < format::HEADER_LEN + FOOTER_LEN {
             return Err(corrupt("file too small for a v2 paged database"));
         }
         let mut head = [0u8; 4];
-        f.read_exact(&mut head)?;
+        read_exact_at(&*f, &mut head, 0, "header")?;
         if &head == b"TDE1" {
             return Err(corrupt(
                 "v1 eager file — open it with tde_storage::Database::load",
@@ -112,16 +100,23 @@ impl PagedDatabase {
             return Err(corrupt("bad magic"));
         }
         let mut footer = [0u8; FOOTER_LEN as usize];
-        f.seek(SeekFrom::End(-(FOOTER_LEN as i64)))?;
-        f.read_exact(&mut footer)?;
+        read_exact_at(&*f, &mut footer, len - FOOTER_LEN, "footer")?;
         let footer = format::read_footer(&footer, len)?;
         let mut dir = vec![0u8; footer.dir_len as usize];
-        f.seek(SeekFrom::Start(footer.dir_offset))?;
-        f.read_exact(&mut dir)?;
+        read_exact_at(&*f, &mut dir, footer.dir_offset, "directory")?;
+        let actual = tde_io::checksum(&dir);
+        if actual != footer.dir_checksum {
+            tde_obs::metrics::checksum_failure("directory");
+            return Err(tde_io::checksum_mismatch(
+                "directory",
+                footer.dir_checksum,
+                actual,
+            ));
+        }
         let tables = format::read_directory(&dir, footer.dir_offset)?;
         Ok(PagedDatabase {
             inner: Arc::new(Inner {
-                file: PagedFile::new(f),
+                file: f,
                 tables,
                 pool: BufferPool::new(cfg),
                 path,
@@ -218,7 +213,7 @@ impl PagedTable {
     /// open time, not re-scanned.
     pub fn delta_bytes(&self) -> io::Result<Option<Vec<u8>>> {
         match self.dir().delta {
-            Some(e) => self.inner.file.read_extent(e).map(Some),
+            Some(e) => self.inner.read_segment(e, "delta").map(Some),
             None => Ok(None),
         }
     }
@@ -226,7 +221,7 @@ impl PagedTable {
     /// Raw tombstone payload bytes, if present (see [`PagedTable::delta_bytes`]).
     pub fn tombstone_bytes(&self) -> io::Result<Option<Vec<u8>>> {
         match self.dir().tombstone {
-            Some(e) => self.inner.file.read_extent(e).map(Some),
+            Some(e) => self.inner.read_segment(e, "tombstone").map(Some),
             None => Ok(None),
         }
     }
@@ -299,7 +294,7 @@ impl PagedTable {
         }
         let seg = self.inner.pool.get_or_load(key, || {
             let t0 = tde_obs::metrics::enabled().then(std::time::Instant::now);
-            let bytes = self.inner.file.read_extent(extent)?;
+            let bytes = self.inner.read_segment(extent, "heap")?;
             if let Some(t0) = t0 {
                 tde_obs::metrics::segment_load("heap", extent.len, t0.elapsed().as_nanos() as u64);
             }
@@ -330,7 +325,7 @@ impl PagedTable {
         heap: Option<Arc<StringHeap>>,
     ) -> io::Result<(CachedSegment, u64)> {
         let t0 = tde_obs::metrics::enabled().then(std::time::Instant::now);
-        let stream_bytes = self.inner.file.read_extent(cdir.stream)?;
+        let stream_bytes = self.inner.read_segment(cdir.stream, "stream")?;
         if let Some(t0) = t0 {
             tde_obs::metrics::segment_load(
                 "stream",
@@ -350,7 +345,7 @@ impl PagedTable {
             (0, _, _) => Compression::None,
             (1, Some(extent), _) => {
                 let t0 = tde_obs::metrics::enabled().then(std::time::Instant::now);
-                let bytes = self.inner.file.read_extent(extent)?;
+                let bytes = self.inner.read_segment(extent, "dictionary")?;
                 if let Some(t0) = t0 {
                     tde_obs::metrics::segment_load(
                         "dictionary",

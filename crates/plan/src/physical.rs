@@ -7,6 +7,7 @@
 //! (ordered vs hash) chosen — from the metadata FlowTable just extracted.
 
 use crate::logical::{InnerOps, LogicalPlan};
+use std::io;
 use std::sync::Arc;
 use tde_exec::aggregate::{AggSpec, HashAggregate, OrderedAggregate};
 use tde_exec::dictionary_table::dictionary_table;
@@ -117,16 +118,26 @@ impl<'a> NodeCtx<'a> {
     }
 }
 
-/// Lower and instantiate a logical plan.
-pub fn execute(plan: &LogicalPlan) -> BoxOp {
+/// Lower and instantiate a logical plan, surfacing I/O and corruption
+/// faults (failed demand loads, checksum mismatches) as errors instead
+/// of panicking. Planning bugs — a plan referencing a column its source
+/// does not have — still panic: those are programmer errors, not
+/// runtime faults.
+pub fn try_execute(plan: &LogicalPlan) -> io::Result<BoxOp> {
     lower(plan, Tracer::off())
 }
 
-/// Lower a plan with every operator wrapped in an instrumenting adapter
-/// recording into `trace`. Combine with [`tde_obs::install`] to also
-/// capture the decision/re-encoding events fired during lowering and
-/// execution.
-pub fn execute_traced(plan: &LogicalPlan, trace: &Arc<Trace>) -> BoxOp {
+/// Lower and instantiate a logical plan.
+///
+/// Panics if lowering hits an I/O or corruption fault (e.g. a paged
+/// scan whose segment read fails); use [`try_execute`] where such
+/// faults must be handled.
+pub fn execute(plan: &LogicalPlan) -> BoxOp {
+    try_execute(plan).unwrap_or_else(|e| panic!("plan lowering failed: {e}"))
+}
+
+/// Fallible variant of [`execute_traced`]; see [`try_execute`].
+pub fn try_execute_traced(plan: &LogicalPlan, trace: &Arc<Trace>) -> io::Result<BoxOp> {
     lower(
         plan,
         Tracer {
@@ -136,7 +147,15 @@ pub fn execute_traced(plan: &LogicalPlan, trace: &Arc<Trace>) -> BoxOp {
     )
 }
 
-fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
+/// Lower a plan with every operator wrapped in an instrumenting adapter
+/// recording into `trace`. Combine with [`tde_obs::install`] to also
+/// capture the decision/re-encoding events fired during lowering and
+/// execution.
+pub fn execute_traced(plan: &LogicalPlan, trace: &Arc<Trace>) -> BoxOp {
+    try_execute_traced(plan, trace).unwrap_or_else(|e| panic!("plan lowering failed: {e}"))
+}
+
+fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> io::Result<BoxOp> {
     match plan {
         LogicalPlan::Scan {
             table,
@@ -163,7 +182,7 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
                     node.relabel(format!("{label} where [kernel={kernel}]"));
                 }
             }
-            node.wrap(Box::new(scan))
+            Ok(node.wrap(Box::new(scan)))
         }
         LogicalPlan::PagedScan {
             table,
@@ -183,17 +202,16 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
             );
             let mut node = tr.node(label.clone());
             let names: Vec<&str> = columns.iter().map(String::as_str).collect();
-            // Lowering is infallible by signature; a demand-load failure
-            // here is an I/O or corruption fault, not a planning choice.
-            let mut scan = TableScan::paged(table, &names, *expand_dictionaries)
-                .unwrap_or_else(|e| panic!("paged scan of table {:?} failed: {e}", table.name()));
+            // Demand loads happen here: a failed or corrupt segment read
+            // surfaces as an error, never as corrupt decoded data.
+            let mut scan = TableScan::paged(table, &names, *expand_dictionaries)?;
             if let Some(pred) = predicate {
                 scan = scan.with_pushed(pred.clone(), false);
                 if let Some(kernel) = scan.pushed_kernel() {
                     node.relabel(format!("{label} where [kernel={kernel}]"));
                 }
             }
-            node.wrap(Box::new(scan))
+            Ok(node.wrap(Box::new(scan)))
         }
         LogicalPlan::MergedScan {
             source,
@@ -231,23 +249,23 @@ fn lower(plan: &LogicalPlan, tr: Tracer<'_>) -> BoxOp {
                 scan = scan.with_pushed(pred.clone(), false);
             }
             node.relabel(format!("{label} [mode={}]", scan.merge_mode()));
-            node.wrap(Box::new(scan))
+            Ok(node.wrap(Box::new(scan)))
         }
         LogicalPlan::Filter { input, predicate } => {
             let node = tr.node("Filter");
-            let input = lower(input, node.child());
-            node.wrap(Box::new(Filter::new(input, predicate.clone())))
+            let input = lower(input, node.child())?;
+            Ok(node.wrap(Box::new(Filter::new(input, predicate.clone()))))
         }
         LogicalPlan::Project { input, exprs } => {
             let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
             let node = tr.node(format!("Project [{}]", names.join(", ")));
-            let input = lower(input, node.child());
-            node.wrap(Box::new(Project::new(input, exprs.clone())))
+            let input = lower(input, node.child())?;
+            Ok(node.wrap(Box::new(Project::new(input, exprs.clone()))))
         }
         LogicalPlan::Sort { input, keys } => {
             let node = tr.node(format!("Sort {keys:?}"));
-            let input = lower(input, node.child());
-            node.wrap(Box::new(Sort::new(input, keys.clone())))
+            let input = lower(input, node.child())?;
+            Ok(node.wrap(Box::new(Sort::new(input, keys.clone()))))
         }
         LogicalPlan::Aggregate {
             input,
@@ -277,14 +295,14 @@ fn lower_aggregate(
     group_by: &[usize],
     aggs: &[AggSpec],
     tr: Tracer<'_>,
-) -> BoxOp {
+) -> io::Result<BoxOp> {
     if group_by.is_empty() {
         if let Some(op) = lower_run_aggregate(input_plan, aggs, tr) {
-            return op;
+            return Ok(op);
         }
     }
     let mut node = tr.node("Aggregate");
-    let input = lower(input_plan, node.child());
+    let input = lower(input_plan, node.child())?;
     let ordered = group_by.len() == 1 && {
         let keys: Vec<&Field> = group_by
             .iter()
@@ -294,18 +312,18 @@ fn lower_aggregate(
     };
     if ordered {
         node.relabel(format!("OrderedAggregate group_by={group_by:?}"));
-        node.wrap(Box::new(OrderedAggregate::new(
+        Ok(node.wrap(Box::new(OrderedAggregate::new(
             input,
             group_by.to_vec(),
             aggs.to_vec(),
-        )))
+        ))))
     } else {
         let agg = HashAggregate::new(input, group_by.to_vec(), aggs.to_vec());
         node.relabel(format!(
             "HashAggregate [strategy={:?}] group_by={group_by:?}",
             agg.strategy
         ));
-        node.wrap(Box::new(agg))
+        Ok(node.wrap(Box::new(agg)))
     }
 }
 
@@ -315,7 +333,7 @@ fn lower_aggregate(
 /// optional aggregate), require merge-exact aggregates and enough
 /// morsels to occupy the workers, and fall back to the serial lowering
 /// — with a decision event either way — when it declines.
-fn lower_morsel(input_plan: &LogicalPlan, degree: usize, tr: Tracer<'_>) -> BoxOp {
+fn lower_morsel(input_plan: &LogicalPlan, degree: usize, tr: Tracer<'_>) -> io::Result<BoxOp> {
     match build_morsel(input_plan, degree) {
         Ok((exec, what)) => {
             tde_obs::metrics::decision("parallelism", "morsel-parallel");
@@ -333,7 +351,7 @@ fn lower_morsel(input_plan: &LogicalPlan, degree: usize, tr: Tracer<'_>) -> BoxO
                 exec.degree(),
                 exec.morsel_count()
             ));
-            node.wrap(Box::new(exec))
+            Ok(node.wrap(Box::new(exec)))
         }
         Err(reason) => {
             tde_obs::metrics::decision("parallelism", "serial");
@@ -585,10 +603,10 @@ fn lower_expand_join(
     source: &(Arc<tde_storage::Table>, usize),
     inner: &InnerOps,
     tr: Tracer<'_>,
-) -> BoxOp {
+) -> io::Result<BoxOp> {
     let src_col = &source.0.columns[source.1];
     let mut node = tr.node(format!("ExpandJoin {}.{}", source.0.name, src_col.name));
-    let outer = lower(outer_plan, node.child());
+    let outer = lower(outer_plan, node.child())?;
     let (dict, _) = dictionary_table(src_col, &format!("{}_dict", src_col.name));
     // Inner pipeline over the dictionary, then materialize with FlowTable
     // under the inner-side policy (§4.3) so metadata is extracted and the
@@ -639,7 +657,7 @@ fn lower_expand_join(
     ));
     if value_idx.is_none() {
         // Semi-join: schema unchanged.
-        return node.wrap(Box::new(join));
+        return Ok(node.wrap(Box::new(join)));
     }
     // Splice the expanded value into the compressed column's position.
     let exprs: Vec<(String, Expr)> = (0..nouter)
@@ -656,7 +674,7 @@ fn lower_expand_join(
             }
         })
         .collect();
-    node.wrap(Box::new(Project::new(Box::new(join), exprs)))
+    Ok(node.wrap(Box::new(Project::new(Box::new(join), exprs))))
 }
 
 fn lower_index_scan(
@@ -665,7 +683,7 @@ fn lower_index_scan(
     sort_by_value: bool,
     fetch: &[String],
     tr: Tracer<'_>,
-) -> BoxOp {
+) -> io::Result<BoxOp> {
     let src_col = &source.0.columns[source.1];
     let node = tr.node(format!(
         "IndexedScan {}.{} fetch=[{}]{}",
@@ -690,23 +708,31 @@ fn lower_index_scan(
         inner_op = Box::new(Sort::new(inner_op, vec![(vcol, SortOrder::Asc)]));
     }
     let fetch_refs: Vec<&str> = fetch.iter().map(String::as_str).collect();
-    node.wrap(Box::new(IndexedScan::new(
+    Ok(node.wrap(Box::new(IndexedScan::new(
         inner_op,
         source.0.clone(),
         &fetch_refs,
-    )))
+    ))))
 }
 
 /// Run a plan to completion, returning every block (convenience for tests
 /// and examples).
+///
+/// Panics on I/O or corruption faults; see [`try_run`].
 pub fn run(plan: &LogicalPlan) -> (tde_exec::Schema, Vec<tde_exec::Block>) {
-    let mut op = execute(plan);
+    try_run(plan).unwrap_or_else(|e| panic!("query execution failed: {e}"))
+}
+
+/// Run a plan to completion, surfacing lowering-time I/O and corruption
+/// faults (failed segment reads, checksum mismatches) as errors.
+pub fn try_run(plan: &LogicalPlan) -> io::Result<(tde_exec::Schema, Vec<tde_exec::Block>)> {
+    let mut op = try_execute(plan)?;
     let schema = op.schema().clone();
     let mut blocks = Vec::new();
     while let Some(b) = op.next_block() {
         blocks.push(b);
     }
-    (schema, blocks)
+    Ok((schema, blocks))
 }
 
 /// Run a plan with instrumentation, recording per-operator counters into

@@ -70,6 +70,7 @@ pub use tde_core::{design, CacheReport, ExplainAnalyze, Extract, Query};
 pub use tde_core::datagen;
 pub use tde_core::encodings;
 pub use tde_core::exec;
+pub use tde_core::io;
 pub use tde_core::obs;
 pub use tde_core::pager;
 pub use tde_core::plan;

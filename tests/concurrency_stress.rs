@@ -197,6 +197,94 @@ fn paged_pool_stays_consistent_under_concurrent_eviction_pressure() {
     std::fs::remove_file(&path).ok();
 }
 
+/// A failing segment load must not poison its buffer-pool slot. Loads
+/// run under the shard lock (the pool's single-flight discipline) and
+/// insert only on success — so with `n` hard read failures armed, the
+/// first `n` serialized loads fail, every later load (and every retry by
+/// a thread that just saw the failure) succeeds with correct bytes, and
+/// nothing corrupt or empty is ever cached.
+#[test]
+fn failed_segment_load_does_not_poison_the_pool_slot() {
+    use tde::io::{FaultIo, FaultPlan};
+
+    let dir = std::env::temp_dir().join("tde_concurrency_stress");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("poison.tde2");
+    let eager = orders_table(5_000);
+    let mut db = Database::new();
+    db.add_table(eager.clone());
+    save_v2(&db, &path).unwrap();
+
+    let io = FaultIo::new(FaultPlan::default());
+    let paged = PagedDatabase::open_with_io(&path, PoolConfig::default(), &io).unwrap();
+
+    const ARMED: u64 = 3;
+    const THREADS: usize = 8;
+    io.arm_hard_read_failures(ARMED);
+
+    // Storm: every thread demand-loads the same cold column, retrying on
+    // failure. The shard lock serializes the loads and a failed load
+    // inserts nothing, so each armed fault fails exactly one attempt —
+    // ARMED failures total, distributed over the threads however the
+    // races land — and every thread eventually succeeds against an
+    // empty (not poisoned) slot.
+    let failures = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for worker in 0..THREADS {
+            let paged = &paged;
+            let failures = &failures;
+            s.spawn(move || {
+                let t = paged.table("orders").unwrap();
+                let col = loop {
+                    match t.column("qty") {
+                        Ok(c) => break c,
+                        Err(e) => {
+                            assert!(
+                                e.to_string().contains("injected hard read failure"),
+                                "worker {worker}: unexpected load error: {e}"
+                            );
+                            let seen = failures.fetch_add(1, Ordering::SeqCst) + 1;
+                            assert!(
+                                seen <= ARMED,
+                                "worker {worker}: {seen} failures from {ARMED} armed faults"
+                            );
+                        }
+                    }
+                };
+                for row in (0..5_000).step_by(617) {
+                    assert_eq!(
+                        col.value(row),
+                        Value::Int(noisy(row as i64)),
+                        "worker {worker}: cached column served wrong bytes at row {row}"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(
+        failures.load(Ordering::SeqCst),
+        ARMED,
+        "each armed fault must fail exactly one load"
+    );
+    assert_eq!(io.stats().hard_read_errors, ARMED);
+
+    // The pool recovered with the real segment: a full query over the
+    // same handle matches the eager table, and the failed loads left no
+    // phantom entries — resident bytes still reconcile with the counters.
+    let sum: i64 = (0..5_000).map(noisy).sum();
+    let rows = Query::scan_paged_columns(&paged.table("orders").unwrap(), &["qty"])
+        .aggregate(vec![], vec![(AggFunc::Sum, 0, "s")])
+        .rows();
+    assert_eq!(rows, vec![vec![Value::Int(sum)]]);
+    let snap = paged.cache_snapshot();
+    assert_eq!(
+        snap.bytes_cached,
+        snap.bytes_read - snap.bytes_evicted,
+        "failed loads corrupted pool accounting: {snap:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 // ---------------------------------------------------------------------
 // 2. Live delta store + background compactor + parallel readers.
 // ---------------------------------------------------------------------
