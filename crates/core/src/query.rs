@@ -162,8 +162,10 @@ impl Query {
     /// when a span sink is installed (see [`tde_obs::span`]) it also
     /// emits one [`tde_obs::span::QuerySpan`] with the plan digest,
     /// phase timings and the registry counter deltas this execution
-    /// caused. With neither active the only cost is two relaxed atomic
-    /// loads.
+    /// caused; when timeline tracing is on (see [`tde_obs::timeline`])
+    /// the execution is bracketed by query begin/end markers and its
+    /// drained timeline lands in the trace ring. With none active the
+    /// only cost is three relaxed atomic loads.
     pub fn run(self) -> (Schema, Vec<Block>) {
         self.try_run()
             .unwrap_or_else(|e| panic!("query execution failed: {e}"))
@@ -173,46 +175,35 @@ impl Query {
     /// failed demand loads, segment checksum mismatches — as errors
     /// instead of panicking. The error is the underlying
     /// [`std::io::Error`]; use [`tde_io::checksum_mismatch_details`] to
-    /// recognise corruption specifically.
+    /// recognise corruption specifically. Failed executions stay
+    /// observable: they bump `tde_queries_failed_total` and emit an
+    /// error-tagged span/trace instead of vanishing.
     pub fn try_run(self) -> std::io::Result<(Schema, Vec<Block>)> {
-        use tde_obs::{metrics, span};
-        let metrics_on = metrics::enabled();
-        let span_on = span::span_sink_installed();
-        if !metrics_on && !span_on {
+        let Some(obs) = QueryObservation::begin() else {
             let plan = self.plan();
             return tde_plan::physical::try_run(&plan);
-        }
-        // Counter deltas are process-wide: concurrent queries fold into
-        // each other's spans (exact attribution needs explain_analyze).
-        let before = span_on.then(|| metrics::global().snapshot());
+        };
         let t0 = Instant::now();
         let plan = self.plan();
         let plan_ns = t0.elapsed().as_nanos() as u64;
-        let (schema, blocks) = tde_plan::physical::try_run(&plan)?;
+        let plan_digest = obs.plan_digest(|| plan.explain());
+        let result = tde_plan::physical::try_run(&plan);
         let elapsed_ns = t0.elapsed().as_nanos() as u64;
-        let rows: u64 = blocks.iter().map(|b| b.len as u64).sum();
-        if metrics_on {
-            metrics::queries_total().inc();
-            metrics::query_rows_total().add(rows);
-            metrics::query_latency_ns().observe(elapsed_ns);
+        let phases = [
+            ("plan", plan_ns),
+            ("execute", elapsed_ns.saturating_sub(plan_ns)),
+        ];
+        match result {
+            Ok((schema, blocks)) => {
+                let rows: u64 = blocks.iter().map(|b| b.len as u64).sum();
+                obs.finish(&plan_digest, rows, elapsed_ns, None, &phases);
+                Ok((schema, blocks))
+            }
+            Err(e) => {
+                obs.finish(&plan_digest, 0, elapsed_ns, Some(e.to_string()), &phases);
+                Err(e)
+            }
         }
-        if span_on {
-            // Snapshot after the query counters above so a span's delta
-            // set includes them.
-            let counters = before
-                .map(|b| metrics::global().snapshot().counter_deltas(&b))
-                .unwrap_or_default();
-            let plan_digest = format!("{:016x}", span::fnv1a64(&plan.explain()));
-            span::emit_span(|| span::QuerySpan {
-                query_id: span::next_query_id(),
-                plan_digest,
-                rows_out: rows,
-                elapsed_ns,
-                phases: vec![("plan", plan_ns), ("execute", elapsed_ns - plan_ns)],
-                counters,
-            });
-        }
-        Ok((schema, blocks))
     }
 
     /// Execute with full instrumentation: every physical operator is
@@ -220,9 +211,17 @@ impl Query {
     /// and the dynamic encoder's re-encodings are recorded, and the
     /// result carries per-table compression telemetry. The query still
     /// runs to completion and its output is available on the report.
+    ///
+    /// The always-on layers see this entry point like any other: it
+    /// bumps the query metrics and emits exactly one
+    /// [`tde_obs::span::QuerySpan`] / timeline trace, the same as
+    /// [`Query::run`].
     pub fn explain_analyze(self) -> ExplainAnalyze {
+        let obs = QueryObservation::begin();
         let paged = self.paged.clone();
+        let t0_plan = Instant::now();
         let plan = self.plan();
+        let plan_ns = t0_plan.elapsed().as_nanos() as u64;
         let logical = plan.explain();
         let trace = Trace::new();
         let before: Vec<CacheSnapshot> = paged.iter().map(PagedTable::cache_snapshot).collect();
@@ -232,10 +231,17 @@ impl Query {
             let (schema, blocks) = tde_plan::physical::run_traced(&plan, &trace);
             (schema, blocks, t0.elapsed())
         };
-        if tde_obs::metrics::enabled() {
-            tde_obs::metrics::queries_total().inc();
-            tde_obs::metrics::query_rows_total().add(blocks.iter().map(|b| b.len as u64).sum());
-            tde_obs::metrics::query_latency_ns().observe(elapsed.as_nanos() as u64);
+        if let Some(obs) = obs {
+            let exec_ns = elapsed.as_nanos() as u64;
+            let rows: u64 = blocks.iter().map(|b| b.len as u64).sum();
+            let digest = obs.plan_digest(|| logical.clone());
+            obs.finish(
+                &digest,
+                rows,
+                plan_ns + exec_ns,
+                None,
+                &[("plan", plan_ns), ("execute", exec_ns)],
+            );
         }
         let caches: Vec<CacheReport> = paged
             .iter()
@@ -290,6 +296,118 @@ impl Query {
             }
         }
         Ok(rows)
+    }
+}
+
+/// One execution's always-on observability, shared by every entry
+/// point (`run`/`try_run`/`rows`/`try_rows`/`explain_analyze`) so each
+/// emits exactly one span and one timeline trace.
+///
+/// [`QueryObservation::begin`] checks the three layer gates (metrics
+/// registry, span sink, timeline) — `None` means all are off and the
+/// caller takes the uninstrumented fast path.
+/// [`QueryObservation::finish`] settles everything at once: query
+/// metrics (success or `tde_queries_failed_total`), the query span,
+/// the drained timeline trace, and the slow-query log when
+/// `TDE_SLOW_QUERY_NS` is set and exceeded.
+struct QueryObservation {
+    query_id: u64,
+    token: Option<tde_obs::timeline::QueryToken>,
+    before: Option<tde_obs::metrics::MetricsSnapshot>,
+    metrics_on: bool,
+    span_on: bool,
+}
+
+impl QueryObservation {
+    fn begin() -> Option<QueryObservation> {
+        use tde_obs::{metrics, span, timeline};
+        let metrics_on = metrics::enabled();
+        let span_on = span::span_sink_installed();
+        let trace_on = timeline::enabled();
+        if !metrics_on && !span_on && !trace_on {
+            return None;
+        }
+        // Counter deltas are process-wide: concurrent queries fold into
+        // each other's spans (exact attribution needs explain_analyze).
+        let before = span_on.then(|| metrics::global().snapshot());
+        let query_id = span::next_query_id();
+        let token = trace_on.then(|| timeline::query_begin(query_id));
+        Some(QueryObservation {
+            query_id,
+            token,
+            before,
+            metrics_on,
+            span_on,
+        })
+    }
+
+    /// The plan digest, rendered only when a layer will carry it.
+    fn plan_digest(&self, explain: impl FnOnce() -> String) -> String {
+        if self.span_on || self.token.is_some() {
+            format!("{:016x}", tde_obs::span::fnv1a64(&explain()))
+        } else {
+            String::new()
+        }
+    }
+
+    fn finish(
+        self,
+        plan_digest: &str,
+        rows: u64,
+        elapsed_ns: u64,
+        error: Option<String>,
+        phases: &[(&'static str, u64)],
+    ) {
+        use tde_obs::{metrics, span, timeline};
+        if self.metrics_on {
+            if error.is_none() {
+                metrics::queries_total().inc();
+                metrics::query_rows_total().add(rows);
+                metrics::query_latency_ns().observe(elapsed_ns);
+            } else {
+                metrics::queries_failed_total().inc();
+            }
+        }
+        let trace = self.token.map(|token| {
+            timeline::query_end(token, plan_digest, rows, elapsed_ns, error.clone(), phases)
+        });
+        if self.span_on {
+            // Snapshot after the query counters above so a span's delta
+            // set includes them.
+            let counters = self
+                .before
+                .map(|b| metrics::global().snapshot().counter_deltas(&b))
+                .unwrap_or_default();
+            span::emit_span(|| span::QuerySpan {
+                query_id: self.query_id,
+                plan_digest: plan_digest.to_owned(),
+                rows_out: rows,
+                elapsed_ns,
+                phases: phases.to_vec(),
+                counters,
+                error,
+            });
+        }
+        if let Some(threshold_ns) = timeline::slow_threshold_ns() {
+            if elapsed_ns >= threshold_ns {
+                if self.metrics_on {
+                    metrics::slow_queries_total().inc();
+                }
+                let top_ops = trace
+                    .as_ref()
+                    .map(|t| t.top_operators(3))
+                    .unwrap_or_default();
+                span::emit_slow(|| span::SlowQueryRecord {
+                    query_id: self.query_id,
+                    plan_digest: plan_digest.to_owned(),
+                    rows_out: rows,
+                    elapsed_ns,
+                    threshold_ns,
+                    phases: phases.to_vec(),
+                    top_ops,
+                });
+            }
+        }
     }
 }
 

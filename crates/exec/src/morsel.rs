@@ -192,8 +192,18 @@ where
     F: Fn(u32) -> T + Sync,
 {
     let workers = degree.min(nmorsels).max(1);
+    let timeline_on = tde_obs::timeline::enabled();
     if workers == 1 {
-        return (0..nmorsels as u32).map(f).collect();
+        return (0..nmorsels as u32)
+            .map(|m| {
+                let t0 = timeline_on.then(Instant::now);
+                let v = f(m);
+                if let Some(t0) = t0 {
+                    tde_obs::timeline::morsel_span(0, m, false, t0);
+                }
+                v
+            })
+            .collect();
     }
     // Contiguous per-worker ranges: worker w owns morsels
     // [w*chunk, min((w+1)*chunk, n)).
@@ -235,7 +245,11 @@ where
                             let Some((m, was_stolen)) = task else { break };
                             dispatched += 1;
                             stolen += u64::from(was_stolen);
+                            let t0 = timeline_on.then(Instant::now);
                             let v = f(m);
+                            if let Some(t0) = t0 {
+                                tde_obs::timeline::morsel_span(w as u32, m, was_stolen, t0);
+                            }
                             out.push(Done { morsel: m, out: v });
                         }
                     }));

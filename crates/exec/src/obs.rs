@@ -13,12 +13,20 @@
 //! per-block cost is two relaxed `fetch_add`s — and lowering only
 //! inserts it when the metrics registry is enabled, so disabled runs pay
 //! nothing at all.
+//!
+//! `Metered` optionally carries a [`TimelineOp`] too, feeding the
+//! always-on timeline layer: per-block cost is counter arithmetic (the
+//! clock is read only at the operator's first block and at
+//! end-of-stream), and one `OperatorSpan` event is emitted when the
+//! operator is exhausted — or dropped early, via `TimelineOp`'s drop
+//! flush.
 
 use crate::block::{Block, Schema};
 use crate::{BoxOp, Operator};
 use std::sync::Arc;
 use std::time::Instant;
 use tde_obs::metrics::OperatorCounters;
+use tde_obs::timeline::TimelineOp;
 use tde_obs::OpStats;
 
 /// An operator adapter recording blocks/rows/wall-time into [`OpStats`].
@@ -55,13 +63,30 @@ impl Operator for Instrumented {
 /// counters on every produced block.
 pub struct Metered {
     inner: BoxOp,
-    counters: OperatorCounters,
+    counters: Option<OperatorCounters>,
+    timeline: Option<TimelineOp>,
 }
 
 impl Metered {
     /// Wrap `inner`, recording into `counters`.
     pub fn new(inner: BoxOp, counters: OperatorCounters) -> Metered {
-        Metered { inner, counters }
+        Metered::with_observers(inner, Some(counters), None)
+    }
+
+    /// Wrap `inner` with any combination of metrics counters and a
+    /// timeline operator span. Lowering passes whichever layers are
+    /// enabled; callers must pass at least one (wrapping with neither
+    /// is pure overhead).
+    pub fn with_observers(
+        inner: BoxOp,
+        counters: Option<OperatorCounters>,
+        timeline: Option<TimelineOp>,
+    ) -> Metered {
+        Metered {
+            inner,
+            counters,
+            timeline,
+        }
     }
 }
 
@@ -72,9 +97,21 @@ impl Operator for Metered {
 
     fn next_block(&mut self) -> Option<Block> {
         let block = self.inner.next_block();
-        if let Some(b) = &block {
-            self.counters.blocks.inc();
-            self.counters.rows.add(b.len as u64);
+        match &block {
+            Some(b) => {
+                if let Some(counters) = &self.counters {
+                    counters.blocks.inc();
+                    counters.rows.add(b.len as u64);
+                }
+                if let Some(tl) = &mut self.timeline {
+                    tl.on_block(b.len as u64);
+                }
+            }
+            None => {
+                if let Some(tl) = &mut self.timeline {
+                    tl.finish();
+                }
+            }
         }
         block
     }

@@ -24,7 +24,8 @@
 //!   reopens with a fresh backend to model recovery.
 //!
 //! Injected faults are counted both locally ([`FaultStats`]) and in the
-//! process-wide metrics registry (`tde_io_faults_injected_total{kind}`).
+//! process-wide metrics registry (`tde_io_faults_injected_total{kind}`),
+//! and land as instants on the query timeline when tracing is on.
 
 use crate::{IoFile, IoWriter, RealIo, StorageIo};
 use std::io;
@@ -118,6 +119,7 @@ impl State {
         if crash_here {
             self.crashed.store(true, Ordering::SeqCst);
             tde_obs::metrics::io_fault_injected("crash");
+            tde_obs::timeline::io_fault("crash");
         }
         Ok((k, crash_here))
     }
@@ -217,12 +219,14 @@ impl IoFile for FaultFile {
         {
             st.hard_read_errors.fetch_add(1, Ordering::SeqCst);
             tde_obs::metrics::io_fault_injected("hard-read");
+            tde_obs::timeline::io_fault("hard-read");
             return Err(io::Error::other("injected hard read failure"));
         }
         if let Some(p) = st.plan.transient_read_period {
             if p >= 1 && k.is_multiple_of(p) {
                 st.transient_read_errors.fetch_add(1, Ordering::SeqCst);
                 tde_obs::metrics::io_fault_injected("transient-read");
+                tde_obs::timeline::io_fault("transient-read");
                 return Err(io::Error::new(
                     io::ErrorKind::Interrupted,
                     "injected transient read error",
@@ -233,6 +237,7 @@ impl IoFile for FaultFile {
             if p >= 1 && k.is_multiple_of(p) && buf.len() > 1 {
                 st.short_reads.fetch_add(1, Ordering::SeqCst);
                 tde_obs::metrics::io_fault_injected("short-read");
+                tde_obs::timeline::io_fault("short-read");
                 let half = (buf.len() / 2).max(1);
                 return self.inner.read_at(&mut buf[..half], offset);
             }
@@ -260,6 +265,7 @@ impl io::Write for FaultWriter {
             if st.bytes_written.load(Ordering::SeqCst) + buf.len() as u64 > limit {
                 st.enospc_errors.fetch_add(1, Ordering::SeqCst);
                 tde_obs::metrics::io_fault_injected("enospc");
+                tde_obs::timeline::io_fault("enospc");
                 return Err(io::Error::new(
                     io::ErrorKind::StorageFull,
                     "injected ENOSPC: write budget exhausted",
@@ -299,6 +305,7 @@ impl IoWriter for FaultWriter {
         if st.plan.drop_fsync {
             st.fsyncs_dropped.fetch_add(1, Ordering::SeqCst);
             tde_obs::metrics::io_fault_injected("fsync-drop");
+            tde_obs::timeline::io_fault("fsync-drop");
             return Ok(());
         }
         self.inner.sync_all()
@@ -339,6 +346,7 @@ impl StorageIo for FaultIo {
             .is_ok()
         {
             tde_obs::metrics::io_fault_injected("rename");
+            tde_obs::timeline::io_fault("rename");
             return Err(io::Error::other("injected rename failure"));
         }
         self.state.inner.rename(from, to)

@@ -197,6 +197,7 @@ pub fn read_exact_at(
                     )));
                 }
                 tde_obs::metrics::io_retry(op);
+                tde_obs::timeline::io_retry(op);
                 if retries > 2 {
                     // Bounded exponential backoff, capped at ~1 ms.
                     std::thread::sleep(std::time::Duration::from_micros(1u64 << retries.min(10)));

@@ -21,7 +21,7 @@
 //! points may sit on per-column or per-operator paths (never per-row) and
 //! stay well under the 5 % budget the benches enforce.
 //!
-//! Two always-on layers sit alongside the per-query trace:
+//! Three always-on layers sit alongside the per-query trace:
 //!
 //! * [`metrics`] — a process-wide registry of named counters, gauges and
 //!   log-linear-bucket histograms accumulating over the whole process
@@ -29,10 +29,15 @@
 //!   under the same relaxed-atomic-when-disabled contract;
 //! * [`span`] — one compact structured record per query (id, plan
 //!   digest, phase timings, counter deltas), emitted as JSON lines
-//!   through a pluggable sink.
+//!   through a pluggable sink;
+//! * [`timeline`] — per-thread event timelines (operator spans, morsel
+//!   executions, segment loads/evictions, compactions, I/O instants)
+//!   drained per query into a bounded ring of [`timeline::QueryTrace`]s
+//!   and exported by `tde-stats` as Chrome Trace Event Format.
 
 pub mod metrics;
 pub mod span;
+pub mod timeline;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};

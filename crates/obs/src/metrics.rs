@@ -545,6 +545,24 @@ pub fn queries_total() -> &'static Arc<Counter> {
     cached_counter(&C, "tde_queries_total", "Queries executed")
 }
 
+/// `tde_queries_failed_total` — queries whose execution returned an
+/// error (they bump this instead of vanishing from the counters).
+pub fn queries_failed_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    cached_counter(&C, "tde_queries_failed_total", "Queries that failed")
+}
+
+/// `tde_slow_queries_total` — queries past the `TDE_SLOW_QUERY_NS`
+/// threshold.
+pub fn slow_queries_total() -> &'static Arc<Counter> {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    cached_counter(
+        &C,
+        "tde_slow_queries_total",
+        "Queries slower than TDE_SLOW_QUERY_NS",
+    )
+}
+
 /// `tde_query_rows_total` — rows produced by query roots.
 pub fn query_rows_total() -> &'static Arc<Counter> {
     static C: OnceLock<Arc<Counter>> = OnceLock::new();

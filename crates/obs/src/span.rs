@@ -38,6 +38,10 @@ pub struct QuerySpan {
     /// fold into each other's spans — exact per-query attribution needs
     /// `explain_analyze`.
     pub counters: Vec<(String, u64)>,
+    /// The error message when the query failed (`rows_out` is then 0);
+    /// `None` on success. Failed queries emit spans too, so the slow
+    /// and broken tails land in the same log.
+    pub error: Option<String>,
 }
 
 impl QuerySpan {
@@ -53,15 +57,75 @@ impl QuerySpan {
             .iter()
             .map(|(key, delta)| format!("\"{}\":{delta}", json_escape(key)))
             .collect();
+        let error = match &self.error {
+            Some(e) => format!(",\"error\":\"{}\"", json_escape(e)),
+            None => String::new(),
+        };
         format!(
             "{{\"query_id\":{},\"plan_digest\":\"{}\",\"rows_out\":{},\
-             \"elapsed_ns\":{},\"phases\":{{{}}},\"counters\":{{{}}}}}",
+             \"elapsed_ns\":{},\"phases\":{{{}}},\"counters\":{{{}}}{}}}",
             self.query_id,
             json_escape(&self.plan_digest),
             self.rows_out,
             self.elapsed_ns,
             phases.join(","),
-            counters.join(",")
+            counters.join(","),
+            error
+        )
+    }
+}
+
+/// One slow query, summarized for the slow-query log: emitted (as a
+/// JSONL record through [`SpanSink::record_slow`]) when a query's
+/// `elapsed_ns` meets the `TDE_SLOW_QUERY_NS` threshold. The full
+/// timeline is retained in the slow-trace ring
+/// ([`crate::timeline::slow_traces`]); this record is the compact
+/// pointer into it.
+#[derive(Debug, Clone)]
+pub struct SlowQueryRecord {
+    /// Span-layer query id (keys into the trace rings).
+    pub query_id: u64,
+    /// Plan digest, as in [`QuerySpan`].
+    pub plan_digest: String,
+    /// Rows produced.
+    pub rows_out: u64,
+    /// End-to-end wall time in nanoseconds.
+    pub elapsed_ns: u64,
+    /// The threshold that fired.
+    pub threshold_ns: u64,
+    /// Phase timings, as in [`QuerySpan`].
+    pub phases: Vec<(&'static str, u64)>,
+    /// Top operators by self time (`(op, self_ns)`, largest first),
+    /// from the retained timeline; empty when tracing is disabled.
+    pub top_ops: Vec<(String, u64)>,
+}
+
+impl SlowQueryRecord {
+    /// The record as one JSON object (one line; no trailing newline).
+    /// The `"kind":"slow_query"` discriminant lets slow records share a
+    /// JSONL stream with plain spans.
+    pub fn to_json(&self) -> String {
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|(name, ns)| format!("\"{}\":{ns}", json_escape(name)))
+            .collect();
+        let top_ops: Vec<String> = self
+            .top_ops
+            .iter()
+            .map(|(op, ns)| format!("{{\"op\":\"{}\",\"self_ns\":{ns}}}", json_escape(op)))
+            .collect();
+        format!(
+            "{{\"kind\":\"slow_query\",\"query_id\":{},\"plan_digest\":\"{}\",\
+             \"rows_out\":{},\"elapsed_ns\":{},\"threshold_ns\":{},\
+             \"phases\":{{{}}},\"top_ops\":[{}]}}",
+            self.query_id,
+            json_escape(&self.plan_digest),
+            self.rows_out,
+            self.elapsed_ns,
+            self.threshold_ns,
+            phases.join(","),
+            top_ops.join(",")
         )
     }
 }
@@ -71,12 +135,19 @@ impl QuerySpan {
 pub trait SpanSink: Send + Sync {
     /// Record one span.
     fn record(&self, span: &QuerySpan);
+
+    /// Record one slow-query log entry. Default is a no-op so existing
+    /// sinks keep compiling; the bundled sinks append/collect it.
+    fn record_slow(&self, record: &SlowQueryRecord) {
+        let _ = record;
+    }
 }
 
 /// Collects spans in memory (tests, embedded consumers).
 #[derive(Debug, Default)]
 pub struct MemorySink {
     spans: Mutex<Vec<QuerySpan>>,
+    slow: Mutex<Vec<SlowQueryRecord>>,
 }
 
 impl MemorySink {
@@ -92,6 +163,14 @@ impl MemorySink {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
+
+    /// A copy of every slow-query record recorded so far.
+    pub fn slow_records(&self) -> Vec<SlowQueryRecord> {
+        self.slow
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
 }
 
 impl SpanSink for MemorySink {
@@ -100,6 +179,13 @@ impl SpanSink for MemorySink {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(span.clone());
+    }
+
+    fn record_slow(&self, record: &SlowQueryRecord) {
+        self.slow
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(record.clone());
     }
 }
 
@@ -126,16 +212,26 @@ impl JsonLinesSink {
     }
 }
 
-impl SpanSink for JsonLinesSink {
-    fn record(&self, span: &QuerySpan) {
+impl JsonLinesSink {
+    fn write_line(&self, line: &str) {
         let mut out = self
             .out
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Span logs are diagnostics: swallow write errors rather than
         // failing the query that triggered them.
-        let _ = writeln!(out, "{}", span.to_json());
+        let _ = writeln!(out, "{line}");
         let _ = out.flush();
+    }
+}
+
+impl SpanSink for JsonLinesSink {
+    fn record(&self, span: &QuerySpan) {
+        self.write_line(&span.to_json());
+    }
+
+    fn record_slow(&self, record: &SlowQueryRecord) {
+        self.write_line(&record.to_json());
     }
 }
 
@@ -180,6 +276,23 @@ pub fn emit_span(f: impl FnOnce() -> QuerySpan) {
     }
 }
 
+/// Emit a slow-query record to the installed sink, if any. Same
+/// contract as [`emit_span`]: the closure only runs with a sink
+/// installed.
+#[inline]
+pub fn emit_slow(f: impl FnOnce() -> SlowQueryRecord) {
+    if !span_sink_installed() {
+        return;
+    }
+    let sink = SINK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    if let Some(sink) = sink {
+        sink.record_slow(&f());
+    }
+}
+
 /// The next process-unique query id.
 pub fn next_query_id() -> u64 {
     NEXT_QUERY_ID.fetch_add(1, Ordering::Relaxed)
@@ -207,7 +320,35 @@ mod tests {
             elapsed_ns: 1234,
             phases: vec![("plan", 200), ("execute", 1034)],
             counters: vec![("tde_queries_total".into(), 1)],
+            error: None,
         }
+    }
+
+    #[test]
+    fn error_spans_and_slow_records_serialize() {
+        let mut span = sample_span(9);
+        span.error = Some("injected hard read failure".into());
+        let json = span.to_json();
+        assert!(json.contains("\"error\":\"injected hard read failure\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let rec = SlowQueryRecord {
+            query_id: 9,
+            plan_digest: "feedfacecafebeef".into(),
+            rows_out: 3,
+            elapsed_ns: 2_000_000,
+            threshold_ns: 1_000_000,
+            phases: vec![("plan", 200), ("execute", 1_999_800)],
+            top_ops: vec![("aggregate".into(), 1_500_000), ("scan".into(), 400_000)],
+        };
+        let json = rec.to_json();
+        assert!(json.contains("\"kind\":\"slow_query\""));
+        assert!(json.contains("\"threshold_ns\":1000000"));
+        assert!(json.contains("{\"op\":\"aggregate\",\"self_ns\":1500000}"));
+
+        let sink = MemorySink::new();
+        sink.record_slow(&rec);
+        assert_eq!(sink.slow_records().len(), 1);
     }
 
     #[test]

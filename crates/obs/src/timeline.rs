@@ -1,0 +1,797 @@
+//! Always-on query timeline tracing.
+//!
+//! The third observability layer, alongside the metrics registry
+//! ([`crate::metrics`]) and query spans ([`crate::span`]): a
+//! per-thread event timeline cheap enough to leave on in production.
+//! Every thread that records gets its own *lane* — an `Arc`'d buffer it
+//! alone appends to, so the hot path is an uncontended lock plus a
+//! `Vec` push, with no cross-thread cache traffic. A process-wide
+//! registry keeps `Weak` handles to every lane; when a query finishes,
+//! [`query_end`] drains all lanes (and the orphan pool left behind by
+//! exited worker threads) into a [`QueryTrace`], which lands in a
+//! bounded process-global ring of recently completed traces.
+//!
+//! Recorded events ([`TimelineKind`]):
+//!
+//! * operator spans (kind, rows, blocks, wall duration, tree position),
+//!   emitted by the `Metered` adapter at end-of-stream;
+//! * morsel executions attributed to their worker index (plus the
+//!   work-stealing flag);
+//! * buffer-pool segment loads and evictions;
+//! * delta-compactor runs (foreground and background);
+//! * `tde-io` retry and injected-fault instants;
+//! * query begin/end markers carrying the plan digest.
+//!
+//! Like the metrics registry, the layer is gated by one environment
+//! variable — `TDE_TRACE=0|off|false` disables it — and the disabled
+//! cost at every site is a single relaxed atomic load ([`enabled`]).
+//!
+//! **Concurrent queries fold.** Lanes are process-wide, so when two
+//! queries overlap, background events (and the other query's operator
+//! spans) drain into whichever trace finishes first. This is the same
+//! caveat the span layer's counter deltas carry, and the same trade
+//! the metrics registry makes: attribution is exact when queries are
+//! serial, best-effort under concurrency.
+//!
+//! **Slow queries.** When `TDE_SLOW_QUERY_NS` is set, traces whose
+//! `elapsed_ns` meets the threshold are marked slow and pinned in a
+//! separate, longer-lived ring ([`slow_traces`]) so the slow tail
+//! survives ring churn; `tde_core::Query` additionally appends a
+//! structured JSONL record through the span-sink machinery.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, LazyLock, Mutex, OnceLock, Weak};
+use std::time::Instant;
+
+/// Completed traces kept in the recent ring.
+const RING_CAP: usize = 64;
+/// Slow traces pinned beyond normal ring churn.
+const SLOW_RING_CAP: usize = 16;
+/// Per-lane event cap between drains; beyond it events are dropped and
+/// counted in [`dropped_events`] rather than growing without bound.
+const MAX_LANE_EVENTS: usize = 65_536;
+
+// ---------------------------------------------------------------------
+// Enable gate and clock
+// ---------------------------------------------------------------------
+
+static ENABLED: LazyLock<AtomicBool> = LazyLock::new(|| {
+    AtomicBool::new(!matches!(
+        std::env::var("TDE_TRACE").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    ))
+});
+
+/// Whether timeline tracing is on. One relaxed atomic load (plus the
+/// one-time lazy env read) — safe on any engine path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Flip tracing on or off at runtime, returning the previous state.
+/// Used by benches and embedders; the initial state comes from
+/// `TDE_TRACE`.
+pub fn set_enabled(on: bool) -> bool {
+    ENABLED.swap(on, Ordering::Relaxed)
+}
+
+/// The `TDE_SLOW_QUERY_NS` threshold, parsed once. `None` when unset
+/// or unparseable — slow-query handling is then off.
+pub fn slow_threshold_ns() -> Option<u64> {
+    static T: OnceLock<Option<u64>> = OnceLock::new();
+    *T.get_or_init(|| {
+        std::env::var("TDE_SLOW_QUERY_NS")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+    })
+}
+
+static EPOCH: LazyLock<Instant> = LazyLock::new(Instant::now);
+
+/// Nanoseconds since the process trace epoch (first use of the layer).
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------
+
+/// One typed timeline entry. Spans carry their duration; instants have
+/// `dur_ns`-free payloads. `ts_ns` is the *start* for spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineKind {
+    /// A query entered an execution entry point.
+    QueryBegin {
+        /// The span-layer query id.
+        query_id: u64,
+    },
+    /// A query finished (successfully or not).
+    QueryEnd {
+        /// The span-layer query id.
+        query_id: u64,
+    },
+    /// One operator's whole lifetime, emitted at end-of-stream by the
+    /// `Metered` adapter: wall span from first `next_block` call to
+    /// exhaustion, inclusive of children (Volcano pull).
+    OperatorSpan {
+        /// Operator kind (first token of the plan label).
+        op: String,
+        /// Per-query-tree operator id, for parent/child self-time math.
+        op_id: u32,
+        /// Parent operator id, `None` at the root.
+        parent: Option<u32>,
+        /// Blocks pulled through this operator.
+        blocks: u64,
+        /// Rows produced by this operator.
+        rows: u64,
+        /// Wall-clock span in nanoseconds (inclusive of children).
+        dur_ns: u64,
+    },
+    /// One morsel executed by a parallel worker.
+    Morsel {
+        /// Worker index within the query's worker pool.
+        worker: u32,
+        /// Morsel index.
+        morsel: u32,
+        /// Was this morsel stolen from another worker's range?
+        stolen: bool,
+        /// Execution time in nanoseconds.
+        dur_ns: u64,
+    },
+    /// The buffer pool demand-loaded a segment.
+    SegmentLoad {
+        /// Table name.
+        table: String,
+        /// Column name (`<heap>` for the string heap).
+        column: String,
+        /// Segment kind ("stream", "dictionary", "heap").
+        segment: &'static str,
+        /// Compressed bytes read.
+        bytes: u64,
+        /// Load latency in nanoseconds.
+        dur_ns: u64,
+    },
+    /// The buffer pool evicted a segment to stay under budget.
+    PoolEviction {
+        /// Bytes released.
+        bytes: u64,
+    },
+    /// A delta compaction ran (foreground or background).
+    Compaction {
+        /// Table name.
+        table: String,
+        /// Delta rows merged in.
+        delta_rows: u64,
+        /// Tombstones applied.
+        tombstones: u64,
+        /// Rows in the re-encoded base.
+        rows_out: u64,
+        /// Compaction time in nanoseconds.
+        dur_ns: u64,
+    },
+    /// `read_exact_at` retried a transient I/O error.
+    IoRetry {
+        /// Operation label ("stream", "heap", …).
+        op: &'static str,
+    },
+    /// The fault-injection backend injected a fault.
+    IoFault {
+        /// Fault kind ("crash", "hard-read", …).
+        kind: &'static str,
+    },
+}
+
+/// A timestamped event on a lane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineEvent {
+    /// Start time (spans) or occurrence time (instants), in
+    /// nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// The lane (thread) that recorded the event.
+    pub lane: u32,
+    /// Payload.
+    pub kind: TimelineKind,
+}
+
+// ---------------------------------------------------------------------
+// Lanes
+// ---------------------------------------------------------------------
+
+struct LaneBuffer {
+    lane: u32,
+    name: String,
+    events: Mutex<Vec<TimelineEvent>>,
+}
+
+impl LaneBuffer {
+    fn push(&self, ev: TimelineEvent) {
+        let mut events = self.events.lock().unwrap();
+        if events.len() >= MAX_LANE_EVENTS {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(ev);
+    }
+}
+
+impl Drop for LaneBuffer {
+    fn drop(&mut self) {
+        // The owning thread exited (morsel workers are scoped threads
+        // that die before query_end). Park any undrained events in the
+        // orphan pool so the finishing query still sees them.
+        let events = std::mem::take(self.events.get_mut().unwrap());
+        if !events.is_empty() {
+            ORPHANS.lock().unwrap().extend(events);
+        }
+    }
+}
+
+static LANES: Mutex<Vec<Weak<LaneBuffer>>> = Mutex::new(Vec::new());
+static ORPHANS: Mutex<Vec<TimelineEvent>> = Mutex::new(Vec::new());
+static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LANE: std::cell::OnceCell<Arc<LaneBuffer>> = const { std::cell::OnceCell::new() };
+}
+
+fn record(kind: TimelineKind) {
+    record_at(now_ns(), kind);
+}
+
+fn record_at(ts_ns: u64, kind: TimelineKind) {
+    LANE.with(|cell| {
+        let lane = cell.get_or_init(|| {
+            let lane = Arc::new(LaneBuffer {
+                lane: NEXT_LANE.fetch_add(1, Ordering::Relaxed),
+                name: std::thread::current()
+                    .name()
+                    .unwrap_or("worker")
+                    .to_string(),
+                events: Mutex::new(Vec::new()),
+            });
+            LANES.lock().unwrap().push(Arc::downgrade(&lane));
+            lane
+        });
+        let lane_id = lane.lane;
+        lane.push(TimelineEvent {
+            ts_ns,
+            lane: lane_id,
+            kind,
+        });
+    });
+}
+
+/// Events discarded because a lane hit its between-drain cap.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------
+// Recording helpers (each is a no-op unless the layer is enabled)
+// ---------------------------------------------------------------------
+
+static NEXT_OP_ID: AtomicU32 = AtomicU32::new(0);
+
+/// Allocate an operator id for [`TimelineOp`] parent/child linkage.
+/// Ids are process-unique, not per-query; uniqueness is all the
+/// self-time math needs.
+pub fn next_op_id() -> u32 {
+    NEXT_OP_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Per-operator timeline state held by the `Metered` adapter.
+///
+/// The hot path ([`TimelineOp::on_block`]) is counter arithmetic plus a
+/// clock read on the *first* block only; [`TimelineOp::finish`] (at
+/// end-of-stream, or on drop for operators abandoned early) reads the
+/// clock once more and emits a single
+/// [`TimelineKind::OperatorSpan`].
+#[derive(Debug)]
+pub struct TimelineOp {
+    op: String,
+    op_id: u32,
+    parent: Option<u32>,
+    first_start_ns: Option<u64>,
+    blocks: u64,
+    rows: u64,
+    finished: bool,
+}
+
+impl TimelineOp {
+    /// State for one wrapped operator. `op_id` comes from
+    /// [`next_op_id`]; `parent` is the enclosing operator's id.
+    pub fn new(op: &str, op_id: u32, parent: Option<u32>) -> TimelineOp {
+        TimelineOp {
+            op: op.to_string(),
+            op_id,
+            parent,
+            first_start_ns: None,
+            blocks: 0,
+            rows: 0,
+            finished: false,
+        }
+    }
+
+    /// Account one produced block. Reads the clock only on the first
+    /// call.
+    #[inline]
+    pub fn on_block(&mut self, rows: u64) {
+        if self.first_start_ns.is_none() {
+            self.first_start_ns = Some(now_ns());
+        }
+        self.blocks += 1;
+        self.rows += rows;
+    }
+
+    /// Emit the operator span (idempotent; also called from `Drop`).
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if !enabled() {
+            return;
+        }
+        let end = now_ns();
+        let start = self.first_start_ns.unwrap_or(end);
+        record_at(
+            start,
+            TimelineKind::OperatorSpan {
+                op: std::mem::take(&mut self.op),
+                op_id: self.op_id,
+                parent: self.parent,
+                blocks: self.blocks,
+                rows: self.rows,
+                dur_ns: end.saturating_sub(start),
+            },
+        );
+    }
+}
+
+impl Drop for TimelineOp {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Record one morsel execution. `started` is the instant just before
+/// the morsel ran on worker `worker`.
+pub fn morsel_span(worker: u32, morsel: u32, stolen: bool, started: Instant) {
+    if !enabled() {
+        return;
+    }
+    let end = now_ns();
+    let dur_ns = started.elapsed().as_nanos() as u64;
+    record_at(
+        end.saturating_sub(dur_ns),
+        TimelineKind::Morsel {
+            worker,
+            morsel,
+            stolen,
+            dur_ns,
+        },
+    );
+}
+
+/// Record a buffer-pool segment demand-load.
+pub fn segment_load(table: &str, column: &str, segment: &'static str, bytes: u64, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    record_at(
+        now_ns().saturating_sub(dur_ns),
+        TimelineKind::SegmentLoad {
+            table: table.to_string(),
+            column: column.to_string(),
+            segment,
+            bytes,
+            dur_ns,
+        },
+    );
+}
+
+/// Record a buffer-pool eviction instant.
+pub fn pool_eviction(bytes: u64) {
+    if !enabled() {
+        return;
+    }
+    record(TimelineKind::PoolEviction { bytes });
+}
+
+/// Record a delta-compaction run that took `dur_ns`.
+pub fn compaction(table: &str, delta_rows: u64, tombstones: u64, rows_out: u64, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    record_at(
+        now_ns().saturating_sub(dur_ns),
+        TimelineKind::Compaction {
+            table: table.to_string(),
+            delta_rows,
+            tombstones,
+            rows_out,
+            dur_ns,
+        },
+    );
+}
+
+/// Record an I/O retry instant.
+#[inline]
+pub fn io_retry(op: &'static str) {
+    if !enabled() {
+        return;
+    }
+    record(TimelineKind::IoRetry { op });
+}
+
+/// Record an injected-fault instant.
+#[inline]
+pub fn io_fault(kind: &'static str) {
+    if !enabled() {
+        return;
+    }
+    record(TimelineKind::IoFault { kind });
+}
+
+// ---------------------------------------------------------------------
+// Query lifecycle and the trace ring
+// ---------------------------------------------------------------------
+
+/// Handle returned by [`query_begin`]; pass it to [`query_end`].
+#[derive(Debug, Clone, Copy)]
+pub struct QueryToken {
+    query_id: u64,
+    start_ns: u64,
+}
+
+impl QueryToken {
+    /// The query id this token was begun with.
+    pub fn query_id(&self) -> u64 {
+        self.query_id
+    }
+}
+
+/// A completed query's drained timeline.
+#[derive(Debug, Clone)]
+pub struct QueryTrace {
+    /// Span-layer query id.
+    pub query_id: u64,
+    /// FNV-1a digest of the physical plan's `explain()` text.
+    pub plan_digest: String,
+    /// Rows the query produced (0 on failure).
+    pub rows_out: u64,
+    /// End-to-end latency in nanoseconds.
+    pub elapsed_ns: u64,
+    /// The error message, when the query failed.
+    pub error: Option<String>,
+    /// Coarse phase timings, mirroring the span layer.
+    pub phases: Vec<(&'static str, u64)>,
+    /// Query start, nanoseconds since the process trace epoch.
+    pub started_ns: u64,
+    /// Did `elapsed_ns` meet the `TDE_SLOW_QUERY_NS` threshold?
+    pub slow: bool,
+    /// Lane names observed at drain time (orphaned worker lanes fall
+    /// back to `lane-<id>` downstream).
+    pub lanes: Vec<(u32, String)>,
+    /// All drained events, sorted by timestamp.
+    pub events: Vec<TimelineEvent>,
+}
+
+impl QueryTrace {
+    /// Top-`n` operators by *self* time: each span's wall duration
+    /// minus its direct children's. Returns `(op, self_ns)` pairs,
+    /// largest first.
+    pub fn top_operators(&self, n: usize) -> Vec<(String, u64)> {
+        let spans: Vec<(&String, u32, Option<u32>, u64)> = self
+            .events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                TimelineKind::OperatorSpan {
+                    op,
+                    op_id,
+                    parent,
+                    dur_ns,
+                    ..
+                } => Some((op, *op_id, *parent, *dur_ns)),
+                _ => None,
+            })
+            .collect();
+        let mut self_ns: Vec<(String, u64)> = spans
+            .iter()
+            .map(|(op, op_id, _, dur)| {
+                let children: u64 = spans
+                    .iter()
+                    .filter(|(_, _, parent, _)| *parent == Some(*op_id))
+                    .map(|(_, _, _, d)| *d)
+                    .sum();
+                ((*op).clone(), dur.saturating_sub(children))
+            })
+            .collect();
+        self_ns.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        self_ns.truncate(n);
+        self_ns
+    }
+}
+
+static RING: Mutex<std::collections::VecDeque<Arc<QueryTrace>>> =
+    Mutex::new(std::collections::VecDeque::new());
+static SLOW_RING: Mutex<std::collections::VecDeque<Arc<QueryTrace>>> =
+    Mutex::new(std::collections::VecDeque::new());
+
+/// Mark the start of a query. Records a
+/// [`TimelineKind::QueryBegin`] marker and returns the token
+/// [`query_end`] needs.
+pub fn query_begin(query_id: u64) -> QueryToken {
+    let start_ns = now_ns();
+    record_at(start_ns, TimelineKind::QueryBegin { query_id });
+    QueryToken { query_id, start_ns }
+}
+
+/// Finish a query: drain every lane (and the orphan pool) into a
+/// [`QueryTrace`], push it into the recent ring (and the slow ring
+/// when past the `TDE_SLOW_QUERY_NS` threshold), and return it.
+pub fn query_end(
+    token: QueryToken,
+    plan_digest: &str,
+    rows_out: u64,
+    elapsed_ns: u64,
+    error: Option<String>,
+    phases: &[(&'static str, u64)],
+) -> Arc<QueryTrace> {
+    record(TimelineKind::QueryEnd {
+        query_id: token.query_id,
+    });
+    let mut events = std::mem::take(&mut *ORPHANS.lock().unwrap());
+    let mut lanes = Vec::new();
+    {
+        let mut registry = LANES.lock().unwrap();
+        registry.retain(|weak| match weak.upgrade() {
+            Some(lane) => {
+                events.append(&mut lane.events.lock().unwrap());
+                lanes.push((lane.lane, lane.name.clone()));
+                true
+            }
+            None => false,
+        });
+    }
+    events.sort_by_key(|e| e.ts_ns);
+    let slow = slow_threshold_ns().is_some_and(|t| elapsed_ns >= t);
+    let trace = Arc::new(QueryTrace {
+        query_id: token.query_id,
+        plan_digest: plan_digest.to_string(),
+        rows_out,
+        elapsed_ns,
+        error,
+        phases: phases.to_vec(),
+        started_ns: token.start_ns,
+        slow,
+        lanes,
+        events,
+    });
+    {
+        let mut ring = RING.lock().unwrap();
+        if ring.len() >= RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(Arc::clone(&trace));
+    }
+    if slow {
+        let mut ring = SLOW_RING.lock().unwrap();
+        if ring.len() >= SLOW_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(Arc::clone(&trace));
+    }
+    trace
+}
+
+/// The recent-trace ring, oldest first.
+pub fn recent_traces() -> Vec<Arc<QueryTrace>> {
+    RING.lock().unwrap().iter().cloned().collect()
+}
+
+/// The pinned slow-query ring, oldest first.
+pub fn slow_traces() -> Vec<Arc<QueryTrace>> {
+    SLOW_RING.lock().unwrap().iter().cloned().collect()
+}
+
+/// Look a trace up by query id (recent ring first, then slow ring).
+pub fn find_trace(query_id: u64) -> Option<Arc<QueryTrace>> {
+    let hit = RING
+        .lock()
+        .unwrap()
+        .iter()
+        .rev()
+        .find(|t| t.query_id == query_id)
+        .cloned();
+    hit.or_else(|| {
+        SLOW_RING
+            .lock()
+            .unwrap()
+            .iter()
+            .rev()
+            .find(|t| t.query_id == query_id)
+            .cloned()
+    })
+}
+
+/// Drop both rings and any undrained events (tests and the
+/// `tde-stats trace` subcommand use this to start from a clean slate).
+pub fn clear() {
+    RING.lock().unwrap().clear();
+    SLOW_RING.lock().unwrap().clear();
+    ORPHANS.lock().unwrap().clear();
+    let registry = LANES.lock().unwrap();
+    for weak in registry.iter() {
+        if let Some(lane) = weak.upgrade() {
+            lane.events.lock().unwrap().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Timeline state is process-global; tests that drain it must not
+    // interleave.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn query_end_drains_lanes_into_the_ring() {
+        let _guard = lock();
+        let prev = set_enabled(true);
+        clear();
+        let token = query_begin(4242);
+        segment_load("t", "c", "stream", 512, 1_000);
+        pool_eviction(256);
+        io_retry("stream");
+        let trace = query_end(
+            token,
+            "feedfacecafebeef",
+            10,
+            5_000,
+            None,
+            &[("plan", 1_000)],
+        );
+        set_enabled(prev);
+        assert_eq!(trace.query_id, 4242);
+        assert_eq!(trace.plan_digest, "feedfacecafebeef");
+        assert!(!trace.slow);
+        let kinds: Vec<_> = trace
+            .events
+            .iter()
+            .map(|e| std::mem::discriminant(&e.kind))
+            .collect();
+        assert_eq!(kinds.len(), 5, "begin + 3 events + end: {:?}", trace.events);
+        assert!(find_trace(4242).is_some());
+        assert!(trace.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn worker_thread_events_survive_thread_exit() {
+        let _guard = lock();
+        let prev = set_enabled(true);
+        clear();
+        let token = query_begin(4243);
+        std::thread::scope(|scope| {
+            for w in 0..3u32 {
+                scope.spawn(move || {
+                    morsel_span(w, w, false, Instant::now());
+                });
+            }
+        });
+        let trace = query_end(token, "d", 0, 1, None, &[]);
+        set_enabled(prev);
+        let workers: std::collections::BTreeSet<u32> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TimelineKind::Morsel { worker, .. } => Some(worker),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(workers.len(), 3, "orphaned worker events must drain");
+    }
+
+    #[test]
+    fn operator_self_time_subtracts_children() {
+        let _guard = lock();
+        let prev = set_enabled(true);
+        clear();
+        let token = query_begin(4244);
+        // Build parent/child spans by hand through the TimelineOp API.
+        let root = next_op_id();
+        let child = next_op_id();
+        let mut child_op = TimelineOp::new("scan", child, Some(root));
+        child_op.on_block(100);
+        child_op.finish();
+        let mut root_op = TimelineOp::new("filter", root, None);
+        root_op.on_block(100);
+        root_op.finish();
+        let mut trace = (*query_end(token, "d", 100, 1, None, &[])).clone();
+        set_enabled(prev);
+        // Force a deterministic check: parent 10us inclusive, child 4us.
+        for e in &mut trace.events {
+            match &mut e.kind {
+                TimelineKind::OperatorSpan { op, dur_ns, .. } if op == "filter" => {
+                    *dur_ns = 10_000;
+                }
+                TimelineKind::OperatorSpan { op, dur_ns, .. } if op == "scan" => *dur_ns = 4_000,
+                _ => {}
+            }
+        }
+        let top = trace.top_operators(3);
+        assert_eq!(top[0], ("filter".to_string(), 6_000));
+        assert_eq!(top[1], ("scan".to_string(), 4_000));
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _guard = lock();
+        let prev = set_enabled(true);
+        clear();
+        for i in 0..(RING_CAP as u64 + 10) {
+            let token = query_begin(100_000 + i);
+            query_end(token, "d", 0, 1, None, &[]);
+        }
+        set_enabled(prev);
+        let ring = recent_traces();
+        assert_eq!(ring.len(), RING_CAP);
+        // Oldest entries were evicted.
+        assert_eq!(ring[0].query_id, 100_010);
+        assert!(find_trace(100_000).is_none());
+    }
+
+    #[test]
+    fn disabled_layer_records_nothing() {
+        let _guard = lock();
+        let prev = set_enabled(false);
+        clear();
+        segment_load("t", "c", "stream", 512, 1_000);
+        pool_eviction(1);
+        io_retry("stream");
+        io_fault("crash");
+        morsel_span(0, 0, false, Instant::now());
+        compaction("t", 1, 1, 1, 1);
+        let token = query_begin(4245);
+        let trace = query_end(token, "d", 0, 1, None, &[]);
+        set_enabled(prev);
+        // query_begin/query_end always record their markers (the token
+        // API is only invoked when the caller saw the layer enabled);
+        // the guarded helpers above must not have.
+        assert!(
+            trace.events.iter().all(|e| matches!(
+                e.kind,
+                TimelineKind::QueryBegin { .. } | TimelineKind::QueryEnd { .. }
+            )),
+            "{:?}",
+            trace.events
+        );
+    }
+
+    #[test]
+    fn disabled_overhead_budget_10m_calls_under_a_second() {
+        let _guard = lock();
+        let prev = set_enabled(false);
+        let t0 = Instant::now();
+        for i in 0..10_000_000u64 {
+            io_retry(if i % 2 == 0 { "stream" } else { "heap" });
+            pool_eviction(i);
+        }
+        let elapsed = t0.elapsed();
+        set_enabled(prev);
+        assert!(
+            elapsed < std::time::Duration::from_secs(1),
+            "20M disabled timeline calls took {elapsed:?}; the gate must be one relaxed load"
+        );
+    }
+}

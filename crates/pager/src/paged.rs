@@ -293,10 +293,15 @@ impl PagedTable {
             return Ok(h);
         }
         let seg = self.inner.pool.get_or_load(key, || {
-            let t0 = tde_obs::metrics::enabled().then(std::time::Instant::now);
+            let t0 = (tde_obs::metrics::enabled() || tde_obs::timeline::enabled())
+                .then(std::time::Instant::now);
             let bytes = self.inner.read_segment(extent, "heap")?;
             if let Some(t0) = t0 {
-                tde_obs::metrics::segment_load("heap", extent.len, t0.elapsed().as_nanos() as u64);
+                let nanos = t0.elapsed().as_nanos() as u64;
+                if tde_obs::metrics::enabled() {
+                    tde_obs::metrics::segment_load("heap", extent.len, nanos);
+                }
+                tde_obs::timeline::segment_load(table, column, "heap", extent.len, nanos);
             }
             tde_obs::emit(|| Event::SegmentLoad {
                 table: table.to_string(),
@@ -324,14 +329,15 @@ impl PagedTable {
         cdir: &ColumnDir,
         heap: Option<Arc<StringHeap>>,
     ) -> io::Result<(CachedSegment, u64)> {
-        let t0 = tde_obs::metrics::enabled().then(std::time::Instant::now);
+        let t0 = (tde_obs::metrics::enabled() || tde_obs::timeline::enabled())
+            .then(std::time::Instant::now);
         let stream_bytes = self.inner.read_segment(cdir.stream, "stream")?;
         if let Some(t0) = t0 {
-            tde_obs::metrics::segment_load(
-                "stream",
-                cdir.stream.len,
-                t0.elapsed().as_nanos() as u64,
-            );
+            let nanos = t0.elapsed().as_nanos() as u64;
+            if tde_obs::metrics::enabled() {
+                tde_obs::metrics::segment_load("stream", cdir.stream.len, nanos);
+            }
+            tde_obs::timeline::segment_load(table, &cdir.name, "stream", cdir.stream.len, nanos);
         }
         validate_stream(&stream_bytes, rows)?;
         tde_obs::emit(|| Event::SegmentLoad {
@@ -344,13 +350,20 @@ impl PagedTable {
         let compression = match (cdir.ctag, cdir.dict, heap) {
             (0, _, _) => Compression::None,
             (1, Some(extent), _) => {
-                let t0 = tde_obs::metrics::enabled().then(std::time::Instant::now);
+                let t0 = (tde_obs::metrics::enabled() || tde_obs::timeline::enabled())
+                    .then(std::time::Instant::now);
                 let bytes = self.inner.read_segment(extent, "dictionary")?;
                 if let Some(t0) = t0 {
-                    tde_obs::metrics::segment_load(
+                    let nanos = t0.elapsed().as_nanos() as u64;
+                    if tde_obs::metrics::enabled() {
+                        tde_obs::metrics::segment_load("dictionary", extent.len, nanos);
+                    }
+                    tde_obs::timeline::segment_load(
+                        table,
+                        &cdir.name,
                         "dictionary",
                         extent.len,
-                        t0.elapsed().as_nanos() as u64,
+                        nanos,
                     );
                 }
                 tde_obs::emit(|| Event::SegmentLoad {

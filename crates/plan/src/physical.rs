@@ -28,11 +28,13 @@ use tde_storage::EncodingPolicy;
 
 /// Optional trace context threaded through lowering: which trace (if
 /// any) to record into and which node is the parent of whatever operator
-/// gets lowered next.
+/// gets lowered next. `tl_parent` threads the always-on timeline's
+/// operator-tree position independently of the opt-in trace.
 #[derive(Clone, Copy)]
 struct Tracer<'a> {
     trace: Option<&'a Arc<Trace>>,
     parent: Option<usize>,
+    tl_parent: Option<u32>,
 }
 
 impl<'a> Tracer<'a> {
@@ -40,21 +42,26 @@ impl<'a> Tracer<'a> {
         Tracer {
             trace: None,
             parent: None,
+            tl_parent: None,
         }
     }
 
     /// Register an operator node under the current parent. A no-op
     /// trace handle when tracing is off; the operator kind (the label's
-    /// first token) always feeds the per-operator metrics.
+    /// first token) always feeds the per-operator metrics and, when the
+    /// timeline layer is on, its operator spans.
     fn node(&self, label: impl Into<String>) -> NodeCtx<'a> {
         let label = label.into();
         let kind = kind_of(&label);
+        let tl_id = tde_obs::timeline::enabled().then(tde_obs::timeline::next_op_id);
         match self.trace {
             None => NodeCtx {
                 trace: None,
                 id: None,
                 stats: None,
                 kind,
+                tl_id,
+                tl_parent: self.tl_parent,
             },
             Some(t) => {
                 let (id, stats) = t.add_node(label, self.parent);
@@ -63,6 +70,8 @@ impl<'a> Tracer<'a> {
                     id: Some(id),
                     stats: Some(stats),
                     kind,
+                    tl_id,
+                    tl_parent: self.tl_parent,
                 }
             }
         }
@@ -82,6 +91,8 @@ struct NodeCtx<'a> {
     id: Option<usize>,
     stats: Option<Arc<OpStats>>,
     kind: String,
+    tl_id: Option<u32>,
+    tl_parent: Option<u32>,
 }
 
 impl<'a> NodeCtx<'a> {
@@ -90,6 +101,7 @@ impl<'a> NodeCtx<'a> {
         Tracer {
             trace: self.trace,
             parent: self.id,
+            tl_parent: self.tl_id,
         }
     }
 
@@ -104,12 +116,18 @@ impl<'a> NodeCtx<'a> {
 
     /// Wrap the lowered operator in the instrumenting adapters: the
     /// always-on per-operator-kind metrics (skipped entirely when the
-    /// registry is disabled) and, under tracing, the per-query
-    /// [`Instrumented`] stats.
+    /// registry is disabled), the always-on timeline operator span
+    /// (likewise skipped when `TDE_TRACE` is off) and, under tracing,
+    /// the per-query [`Instrumented`] stats.
     fn wrap(self, op: BoxOp) -> BoxOp {
-        let op = match tde_obs::metrics::operator_counters(&self.kind) {
-            Some(counters) => Box::new(Metered::new(op, counters)) as BoxOp,
-            None => op,
+        let counters = tde_obs::metrics::operator_counters(&self.kind);
+        let timeline = self
+            .tl_id
+            .map(|id| tde_obs::timeline::TimelineOp::new(&self.kind, id, self.tl_parent));
+        let op = if counters.is_some() || timeline.is_some() {
+            Box::new(Metered::with_observers(op, counters, timeline)) as BoxOp
+        } else {
+            op
         };
         match self.stats {
             Some(stats) => Box::new(Instrumented::new(op, stats)),
@@ -143,6 +161,7 @@ pub fn try_execute_traced(plan: &LogicalPlan, trace: &Arc<Trace>) -> io::Result<
         Tracer {
             trace: Some(trace),
             parent: None,
+            tl_parent: None,
         },
     )
 }

@@ -1,5 +1,8 @@
 //! A minimal blocking scrape endpoint: `GET /metrics` (Prometheus text
-//! exposition) and `GET /metrics.json` (JSON), no dependencies.
+//! exposition), `GET /metrics.json` (JSON), `GET /spans` (the recent
+//! query-trace ring as JSON summaries), and `GET /trace/<query_id>`
+//! (one query's timeline in Chrome Trace Event Format), no
+//! dependencies.
 //!
 //! This is deliberately tiny — one thread, one connection at a time,
 //! request line only — because a scrape target needs nothing more. The
@@ -73,12 +76,26 @@ fn handle(stream: TcpStream) -> std::io::Result<()> {
                 crate::prometheus_text(),
             ),
             "/metrics.json" => ("200 OK", "application/json", crate::json_text()),
+            "/spans" => ("200 OK", "application/json", spans_json()),
             "/" => (
                 "200 OK",
                 "text/plain",
-                "tde-stats: /metrics (Prometheus), /metrics.json\n".to_owned(),
+                "tde-stats: /metrics (Prometheus), /metrics.json, /spans, /trace/<query_id>\n"
+                    .to_owned(),
             ),
-            _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+            _ => match path.strip_prefix("/trace/") {
+                Some(id) => match id.parse::<u64>().ok().and_then(|id| {
+                    tde_obs::timeline::find_trace(id).map(|t| crate::tef::render_trace(&t))
+                }) {
+                    Some(tef) => ("200 OK", "application/json", tef),
+                    None => (
+                        "404 Not Found",
+                        "text/plain",
+                        "no such query in the trace ring\n".to_owned(),
+                    ),
+                },
+                None => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+            },
         }
     };
     let mut stream = reader.into_inner();
@@ -88,6 +105,34 @@ fn handle(stream: TcpStream) -> std::io::Result<()> {
         body.len()
     )?;
     stream.flush()
+}
+
+/// JSON summaries of the recent-query ring served at `/spans`: newest
+/// last, one object per retained trace (full timelines are fetched per
+/// query via `/trace/<query_id>`).
+pub fn spans_json() -> String {
+    let mut out = String::from("{\"traces\":[");
+    for (i, t) in tde_obs::timeline::recent_traces().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let error = match &t.error {
+            Some(e) => format!(",\"error\":\"{}\"", tde_obs::json_escape(e)),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{{\"query_id\":{},\"plan_digest\":\"{}\",\"rows_out\":{},\
+             \"elapsed_ns\":{},\"slow\":{},\"events\":{}{error}}}",
+            t.query_id,
+            tde_obs::json_escape(&t.plan_digest),
+            t.rows_out,
+            t.elapsed_ns,
+            t.slow,
+            t.events.len(),
+        ));
+    }
+    out.push_str("]}");
+    out
 }
 
 /// Fetch `path` from a [`StatsServer`] (test helper): returns
@@ -114,7 +159,7 @@ mod tests {
         let server = StatsServer::bind("127.0.0.1:0").unwrap();
         let addr = server.local_addr().unwrap();
         let handle = std::thread::spawn(move || {
-            for _ in 0..3 {
+            for _ in 0..5 {
                 server.serve_one().unwrap();
             }
         });
@@ -124,6 +169,12 @@ mod tests {
         let (status, body) = fetch(addr, "/metrics.json").unwrap();
         assert!(status.contains("200"), "{status}");
         crate::minijson::parse(&body).unwrap();
+        let (status, body) = fetch(addr, "/spans").unwrap();
+        assert!(status.contains("200"), "{status}");
+        let v = crate::minijson::parse(&body).unwrap();
+        assert!(v.get("traces").unwrap().as_array().is_some());
+        let (status, _) = fetch(addr, "/trace/18446744073709551615").unwrap();
+        assert!(status.contains("404"), "{status}");
         let (status, _) = fetch(addr, "/nope").unwrap();
         assert!(status.contains("404"), "{status}");
         handle.join().unwrap();

@@ -12,13 +12,19 @@
 //!   labels, kind, and value — consumed by `bench-gate` and ad-hoc
 //!   tooling via the bundled [`minijson`] parser.
 //!
-//! The [`http`] module serves both formats from a minimal blocking
-//! scrape endpoint (`GET /metrics`, `GET /metrics.json`) with no
-//! external dependencies.
+//! The [`tef`] module renders query timelines from
+//! [`tde_obs::timeline`] as Chrome Trace Event Format documents that
+//! Perfetto and `chrome://tracing` load directly, with a strict
+//! self-validator.
+//!
+//! The [`http`] module serves all of it from a minimal blocking
+//! endpoint (`GET /metrics`, `GET /metrics.json`, `GET /spans`,
+//! `GET /trace/<query_id>`) with no external dependencies.
 
 pub mod http;
 pub mod minijson;
 pub mod prometheus;
+pub mod tef;
 
 use tde_obs::metrics::{MetricsSnapshot, SampleValue};
 

@@ -1,0 +1,422 @@
+//! Chrome Trace Event Format (TEF) rendering of query timelines.
+//!
+//! Turns [`QueryTrace`]s from the timeline ring into the JSON array
+//! format Perfetto (`ui.perfetto.dev`) and `chrome://tracing` load
+//! directly: `{"traceEvents":[...]}` with `"ph":"X"` complete events
+//! (microsecond `ts`/`dur`), `"ph":"i"` instants, and `"ph":"M"`
+//! process/thread-name metadata.
+//!
+//! Track layout: each query renders as its own *process* (`pid` =
+//! query id), so multiple ring entries in one file stay separate in
+//! the UI. Within a query, `tid 0` is the query track (the whole-query
+//! span plus begin/end instants), engine threads map to `tid = lane+1`,
+//! and morsel executions land on synthetic per-worker tracks
+//! (`tid = 1000 + worker`, named `worker-N`) so a degree-`k` parallel
+//! query shows `k` worker tracks regardless of which pool threads ran
+//! the morsels.
+//!
+//! [`validate_tef`] is the strict self-check (built on [`minijson`])
+//! the `tde-stats trace` subcommand and the test-suite run over every
+//! rendered document before calling it loadable.
+
+use crate::minijson;
+use std::collections::BTreeMap;
+use tde_obs::json_escape;
+use tde_obs::timeline::{QueryTrace, TimelineKind};
+
+/// Nanoseconds → the fractional-microsecond literal TEF wants.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+fn meta_thread_name(pid: u64, tid: u64, name: &str) -> String {
+    format!(
+        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        json_escape(name)
+    )
+}
+
+/// Append one trace's events (as rendered JSON objects) to `out`.
+fn push_trace(out: &mut Vec<String>, t: &QueryTrace) {
+    let pid = t.query_id;
+    let lane_names: BTreeMap<u32, &str> = t
+        .lanes
+        .iter()
+        .map(|(lane, name)| (*lane, name.as_str()))
+        .collect();
+    out.push(format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+         \"args\":{{\"name\":\"query {pid} digest={}\"}}}}",
+        json_escape(&t.plan_digest)
+    ));
+    out.push(meta_thread_name(pid, 0, "query"));
+    let error = match &t.error {
+        Some(e) => format!(",\"error\":\"{}\"", json_escape(e)),
+        None => String::new(),
+    };
+    out.push(format!(
+        "{{\"name\":\"query\",\"cat\":\"query\",\"ph\":\"X\",\"pid\":{pid},\"tid\":0,\
+         \"ts\":{},\"dur\":{},\"args\":{{\"query_id\":{pid},\"plan_digest\":\"{}\",\
+         \"rows_out\":{},\"slow\":{}{error}}}}}",
+        us(t.started_ns),
+        us(t.elapsed_ns),
+        json_escape(&t.plan_digest),
+        t.rows_out,
+        t.slow,
+    ));
+    // Name every track we are about to emit onto, exactly once.
+    let mut named: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut name_track = |out: &mut Vec<String>, tid: u64, name: &str| {
+        if named.insert(tid) {
+            out.push(meta_thread_name(pid, tid, name));
+        }
+    };
+    for ev in &t.events {
+        let ts = us(ev.ts_ns);
+        let lane_tid = u64::from(ev.lane) + 1;
+        match &ev.kind {
+            TimelineKind::QueryBegin { .. } => out.push(format!(
+                "{{\"name\":\"query-begin\",\"cat\":\"query\",\"ph\":\"i\",\"pid\":{pid},\
+                 \"tid\":0,\"ts\":{ts},\"s\":\"t\"}}"
+            )),
+            TimelineKind::QueryEnd { .. } => out.push(format!(
+                "{{\"name\":\"query-end\",\"cat\":\"query\",\"ph\":\"i\",\"pid\":{pid},\
+                 \"tid\":0,\"ts\":{ts},\"s\":\"t\"}}"
+            )),
+            TimelineKind::OperatorSpan {
+                op,
+                op_id,
+                parent,
+                blocks,
+                rows,
+                dur_ns,
+            } => {
+                name_lane(&mut name_track, out, lane_tid, ev.lane, &lane_names);
+                out.push(format!(
+                    "{{\"name\":\"{}\",\"cat\":\"operator\",\"ph\":\"X\",\"pid\":{pid},\
+                     \"tid\":{lane_tid},\"ts\":{ts},\"dur\":{},\"args\":{{\"op_id\":{op_id},\
+                     \"parent\":{},\"blocks\":{blocks},\"rows\":{rows}}}}}",
+                    json_escape(op),
+                    us(*dur_ns),
+                    parent.map_or("null".to_string(), |p| p.to_string()),
+                ));
+            }
+            TimelineKind::Morsel {
+                worker,
+                morsel,
+                stolen,
+                dur_ns,
+            } => {
+                let tid = 1000 + u64::from(*worker);
+                name_track(out, tid, &format!("worker-{worker}"));
+                out.push(format!(
+                    "{{\"name\":\"morsel\",\"cat\":\"morsel\",\"ph\":\"X\",\"pid\":{pid},\
+                     \"tid\":{tid},\"ts\":{ts},\"dur\":{},\"args\":{{\"worker\":{worker},\
+                     \"morsel\":{morsel},\"stolen\":{stolen}}}}}",
+                    us(*dur_ns),
+                ));
+            }
+            TimelineKind::SegmentLoad {
+                table,
+                column,
+                segment,
+                bytes,
+                dur_ns,
+            } => {
+                name_lane(&mut name_track, out, lane_tid, ev.lane, &lane_names);
+                out.push(format!(
+                    "{{\"name\":\"load {segment}\",\"cat\":\"pool\",\"ph\":\"X\",\"pid\":{pid},\
+                     \"tid\":{lane_tid},\"ts\":{ts},\"dur\":{},\"args\":{{\"table\":\"{}\",\
+                     \"column\":\"{}\",\"bytes\":{bytes}}}}}",
+                    us(*dur_ns),
+                    json_escape(table),
+                    json_escape(column),
+                ));
+            }
+            TimelineKind::PoolEviction { bytes } => {
+                name_lane(&mut name_track, out, lane_tid, ev.lane, &lane_names);
+                out.push(format!(
+                    "{{\"name\":\"pool-evict\",\"cat\":\"pool\",\"ph\":\"i\",\"pid\":{pid},\
+                     \"tid\":{lane_tid},\"ts\":{ts},\"s\":\"t\",\"args\":{{\"bytes\":{bytes}}}}}"
+                ));
+            }
+            TimelineKind::Compaction {
+                table,
+                delta_rows,
+                tombstones,
+                rows_out,
+                dur_ns,
+            } => {
+                name_lane(&mut name_track, out, lane_tid, ev.lane, &lane_names);
+                out.push(format!(
+                    "{{\"name\":\"compaction\",\"cat\":\"delta\",\"ph\":\"X\",\"pid\":{pid},\
+                     \"tid\":{lane_tid},\"ts\":{ts},\"dur\":{},\"args\":{{\"table\":\"{}\",\
+                     \"delta_rows\":{delta_rows},\"tombstones\":{tombstones},\
+                     \"rows_out\":{rows_out}}}}}",
+                    us(*dur_ns),
+                    json_escape(table),
+                ));
+            }
+            TimelineKind::IoRetry { op } => {
+                name_lane(&mut name_track, out, lane_tid, ev.lane, &lane_names);
+                out.push(format!(
+                    "{{\"name\":\"io-retry\",\"cat\":\"io\",\"ph\":\"i\",\"pid\":{pid},\
+                     \"tid\":{lane_tid},\"ts\":{ts},\"s\":\"t\",\"args\":{{\"op\":\"{op}\"}}}}"
+                ));
+            }
+            TimelineKind::IoFault { kind } => {
+                name_lane(&mut name_track, out, lane_tid, ev.lane, &lane_names);
+                out.push(format!(
+                    "{{\"name\":\"io-fault\",\"cat\":\"io\",\"ph\":\"i\",\"pid\":{pid},\
+                     \"tid\":{lane_tid},\"ts\":{ts},\"s\":\"t\",\"args\":{{\"kind\":\"{kind}\"}}}}"
+                ));
+            }
+        }
+    }
+}
+
+fn name_lane(
+    name_track: &mut impl FnMut(&mut Vec<String>, u64, &str),
+    out: &mut Vec<String>,
+    tid: u64,
+    lane: u32,
+    lane_names: &BTreeMap<u32, &str>,
+) {
+    match lane_names.get(&lane) {
+        Some(name) => name_track(out, tid, name),
+        None => name_track(out, tid, &format!("lane-{lane}")),
+    }
+}
+
+/// Render one query trace as a complete TEF document.
+pub fn render_trace(t: &QueryTrace) -> String {
+    render_traces(std::slice::from_ref(t))
+}
+
+/// Render several traces (e.g. the whole ring) as one TEF document;
+/// each query appears as its own process in the UI.
+pub fn render_traces<T: std::borrow::Borrow<QueryTrace>>(traces: &[T]) -> String {
+    let mut out = Vec::new();
+    for t in traces {
+        push_trace(&mut out, t.borrow());
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}",
+        out.join(",")
+    )
+}
+
+/// Strict structural validation of a TEF document: parseable JSON, a
+/// `traceEvents` array, and every event carrying the fields its phase
+/// requires (`X` → non-negative `ts`+`dur`; `i` → `ts` and a scope;
+/// `M` → `args.name`). Returns the event count.
+pub fn validate_tef(text: &str) -> Result<usize, String> {
+    let doc = minijson::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_array()
+        .ok_or("traceEvents is not an array")?;
+    for (i, ev) in events.iter().enumerate() {
+        let err = |msg: &str| format!("event {i}: {msg}");
+        if ev.as_object().is_none() {
+            return Err(err("not an object"));
+        }
+        let name = ev
+            .get("name")
+            .and_then(minijson::Value::as_str)
+            .ok_or_else(|| err("missing name"))?;
+        if name.is_empty() {
+            return Err(err("empty name"));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(minijson::Value::as_str)
+            .ok_or_else(|| err("missing ph"))?;
+        ev.get("pid")
+            .and_then(minijson::Value::as_u64)
+            .ok_or_else(|| err("missing pid"))?;
+        ev.get("tid")
+            .and_then(minijson::Value::as_u64)
+            .ok_or_else(|| err("missing tid"))?;
+        let ts = || {
+            ev.get("ts")
+                .and_then(minijson::Value::as_f64)
+                .filter(|t| *t >= 0.0)
+        };
+        match ph {
+            "X" => {
+                ts().ok_or_else(|| err("X event without non-negative ts"))?;
+                ev.get("dur")
+                    .and_then(minijson::Value::as_f64)
+                    .filter(|d| *d >= 0.0)
+                    .ok_or_else(|| err("X event without non-negative dur"))?;
+            }
+            "i" => {
+                ts().ok_or_else(|| err("i event without non-negative ts"))?;
+                let scope = ev
+                    .get("s")
+                    .and_then(minijson::Value::as_str)
+                    .ok_or_else(|| err("i event without scope"))?;
+                if !matches!(scope, "t" | "p" | "g") {
+                    return Err(err("i event with invalid scope"));
+                }
+            }
+            "M" => {
+                ev.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(minijson::Value::as_str)
+                    .ok_or_else(|| err("M event without args.name"))?;
+            }
+            other => return Err(err(&format!("unsupported phase {other:?}"))),
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tde_obs::timeline::TimelineEvent;
+
+    fn sample_trace() -> QueryTrace {
+        QueryTrace {
+            query_id: 42,
+            plan_digest: "feedfacecafebeef".into(),
+            rows_out: 100,
+            elapsed_ns: 9_000,
+            error: None,
+            phases: vec![("plan", 1_000), ("execute", 8_000)],
+            started_ns: 1_000,
+            slow: false,
+            lanes: vec![(0, "main".into())],
+            events: vec![
+                TimelineEvent {
+                    ts_ns: 1_000,
+                    lane: 0,
+                    kind: TimelineKind::QueryBegin { query_id: 42 },
+                },
+                TimelineEvent {
+                    ts_ns: 1_500,
+                    lane: 0,
+                    kind: TimelineKind::SegmentLoad {
+                        table: "t".into(),
+                        column: "c".into(),
+                        segment: "stream",
+                        bytes: 512,
+                        dur_ns: 300,
+                    },
+                },
+                TimelineEvent {
+                    ts_ns: 2_000,
+                    lane: 1,
+                    kind: TimelineKind::Morsel {
+                        worker: 3,
+                        morsel: 7,
+                        stolen: true,
+                        dur_ns: 1_000,
+                    },
+                },
+                TimelineEvent {
+                    ts_ns: 2_500,
+                    lane: 0,
+                    kind: TimelineKind::OperatorSpan {
+                        op: "HashAggregate".into(),
+                        op_id: 1,
+                        parent: None,
+                        blocks: 4,
+                        rows: 100,
+                        dur_ns: 6_000,
+                    },
+                },
+                TimelineEvent {
+                    ts_ns: 3_000,
+                    lane: 0,
+                    kind: TimelineKind::PoolEviction { bytes: 64 },
+                },
+                TimelineEvent {
+                    ts_ns: 4_000,
+                    lane: 0,
+                    kind: TimelineKind::IoRetry { op: "stream" },
+                },
+                TimelineEvent {
+                    ts_ns: 5_000,
+                    lane: 0,
+                    kind: TimelineKind::IoFault { kind: "hard-read" },
+                },
+                TimelineEvent {
+                    ts_ns: 6_000,
+                    lane: 2,
+                    kind: TimelineKind::Compaction {
+                        table: "t".into(),
+                        delta_rows: 10,
+                        tombstones: 2,
+                        rows_out: 1_000,
+                        dur_ns: 500,
+                    },
+                },
+                TimelineEvent {
+                    ts_ns: 10_000,
+                    lane: 0,
+                    kind: TimelineKind::QueryEnd { query_id: 42 },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn renders_every_event_kind_and_validates() {
+        let doc = render_trace(&sample_trace());
+        let n = validate_tef(&doc).unwrap();
+        // 9 events + query X + process/thread metadata.
+        assert!(n >= 12, "{n} events in {doc}");
+        assert!(doc.contains("\"name\":\"morsel\""));
+        assert!(doc.contains("\"tid\":1003"));
+        assert!(doc.contains("worker-3"));
+        assert!(doc.contains("\"name\":\"load stream\""));
+        assert!(doc.contains("digest=feedfacecafebeef"));
+        assert!(doc.contains("\"name\":\"compaction\""));
+        // Fractional-microsecond timestamps.
+        assert!(doc.contains("\"ts\":1.500"));
+    }
+
+    #[test]
+    fn error_traces_carry_the_error() {
+        let mut t = sample_trace();
+        t.error = Some("injected hard read failure".into());
+        t.rows_out = 0;
+        let doc = render_trace(&t);
+        validate_tef(&doc).unwrap();
+        assert!(doc.contains("\"error\":\"injected hard read failure\""));
+    }
+
+    #[test]
+    fn multi_trace_documents_use_one_process_per_query() {
+        let mut b = sample_trace();
+        b.query_id = 43;
+        let doc = render_traces(&[sample_trace(), b]);
+        validate_tef(&doc).unwrap();
+        assert!(doc.contains("\"pid\":42"));
+        assert!(doc.contains("\"pid\":43"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_tef("{").is_err());
+        assert!(validate_tef("{}").unwrap_err().contains("traceEvents"));
+        assert!(validate_tef("{\"traceEvents\":1}").is_err());
+        // Missing dur on an X event.
+        let bad = "{\"traceEvents\":[{\"name\":\"q\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":1}]}";
+        assert!(validate_tef(bad).unwrap_err().contains("dur"));
+        // Unsupported phase.
+        let bad = "{\"traceEvents\":[{\"name\":\"q\",\"ph\":\"Z\",\"pid\":1,\"tid\":0}]}";
+        assert!(validate_tef(bad).unwrap_err().contains("phase"));
+        // Instant without scope.
+        let bad = "{\"traceEvents\":[{\"name\":\"q\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":1}]}";
+        assert!(validate_tef(bad).unwrap_err().contains("scope"));
+        // Metadata without args.name.
+        let bad = "{\"traceEvents\":[{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0}]}";
+        assert!(validate_tef(bad).unwrap_err().contains("args.name"));
+    }
+}

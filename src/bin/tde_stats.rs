@@ -4,12 +4,17 @@
 //! ```text
 //! tde-stats dump [--format prometheus|json] [--no-workload]
 //! tde-stats serve [--addr HOST:PORT] [--no-workload]
+//! tde-stats trace [--out FILE]
 //! ```
 //!
 //! `dump` prints the registry once; `serve` answers `GET /metrics`
-//! (Prometheus text exposition) and `GET /metrics.json` until killed.
-//! By default a small in-memory workload (scans, filtered scans with
-//! kernel pushdown, aggregations) runs first so the scrape has signal;
+//! (Prometheus text exposition), `GET /metrics.json`, `GET /spans`,
+//! and `GET /trace/<query_id>` until killed; `trace` dumps the
+//! recent-query timeline ring as a Chrome Trace Event Format file
+//! (default `tde.trace.json`) loadable in Perfetto, self-validated
+//! before writing. By default a small in-memory workload (scans,
+//! filtered scans with kernel pushdown, aggregations, one
+//! morsel-parallel aggregation) runs first so the scrape has signal;
 //! `--no-workload` skips it, which is what an embedding process that
 //! already ran queries wants. Span records for the workload's queries
 //! are written as JSON lines to stderr when `--spans` is given.
@@ -24,7 +29,8 @@ use tde_stats::http::StatsServer;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: tde-stats dump [--format prometheus|json] [--no-workload] [--spans]\n\
-         \x20      tde-stats serve [--addr HOST:PORT] [--no-workload] [--spans]"
+         \x20      tde-stats serve [--addr HOST:PORT] [--no-workload] [--spans]\n\
+         \x20      tde-stats trace [--out FILE] [--no-workload] [--spans]"
     );
     ExitCode::from(2)
 }
@@ -60,6 +66,12 @@ fn run_workload() {
     let _ = Query::scan(&t)
         .aggregate(vec![], vec![(AggFunc::Sum, 0, "total")])
         .rows();
+    // Morsel-parallel aggregation: puts worker tracks on the timeline.
+    let _ = Query::scan(&t)
+        .filter(Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::int(500)))
+        .aggregate(vec![0], vec![(AggFunc::Count, 1, "n")])
+        .with_parallelism(4)
+        .rows();
 }
 
 fn main() -> ExitCode {
@@ -69,6 +81,7 @@ fn main() -> ExitCode {
     };
     let mut format = "prometheus".to_owned();
     let mut addr = "127.0.0.1:9187".to_owned();
+    let mut out = "tde.trace.json".to_owned();
     let mut workload = true;
     let mut spans = false;
     while let Some(arg) = args.next() {
@@ -79,6 +92,10 @@ fn main() -> ExitCode {
             },
             "--addr" => match args.next() {
                 Some(a) => addr = a,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(o) => out = o,
                 None => return usage(),
             },
             "--no-workload" => workload = false,
@@ -93,6 +110,9 @@ fn main() -> ExitCode {
 
     if !tde::obs::metrics::enabled() {
         eprintln!("warning: metrics registry disabled (TDE_METRICS=0); the scrape will be empty");
+    }
+    if cmd == "trace" && !tde::obs::timeline::enabled() {
+        eprintln!("warning: timeline tracing disabled (TDE_TRACE=0); the trace will be empty");
     }
     if spans {
         tde::obs::span::set_span_sink(Some(tde::obs::span::JsonLinesSink::new(Box::new(
@@ -121,6 +141,29 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
             print!("{text}");
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let traces = tde::obs::timeline::recent_traces();
+            if traces.is_empty() {
+                eprintln!("tde-stats: trace ring is empty, writing an empty document");
+            }
+            let tef = tde_stats::tef::render_traces(&traces);
+            // Self-check: what we write must pass the strict validator.
+            match tde_stats::tef::validate_tef(&tef) {
+                Ok(n) => eprintln!(
+                    "tde-stats: {n} trace events from {} queries -> {out}",
+                    traces.len()
+                ),
+                Err(e) => {
+                    eprintln!("tde-stats: internal error, invalid trace output: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            if let Err(e) = std::fs::write(&out, tef) {
+                eprintln!("tde-stats: write {out}: {e}");
+                return ExitCode::from(2);
+            }
             ExitCode::SUCCESS
         }
         "serve" => {

@@ -1,0 +1,328 @@
+//! Always-on query timeline tracing, end to end: every `Query` entry
+//! point emits exactly one span, failed queries stay observable (failure
+//! counter + error-tagged span + error-tagged trace), and a
+//! morsel-parallel paged query produces a Chrome Trace Event Format
+//! document that passes the strict validator with distinct worker
+//! tracks, operator spans, and buffer-pool segment-load events.
+//!
+//! The timeline ring, the span sink, and the metrics registry are all
+//! process-global, and the test harness runs tests on several threads —
+//! so every test here serializes on one lock and matches its own work
+//! by row count / query id, never by absolute ring contents.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use tde::exec::expr::{AggFunc, CmpOp, Expr};
+use tde::obs::{metrics, span, timeline};
+use tde::pager::{save_v2, PagedDatabase, PoolConfig};
+use tde::storage::{ColumnBuilder, Database, EncodingPolicy, Table};
+use tde::types::DataType;
+use tde::Query;
+
+/// The timeline lanes, rings, and span sink are process globals:
+/// serialize every test in this file.
+fn trace_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// 400k rows: a 100-value sorted group key (RLE territory) plus a
+/// high-entropy value column — the fig. 10 shape, big enough to split
+/// into enough morsels that all four workers reliably claim work
+/// before the queue drains (work-stealing can starve a late-spawning
+/// worker on tiny inputs).
+fn fig10_db() -> Database {
+    let mut g = ColumnBuilder::new("g", DataType::Integer, EncodingPolicy::default());
+    let mut v = ColumnBuilder::new("v", DataType::Integer, EncodingPolicy::default());
+    for i in 0..400_000i64 {
+        g.append_i64(i / 4_000);
+        v.append_i64((i * 2_654_435_761) % 1_000_000);
+    }
+    let mut db = Database::new();
+    db.add_table(Table::new(
+        "fig10",
+        vec![g.finish().column, v.finish().column],
+    ));
+    db
+}
+
+fn demo_table() -> Arc<Table> {
+    let mut k = ColumnBuilder::new("k", DataType::Integer, EncodingPolicy::default());
+    let mut v = ColumnBuilder::new("v", DataType::Integer, EncodingPolicy::default());
+    for i in 0..20_000i64 {
+        k.append_i64(i / 2_000);
+        v.append_i64((i * 13) % 500);
+    }
+    Arc::new(Table::new(
+        "demo",
+        vec![k.finish().column, v.finish().column],
+    ))
+}
+
+fn failed_queries_delta(
+    before: &metrics::MetricsSnapshot,
+    after: &metrics::MetricsSnapshot,
+) -> u64 {
+    after
+        .counter_deltas(before)
+        .iter()
+        .filter(|(k, _)| k.starts_with("tde_queries_failed_total"))
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+/// Satellite: every entry point — `rows` (via `run`), `try_run`,
+/// `try_rows`, and `explain_analyze` — emits exactly one span.
+#[test]
+fn every_entry_point_emits_exactly_one_span() {
+    let _guard = trace_lock().lock().unwrap();
+    let t = demo_table();
+
+    let run_one = |label: &str, f: &dyn Fn() -> usize| {
+        let sink = span::MemorySink::new();
+        let prev = span::set_span_sink(Some(sink.clone()));
+        let rows = f();
+        let spans = sink.spans();
+        span::set_span_sink(prev);
+        assert_eq!(
+            spans.len(),
+            1,
+            "{label} must emit exactly one span, got {}",
+            spans.len()
+        );
+        assert_eq!(spans[0].rows_out, rows as u64, "{label} span row count");
+        assert!(spans[0].error.is_none(), "{label} succeeded");
+        assert_eq!(spans[0].plan_digest.len(), 16, "{label} digest");
+    };
+
+    run_one("rows()", &|| Query::scan(&t).rows().len());
+    run_one("try_rows()", &|| {
+        Query::scan(&t)
+            .filter(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(5)))
+            .try_rows()
+            .unwrap()
+            .len()
+    });
+    run_one("try_run()", &|| {
+        let (_, blocks) = Query::scan(&t).try_run().unwrap();
+        blocks.iter().map(|b| b.len).sum()
+    });
+    run_one("explain_analyze()", &|| {
+        Query::scan(&t)
+            .aggregate(vec![0], vec![(AggFunc::Sum, 1, "s")])
+            .explain_analyze()
+            .row_count as usize
+    });
+}
+
+/// Satellite: a query that fails mid-execution must not vanish from
+/// observability — it bumps `tde_queries_failed_total`, emits an
+/// error-tagged span, and leaves an error-tagged trace in the ring.
+#[test]
+fn failed_queries_stay_observable() {
+    let _guard = trace_lock().lock().unwrap();
+    use tde::io::{FaultIo, FaultPlan};
+
+    let dir = std::env::temp_dir().join(format!("tde_timeline_fail_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fail.tde2");
+    save_v2(&fig10_db(), &path).unwrap();
+
+    let io = FaultIo::new(FaultPlan::default());
+    let db = PagedDatabase::open_with_io(&path, PoolConfig::default(), &io).unwrap();
+    let t = db.table("fig10").unwrap();
+
+    let prev_trace = timeline::set_enabled(true);
+    let sink = span::MemorySink::new();
+    let prev_sink = span::set_span_sink(Some(sink.clone()));
+    let before = metrics::global().snapshot();
+
+    // Every segment read from here on fails hard (no retry).
+    io.arm_hard_read_failures(u64::MAX);
+    let err = Query::scan_paged_columns(&t, &["g", "v"])
+        .try_run()
+        .expect_err("armed hard read failures must fail the query");
+    assert!(
+        err.to_string().contains("injected hard read failure"),
+        "{err}"
+    );
+    io.arm_hard_read_failures(0);
+
+    let after = metrics::global().snapshot();
+    let spans = sink.spans();
+    span::set_span_sink(prev_sink);
+    timeline::set_enabled(prev_trace);
+
+    if metrics::enabled() {
+        assert!(
+            failed_queries_delta(&before, &after) >= 1,
+            "the failure must bump tde_queries_failed_total"
+        );
+    }
+    assert_eq!(spans.len(), 1, "the failed query still emits one span");
+    let s = &spans[0];
+    assert!(
+        s.error
+            .as_deref()
+            .is_some_and(|e| e.contains("injected hard read failure")),
+        "span must carry the error, got {:?}",
+        s.error
+    );
+    assert_eq!(s.rows_out, 0);
+    let json = s.to_json();
+    assert!(json.contains("\"error\":\""), "{json}");
+    tde_stats::minijson::parse(&json).unwrap();
+
+    let trace = timeline::find_trace(s.query_id).expect("failed query lands in the trace ring");
+    assert_eq!(trace.plan_digest, s.plan_digest);
+    assert!(trace
+        .error
+        .as_deref()
+        .is_some_and(|e| e.contains("injected hard read failure")));
+    let tef = tde_stats::tef::render_trace(&trace);
+    tde_stats::tef::validate_tef(&tef).unwrap();
+    assert!(tef.contains("injected hard read failure"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The acceptance criterion: a morsel-parallel (degree 4) query over a
+/// paged extract produces a validated TEF trace with ≥ 4 distinct
+/// worker tracks of morsel spans plus buffer-pool segment-load events,
+/// attributable to the query via its plan digest.
+#[test]
+fn parallel_paged_query_produces_a_validated_worker_trace() {
+    let _guard = trace_lock().lock().unwrap();
+
+    let dir = std::env::temp_dir().join(format!("tde_timeline_trace_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig10.tde2");
+    save_v2(&fig10_db(), &path).unwrap();
+
+    // Fresh open: the pool is cold, so the query itself triggers the
+    // segment loads we want on its timeline.
+    let db = PagedDatabase::open(&path).unwrap();
+    let t = db.table("fig10").unwrap();
+
+    let prev_trace = timeline::set_enabled(true);
+    let sink = span::MemorySink::new();
+    let prev_sink = span::set_span_sink(Some(sink.clone()));
+
+    let rows = Query::scan_paged_columns(&t, &["g", "v"])
+        .filter(Expr::cmp(CmpOp::Ge, Expr::col(1), Expr::int(500_000)))
+        .aggregate(vec![0], vec![(AggFunc::Count, 1, "n")])
+        .with_parallelism(4)
+        .rows();
+    assert_eq!(rows.len(), 100, "one output row per group");
+
+    let spans = sink.spans();
+    span::set_span_sink(prev_sink);
+    timeline::set_enabled(prev_trace);
+    assert_eq!(spans.len(), 1);
+    let s = &spans[0];
+
+    let trace = timeline::find_trace(s.query_id).expect("trace retained in the ring");
+    assert_eq!(
+        trace.plan_digest, s.plan_digest,
+        "the trace is attributable to the query via the plan digest"
+    );
+    assert_eq!(trace.rows_out, 100);
+    assert!(trace.error.is_none());
+
+    // ≥ 4 distinct workers actually executed morsels. Like the
+    // morsel_pipeline bench's speedup floor, the full-degree assertion
+    // only means something when the host can run 4 workers at once —
+    // on fewer cores a late-spawning worker can lose its whole deque
+    // partition to stealing before the OS first schedules it.
+    let workers: std::collections::BTreeSet<u32> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            timeline::TimelineKind::Morsel { worker, .. } => Some(worker),
+            _ => None,
+        })
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let floor = if cores >= 4 { 4 } else { 1 };
+    assert!(
+        workers.len() >= floor,
+        "expected ≥ {floor} worker tracks on a {cores}-core host, got {workers:?}"
+    );
+    // The cold pool loaded segments during the query.
+    let loads = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, timeline::TimelineKind::SegmentLoad { .. }))
+        .count();
+    assert!(loads >= 2, "both columns' segments load during the query");
+    // Operator spans made it onto the timeline with wall durations.
+    assert!(trace.events.iter().any(|e| matches!(
+        &e.kind,
+        timeline::TimelineKind::OperatorSpan { rows, .. } if *rows > 0
+    )));
+
+    // The TEF rendering passes the strict validator and shows the
+    // worker tracks as distinct tids.
+    let tef = tde_stats::tef::render_trace(&trace);
+    let n_events = tde_stats::tef::validate_tef(&tef).expect("strict TEF validation");
+    assert!(n_events > workers.len() + loads);
+    for w in &workers {
+        assert!(
+            tef.contains(&format!("\"tid\":{}", 1000 + w)),
+            "worker {w} track missing from TEF"
+        );
+        assert!(tef.contains(&format!("worker-{w}")));
+    }
+    assert!(tef.contains("\"name\":\"load stream\""));
+    assert!(tef.contains(&format!("digest={}", s.plan_digest)));
+
+    // The /spans summary and /trace/<id> endpoint payloads agree.
+    let spans_doc = tde_stats::http::spans_json();
+    let v = tde_stats::minijson::parse(&spans_doc).unwrap();
+    let summaries = v.get("traces").unwrap().as_array().unwrap();
+    assert!(summaries
+        .iter()
+        .any(|x| x.get("query_id").and_then(|q| q.as_u64()) == Some(s.query_id)));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Slow-query log: with a zero threshold every query is "slow" — it is
+/// pinned in the slow ring and a structured record with the top-3
+/// operators by self-time reaches the sink.
+#[test]
+fn slow_queries_are_pinned_and_logged() {
+    let _guard = trace_lock().lock().unwrap();
+    if timeline::slow_threshold_ns() != Some(0) {
+        // The threshold is parsed from TDE_SLOW_QUERY_NS once per
+        // process; this test only runs under the CI leg that sets it.
+        return;
+    }
+    let prev_trace = timeline::set_enabled(true);
+    let sink = span::MemorySink::new();
+    let prev_sink = span::set_span_sink(Some(sink.clone()));
+
+    let t = demo_table();
+    let rows = Query::scan(&t)
+        .filter(Expr::cmp(CmpOp::Ge, Expr::col(0), Expr::int(2)))
+        .aggregate(vec![0], vec![(AggFunc::Sum, 1, "s")])
+        .rows();
+    assert_eq!(rows.len(), 8);
+
+    let spans = sink.spans();
+    let slow = sink.slow_records();
+    span::set_span_sink(prev_sink);
+    timeline::set_enabled(prev_trace);
+
+    assert_eq!(spans.len(), 1);
+    let record = slow
+        .iter()
+        .rfind(|r| r.query_id == spans[0].query_id)
+        .expect("slow record for the query");
+    assert_eq!(record.plan_digest, spans[0].plan_digest);
+    assert!(!record.top_ops.is_empty() && record.top_ops.len() <= 3);
+    tde_stats::minijson::parse(&record.to_json()).unwrap();
+    assert!(timeline::slow_traces()
+        .iter()
+        .any(|t| t.query_id == spans[0].query_id));
+}
